@@ -1,0 +1,397 @@
+// Benchmarks regenerating the measured quantity behind every table of
+// the paper's evaluation (see DESIGN.md's experiment index; the full
+// aggregated tables come from cmd/resexp). Each benchmark times the
+// operation the corresponding table reports — scheduling-algorithm
+// execution for Tables 9/10, full algorithm runs for Tables 4-7 — and
+// reports domain metrics (turnaround seconds, CPU-hours) alongside
+// ns/op, so a single `go test -bench=. -benchmem` run reproduces both
+// the performance and the quality dimensions at instance scale.
+package resched_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"resched"
+	"resched/internal/core"
+	"resched/internal/cpa"
+	"resched/internal/daggen"
+	"resched/internal/model"
+	"resched/internal/workload"
+)
+
+// benchEnv materializes one deterministic scheduling environment from
+// an archetype log.
+func benchEnv(b *testing.B, arch resched.Archetype, phi float64, method resched.ExtractMethod, seed int64) resched.Env {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	lg, err := resched.SynthesizeLog(arch, 30, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := resched.Time(14 * resched.Day)
+	ex, err := resched.ExtractReservations(lg, phi, method, at, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := ex.Profile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := resched.HistoricalAvail(ex.Procs, ex.Past, ex.At, resched.Week)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return resched.Env{P: ex.Procs, Now: ex.At, Avail: prof, Q: q}
+}
+
+func benchGraph(b *testing.B, spec resched.DAGSpec, seed int64) *resched.Graph {
+	b.Helper()
+	g, err := resched.GenerateDAG(spec, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkTable3Stats times the per-log statistics computation behind
+// Table 3.
+func BenchmarkTable3Stats(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lg, err := resched.SynthesizeLog(resched.SDSCDS, 30, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.ComputeStats(lg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSection431 compares the bottom-level methods of Section
+// 4.3.1 under the BD_CPAR bound.
+func BenchmarkSection431(b *testing.B) {
+	g := benchGraph(b, resched.DefaultDAGSpec(), 2)
+	env := benchEnv(b, resched.SDSCDS, 0.2, resched.Expo, 2)
+	for _, bl := range []resched.BLMethod{resched.BL1, resched.BLAll, resched.BLCPA, resched.BLCPAR} {
+		b.Run(bl.String(), func(b *testing.B) {
+			s, err := resched.NewScheduler(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last *resched.Schedule
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = s.Turnaround(env, bl, resched.BDCPAR)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(last.Turnaround()), "turnaround-s")
+		})
+	}
+}
+
+// benchTurnaroundTable runs the RESSCHED algorithms of Tables 4/5 on a
+// fixed instance from the given archetype.
+func benchTurnaroundTable(b *testing.B, arch resched.Archetype, phi float64, method resched.ExtractMethod) {
+	g := benchGraph(b, resched.DefaultDAGSpec(), 3)
+	env := benchEnv(b, arch, phi, method, 3)
+	for _, bd := range []resched.BDMethod{resched.BDAll, resched.BDHalf, resched.BDCPA, resched.BDCPAR} {
+		b.Run(bd.String(), func(b *testing.B) {
+			s, err := resched.NewScheduler(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last *resched.Schedule
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = s.Turnaround(env, resched.BLCPAR, bd)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(last.Turnaround()), "turnaround-s")
+			b.ReportMetric(last.CPUHours(), "cpu-hours")
+		})
+	}
+}
+
+// BenchmarkTable4 exercises turn-around minimization on a synthetic
+// (phi-tagged) reservation schedule.
+func BenchmarkTable4(b *testing.B) {
+	benchTurnaroundTable(b, resched.SDSCDS, 0.2, resched.Expo)
+}
+
+// BenchmarkTable5 exercises turn-around minimization on a
+// Grid'5000-style reservation schedule.
+func BenchmarkTable5(b *testing.B) {
+	benchTurnaroundTable(b, resched.Grid5000, 1, resched.Real)
+}
+
+// BenchmarkTable6 runs the five deadline algorithms of Table 6 against
+// a fixed deadline (1.5x the forward schedule, the table's "loose
+// deadline" setting).
+func BenchmarkTable6(b *testing.B) {
+	g := benchGraph(b, resched.DefaultDAGSpec(), 4)
+	env := benchEnv(b, resched.SDSCBlue, 0.2, resched.Expo, 4)
+	ref, err := mustScheduler(b, g).Turnaround(env, resched.BLCPAR, resched.BDCPAR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deadline := env.Now + resched.Duration(1.5*float64(ref.Turnaround()))
+	algos := []resched.DLAlgorithm{resched.DLBDAll, resched.DLBDCPA, resched.DLBDCPAR, resched.DLRCCPA, resched.DLRCCPAR}
+	for _, algo := range algos {
+		b.Run(algo.String(), func(b *testing.B) {
+			s := mustScheduler(b, g)
+			var last *resched.Schedule
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = s.Deadline(env, algo, deadline)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.CPUHours(), "cpu-hours")
+		})
+	}
+}
+
+// BenchmarkTable6Tightest times the tightest-deadline binary search of
+// Section 5.3 for a representative aggressive and RC algorithm.
+func BenchmarkTable6Tightest(b *testing.B) {
+	g := benchGraph(b, smallSpec(25), 5)
+	env := benchEnv(b, resched.SDSCDS, 0.2, resched.Expo, 5)
+	for _, algo := range []resched.DLAlgorithm{resched.DLBDCPA, resched.DLRCCPAR} {
+		b.Run(algo.String(), func(b *testing.B) {
+			s := mustScheduler(b, g)
+			var k resched.Time
+			var err error
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k, _, err = s.TightestDeadline(env, algo)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(k-env.Now), "tightest-s")
+		})
+	}
+}
+
+// BenchmarkTable7 runs the hybrid algorithms of Table 7 on a
+// Grid'5000-style schedule at a loose deadline.
+func BenchmarkTable7(b *testing.B) {
+	g := benchGraph(b, resched.DefaultDAGSpec(), 6)
+	env := benchEnv(b, resched.Grid5000, 1, resched.Real, 6)
+	ref, err := mustScheduler(b, g).Turnaround(env, resched.BLCPAR, resched.BDCPAR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deadline := env.Now + resched.Duration(1.5*float64(ref.Turnaround()))
+	algos := []resched.DLAlgorithm{resched.DLBDCPA, resched.DLRCCPAR, resched.DLRCCPARLambda, resched.DLRCBDCPARLambda}
+	for _, algo := range algos {
+		b.Run(algo.String(), func(b *testing.B) {
+			s := mustScheduler(b, g)
+			var last *resched.Schedule
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = s.Deadline(env, algo, deadline)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.CPUHours(), "cpu-hours")
+		})
+	}
+}
+
+func smallSpec(n int) resched.DAGSpec {
+	spec := resched.DefaultDAGSpec()
+	spec.N = n
+	return spec
+}
+
+// BenchmarkTable9 reproduces the execution-time sweep over the number
+// of tasks n (fresh scheduler per call, like the paper's timings).
+func BenchmarkTable9(b *testing.B) {
+	env := benchEnv(b, resched.Grid5000, 1, resched.Real, 7)
+	for _, n := range []int{10, 25, 50, 75, 100} {
+		g := benchGraph(b, smallSpec(n), int64(100+n))
+		for _, name := range []string{"BD_CPAR", "DL_BD_CPAR", "DL_RC_CPAR"} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, name), func(b *testing.B) {
+				benchOneAlgorithm(b, g, env, name)
+			})
+		}
+	}
+}
+
+// BenchmarkTable10 reproduces the execution-time sweep over edge
+// density d.
+func BenchmarkTable10(b *testing.B) {
+	env := benchEnv(b, resched.Grid5000, 1, resched.Real, 8)
+	for _, d := range []float64{0.1, 0.5, 0.9} {
+		spec := resched.DefaultDAGSpec()
+		spec.Density = d
+		g := benchGraph(b, spec, int64(200+int(10*d)))
+		for _, name := range []string{"BD_CPAR", "DL_BD_CPAR", "DL_RC_CPAR"} {
+			b.Run(fmt.Sprintf("d=%.1f/%s", d, name), func(b *testing.B) {
+				benchOneAlgorithm(b, g, env, name)
+			})
+		}
+	}
+}
+
+// benchOneAlgorithm times one scheduling invocation including CPA
+// allocation and bottom-level computation (fresh scheduler per
+// iteration), which is what Tables 9 and 10 measure.
+func benchOneAlgorithm(b *testing.B, g *resched.Graph, env resched.Env, name string) {
+	b.Helper()
+	var deadline resched.Time
+	if name != "BD_CPAR" {
+		ref, err := mustScheduler(b, g).Turnaround(env, resched.BLCPAR, resched.BDCPAR)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deadline = env.Now + resched.Duration(1.5*float64(ref.Turnaround()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := mustScheduler(b, g)
+		var err error
+		switch name {
+		case "BD_CPAR":
+			_, err = s.Turnaround(env, resched.BLCPAR, resched.BDCPAR)
+		case "DL_BD_CPAR":
+			_, err = s.Deadline(env, resched.DLBDCPAR, deadline)
+		case "DL_RC_CPAR":
+			_, err = s.Deadline(env, resched.DLRCCPAR, deadline)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCPAStopRule compares the two allocation-phase
+// stopping criteria called out in DESIGN.md Section 6: the classic CPA
+// rule and the efficiency-capped stringent rule the paper's improved
+// criterion is modeled by.
+func BenchmarkAblationCPAStopRule(b *testing.B) {
+	g := benchGraph(b, resched.DefaultDAGSpec(), 9)
+	for _, rule := range []cpa.StopRule{cpa.StopClassic, cpa.StopStringent} {
+		b.Run(rule.String(), func(b *testing.B) {
+			var alloc []int
+			var err error
+			for i := 0; i < b.N; i++ {
+				alloc, err = cpa.Allocate(g, 256, rule)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var work model.Duration
+			for i, m := range alloc {
+				t := g.Task(i)
+				work += model.Work(t.Seq, t.Alpha, m)
+			}
+			b.ReportMetric(model.CPUHours(work), "alloc-cpu-hours")
+		})
+	}
+}
+
+// BenchmarkProfileOps isolates the availability-profile primitives all
+// algorithms are built on.
+func BenchmarkProfileOps(b *testing.B) {
+	env := benchEnv(b, resched.SDSCBlue, 0.5, resched.Expo, 10)
+	prof := env.Avail
+	b.Run("EarliestFit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prof.EarliestFit(64, model.Hour, env.Now)
+		}
+	})
+	b.Run("LatestFit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			prof.LatestFit(64, model.Hour, env.Now, env.Now+7*model.Day)
+		}
+	})
+	b.Run("Reserve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := prof.Clone()
+			if err := c.Reserve(env.Now+1000, env.Now+1000+model.Hour, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// mustScheduler adapts core.NewScheduler to benchmarks.
+func mustScheduler(b *testing.B, g *resched.Graph) *resched.Scheduler {
+	b.Helper()
+	s, err := resched.NewScheduler(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkExtensionOneStep compares the one-step allocate-and-map
+// scheduler (conclusion's first future-work item) against BD_CPAR on
+// the same instance, reporting both cost dimensions.
+func BenchmarkExtensionOneStep(b *testing.B) {
+	g := benchGraph(b, smallSpec(25), 11)
+	env := benchEnv(b, resched.SDSCDS, 0.2, resched.Expo, 11)
+	b.Run("one-step", func(b *testing.B) {
+		var res *resched.OneStepResult
+		var err error
+		for i := 0; i < b.N; i++ {
+			res, err = resched.OneStepSchedule(g, env, resched.OneStepOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.Schedule.Turnaround()), "turnaround-s")
+		b.ReportMetric(res.Schedule.CPUHours(), "cpu-hours")
+	})
+	b.Run("BD_CPAR", func(b *testing.B) {
+		var last *resched.Schedule
+		for i := 0; i < b.N; i++ {
+			s := mustScheduler(b, g)
+			var err error
+			last, err = s.Turnaround(env, resched.BLCPAR, resched.BDCPAR)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(last.Turnaround()), "turnaround-s")
+		b.ReportMetric(last.CPUHours(), "cpu-hours")
+	})
+}
+
+// BenchmarkExtensionBlind measures the cost of scheduling without full
+// knowledge of the reservation schedule (probe-based interface),
+// including the probe count per run.
+func BenchmarkExtensionBlind(b *testing.B) {
+	g := benchGraph(b, smallSpec(25), 12)
+	env := benchEnv(b, resched.SDSCDS, 0.2, resched.Expo, 12)
+	var res *resched.BlindResult
+	for i := 0; i < b.N; i++ {
+		bs := resched.NewSimulatedBatch(env.Avail, env.Now)
+		var err error
+		res, err = resched.BlindSchedule(g, bs, resched.BlindOptions{Q: env.Q})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Probes), "probes")
+	b.ReportMetric(float64(res.Schedule.Turnaround()), "turnaround-s")
+}
+
+// Compile-time check that the alias types line up with the internal
+// packages the benchmarks borrow.
+var (
+	_ = core.BLCPAR
+	_ = daggen.Default
+)

@@ -1,0 +1,489 @@
+// Command resexp regenerates every table of the paper's evaluation.
+//
+// Each -table value maps to one table of the paper (see DESIGN.md's
+// experiment index): 1 and 2 print the input models, 3 the workload
+// statistics and reservation-schedule correlations (Section 3.2.1),
+// "bl" the bottom-level method comparison of Section 4.3.1, 4 and 5
+// the RESSCHED results, 6 and 7 the RESSCHEDDL results, 8 the
+// complexity summary, and 9 and 10 the algorithm execution times.
+//
+// The paper averages 1,000 random instances over 1,440 scenarios; the
+// defaults here are laptop-scale and flag-adjustable:
+//
+//	resexp -table all                    # everything, reduced scale
+//	resexp -table 4 -apps 40 -dagreps 20 -starts 10 -taggings 5
+//	resexp -table 6 -apps 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"resched/internal/core"
+	"resched/internal/daggen"
+	"resched/internal/model"
+	"resched/internal/sim"
+	"resched/internal/stats"
+	"resched/internal/tables"
+	"resched/internal/workload"
+)
+
+type options struct {
+	apps    int
+	verbose bool
+}
+
+func main() {
+	table := flag.String("table", "all", "tables to regenerate: all or comma list of 1,2,3,bl,4,5,6,7,8,9,10")
+	apps := flag.Int("apps", 8, "application specs sampled from the Table 1 grid (0 = all 40)")
+	dagreps := flag.Int("dagreps", 3, "sample DAGs per application spec (paper: 20)")
+	starts := flag.Int("starts", 3, "observation times per log (paper: 10)")
+	taggings := flag.Int("taggings", 2, "random taggings per observation time (paper: 5)")
+	days := flag.Int("days", 45, "synthetic log length in days")
+	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "scenario-level parallelism (0 = NumCPU)")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.LogDays = *days
+	cfg.DAGReps = *dagreps
+	cfg.StartTimes = *starts
+	cfg.Taggings = *taggings
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+	if *verbose {
+		cfg.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d scenarios", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	lab := sim.NewLab(cfg)
+	opt := options{apps: *apps, verbose: *verbose}
+
+	run := map[string]func(*sim.Lab, options) error{
+		"1": table1, "2": table2, "3": table3, "bl": tableBL,
+		"4": table4, "5": table5, "6": table6, "7": table7,
+		"8": table8, "9": table9, "10": table10,
+		"ext": tableExt, "pess": tablePess, "dyn": tableDyn, "multi": tableMulti,
+	}
+	order := []string{"1", "2", "3", "bl", "4", "5", "6", "7", "8", "9", "10", "ext", "pess", "dyn", "multi"}
+
+	want := map[string]bool{}
+	if *table == "all" {
+		for _, k := range order {
+			want[k] = true
+		}
+	} else {
+		for _, k := range strings.Split(*table, ",") {
+			k = strings.TrimSpace(k)
+			if _, ok := run[k]; !ok {
+				fmt.Fprintf(os.Stderr, "resexp: unknown table %q\n", k)
+				os.Exit(2)
+			}
+			want[k] = true
+		}
+	}
+	for _, k := range order {
+		if !want[k] {
+			continue
+		}
+		t0 := time.Now()
+		if err := run[k](lab, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "resexp: table %s: %v\n", k, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[table %s took %v]\n", k, time.Since(t0).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+}
+
+// appSubset samples n diverse specs from the Table 1 grid (all 40 when
+// n <= 0 or n >= 40).
+func appSubset(n int) []daggen.Spec {
+	grid := daggen.ParamGrid()
+	if n <= 0 || n >= len(grid) {
+		return grid
+	}
+	out := make([]daggen.Spec, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, grid[i*len(grid)/n])
+	}
+	return out
+}
+
+func table1(_ *sim.Lab, _ options) error {
+	t := tables.New("Table 1: application model parameter values (defaults in the Values column repeat the boldface of the paper)",
+		"Parameter", "Values", "Default")
+	t.Add("Number of tasks", "10, 25, 50, 75, 100", "50")
+	t.Add("alpha", ".05, .10, .15, .20", ".20")
+	t.Add("width", ".1 .. .9", ".5")
+	t.Add("density", ".1 .. .9", ".5")
+	t.Add("regularity", ".1 .. .9", ".5")
+	t.Add("jump", "1, 2, 3, 4", "1")
+	return t.Render(os.Stdout)
+}
+
+func table2(lab *sim.Lab, _ options) error {
+	t := tables.New("Table 2: batch logs (synthetic, calibrated to the paper's traces)",
+		"Name", "#CPUs", "Jobs", "Target util [%]", "Achieved util [%]")
+	for _, a := range workload.BatchArchetypes {
+		lg, err := lab.Log(a)
+		if err != nil {
+			return err
+		}
+		t.Addf(a.Name, a.Procs, len(lg.Jobs), 100*a.TargetUtil, 100*lg.Utilization())
+	}
+	return t.Render(os.Stdout)
+}
+
+func table3(lab *sim.Lab, _ options) error {
+	t := tables.New("Table 3: statistics for the Grid'5000 reservation log and four batch logs",
+		"Log", "Avg exec [h]", "CV exec [%]", "Avg time-to-exec [h]", "CV time-to-exec [%]")
+	logs := append([]workload.Archetype{workload.Grid5000}, workload.BatchArchetypes...)
+	for _, a := range logs {
+		lg, err := lab.Log(a)
+		if err != nil {
+			return err
+		}
+		st, err := workload.ComputeStats(lg)
+		if err != nil {
+			return err
+		}
+		t.Addf(st.Name, st.MeanRunHours, st.CVRunPct, st.MeanToExecH, st.CVToExecPct)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Section 3.2.1 in-text result: correlation between Grid'5000
+	// reservation schedules and synthetic schedules per decay method.
+	corr, err := methodCorrelations(lab)
+	if err != nil {
+		return err
+	}
+	ct := tables.New("Section 3.2.1: mean correlation of synthetic reservation schedules with Grid'5000 schedules",
+		"Method", "Mean Pearson r")
+	for _, m := range workload.AllMethods {
+		ct.Addf(m.String(), corr[m])
+	}
+	return ct.Render(os.Stdout)
+}
+
+// methodCorrelations compares the reserved-processor time series of
+// Grid'5000 reservation schedules with synthetic schedules generated
+// from the batch logs by each decay method.
+func methodCorrelations(lab *sim.Lab) (map[workload.Method]float64, error) {
+	g5k, err := lab.Log(workload.Grid5000)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(lab.Config().Seed + 99))
+	g5kStarts, err := workload.StartTimes(g5k, 4, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Reference series: normalized Grid'5000 reserved processors over
+	// the week following each start.
+	var refs [][]float64
+	for _, at := range g5kStarts {
+		ex, err := workload.Extract(g5k, 1, workload.Real, at, rng)
+		if err != nil {
+			return nil, err
+		}
+		s, err := workload.ReservedSeries(ex.Procs, ex.Future, at, at+7*model.Day, model.Hour)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, s)
+	}
+
+	out := make(map[workload.Method]float64)
+	for _, method := range workload.AllMethods {
+		var rs []float64
+		for _, arch := range workload.BatchArchetypes {
+			lg, err := lab.Log(arch)
+			if err != nil {
+				return nil, err
+			}
+			starts, err := workload.StartTimes(lg, 2, rng)
+			if err != nil {
+				return nil, err
+			}
+			for _, at := range starts {
+				ex, err := workload.Extract(lg, 0.2, method, at, rng)
+				if err != nil {
+					return nil, err
+				}
+				s, err := workload.ReservedSeries(ex.Procs, ex.Future, at, at+7*model.Day, model.Hour)
+				if err != nil {
+					return nil, err
+				}
+				for _, ref := range refs {
+					if r, err := stats.Pearson(ref, s); err == nil {
+						rs = append(rs, r)
+					}
+				}
+			}
+		}
+		out[method] = stats.Mean(rs)
+	}
+	return out, nil
+}
+
+func tableBL(lab *sim.Lab, opt options) error {
+	apps := appSubset(opt.apps)
+	scenarios := sim.SynthScenarios(apps, workload.BatchArchetypes, sim.PaperPhis, workload.AllMethods)
+	res, err := sim.RunBLComparison(lab, scenarios, core.AllBD)
+	if err != nil {
+		return err
+	}
+	t := tables.New(fmt.Sprintf("Section 4.3.1: bottom-level methods over %d cases (scenario x bounding method)", res.Cases),
+		"Method", "Best [% of cases]", "Improvement vs BL_1 [min %]", "[max %]")
+	for i, m := range res.Methods {
+		t.Addf(m.String(), 100*res.BestShare[i], res.MinImprovePct[i], res.MaxImprovePct[i])
+	}
+	return t.Render(os.Stdout)
+}
+
+func table4(lab *sim.Lab, opt options) error {
+	apps := appSubset(opt.apps)
+	scenarios := sim.SynthScenarios(apps, workload.BatchArchetypes, sim.PaperPhis, workload.AllMethods)
+	res, err := sim.RunTurnaround(lab, scenarios, core.AllBD)
+	if err != nil {
+		return err
+	}
+	return renderTurnaround("Table 4: turn-around time minimization (synthetic reservation schedules)", res)
+}
+
+func table5(lab *sim.Lab, opt options) error {
+	apps := appSubset(opt.apps)
+	res, err := sim.RunTurnaround(lab, sim.Grid5000Scenarios(apps), core.AllBD)
+	if err != nil {
+		return err
+	}
+	return renderTurnaround("Table 5: turn-around time minimization (Grid'5000 reservation schedules)", res)
+}
+
+func renderTurnaround(title string, res *sim.TurnaroundResult) error {
+	t := tables.New(fmt.Sprintf("%s — %d scenarios, %d instances", title, res.Scenarios, res.Instances),
+		"Algorithm", "TAT deg [%]", "TAT wins", "CPU-h deg [%]", "CPU-h wins")
+	for i, a := range res.Algorithms {
+		t.Addf(a.String(), res.DegTurnaround[i], res.WinsTurnaround[i], res.DegCPUHours[i], res.WinsCPUHours[i])
+	}
+	return t.Render(os.Stdout)
+}
+
+func table6(lab *sim.Lab, opt options) error {
+	apps := appSubset(min(opt.apps, 6))
+	algos := []core.DLAlgorithm{core.DLBDAll, core.DLBDCPA, core.DLBDCPAR, core.DLRCCPA, core.DLRCCPAR}
+	type column struct {
+		label string
+		res   *sim.DeadlineResult
+	}
+	var cols []column
+	for _, phi := range sim.PaperPhis {
+		scenarios := sim.SynthScenarios(apps, []workload.Archetype{workload.SDSCBlue}, []float64{phi}, workload.AllMethods)
+		res, err := sim.RunDeadline(lab, scenarios, algos)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, column{fmt.Sprintf("phi=%.1f", phi), res})
+	}
+	g5k, err := sim.RunDeadline(lab, sim.Grid5000Scenarios(apps), algos)
+	if err != nil {
+		return err
+	}
+	cols = append(cols, column{"Grid5000", g5k})
+
+	headers := []string{"Algorithm"}
+	for _, c := range cols {
+		headers = append(headers, "K "+c.label)
+	}
+	for _, c := range cols {
+		headers = append(headers, "CPUh "+c.label)
+	}
+	t := tables.New("Table 6: meeting a deadline — tightest deadline (K) and CPU-hours at a loose deadline, avg % degradation from best",
+		headers...)
+	for i, a := range algos {
+		row := []interface{}{a.String()}
+		for _, c := range cols {
+			row = append(row, c.res.DegTightest[i])
+		}
+		for _, c := range cols {
+			row = append(row, c.res.DegCPUHours[i])
+		}
+		t.Addf(row...)
+	}
+	return t.Render(os.Stdout)
+}
+
+func table7(lab *sim.Lab, opt options) error {
+	apps := appSubset(min(opt.apps, 8))
+	algos := []core.DLAlgorithm{core.DLBDCPA, core.DLRCCPAR, core.DLRCCPARLambda, core.DLRCBDCPARLambda}
+	res, err := sim.RunDeadline(lab, sim.Grid5000Scenarios(apps), algos)
+	if err != nil {
+		return err
+	}
+	t := tables.New(fmt.Sprintf("Table 7: improved resource-conservative algorithms on Grid'5000 schedules — %d scenarios, %d instances (%d skipped)",
+		res.Scenarios, res.Instances, res.SkippedInstances),
+		"Algorithm", "Tightest deadline deg [%]", "CPU-hours (loose) deg [%]")
+	for i, a := range algos {
+		t.Addf(a.String(), res.DegTightest[i], res.DegCPUHours[i])
+	}
+	return t.Render(os.Stdout)
+}
+
+func table8(_ *sim.Lab, _ options) error {
+	t := tables.New("Table 8: worst-case asymptotic complexities (V tasks, E edges, P procs, P' historical average, R/R' reservations)",
+		"Algorithm", "Complexity")
+	rows := [][2]string{
+		{"BD_ALL", "O(V^2 P' + V^2 P + V E P' + V R P)"},
+		{"BD_CPA", "O(V^2 P' + V^2 P + V E P' + V E P + V R P)"},
+		{"BD_CPAR", "O(V^2 P' + V E P' + V R P')"},
+		{"DL_BD_ALL", "O(V^2 P' + V^2 P + V E P' + V R' P)"},
+		{"DL_BD_CPA", "O(V^2 P' + V^2 P + V E P' + V E P + V R' P)"},
+		{"DL_BD_CPAR", "O(V^2 P' + V E P' + V R' P')"},
+		{"DL_RC_CPA", "O(V^2 P' + V^2 P + V E P' + V E P + V R' P)"},
+		{"DL_RC_CPAR", "O(V^2 P' + V E P' + V R' P')"},
+		{"DL_RC_CPAR-l", "O(V^2 P' + V E P' + V R' P')"},
+		{"DL_RCBD_CPAR-l", "O(V^2 P' + V E P' + V R' P')"},
+	}
+	for _, r := range rows {
+		t.Add(r[0], r[1])
+	}
+	return t.Render(os.Stdout)
+}
+
+func table9(lab *sim.Lab, _ options) error {
+	var specs []daggen.Spec
+	for _, n := range []int{10, 25, 50, 75, 100} {
+		s := daggen.Default()
+		s.N = n
+		specs = append(specs, s)
+	}
+	labels := []string{"n=10", "n=25", "n=50", "n=75", "n=100"}
+	return renderTiming(lab, "Table 9: average algorithm execution times [ms] as n varies (Grid'5000 schedules)", specs, labels)
+}
+
+func table10(lab *sim.Lab, _ options) error {
+	var specs []daggen.Spec
+	var labels []string
+	for _, d := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		s := daggen.Default()
+		s.Density = d
+		specs = append(specs, s)
+		labels = append(labels, fmt.Sprintf("d=%.1f", d))
+	}
+	return renderTiming(lab, "Table 10: average algorithm execution times [ms] as density varies (Grid'5000 schedules)", specs, labels)
+}
+
+func renderTiming(lab *sim.Lab, title string, specs []daggen.Spec, labels []string) error {
+	base := sim.Scenario{Arch: workload.Grid5000, Phi: 1, Method: workload.Real}
+	res, err := sim.RunTiming(lab, specs, base)
+	if err != nil {
+		return err
+	}
+	headers := append([]string{"Algorithm"}, labels...)
+	t := tables.New(title, headers...)
+	for _, row := range res.Rows {
+		cells := []interface{}{row.Name}
+		for _, ms := range row.MeanMs {
+			if ms < 0 {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, fmt.Sprintf("%.3f", ms))
+			}
+		}
+		t.Addf(cells...)
+	}
+	return t.Render(os.Stdout)
+}
+
+// tableExt is not a paper table: it compares the library's extensions
+// (one-step scheduler, blind probe-based scheduler) against BD_CPAR on
+// the same instances.
+func tableExt(lab *sim.Lab, opt options) error {
+	apps := appSubset(min(opt.apps, 6))
+	scenarios := sim.SynthScenarios(apps, []workload.Archetype{workload.SDSCDS}, []float64{0.2}, workload.AllMethods)
+	res, err := sim.RunExtensions(lab, scenarios)
+	if err != nil {
+		return err
+	}
+	t := tables.New(fmt.Sprintf("Extensions: full-knowledge BD_CPAR vs one-step vs blind scheduling — %d instances", res.Instances),
+		"Scheduler", "Mean turnaround [h]", "Mean CPU-hours", "Mean probes")
+	t.Addf("BD_CPAR", res.TurnBDCPAR/3600, res.CPUBDCPAR, "-")
+	t.Addf("one-step", res.TurnOneStep/3600, res.CPUOneStep, "-")
+	t.Addf("blind (probe)", res.TurnBlind/3600, res.CPUBlind, res.MeanProbes)
+	return t.Render(os.Stdout)
+}
+
+// tablePess is the runtime-overestimation study Section 3.1 of the
+// paper leaves open: mean reserved/realized turnaround and CPU-hour
+// waste per pessimism factor.
+func tablePess(lab *sim.Lab, opt options) error {
+	apps := appSubset(min(opt.apps, 6))
+	scenarios := sim.SynthScenarios(apps, []workload.Archetype{workload.SDSCDS}, []float64{0.2}, []workload.Method{workload.Expo})
+	factors := []float64{1, 1.5, 2, 3, 5}
+	res, err := sim.RunPessimism(lab, scenarios, factors)
+	if err != nil {
+		return err
+	}
+	t := tables.New(fmt.Sprintf("Pessimistic runtime estimates (Section 3.1's open question) — %d instances", res.Instances),
+		"Factor", "Reserved TAT [h]", "Realized TAT [h]", "Wasted CPU-h [%]")
+	for i, f := range res.Factors {
+		t.Addf(fmt.Sprintf("%.1fx", f), res.ReservedTAT[i]/3600, res.RealizedTAT[i]/3600, res.WastePct[i])
+	}
+	return t.Render(os.Stdout)
+}
+
+// tableDyn is the changing-reservation-table study (Section 3.2.2's
+// frozen-table assumption relaxed): survival and slowdown per conflict
+// strategy.
+func tableDyn(lab *sim.Lab, opt options) error {
+	apps := appSubset(min(opt.apps, 6))
+	scenarios := sim.SynthScenarios(apps, []workload.Archetype{workload.SDSCDS}, []float64{0.2}, []workload.Method{workload.Expo})
+	res, err := sim.RunDynamic(lab, scenarios, 1.0)
+	if err != nil {
+		return err
+	}
+	t := tables.New(fmt.Sprintf("Booking against a changing reservation table (competitor rate 1.0) — %d instances", res.Instances),
+		"Strategy", "Survival [%]", "Slowdown vs plan [%]", "Mean conflicts")
+	for i, s := range res.Strategies {
+		t.Addf(s.String(), res.SurvivalPct[i], res.SlowdownPct[i], res.MeanConflicts[i])
+	}
+	return t.Render(os.Stdout)
+}
+
+// tableMulti compares single-site scheduling against a two-site
+// federation (SDSC_DS + OSC_Cluster) under the HCPA-inspired
+// CPA-bounded policy and the M-HEFT-inspired unbounded policy, with a
+// 15-minute inter-site staging delay.
+func tableMulti(lab *sim.Lab, opt options) error {
+	apps := appSubset(min(opt.apps, 6))
+	res, err := sim.RunMultiSite(lab, apps, workload.SDSCDS, workload.OSCCluster, 0.2, 15*model.Minute)
+	if err != nil {
+		return err
+	}
+	t := tables.New(fmt.Sprintf("Multi-site federation (SDSC_DS + OSC_Cluster, 15 min staging) — %d instances", res.Instances),
+		"Platform / policy", "Mean turnaround [h]", "Mean CPU-hours")
+	t.Addf("SDSC_DS alone (CPA)", res.TurnSolo/3600, res.CPUSolo)
+	t.Addf("federation, CPA-bounded", res.TurnCPA/3600, res.CPUCPA)
+	t.Addf("federation, unbounded", res.TurnUnbounded/3600, res.CPUUnbounded)
+	return t.Render(os.Stdout)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

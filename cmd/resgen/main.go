@@ -1,0 +1,204 @@
+// Command resgen generates the synthetic inputs used throughout the
+// library: application DAGs (Table 1 of the paper) and batch workload
+// logs in Standard Workload Format (Tables 2 and 3).
+//
+// Usage:
+//
+//	resgen dag -n 50 -width 0.5 -density 0.5 -regularity 0.5 -jump 1 \
+//	       -alpha 0.2 -seed 1 -o app.json [-dot app.dot]
+//	resgen log -arch SDSC_BLUE -days 45 -seed 1 -o blue.swf
+//	resgen archetypes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"resched/internal/daggen"
+	"resched/internal/dagio"
+	"resched/internal/schedio"
+	"resched/internal/tables"
+	"resched/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "dag":
+		err = genDAG(os.Args[2:])
+	case "log":
+		err = genLog(os.Args[2:])
+	case "resv":
+		err = genResv(os.Args[2:])
+	case "archetypes":
+		err = listArchetypes()
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "resgen: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "resgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `resgen generates application DAGs and workload logs.
+
+Subcommands:
+  dag         generate a mixed-parallel application DAG (JSON, optionally DOT)
+  log         synthesize a batch workload log (SWF)
+  resv        extract a reservation schedule from a (synthesized) log (JSON)
+  archetypes  list the built-in workload archetypes
+
+Run "resgen <subcommand> -h" for flags.`)
+}
+
+func genResv(args []string) error {
+	fs := flag.NewFlagSet("resv", flag.ExitOnError)
+	arch := fs.String("arch", "SDSC_DS", "workload archetype")
+	days := fs.Int("days", 45, "log length in days")
+	phi := fs.Float64("phi", 0.2, "fraction of jobs tagged as reservations")
+	methodName := fs.String("method", "real", "decay method: linear, expo, real")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output JSON file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := workload.ByName(*arch)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	lg, err := workload.Synthesize(a, *days, rng)
+	if err != nil {
+		return err
+	}
+	var method workload.Method
+	switch *methodName {
+	case "linear":
+		method = workload.Linear
+	case "expo":
+		method = workload.Expo
+	case "real":
+		method = workload.Real
+	default:
+		return fmt.Errorf("unknown decay method %q", *methodName)
+	}
+	starts, err := workload.StartTimes(lg, 1, rng)
+	if err != nil {
+		return err
+	}
+	ex, err := workload.Extract(lg, *phi, method, starts[0], rng)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := schedio.WriteReservations(w, ex.Procs, ex.At, ex.Future); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "extracted %d ongoing/future reservations at t=%d on %d processors\n",
+		len(ex.Future), ex.At, ex.Procs)
+	return nil
+}
+
+func genDAG(args []string) error {
+	fs := flag.NewFlagSet("dag", flag.ExitOnError)
+	spec := daggen.Default()
+	fs.IntVar(&spec.N, "n", spec.N, "number of tasks")
+	fs.Float64Var(&spec.Alpha, "alpha", spec.Alpha, "maximum Amdahl serial fraction")
+	fs.Float64Var(&spec.Width, "width", spec.Width, "DAG width parameter in (0,1]")
+	fs.Float64Var(&spec.Density, "density", spec.Density, "inter-level edge density in (0,1]")
+	fs.Float64Var(&spec.Regularity, "regularity", spec.Regularity, "level-size regularity in [0,1]")
+	fs.IntVar(&spec.Jump, "jump", spec.Jump, "maximum level distance of jump edges")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output JSON file (default stdout)")
+	dot := fs.String("dot", "", "also write Graphviz DOT to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := daggen.Generate(spec, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dagio.Write(w, g); err != nil {
+		return err
+	}
+	if *dot != "" {
+		if err := os.WriteFile(*dot, []byte(g.DOT()), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "generated %d tasks, %d edges (%s)\n", g.NumTasks(), g.NumEdges(), spec)
+	return nil
+}
+
+func genLog(args []string) error {
+	fs := flag.NewFlagSet("log", flag.ExitOnError)
+	arch := fs.String("arch", "SDSC_DS", "workload archetype (see 'resgen archetypes')")
+	days := fs.Int("days", 45, "log length in days")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output SWF file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := workload.ByName(*arch)
+	if err != nil {
+		return err
+	}
+	lg, err := workload.Synthesize(a, *days, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := lg.WriteSWF(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "synthesized %d jobs over %d days, utilization %.1f%%\n",
+		len(lg.Jobs), *days, 100*lg.Utilization())
+	return nil
+}
+
+func listArchetypes() error {
+	t := tables.New("Workload archetypes (calibrated to the paper's Tables 2 and 3)",
+		"Name", "#CPUs", "Target util [%]", "Mean run [h]", "Reservation log")
+	for _, a := range append(append([]workload.Archetype{}, workload.BatchArchetypes...), workload.Grid5000) {
+		t.Addf(a.Name, a.Procs, 100*a.TargetUtil, float64(a.MeanRun)/3600, a.MeanLead > 0)
+	}
+	return t.Render(os.Stdout)
+}

@@ -1,0 +1,265 @@
+// Command ressched schedules one mixed-parallel application against a
+// reservation schedule, with any of the paper's algorithms.
+//
+// The application comes from a JSON DAG file (-dag, see resgen) or is
+// generated on the fly from Table 1 parameters (-n). The reservation
+// environment comes from an SWF log file (-swf) or a synthesized
+// archetype log (-arch), tagged with -phi and reshaped with -method at
+// a random observation time.
+//
+// Examples:
+//
+//	ressched -n 50 -arch SDSC_DS -phi 0.2 -method expo -algo BD_CPAR
+//	ressched -dag app.json -arch Grid5000 -phi 1 -method real \
+//	         -dl DL_RC_CPAR-l -tightest
+//	ressched -dag app.json -swf blue.swf -phi 0.1 -dl DL_BD_CPA -deadline 86400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"resched/internal/core"
+	"resched/internal/dag"
+	"resched/internal/daggen"
+	"resched/internal/dagio"
+	"resched/internal/gantt"
+	"resched/internal/model"
+	"resched/internal/profile"
+	"resched/internal/schedio"
+	"resched/internal/tables"
+	"resched/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ressched: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dagFile := flag.String("dag", "", "application DAG JSON file (from resgen)")
+	n := flag.Int("n", 50, "generate a random DAG with this many tasks (ignored with -dag)")
+	swf := flag.String("swf", "", "workload log in SWF format")
+	resv := flag.String("resv", "", "reservation-schedule JSON file (from 'resgen resv'); overrides -swf/-arch")
+	arch := flag.String("arch", "SDSC_DS", "synthesize the log from this archetype (ignored with -swf)")
+	days := flag.Int("days", 45, "synthetic log length in days")
+	phi := flag.Float64("phi", 0.2, "fraction of jobs tagged as reservations")
+	method := flag.String("method", "real", "reservation decay method: linear, expo, real")
+	algo := flag.String("algo", "BD_CPAR", "RESSCHED bounding method: BD_ALL, BD_HALF, BD_CPA, BD_CPAR")
+	bl := flag.String("bl", "BL_CPAR", "bottom-level method: BL_1, BL_ALL, BL_CPA, BL_CPAR")
+	dl := flag.String("dl", "", "solve RESSCHEDDL with this algorithm instead (e.g. DL_RC_CPAR-l)")
+	deadline := flag.Int64("deadline", 0, "deadline in seconds after now (with -dl)")
+	tightest := flag.Bool("tightest", false, "binary-search the tightest deadline (with -dl)")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "print the per-task schedule")
+	showGantt := flag.Bool("gantt", false, "render the schedule as an ASCII Gantt chart")
+	out := flag.String("o", "", "write the schedule as JSON (one reservation request per task)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+
+	g, err := loadDAG(*dagFile, *n, rng)
+	if err != nil {
+		return err
+	}
+	var env core.Env
+	if *resv != "" {
+		env, err = loadEnv(*resv)
+	} else {
+		env, err = buildEnv(*swf, *arch, *days, *phi, *method, rng)
+	}
+	if err != nil {
+		return err
+	}
+	sched, err := core.NewScheduler(g)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application: %d tasks, %d edges\n", g.NumTasks(), g.NumEdges())
+	fmt.Printf("cluster: %d processors, %d reserved now, historical average %d available\n",
+		env.P, env.Avail.ReservedAt(env.Now), env.Q)
+
+	var result *core.Schedule
+	switch {
+	case *dl != "" && *tightest:
+		a, err := core.ParseDL(*dl)
+		if err != nil {
+			return err
+		}
+		k, s, err := sched.TightestDeadline(env, a)
+		if err != nil {
+			return err
+		}
+		result = s
+		fmt.Printf("%s: tightest deadline %s after now\n", a, fmtDur(k-env.Now))
+	case *dl != "":
+		a, err := core.ParseDL(*dl)
+		if err != nil {
+			return err
+		}
+		if *deadline <= 0 {
+			return fmt.Errorf("-dl needs -deadline <seconds> or -tightest")
+		}
+		k := env.Now + *deadline
+		s, err := sched.Deadline(env, a, k)
+		if err != nil {
+			return err
+		}
+		result = s
+		fmt.Printf("%s: deadline met with %s of slack\n", a, fmtDur(k-s.Completion()))
+	default:
+		b, err := core.ParseBL(*bl)
+		if err != nil {
+			return err
+		}
+		a, err := core.ParseBD(*algo)
+		if err != nil {
+			return err
+		}
+		s, err := sched.Turnaround(env, b, a)
+		if err != nil {
+			return err
+		}
+		result = s
+		fmt.Printf("%s_%s computed a schedule\n", b, a)
+	}
+	if err := sched.Verify(env, result); err != nil {
+		return fmt.Errorf("schedule failed verification: %v", err)
+	}
+	fmt.Printf("turn-around time: %s   CPU-hours: %.1f\n", fmtDur(result.Turnaround()), result.CPUHours())
+	if *verbose {
+		t := tables.New("schedule", "Task", "Procs", "Start(+s)", "Duration", "Finish(+s)")
+		for id, pl := range result.Tasks {
+			name := g.Task(id).Name
+			if name == "" {
+				name = fmt.Sprintf("t%d", id)
+			}
+			t.Addf(name, pl.Procs, pl.Start-env.Now, pl.End-pl.Start, pl.End-env.Now)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if *showGantt {
+		if err := gantt.Render(os.Stdout, g, env, result, 0); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := schedio.Write(f, g, result); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "schedule written to %s\n", *out)
+	}
+	return nil
+}
+
+func loadDAG(path string, n int, rng *rand.Rand) (*dag.Graph, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dagio.Read(f)
+	}
+	spec := daggen.Default()
+	spec.N = n
+	return daggen.Generate(spec, rng)
+}
+
+// loadEnv builds the environment from a reservation-schedule JSON file
+// written by "resgen resv". The historical average q cannot be derived
+// from the file (it carries no past reservations), so it defaults to
+// the current number of free processors.
+func loadEnv(path string) (core.Env, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return core.Env{}, err
+	}
+	defer f.Close()
+	procs, now, rs, err := schedio.ReadReservations(f)
+	if err != nil {
+		return core.Env{}, err
+	}
+	prof, err := profile.FromReservations(procs, now, rs)
+	if err != nil {
+		return core.Env{}, err
+	}
+	q := prof.FreeAt(now)
+	if q < 1 {
+		q = 1
+	}
+	return core.Env{P: procs, Now: now, Avail: prof, Q: q}, nil
+}
+
+func buildEnv(swf, arch string, days int, phi float64, methodName string, rng *rand.Rand) (core.Env, error) {
+	var lg *workload.Log
+	if swf != "" {
+		f, err := os.Open(swf)
+		if err != nil {
+			return core.Env{}, err
+		}
+		defer f.Close()
+		lg, err = workload.ParseSWF(f, swf)
+		if err != nil {
+			return core.Env{}, err
+		}
+	} else {
+		a, err := workload.ByName(arch)
+		if err != nil {
+			return core.Env{}, err
+		}
+		lg, err = workload.Synthesize(a, days, rng)
+		if err != nil {
+			return core.Env{}, err
+		}
+	}
+	var method workload.Method
+	switch methodName {
+	case "linear":
+		method = workload.Linear
+	case "expo":
+		method = workload.Expo
+	case "real":
+		method = workload.Real
+	default:
+		return core.Env{}, fmt.Errorf("unknown decay method %q", methodName)
+	}
+	starts, err := workload.StartTimes(lg, 1, rng)
+	if err != nil {
+		return core.Env{}, err
+	}
+	ex, err := workload.Extract(lg, phi, method, starts[0], rng)
+	if err != nil {
+		return core.Env{}, err
+	}
+	prof, err := ex.Profile()
+	if err != nil {
+		return core.Env{}, err
+	}
+	q, err := core.HistoricalAvail(ex.Procs, ex.Past, ex.At, workload.HistWindow)
+	if err != nil {
+		return core.Env{}, err
+	}
+	return core.Env{P: ex.Procs, Now: ex.At, Avail: prof, Q: q}, nil
+}
+
+func fmtDur(d model.Duration) string {
+	if d < 0 {
+		return fmt.Sprintf("-%s", fmtDur(-d))
+	}
+	h := d / model.Hour
+	m := (d % model.Hour) / model.Minute
+	s := d % model.Minute
+	return fmt.Sprintf("%dh%02dm%02ds", h, m, s)
+}

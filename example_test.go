@@ -1,0 +1,73 @@
+package resched_test
+
+import (
+	"fmt"
+
+	"resched"
+)
+
+// The README's two-task pipeline: schedule for turnaround on a cluster
+// with one competing reservation.
+func ExampleScheduler_Turnaround() {
+	g := resched.NewGraph(2)
+	prep := g.AddTask(resched.Task{Name: "prep", Seq: resched.Hour, Alpha: 0.1})
+	solve := g.AddTask(resched.Task{Name: "solve", Seq: 4 * resched.Hour, Alpha: 0.05})
+	g.MustAddEdge(prep, solve)
+
+	avail := resched.NewProfile(64, 0)
+	if err := avail.Reserve(0, 2*resched.Hour, 48); err != nil {
+		panic(err)
+	}
+	s, err := resched.NewScheduler(g)
+	if err != nil {
+		panic(err)
+	}
+	env := resched.Env{P: 64, Now: 0, Avail: avail, Q: 32}
+	sched, err := s.Turnaround(env, resched.BLCPAR, resched.BDCPAR)
+	if err != nil {
+		panic(err)
+	}
+	for id, pl := range sched.Tasks {
+		fmt.Printf("%s: %d procs [%d, %d)\n", g.Task(id).Name, pl.Procs, pl.Start, pl.End)
+	}
+	fmt.Printf("turnaround %ds\n", sched.Turnaround())
+	// Output:
+	// prep: 16 procs [0, 563)
+	// solve: 16 procs [563, 2138)
+	// turnaround 2138s
+}
+
+// Meeting a deadline as cheaply as possible with the hybrid
+// resource-conservative algorithm.
+func ExampleScheduler_Deadline() {
+	g := resched.NewGraph(2)
+	a := g.AddTask(resched.Task{Seq: resched.Hour, Alpha: 1})     // serial
+	b := g.AddTask(resched.Task{Seq: 2 * resched.Hour, Alpha: 1}) // serial
+	g.MustAddEdge(a, b)
+
+	s, err := resched.NewScheduler(g)
+	if err != nil {
+		panic(err)
+	}
+	env := resched.Env{P: 8, Now: 0, Avail: resched.NewProfile(8, 0)}
+	sched, err := s.Deadline(env, resched.DLRCBDCPARLambda, 12*resched.Hour)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completes at %ds with %.1f CPU-hours\n", sched.Completion(), sched.CPUHours())
+	// Output:
+	// completes at 43200s with 3.0 CPU-hours
+}
+
+// Amdahl's-law execution times underpin every scheduling decision.
+func ExampleExecTime() {
+	// A one-hour task with a 10% serial fraction on 1, 4, and 16
+	// processors.
+	for _, m := range []int{1, 4, 16} {
+		fmt.Println(m, resched.ExecTime(resched.Hour, 0.1, m))
+	}
+	// Output:
+	// 1 3600
+	// 4 1170
+	// 16 563
+}

@@ -1,0 +1,90 @@
+// Quickstart: build a small mixed-parallel application by hand,
+// schedule it on a cluster with competing advance reservations, and
+// print the resulting reservation plan.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"resched"
+)
+
+func main() {
+	// A four-stage pipeline with a parallel middle section:
+	//
+	//	        +-> smooth -+
+	//	ingest -+           +-> render
+	//	        +-> detect -+
+	//
+	// Each stage is a data-parallel task: Seq is its one-processor
+	// running time in seconds, Alpha the fraction that does not
+	// parallelize (Amdahl's law).
+	g := resched.NewGraph(4)
+	ingest := g.AddTask(resched.Task{Name: "ingest", Seq: 30 * resched.Minute, Alpha: 0.30})
+	smooth := g.AddTask(resched.Task{Name: "smooth", Seq: 2 * resched.Hour, Alpha: 0.05})
+	detect := g.AddTask(resched.Task{Name: "detect", Seq: 3 * resched.Hour, Alpha: 0.10})
+	render := g.AddTask(resched.Task{Name: "render", Seq: 1 * resched.Hour, Alpha: 0.15})
+	g.MustAddEdge(ingest, smooth)
+	g.MustAddEdge(ingest, detect)
+	g.MustAddEdge(smooth, render)
+	g.MustAddEdge(detect, render)
+
+	// A 32-processor cluster. Competing users hold advance
+	// reservations: the whole machine for the first half hour, and 24
+	// processors for two hours starting at t+2h.
+	avail := resched.NewProfile(32, 0)
+	must(avail.Reserve(0, 30*resched.Minute, 32))
+	must(avail.Reserve(2*resched.Hour, 4*resched.Hour, 24))
+
+	env := resched.Env{
+		P:     32,
+		Now:   0,
+		Avail: avail,
+		Q:     20, // historical average of free processors
+	}
+
+	s, err := resched.NewScheduler(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// RESSCHED: minimize turn-around time with the paper's best
+	// heuristic, BL_CPAR bottom levels + BD_CPAR allocation bounds.
+	sched, err := s.Turnaround(env, resched.BLCPAR, resched.BDCPAR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Verify(env, sched); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("one advance reservation per task:")
+	for id, pl := range sched.Tasks {
+		fmt.Printf("  %-7s %2d procs  [%6ds .. %6ds]\n",
+			g.Task(id).Name, pl.Procs, pl.Start, pl.End)
+	}
+	fmt.Printf("turn-around time: %d s (%.2f h)\n",
+		sched.Turnaround(), float64(sched.Turnaround())/3600)
+	fmt.Printf("resource consumption: %.1f CPU-hours\n", sched.CPUHours())
+
+	// RESSCHEDDL: the same application under a 12-hour deadline, with
+	// the resource-conservative hybrid algorithm.
+	deadline := resched.Time(12 * resched.Hour)
+	dlSched, err := s.Deadline(env, resched.DLRCCPARLambda, deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith a 12h deadline (DL_RC_CPAR-lambda): %.1f CPU-hours, finishes at %d s\n",
+		dlSched.CPUHours(), dlSched.Completion())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

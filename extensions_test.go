@@ -1,0 +1,115 @@
+package resched_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resched"
+)
+
+func exampleGraph(t *testing.T) *resched.Graph {
+	t.Helper()
+	spec := resched.DefaultDAGSpec()
+	spec.N = 12
+	g, err := resched.GenerateDAG(spec, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBlindScheduleFacade(t *testing.T) {
+	g := exampleGraph(t)
+	avail := resched.NewProfile(32, 0)
+	if err := avail.Reserve(0, resched.Time(resched.Hour), 16); err != nil {
+		t.Fatal(err)
+	}
+	bs := resched.NewSimulatedBatch(avail, 0)
+	res, err := resched.BlindSchedule(g, bs, resched.BlindOptions{Q: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes == 0 {
+		t.Fatal("no probes issued")
+	}
+	// The blind schedule must hold up against the true environment.
+	s, err := resched.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := resched.Env{P: 32, Now: 0, Avail: avail, Q: 24}
+	if err := s.Verify(env, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneStepFacade(t *testing.T) {
+	g := exampleGraph(t)
+	env := resched.Env{P: 24, Now: 0, Avail: resched.NewProfile(24, 0), Q: 24}
+	res, err := resched.OneStepSchedule(g, env, resched.OneStepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := resched.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(env, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated < 1 {
+		t.Fatalf("search stats %+v", res)
+	}
+}
+
+func TestMultiSiteFacade(t *testing.T) {
+	g := exampleGraph(t)
+	env := resched.MultiEnv{
+		Now: 0,
+		Clusters: []resched.Site{
+			{Name: "a", P: 16, Avail: resched.NewProfile(16, 0)},
+			{Name: "b", P: 16, Avail: resched.NewProfile(16, 0)},
+		},
+	}
+	opt := resched.MultiOptions{StageDelay: resched.Minute}
+	sched, err := resched.MultiTurnaround(g, env, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resched.MultiVerify(g, env, sched, opt); err != nil {
+		t.Fatal(err)
+	}
+	// Deadline variant at 2x the forward turnaround.
+	deadline := resched.Time(2 * sched.Turnaround())
+	dl, err := resched.MultiDeadline(g, env, opt, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resched.MultiVerify(g, env, dl, opt); err != nil {
+		t.Fatal(err)
+	}
+	if dl.Completion() > deadline {
+		t.Fatalf("multi-site deadline missed: %d > %d", dl.Completion(), deadline)
+	}
+}
+
+func TestRenderGanttFacade(t *testing.T) {
+	g := exampleGraph(t)
+	env := resched.Env{P: 16, Now: 0, Avail: resched.NewProfile(16, 0)}
+	s, err := resched.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := s.Turnaround(env, resched.BLCPAR, resched.BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := resched.RenderGantt(&b, g, env, sched, 50); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "time axis") {
+		t.Fatalf("gantt output missing header:\n%s", b.String())
+	}
+}

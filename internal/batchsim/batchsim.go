@@ -1,0 +1,385 @@
+// Package batchsim is a discrete-event simulator of the resource
+// management systems the paper's workload model presumes (Section 1
+// and 3.2): a space-sharing batch scheduler that queues rigid jobs,
+// starts them FCFS or with EASY backfilling, enforces user walltime
+// requests, and honors admin-placed advance reservations that block
+// processors for fixed windows.
+//
+// The simulator serves two roles in this library. It generates
+// synthetic workload logs with realistic queueing delays (see
+// workload.SynthesizeQueued) — the FCFS-packing generator produces
+// near-zero waits on underloaded machines, while production traces
+// wait in queues. And it is the substrate for experiments that relax
+// the paper's static-reservation-schedule assumption: advance
+// reservations can be injected at any simulated time.
+package batchsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// Policy selects the queueing discipline.
+type Policy int
+
+const (
+	// FCFS starts jobs strictly in arrival order; the queue head
+	// blocks everything behind it until it fits.
+	FCFS Policy = iota
+	// EASY is FCFS plus aggressive backfilling: the queue head gets a
+	// start-time guarantee, and any later job may jump ahead if doing
+	// so cannot delay that guarantee (Mu'alem & Feitelson, TPDS 2001).
+	EASY
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "FCFS"
+	case EASY:
+		return "EASY"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Job is one rigid batch job submitted to the simulator.
+type Job struct {
+	ID     int
+	Submit model.Time
+	Procs  int
+	// Request is the user's walltime estimate; the job is killed when
+	// it runs this long.
+	Request model.Duration
+	// Actual is the true runtime.
+	Actual model.Duration
+}
+
+// Completed is a finished (or killed) job with its schedule.
+type Completed struct {
+	Job
+	Start model.Time
+	// End is Start + min(Actual, Request).
+	End model.Time
+	// Killed reports that the job hit its walltime limit.
+	Killed bool
+	// Backfilled reports that the job jumped the queue under EASY.
+	Backfilled bool
+}
+
+// Wait returns the queueing delay.
+func (c Completed) Wait() model.Duration { return c.Start - c.Submit }
+
+// Config describes the simulated machine.
+type Config struct {
+	Procs  int
+	Policy Policy
+}
+
+// Simulator runs one machine. Create with New, optionally add advance
+// reservations, then Run a job list.
+type Simulator struct {
+	cfg          Config
+	reservations []profile.Reservation
+}
+
+// New returns a simulator for the given machine.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("batchsim: machine size %d < 1", cfg.Procs)
+	}
+	if cfg.Policy != FCFS && cfg.Policy != EASY {
+		return nil, fmt.Errorf("batchsim: unknown policy %v", cfg.Policy)
+	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// AddReservation blocks procs processors during [start, end) for an
+// advance reservation. Overcommitted reservation sets are rejected at
+// Run time.
+func (s *Simulator) AddReservation(start, end model.Time, procs int) error {
+	if end <= start {
+		return fmt.Errorf("batchsim: empty reservation [%d,%d)", start, end)
+	}
+	if procs < 1 || procs > s.cfg.Procs {
+		return fmt.Errorf("batchsim: reservation for %d of %d processors", procs, s.cfg.Procs)
+	}
+	s.reservations = append(s.reservations, profile.Reservation{Start: start, End: end, Procs: procs})
+	return nil
+}
+
+// running is a started job with its true and requested end times.
+type running struct {
+	procs  int
+	end    model.Time // true completion (or kill time)
+	reqEnd model.Time // request-based occupancy horizon
+}
+
+// endHeap orders running jobs by true end time.
+type endHeap []running
+
+func (h endHeap) Len() int            { return len(h) }
+func (h endHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
+func (h endHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x interface{}) { *h = append(*h, x.(running)) }
+func (h *endHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates the full job list (any order; it is sorted by submit
+// time internally) and returns per-job schedules in the same order as
+// the sorted submissions. Jobs with non-positive Request or Procs out
+// of range are rejected.
+func (s *Simulator) Run(jobs []Job) ([]Completed, error) {
+	for i, j := range jobs {
+		if j.Procs < 1 || j.Procs > s.cfg.Procs {
+			return nil, fmt.Errorf("batchsim: job %d needs %d of %d processors", j.ID, j.Procs, s.cfg.Procs)
+		}
+		if j.Request <= 0 || j.Actual <= 0 {
+			return nil, fmt.Errorf("batchsim: job %d has non-positive runtime", j.ID)
+		}
+		if j.Submit < 0 {
+			return nil, fmt.Errorf("batchsim: job %d submitted at negative time", j.ID)
+		}
+		_ = i
+	}
+	ordered := append([]Job(nil), jobs...)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Submit < ordered[b].Submit })
+
+	out := make([]Completed, len(ordered))
+	for i, j := range ordered {
+		out[i] = Completed{Job: j, Start: -1}
+	}
+
+	var active endHeap
+	queue := []int{} // indices into out, FIFO
+	next := 0        // next arrival
+	now := model.Time(0)
+
+	for next < len(ordered) || len(queue) > 0 || active.Len() > 0 {
+		// Advance the clock to the next event: an arrival, a
+		// completion, or the blocked queue head's earliest feasible
+		// start (driven by reservation boundaries).
+		var events []model.Time
+		if next < len(ordered) {
+			events = append(events, ordered[next].Submit)
+		}
+		if active.Len() > 0 {
+			events = append(events, active[0].end)
+		}
+		if len(queue) > 0 {
+			forecast, err := s.forecast(active, now)
+			if err != nil {
+				return nil, err
+			}
+			head := out[queue[0]]
+			events = append(events, forecast.EarliestFit(head.Procs, head.Request, now))
+		}
+		if len(events) == 0 {
+			return nil, fmt.Errorf("batchsim: stalled with %d queued jobs at %d", len(queue), now)
+		}
+		t := events[0]
+		for _, e := range events[1:] {
+			if e < t {
+				t = e
+			}
+		}
+		if t > now {
+			now = t
+		}
+		// Drain completions at or before now.
+		for active.Len() > 0 && active[0].end <= now {
+			heap.Pop(&active)
+		}
+		// Admit arrivals at or before now.
+		for next < len(ordered) && ordered[next].Submit <= now {
+			queue = append(queue, next)
+			next++
+		}
+		// Scheduling pass.
+		var err error
+		queue, err = s.startJobs(queue, &active, out, now)
+		if err != nil {
+			return nil, err
+		}
+		// Progress guarantee: if nothing started and no event lies at
+		// or before now, the next loop iteration advances the clock
+		// (the head's start event is strictly in the future once the
+		// pass declines to start it).
+	}
+	return out, nil
+}
+
+// forecast builds the request-based occupancy profile at time now:
+// admin reservations plus running jobs holding their processors until
+// their requested ends.
+func (s *Simulator) forecast(active endHeap, now model.Time) (*profile.Profile, error) {
+	rs := make([]profile.Reservation, 0, len(s.reservations)+active.Len())
+	rs = append(rs, s.reservations...)
+	for _, r := range active {
+		end := r.reqEnd
+		if end <= now {
+			// The job exceeded its own request horizon only if killed;
+			// it still occupies until its true end.
+			end = r.end
+		}
+		rs = append(rs, profile.Reservation{Start: now, End: end, Procs: r.procs})
+	}
+	return profile.FromReservations(s.cfg.Procs, now, rs)
+}
+
+// startJobs runs one scheduling pass at time now, starting queue jobs
+// according to the policy. It returns the remaining queue.
+func (s *Simulator) startJobs(queue []int, active *endHeap, out []Completed, now model.Time) ([]int, error) {
+	for len(queue) > 0 {
+		forecast, err := s.forecast(*active, now)
+		if err != nil {
+			return nil, err
+		}
+		head := &out[queue[0]]
+		if forecast.EarliestFit(head.Procs, head.Request, now) == now {
+			s.start(head, active, now, false)
+			queue = queue[1:]
+			continue
+		}
+		if s.cfg.Policy == FCFS {
+			return queue, nil
+		}
+		// EASY backfilling: the head's guarantee is its earliest
+		// request-based start; a later job may start now only if it
+		// fits now and cannot delay that guarantee — either it ends by
+		// the shadow time or it fits alongside the head's allocation
+		// at the shadow time.
+		shadow := forecast.EarliestFit(head.Procs, head.Request, now)
+		backfilled := false
+		for qi := 1; qi < len(queue); qi++ {
+			cand := &out[queue[qi]]
+			if forecast.EarliestFit(cand.Procs, cand.Request, now) != now {
+				continue
+			}
+			endByShadow := now+cand.Request <= shadow
+			fitsBeside := forecast.MinFree(shadow, shadow+head.Request) >= head.Procs+cand.Procs
+			if !endByShadow && !fitsBeside {
+				continue
+			}
+			s.start(cand, active, now, true)
+			queue = append(queue[:qi], queue[qi+1:]...)
+			backfilled = true
+			break
+		}
+		if !backfilled {
+			return queue, nil
+		}
+	}
+	return queue, nil
+}
+
+// start commits a job at time now.
+func (s *Simulator) start(c *Completed, active *endHeap, now model.Time, backfilled bool) {
+	c.Start = now
+	run := c.Actual
+	c.Killed = false
+	if run > c.Request {
+		run = c.Request
+		c.Killed = true
+	}
+	c.End = now + run
+	c.Backfilled = backfilled
+	heap.Push(active, running{procs: c.Procs, end: c.End, reqEnd: now + c.Request})
+}
+
+// Stats summarizes a completed simulation.
+type Stats struct {
+	Jobs        int
+	MeanWait    float64 // seconds
+	MaxWait     model.Duration
+	Backfilled  int
+	Killed      int
+	Utilization float64
+}
+
+// Summarize computes aggregate statistics for a machine of p
+// processors over the simulated span.
+func Summarize(p int, done []Completed) (Stats, error) {
+	if len(done) == 0 {
+		return Stats{}, fmt.Errorf("batchsim: no jobs")
+	}
+	var st Stats
+	st.Jobs = len(done)
+	var first, last model.Time
+	first = done[0].Submit
+	var waitSum float64
+	var area float64
+	for _, c := range done {
+		if c.Start < 0 {
+			return Stats{}, fmt.Errorf("batchsim: job %d never started", c.ID)
+		}
+		w := c.Wait()
+		waitSum += float64(w)
+		if w > st.MaxWait {
+			st.MaxWait = w
+		}
+		if c.Backfilled {
+			st.Backfilled++
+		}
+		if c.Killed {
+			st.Killed++
+		}
+		if c.Submit < first {
+			first = c.Submit
+		}
+		if c.End > last {
+			last = c.End
+		}
+		area += float64(c.Procs) * float64(c.End-c.Start)
+	}
+	st.MeanWait = waitSum / float64(len(done))
+	if last > first {
+		st.Utilization = area / (float64(p) * float64(last-first))
+	}
+	return st, nil
+}
+
+// Validate checks that a completed schedule never overcommits the
+// machine, including the admin reservations, and honors submit times.
+func (s *Simulator) Validate(done []Completed) error {
+	type ev struct {
+		t     model.Time
+		delta int
+	}
+	var evs []ev
+	for _, r := range s.reservations {
+		evs = append(evs, ev{r.Start, r.Procs}, ev{r.End, -r.Procs})
+	}
+	for _, c := range done {
+		if c.Start < c.Submit {
+			return fmt.Errorf("batchsim: job %d started before submission", c.ID)
+		}
+		if c.End <= c.Start {
+			return fmt.Errorf("batchsim: job %d has empty execution", c.ID)
+		}
+		evs = append(evs, ev{c.Start, c.Procs}, ev{c.End, -c.Procs})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].delta < evs[b].delta
+	})
+	used := 0
+	for _, e := range evs {
+		used += e.delta
+		if used > s.cfg.Procs {
+			return fmt.Errorf("batchsim: %d processors in use at %d on a %d-processor machine", used, e.t, s.cfg.Procs)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package batchsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkRun measures simulator throughput per policy: how fast a
+// full workload passes through the event loop, including the forecast
+// rebuilds that back EASY's guarantees.
+func BenchmarkRun(b *testing.B) {
+	for _, n := range []int{200, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		jobs := randomJobs(rng, n, 64)
+		for _, policy := range []Policy{FCFS, EASY} {
+			b.Run(fmt.Sprintf("%v/jobs=%d", policy, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s, err := New(Config{Procs: 64, Policy: policy})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := s.Run(jobs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package batchsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resched/internal/model"
+)
+
+func mustSim(t *testing.T, procs int, policy Policy) *Simulator {
+	t.Helper()
+	s, err := New(Config{Procs: procs, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func run(t *testing.T, s *Simulator, jobs []Job) []Completed {
+	t.Helper()
+	done, err := s.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(done); err != nil {
+		t.Fatal(err)
+	}
+	return done
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Procs: 0, Policy: FCFS}); err == nil {
+		t.Fatal("zero-proc machine accepted")
+	}
+	if _, err := New(Config{Procs: 4, Policy: Policy(9)}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if FCFS.String() != "FCFS" || EASY.String() != "EASY" || Policy(9).String() == "" {
+		t.Fatal("Policy.String broken")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := mustSim(t, 4, FCFS)
+	bad := []Job{
+		{ID: 1, Submit: 0, Procs: 5, Request: 10, Actual: 10},
+		{ID: 2, Submit: 0, Procs: 0, Request: 10, Actual: 10},
+		{ID: 3, Submit: 0, Procs: 1, Request: 0, Actual: 10},
+		{ID: 4, Submit: 0, Procs: 1, Request: 10, Actual: 0},
+		{ID: 5, Submit: -1, Procs: 1, Request: 10, Actual: 10},
+	}
+	for _, j := range bad {
+		if _, err := s.Run([]Job{j}); err == nil {
+			t.Fatalf("bad job %d accepted", j.ID)
+		}
+	}
+}
+
+func TestFCFSOrdering(t *testing.T) {
+	// Two 3-proc jobs on a 4-proc machine must serialize in order,
+	// even though a later 1-proc job could sneak in: FCFS blocks it.
+	s := mustSim(t, 4, FCFS)
+	jobs := []Job{
+		{ID: 1, Submit: 0, Procs: 3, Request: 100, Actual: 100},
+		{ID: 2, Submit: 1, Procs: 3, Request: 100, Actual: 100},
+		{ID: 3, Submit: 2, Procs: 1, Request: 50, Actual: 50},
+	}
+	done := run(t, s, jobs)
+	if done[0].Start != 0 || done[1].Start != 100 {
+		t.Fatalf("FCFS heads: %+v %+v", done[0], done[1])
+	}
+	// Job 3 fits beside job 1 but must wait behind job 2 under FCFS...
+	// actually FCFS starts the head only; job 3 is behind job 2, and
+	// once job 2 starts at t=100 there is 1 processor free, so job 3
+	// starts at 100 as the new head.
+	if done[2].Start != 100 {
+		t.Fatalf("FCFS tail: %+v", done[2])
+	}
+}
+
+func TestEASYBackfills(t *testing.T) {
+	// Same workload under EASY: job 3 ends by job 2's shadow time and
+	// fits now, so it backfills at t=2.
+	s := mustSim(t, 4, EASY)
+	jobs := []Job{
+		{ID: 1, Submit: 0, Procs: 3, Request: 100, Actual: 100},
+		{ID: 2, Submit: 1, Procs: 3, Request: 100, Actual: 100},
+		{ID: 3, Submit: 2, Procs: 1, Request: 50, Actual: 50},
+	}
+	done := run(t, s, jobs)
+	if done[2].Start != 2 || !done[2].Backfilled {
+		t.Fatalf("EASY should backfill job 3 at t=2: %+v", done[2])
+	}
+	// The head's guarantee is not delayed.
+	if done[1].Start != 100 {
+		t.Fatalf("backfill delayed the queue head: %+v", done[1])
+	}
+}
+
+func TestEASYBackfillCannotDelayHead(t *testing.T) {
+	// A backfill candidate that would overlap the head's shadow window
+	// and conflict with its allocation must stay queued.
+	s := mustSim(t, 4, EASY)
+	jobs := []Job{
+		{ID: 1, Submit: 0, Procs: 4, Request: 100, Actual: 100},
+		{ID: 2, Submit: 1, Procs: 3, Request: 100, Actual: 100}, // head, shadow = 100
+		{ID: 3, Submit: 2, Procs: 2, Request: 500, Actual: 500}, // would hold 2 procs past 100
+	}
+	done := run(t, s, jobs)
+	if done[1].Start != 100 {
+		t.Fatalf("head delayed: %+v", done[1])
+	}
+	if done[2].Start < 200 {
+		t.Fatalf("conflicting candidate backfilled anyway: %+v", done[2])
+	}
+}
+
+func TestWalltimeKill(t *testing.T) {
+	s := mustSim(t, 2, FCFS)
+	jobs := []Job{{ID: 1, Submit: 0, Procs: 1, Request: 60, Actual: 1000}}
+	done := run(t, s, jobs)
+	if !done[0].Killed || done[0].End != 60 {
+		t.Fatalf("walltime not enforced: %+v", done[0])
+	}
+}
+
+func TestAdvanceReservationBlocksSpace(t *testing.T) {
+	s := mustSim(t, 4, FCFS)
+	if err := s.AddReservation(50, 150, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddReservation(10, 10, 1); err == nil {
+		t.Fatal("empty reservation accepted")
+	}
+	if err := s.AddReservation(0, 10, 9); err == nil {
+		t.Fatal("oversized reservation accepted")
+	}
+	// A 100-second job arriving at t=0 cannot finish before the
+	// reservation, so it must wait until t=150.
+	jobs := []Job{{ID: 1, Submit: 0, Procs: 2, Request: 100, Actual: 100}}
+	done := run(t, s, jobs)
+	if done[0].Start != 150 {
+		t.Fatalf("job ran into the reservation: %+v", done[0])
+	}
+	// A short job fits before the reservation.
+	s2 := mustSim(t, 4, FCFS)
+	if err := s2.AddReservation(50, 150, 4); err != nil {
+		t.Fatal(err)
+	}
+	done = run(t, s2, []Job{{ID: 1, Submit: 0, Procs: 2, Request: 50, Actual: 50}})
+	if done[0].Start != 0 {
+		t.Fatalf("short job should fit before the reservation: %+v", done[0])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := mustSim(t, 4, EASY)
+	jobs := []Job{
+		{ID: 1, Submit: 0, Procs: 4, Request: 100, Actual: 100},
+		{ID: 2, Submit: 0, Procs: 4, Request: 100, Actual: 200},
+	}
+	done := run(t, s, jobs)
+	st, err := Summarize(4, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs != 2 || st.Killed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.MeanWait != 50 || st.MaxWait != 100 {
+		t.Fatalf("waits %+v", st)
+	}
+	if st.Utilization != 1 {
+		t.Fatalf("utilization %v, want 1 (machine saturated)", st.Utilization)
+	}
+	if _, err := Summarize(4, nil); err == nil {
+		t.Fatal("empty summary accepted")
+	}
+}
+
+// randomJobs builds a random feasible workload.
+func randomJobs(rng *rand.Rand, n, procs int) []Job {
+	jobs := make([]Job, n)
+	var t model.Time
+	for i := range jobs {
+		t += model.Time(rng.Intn(300))
+		actual := model.Duration(rng.Intn(2000) + 10)
+		req := actual + model.Duration(rng.Intn(500))
+		if rng.Float64() < 0.1 {
+			req = actual / 2 // will be killed
+			if req < 1 {
+				req = 1
+			}
+		}
+		jobs[i] = Job{
+			ID:      i + 1,
+			Submit:  t,
+			Procs:   rng.Intn(procs) + 1,
+			Request: req,
+			Actual:  actual,
+		}
+	}
+	return jobs
+}
+
+// Property: both policies always produce valid schedules (no
+// overcommitment, no time travel) and every job eventually runs, with
+// an admin reservation stressing the blocking logic.
+func TestPoliciesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		procs := rng.Intn(14) + 2
+		jobs := randomJobs(rng, rng.Intn(40)+5, procs)
+		for _, policy := range []Policy{FCFS, EASY} {
+			s, err := New(Config{Procs: procs, Policy: policy})
+			if err != nil {
+				return false
+			}
+			if err := s.AddReservation(5000, 8000, procs); err != nil {
+				return false
+			}
+			done, err := s.Run(jobs)
+			if err != nil {
+				return false
+			}
+			if err := s.Validate(done); err != nil {
+				return false
+			}
+			for _, c := range done {
+				if c.Start < c.Submit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// EASY may delay individual non-head jobs (only the head carries a
+// guarantee), so per-instance wait comparisons are not a theorem;
+// aggregated over a fixed seed set, backfilling must clearly win.
+func TestEASYBeatsFCFSOnAverage(t *testing.T) {
+	var fcfs, easy float64
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		procs := rng.Intn(14) + 2
+		jobs := randomJobs(rng, rng.Intn(40)+5, procs)
+		for i, policy := range []Policy{FCFS, EASY} {
+			s := mustSim(t, procs, policy)
+			if err := s.AddReservation(5000, 8000, procs); err != nil {
+				t.Fatal(err)
+			}
+			done := run(t, s, jobs)
+			st, err := Summarize(procs, done)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				fcfs += st.MeanWait
+			} else {
+				easy += st.MeanWait
+			}
+		}
+	}
+	if easy >= fcfs {
+		t.Fatalf("EASY aggregate mean wait %.0f not better than FCFS %.0f", easy/60, fcfs/60)
+	}
+}
+
+func TestHeavyQueueProgress(t *testing.T) {
+	// Saturating workload: 200 jobs on 4 processors must all complete.
+	rng := rand.New(rand.NewSource(7))
+	jobs := make([]Job, 200)
+	for i := range jobs {
+		jobs[i] = Job{
+			ID:      i + 1,
+			Submit:  model.Time(rng.Intn(100)),
+			Procs:   rng.Intn(4) + 1,
+			Request: model.Duration(rng.Intn(500) + 50),
+			Actual:  model.Duration(rng.Intn(500) + 50),
+		}
+	}
+	for _, policy := range []Policy{FCFS, EASY} {
+		s := mustSim(t, 4, policy)
+		done := run(t, s, jobs)
+		for _, c := range done {
+			if c.Start < 0 {
+				t.Fatalf("%v: job %d never started", policy, c.ID)
+			}
+		}
+	}
+}

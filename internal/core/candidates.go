@@ -1,0 +1,29 @@
+package core
+
+import "resched/internal/model"
+
+// allocCandidates returns the allocation sizes in [1, bound] worth
+// probing for a task: the smallest m for each distinct (whole-second)
+// execution time. For two allocations with equal duration the smaller
+// one dominates in every search this package performs — it is no harder
+// to fit (EarliestFit can only be earlier or equal, LatestFit later or
+// equal) and consumes fewer processor-hours — so skipping the larger
+// ones changes no scheduling decision, only the constant factor.
+func allocCandidates(seq model.Duration, alpha float64, bound int) []int {
+	if bound < 1 {
+		return nil
+	}
+	out := make([]int, 0, 16)
+	prev := model.Duration(-1)
+	for m := 1; m <= bound; m++ {
+		d := model.ExecTime(seq, alpha, m)
+		if d != prev {
+			out = append(out, m)
+			prev = d
+		}
+		if d <= 1 {
+			break // durations cannot shrink further
+		}
+	}
+	return out
+}

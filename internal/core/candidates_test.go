@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resched/internal/model"
+)
+
+func TestAllocCandidatesBasics(t *testing.T) {
+	// A fully serial task has one distinct duration: only m=1 matters.
+	cands := allocCandidates(3600, 1, 64)
+	if len(cands) != 1 || cands[0] != 1 {
+		t.Fatalf("serial task candidates = %v", cands)
+	}
+	// A fully parallel task changes duration at every power step until
+	// hitting 1 second; candidates must start at 1 and be increasing.
+	cands = allocCandidates(3600, 0, 64)
+	if cands[0] != 1 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i] <= cands[i-1] {
+			t.Fatalf("candidates not increasing: %v", cands)
+		}
+	}
+	if got := allocCandidates(3600, 0.2, 0); got != nil {
+		t.Fatalf("bound 0 candidates = %v", got)
+	}
+}
+
+// Property: the candidate set covers every distinct execution time in
+// [1, bound], each at its smallest allocation.
+func TestAllocCandidatesCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		seq := model.Duration(rng.Intn(36000) + 60)
+		alpha := rng.Float64()
+		bound := rng.Intn(300) + 1
+		cands := allocCandidates(seq, alpha, bound)
+		set := make(map[int]bool, len(cands))
+		for _, m := range cands {
+			set[m] = true
+		}
+		seen := make(map[model.Duration]bool)
+		for m := 1; m <= bound; m++ {
+			d := model.ExecTime(seq, alpha, m)
+			if !seen[d] {
+				// First (smallest) m achieving d must be a candidate.
+				if !set[m] {
+					return false
+				}
+				seen[d] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pruned search is behavior-identical to exhaustive search
+// for the earliest-completion placement rule.
+func TestAllocCandidatesEquivalentSearch(t *testing.T) {
+	f := func(seed int64) bool {
+		g, env, rng := randomInstance(seed)
+		_ = g
+		seq := model.Duration(rng.Intn(7200) + 60)
+		alpha := rng.Float64()
+		// Exhaustive.
+		bestM, bestF := 0, model.Infinity
+		for m := 1; m <= env.P; m++ {
+			d := model.ExecTime(seq, alpha, m)
+			st := env.Avail.EarliestFit(m, d, env.Now)
+			if st+d < bestF {
+				bestM, bestF = m, st+d
+			}
+		}
+		// Pruned.
+		prunedM, prunedF := 0, model.Infinity
+		for _, m := range allocCandidates(seq, alpha, env.P) {
+			d := model.ExecTime(seq, alpha, m)
+			st := env.Avail.EarliestFit(m, d, env.Now)
+			if st+d < prunedF {
+				prunedM, prunedF = m, st+d
+			}
+		}
+		return bestM == prunedM && bestF == prunedF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

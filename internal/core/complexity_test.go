@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"resched/internal/daggen"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// TestComplexityScaling is the empirical companion to the paper's
+// Table 8: all algorithms are polynomial, so quadrupling the task
+// count must not blow running time up combinatorially. The bound is
+// deliberately generous (wall-clock tests must not flake): Table 8
+// predicts roughly V^2 growth in V for fixed platform and reservation
+// schedule, and we allow two orders of magnitude for 4x the tasks.
+func TestComplexityScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	rng := rand.New(rand.NewSource(12))
+	env := Env{P: 64, Now: 0, Avail: profile.New(64, 0), Q: 48}
+	for k := 0; k < 20; k++ {
+		start := model.Time(rng.Int63n(int64(2 * model.Day)))
+		dur := model.Duration(rng.Int63n(int64(4*model.Hour)) + 600)
+		procs := rng.Intn(48) + 1
+		if env.Avail.MinFree(start, start+dur) >= procs {
+			if err := env.Avail.Reserve(start, start+dur, procs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	timeFor := func(n int) time.Duration {
+		spec := daggen.Default()
+		spec.N = n
+		var total time.Duration
+		const reps = 5
+		for r := 0; r < reps; r++ {
+			g := daggen.MustGenerate(spec, rng)
+			t0 := time.Now()
+			s, err := NewScheduler(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Turnaround(env, BLCPAR, BDCPAR); err != nil {
+				t.Fatal(err)
+			}
+			total += time.Since(t0)
+		}
+		return total / reps
+	}
+
+	small := timeFor(25)
+	large := timeFor(100)
+	if small <= 0 {
+		small = time.Microsecond
+	}
+	ratio := float64(large) / float64(small)
+	// V^2 predicts ~16x; anything under 100x is comfortably polynomial.
+	if ratio > 100 {
+		t.Fatalf("scheduling time grew %.0fx from n=25 to n=100 (%v -> %v): super-polynomial?",
+			ratio, small, large)
+	}
+}

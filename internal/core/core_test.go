@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"resched/internal/dag"
+	"resched/internal/daggen"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// emptyEnv returns an environment with no competing reservations.
+func emptyEnv(p int, now model.Time) Env {
+	return Env{P: p, Now: now, Avail: profile.New(p, now)}
+}
+
+// busyEnv commits the given reservations to a fresh profile.
+func busyEnv(t *testing.T, p int, now model.Time, rs []profile.Reservation) Env {
+	t.Helper()
+	prof, err := profile.FromReservations(p, now, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Env{P: p, Now: now, Avail: prof}
+}
+
+// mustScheduler builds a Scheduler or fails the test.
+func mustScheduler(t *testing.T, g *dag.Graph) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// chainGraph builds a linear chain of n identical tasks.
+func chainGraph(n int, seq model.Duration, alpha float64) *dag.Graph {
+	g := dag.New(n)
+	for i := 0; i < n; i++ {
+		g.AddTask(dag.Task{Seq: seq, Alpha: alpha})
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i-1, i)
+	}
+	return g
+}
+
+// randomEnv builds a feasible random reservation environment.
+func randomEnv(rng *rand.Rand, p int, now model.Time) Env {
+	prof := profile.New(p, now)
+	for k := 0; k < rng.Intn(20); k++ {
+		start := now + model.Time(rng.Int63n(int64(2*model.Day)))
+		dur := model.Duration(rng.Int63n(int64(6*model.Hour)) + 600)
+		procs := rng.Intn(p) + 1
+		if prof.MinFree(start, start+dur) >= procs {
+			if err := prof.Reserve(start, start+dur, procs); err != nil {
+				panic(err)
+			}
+		}
+	}
+	q := 1 + rng.Intn(p)
+	return Env{P: p, Now: now, Avail: prof, Q: q}
+}
+
+func TestNewSchedulerRejectsBadGraph(t *testing.T) {
+	bad := dag.New(2)
+	bad.AddTask(dag.Task{Seq: 1})
+	bad.AddTask(dag.Task{Seq: 1})
+	bad.MustAddEdge(0, 1)
+	bad.MustAddEdge(1, 0)
+	if _, err := NewScheduler(bad); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+func TestEnvValidation(t *testing.T) {
+	g := chainGraph(2, model.Hour, 0.1)
+	s := mustScheduler(t, g)
+	cases := []Env{
+		{P: 0, Now: 0, Avail: profile.New(1, 0)},
+		{P: 4, Now: 0, Avail: nil},
+		{P: 4, Now: 0, Avail: profile.New(8, 0)},       // capacity mismatch
+		{P: 4, Now: 0, Avail: profile.New(4, 100)},     // origin after now
+		{P: 4, Now: 0, Avail: profile.New(4, 0), Q: 5}, // q > p
+		{P: 4, Now: 0, Avail: profile.New(4, 0), Q: -1},
+	}
+	for i, env := range cases {
+		if _, err := s.Turnaround(env, BLCPAR, BDCPAR); err == nil {
+			t.Fatalf("case %d: bad env accepted", i)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range AllBL {
+		names[m.String()] = true
+	}
+	for _, m := range AllBD {
+		names[m.String()] = true
+	}
+	for _, a := range AllDL {
+		names[a.String()] = true
+	}
+	for _, want := range []string{"BL_1", "BL_ALL", "BL_CPA", "BL_CPAR", "BD_ALL", "BD_HALF", "BD_CPA", "BD_CPAR",
+		"DL_BD_ALL", "DL_BD_CPA", "DL_BD_CPAR", "DL_RC_CPA", "DL_RC_CPAR", "DL_RC_CPAR-l", "DL_RCBD_CPAR-l"} {
+		if !names[want] {
+			t.Fatalf("missing algorithm name %q (have %v)", want, names)
+		}
+	}
+	if BLMethod(42).String() == "" || BDMethod(42).String() == "" || DLAlgorithm(42).String() == "" {
+		t.Fatal("unknown enum values must still stringify")
+	}
+}
+
+func TestScheduleMetrics(t *testing.T) {
+	s := &Schedule{Now: 100, Tasks: []Placement{
+		{Procs: 2, Start: 100, End: 1900}, // 3600 proc-seconds
+		{Procs: 4, Start: 200, End: 1100}, // 3600 proc-seconds
+	}}
+	if got := s.Completion(); got != 1900 {
+		t.Fatalf("Completion = %d", got)
+	}
+	if got := s.Turnaround(); got != 1800 {
+		t.Fatalf("Turnaround = %d", got)
+	}
+	if got := s.ProcSeconds(); got != 7200 {
+		t.Fatalf("ProcSeconds = %d", got)
+	}
+	if got := s.CPUHours(); got != 2 {
+		t.Fatalf("CPUHours = %v", got)
+	}
+}
+
+func TestHistoricalAvail(t *testing.T) {
+	// 8-proc cluster; 4 procs reserved for half of the window.
+	now := model.Time(2 * model.Week)
+	past := []profile.Reservation{{Start: now - model.Week, End: now - model.Week/2, Procs: 4}}
+	q, err := HistoricalAvail(8, past, now, model.Week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 6 {
+		t.Fatalf("HistoricalAvail = %d, want 6", q)
+	}
+	// No past data: the machine looks empty.
+	q, err = HistoricalAvail(8, nil, now, model.Week)
+	if err != nil || q != 8 {
+		t.Fatalf("HistoricalAvail(empty) = %d, %v; want 8", q, err)
+	}
+	// Fully booked window clamps to 1.
+	past = []profile.Reservation{{Start: 0, End: 2 * now, Procs: 8}}
+	q, err = HistoricalAvail(8, past, now, model.Week)
+	if err != nil || q != 1 {
+		t.Fatalf("HistoricalAvail(full) = %d, %v; want 1", q, err)
+	}
+	if _, err := HistoricalAvail(0, nil, now, model.Week); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := HistoricalAvail(8, nil, now, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	g := chainGraph(2, model.Hour, 0)
+	s := mustScheduler(t, g)
+	env := emptyEnv(4, 1000)
+	sched, err := s.Turnaround(env, BLCPAR, BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(env, sched); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+
+	// Break precedence.
+	bad := &Schedule{Now: sched.Now, Tasks: append([]Placement(nil), sched.Tasks...)}
+	bad.Tasks[1].Start = bad.Tasks[0].Start
+	bad.Tasks[1].End = bad.Tasks[1].Start + model.ExecTime(model.Hour, 0, bad.Tasks[1].Procs)
+	if err := s.Verify(env, bad); err == nil {
+		t.Fatal("precedence violation not caught")
+	}
+
+	// Break duration.
+	bad = &Schedule{Now: sched.Now, Tasks: append([]Placement(nil), sched.Tasks...)}
+	bad.Tasks[0].End--
+	if err := s.Verify(env, bad); err == nil {
+		t.Fatal("duration violation not caught")
+	}
+
+	// Start before now.
+	bad = &Schedule{Now: sched.Now, Tasks: append([]Placement(nil), sched.Tasks...)}
+	bad.Tasks[0].Start = sched.Now - 10
+	bad.Tasks[0].End = bad.Tasks[0].Start + model.ExecTime(model.Hour, 0, bad.Tasks[0].Procs)
+	if err := s.Verify(env, bad); err == nil {
+		t.Fatal("early start not caught")
+	}
+
+	// Too many processors.
+	bad = &Schedule{Now: sched.Now, Tasks: append([]Placement(nil), sched.Tasks...)}
+	bad.Tasks[0].Procs = 99
+	if err := s.Verify(env, bad); err == nil {
+		t.Fatal("oversized allocation not caught")
+	}
+
+	// Capacity conflict with competing reservations.
+	envBusy := busyEnv(t, 4, 1000, []profile.Reservation{{Start: 1000, End: model.Time(1000 + 100*model.Hour), Procs: 4}})
+	if err := s.Verify(envBusy, sched); err == nil {
+		t.Fatal("overcommit vs competing reservations not caught")
+	}
+
+	if err := s.Verify(env, nil); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+	if err := s.Verify(env, &Schedule{Now: env.Now, Tasks: make([]Placement, 1)}); err == nil {
+		t.Fatal("wrong-length schedule accepted")
+	}
+}
+
+func TestVerifyDeadline(t *testing.T) {
+	g := chainGraph(2, model.Hour, 0)
+	s := mustScheduler(t, g)
+	env := emptyEnv(4, 0)
+	sched, err := s.Turnaround(env, BLCPAR, BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyDeadline(env, sched, sched.Completion()); err != nil {
+		t.Fatalf("deadline at completion rejected: %v", err)
+	}
+	if err := s.VerifyDeadline(env, sched, sched.Completion()-1); err == nil {
+		t.Fatal("missed deadline not caught")
+	}
+}
+
+func TestSchedulerGraphAccessor(t *testing.T) {
+	g := chainGraph(3, model.Hour, 0)
+	s := mustScheduler(t, g)
+	if s.Graph() != g {
+		t.Fatal("Graph() does not return the underlying DAG")
+	}
+}
+
+// --- shared generators for the algorithm test files ---
+
+// randomInstance builds a random application + environment pair used by
+// the property tests in turnaround_test.go and deadline_test.go.
+func randomInstance(seed int64) (*dag.Graph, Env, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	spec := daggen.Default()
+	spec.N = rng.Intn(25) + 3
+	spec.Jump = rng.Intn(4) + 1
+	spec.Width = float64(rng.Intn(9)+1) / 10
+	g := daggen.MustGenerate(spec, rng)
+	p := rng.Intn(28) + 4
+	now := model.Time(rng.Int63n(int64(model.Week)))
+	env := randomEnv(rng, p, now)
+	return g, env, rng
+}

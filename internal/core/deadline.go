@@ -1,0 +1,249 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"resched/internal/cpa"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// LambdaStep is the step with which the hybrid algorithms sweep the
+// laxity parameter lambda from 0 to 1 (Section 5.4).
+const LambdaStep = 0.05
+
+// Deadline solves RESSCHEDDL: it returns a schedule completing by
+// deadline K, or ErrInfeasible (wrapped) if the algorithm cannot find
+// one. Tasks are scheduled backward — in increasing bottom-level order,
+// each constrained to finish before its already-scheduled successors
+// start (Section 5.2). Bottom levels always use the BL_CPAR method,
+// which Section 4.3.1 found best.
+func (s *Scheduler) Deadline(env Env, algo DLAlgorithm, deadline model.Time) (*Schedule, error) {
+	q, err := env.validate()
+	if err != nil {
+		return nil, err
+	}
+	if deadline < env.Now {
+		return nil, fmt.Errorf("%w: deadline %d before now %d", ErrInfeasible, deadline, env.Now)
+	}
+	switch algo {
+	case DLBDAll, DLBDCPA, DLBDCPAR:
+		return s.deadlineAggressive(env, q, algo, deadline)
+	case DLRCCPA:
+		return s.deadlineRC(env, q, env.P, deadline, 0, false)
+	case DLRCCPAR:
+		return s.deadlineRC(env, q, q, deadline, 0, false)
+	case DLRCCPARLambda:
+		return s.deadlineLambda(env, q, deadline, false)
+	case DLRCBDCPARLambda:
+		return s.deadlineLambda(env, q, deadline, true)
+	default:
+		return nil, fmt.Errorf("core: unknown deadline algorithm %v", algo)
+	}
+}
+
+// backwardOrder returns tasks in increasing BL_CPAR bottom-level order
+// along with each task's scheduling deadline accumulator.
+func (s *Scheduler) backwardOrder(p, q int) ([]int, error) {
+	exec, err := s.blExec(BLCPAR, p, q)
+	if err != nil {
+		return nil, err
+	}
+	fwd, err := cpa.PriorityOrder(s.g, exec)
+	if err != nil {
+		return nil, err
+	}
+	rev := make([]int, len(fwd))
+	for i, t := range fwd {
+		rev[len(fwd)-1-i] = t
+	}
+	return rev, nil
+}
+
+// taskDeadline returns the time by which task t must finish: the
+// minimum start time of its (already scheduled) successors, or the
+// application deadline if it has none.
+func taskDeadline(sched *Schedule, succs []int, deadline model.Time) model.Time {
+	dl := deadline
+	for _, sc := range succs {
+		if st := sched.Tasks[sc].Start; st < dl {
+			dl = st
+		}
+	}
+	return dl
+}
+
+// latestPair finds the <processors, start> pair with the latest start
+// time among allocations 1..bound, the aggressive choice of Section
+// 5.2.1. Ties favor fewer processors.
+func latestPair(avail *profile.Profile, task taskParams, bound int, now, dl model.Time) (int, model.Time, bool) {
+	bestM, bestStart, found := 0, model.Time(0), false
+	for _, m := range allocCandidates(task.seq, task.alpha, bound) {
+		d := model.ExecTime(task.seq, task.alpha, m)
+		st, ok := avail.LatestFit(m, d, now, dl)
+		if ok && (!found || st > bestStart) {
+			bestM, bestStart, found = m, st, true
+		}
+	}
+	return bestM, bestStart, found
+}
+
+type taskParams struct {
+	seq   model.Duration
+	alpha float64
+}
+
+func (s *Scheduler) deadlineAggressive(env Env, q int, algo DLAlgorithm, deadline model.Time) (*Schedule, error) {
+	var bound []int
+	switch algo {
+	case DLBDAll:
+		bound = s.g.UniformAlloc(env.P)
+	case DLBDCPA:
+		a, err := s.cpaAlloc(env.P)
+		if err != nil {
+			return nil, err
+		}
+		bound = a
+	case DLBDCPAR:
+		a, err := s.cpaAlloc(q)
+		if err != nil {
+			return nil, err
+		}
+		bound = a
+	}
+	order, err := s.backwardOrder(env.P, q)
+	if err != nil {
+		return nil, err
+	}
+	avail := env.Avail.Clone()
+	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
+	for _, t := range order {
+		dl := taskDeadline(sched, s.g.Successors(t), deadline)
+		task := taskParams{s.g.Task(t).Seq, s.g.Task(t).Alpha}
+		m, st, ok := latestPair(avail, task, bound[t], env.Now, dl)
+		if !ok {
+			return nil, fmt.Errorf("%w: task %d has no feasible reservation before %d (%s)", ErrInfeasible, t, dl, algo)
+		}
+		if err := s.commit(avail, sched, t, m, st); err != nil {
+			return nil, err
+		}
+	}
+	return sched, nil
+}
+
+// deadlineRC is the resource-conservative scheduler of Section 5.2.2,
+// generalized with the lambda laxity of Section 5.4. qRef selects the
+// cluster size of the CPA reference schedule (p for DL_RC_CPA, the
+// historical average for DL_RC_CPAR). When an RC pick is impossible the
+// algorithm falls back to the aggressive latest-start choice, bounded
+// by the CPA allocation when boundedFallback is set (DL_RCBD_CPAR-λ).
+func (s *Scheduler) deadlineRC(env Env, q, qRef int, deadline model.Time, lambda float64, boundedFallback bool) (*Schedule, error) {
+	allocRef, err := s.cpaAlloc(qRef)
+	if err != nil {
+		return nil, err
+	}
+	order, err := s.backwardOrder(env.P, q)
+	if err != nil {
+		return nil, err
+	}
+	avail := env.Avail.Clone()
+	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
+	unscheduled := make([]bool, s.g.NumTasks())
+	for i := range unscheduled {
+		unscheduled[i] = true
+	}
+	for _, t := range order {
+		dl := taskDeadline(sched, s.g.Successors(t), deadline)
+		task := taskParams{s.g.Task(t).Seq, s.g.Task(t).Alpha}
+
+		// CPA reference start time S_t: a fresh CPA schedule of the
+		// not-yet-scheduled upper part of the DAG, on a dedicated
+		// cluster of qRef processors starting now.
+		ref, err := cpa.ListScheduleSubset(s.g, allocRef, qRef, env.Now, unscheduled)
+		if err != nil {
+			return nil, fmt.Errorf("core: CPA reference schedule: %w", err)
+		}
+		refStart := ref.Start[t]
+
+		// Laxity-adjusted threshold: S_t + lambda*(dl_t - S_t). With
+		// lambda = 0 this is the plain RC rule; lambda = 1 pushes the
+		// threshold to the task deadline, forcing aggressive behavior.
+		threshold := refStart + model.Time(math.Round(lambda*float64(dl-refStart)))
+
+		// RC pick: each allocation's candidate is its latest feasible
+		// start before the task deadline; among candidates starting at
+		// or after the threshold, take the earliest-starting one —
+		// equivalently (Section 5.2.2) the fewest processors that do
+		// not preclude meeting the deadline. Allocations are bounded by
+		// the CPA allocation, the same search space the aggressive
+		// algorithms use (the paper equates lambda = 1 with them). When
+		// the deadline is loose the candidate start is far past S_t and
+		// one processor wins; as it tightens, candidate starts compress
+		// toward S_t and the allocation grows toward the CPA schedule's.
+		m, st, ok := 0, model.Time(0), false
+		for _, cand := range allocCandidates(task.seq, task.alpha, allocRef[t]) {
+			d := model.ExecTime(task.seq, task.alpha, cand)
+			lst, fits := avail.LatestFit(cand, d, env.Now, dl)
+			if !fits || lst < threshold {
+				continue
+			}
+			if !ok || lst < st {
+				m, st, ok = cand, lst, true
+			}
+		}
+		if !ok {
+			// Aggressive fallback ("back on track", Section 5.2.2 /
+			// 5.4): latest start, optionally bounded by the CPA
+			// allocation.
+			bound := env.P
+			if boundedFallback {
+				bound = allocRef[t]
+			}
+			m, st, ok = latestPair(avail, task, bound, env.Now, dl)
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: task %d has no feasible reservation before %d (RC)", ErrInfeasible, t, dl)
+		}
+		if err := s.commit(avail, sched, t, m, st); err != nil {
+			return nil, err
+		}
+		unscheduled[t] = false
+	}
+	return sched, nil
+}
+
+// deadlineLambda sweeps lambda from 0 to 1 in LambdaStep increments,
+// returning the first schedule that meets the deadline — i.e. the most
+// resource-conservative laxity that works (Section 5.4).
+func (s *Scheduler) deadlineLambda(env Env, q int, deadline model.Time, boundedFallback bool) (*Schedule, error) {
+	var lastErr error
+	for step := 0; ; step++ {
+		lambda := float64(step) * LambdaStep
+		if lambda > 1 {
+			break
+		}
+		sched, err := s.deadlineRC(env, q, q, deadline, lambda, boundedFallback)
+		if err == nil {
+			return sched, nil
+		}
+		if !errors.Is(err, ErrInfeasible) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: no lambda in [0,1] meets deadline %d (last: %v)", ErrInfeasible, deadline, lastErr)
+}
+
+// commit reserves the chosen placement and records it.
+func (s *Scheduler) commit(avail *profile.Profile, sched *Schedule, t, m int, st model.Time) error {
+	d := model.ExecTime(s.g.Task(t).Seq, s.g.Task(t).Alpha, m)
+	if d > 0 {
+		if err := avail.Reserve(st, st+d, m); err != nil {
+			return fmt.Errorf("core: reserving task %d: %w", t, err)
+		}
+	}
+	sched.Tasks[t] = Placement{Procs: m, Start: st, End: st + d}
+	return nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"resched/internal/dag"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// zeroGraph embeds a zero-work task (a pure synchronization point)
+// between two real tasks. The DAG model allows Seq = 0 even though the
+// paper's generator never produces it; the schedulers must cope.
+func zeroGraph() *dag.Graph {
+	g := dag.New(3)
+	g.AddTask(dag.Task{Name: "work1", Seq: model.Hour, Alpha: 0.1})
+	g.AddTask(dag.Task{Name: "barrier", Seq: 0, Alpha: 0})
+	g.AddTask(dag.Task{Name: "work2", Seq: model.Hour, Alpha: 0.1})
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	return g
+}
+
+func TestTurnaroundZeroWorkTask(t *testing.T) {
+	g := zeroGraph()
+	s := mustScheduler(t, g)
+	env := emptyEnv(8, 100)
+	sched, err := s.Turnaround(env, BLCPAR, BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(env, sched); err != nil {
+		t.Fatal(err)
+	}
+	if pl := sched.Tasks[1]; pl.Start != pl.End {
+		t.Fatalf("zero-work task got a non-empty reservation: %+v", pl)
+	}
+	// The barrier must not delay the pipeline.
+	if sched.Tasks[2].Start != sched.Tasks[0].End {
+		t.Fatalf("barrier introduced a delay: %+v", sched.Tasks)
+	}
+}
+
+func TestDeadlineZeroWorkTask(t *testing.T) {
+	g := zeroGraph()
+	s := mustScheduler(t, g)
+	env := emptyEnv(8, 0)
+	for _, algo := range AllDL {
+		sched, err := s.Deadline(env, algo, 6*model.Hour)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if err := s.VerifyDeadline(env, sched, 6*model.Hour); err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+	}
+}
+
+func TestSingleTaskGraphAllAlgorithms(t *testing.T) {
+	g := dag.New(1)
+	g.AddTask(dag.Task{Seq: model.Hour, Alpha: 0.2})
+	s := mustScheduler(t, g)
+	env := busyEnv(t, 4, 0, []profile.Reservation{{Start: 0, End: model.Hour / 2, Procs: 4}})
+	for _, bd := range AllBD {
+		sched, err := s.Turnaround(env, BLCPAR, bd)
+		if err != nil {
+			t.Fatalf("%v: %v", bd, err)
+		}
+		if err := s.Verify(env, sched); err != nil {
+			t.Fatalf("%v: %v", bd, err)
+		}
+	}
+	for _, algo := range AllDL {
+		k, sched, err := s.TightestDeadline(env, algo)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if err := s.VerifyDeadline(env, sched, k); err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+	}
+}
+
+func TestTurnaroundOnSaturatedMachine(t *testing.T) {
+	// Everything is reserved for a week; the application must start
+	// after the wall and still verify.
+	g := chainGraph(3, model.Hour, 0.1)
+	s := mustScheduler(t, g)
+	env := busyEnv(t, 4, 0, []profile.Reservation{{Start: 0, End: model.Week, Procs: 4}})
+	sched, err := s.Turnaround(env, BLCPAR, BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(env, sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Tasks[0].Start < model.Week {
+		t.Fatalf("schedule started inside the full-machine reservation: %+v", sched.Tasks[0])
+	}
+}
+
+func TestDeadlineJustAfterWall(t *testing.T) {
+	// Machine free only in [0, 1h) and after a week. A 1-hour serial
+	// task with a 2h deadline must squeeze into the first hole.
+	g := chainGraph(1, model.Hour, 1)
+	s := mustScheduler(t, g)
+	env := busyEnv(t, 4, 0, []profile.Reservation{{Start: model.Hour, End: model.Week, Procs: 4}})
+	sched, err := s.Deadline(env, DLBDCPAR, 2*model.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Tasks[0].Start != 0 {
+		t.Fatalf("start = %d, want 0", sched.Tasks[0].Start)
+	}
+	// With a 30-minute deadline it is infeasible.
+	if _, err := s.Deadline(env, DLBDCPAR, model.Hour/2); err == nil {
+		t.Fatal("infeasible deadline accepted")
+	}
+}
+
+func TestEnvQDefaultsToP(t *testing.T) {
+	g := chainGraph(2, model.Hour, 0.1)
+	s := mustScheduler(t, g)
+	env := emptyEnv(8, 0) // Q == 0
+	a, err := s.Turnaround(env, BLCPAR, BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Q = 8
+	b, err := s.Turnaround(env, BLCPAR, BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("Q=0 and Q=P disagree at task %d", i)
+		}
+	}
+}

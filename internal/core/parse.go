@@ -1,0 +1,36 @@
+package core
+
+import "fmt"
+
+// ParseBL resolves a bottom-level method from its paper name
+// (e.g. "BL_CPAR").
+func ParseBL(name string) (BLMethod, error) {
+	for _, m := range AllBL {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown bottom-level method %q (want one of %v)", name, AllBL)
+}
+
+// ParseBD resolves an allocation bounding method from its paper name
+// (e.g. "BD_CPAR").
+func ParseBD(name string) (BDMethod, error) {
+	for _, m := range AllBD {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown bounding method %q (want one of %v)", name, AllBD)
+}
+
+// ParseDL resolves a deadline algorithm from its paper name
+// (e.g. "DL_RC_CPAR-l" for DL_RC_CPAR-lambda).
+func ParseDL(name string) (DLAlgorithm, error) {
+	for _, a := range AllDL {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown deadline algorithm %q (want one of %v)", name, AllDL)
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"resched/internal/cpa"
+	"resched/internal/dag"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// bestFixedAllocMakespan exhaustively enumerates every allocation
+// vector in [1,p]^n, list-schedules each against the environment with
+// the same earliest-completion placement rule, and returns the best
+// completion time found. Only feasible for tiny instances; it gives an
+// absolute quality reference for the heuristics.
+func bestFixedAllocMakespan(t *testing.T, g *dag.Graph, env Env) model.Time {
+	t.Helper()
+	n := g.NumTasks()
+	alloc := make([]int, n)
+	best := model.Infinity
+	var recurse func(i int)
+	recurse = func(i int) {
+		if i == n {
+			c, ok := fixedAllocCompletion(g, env, alloc)
+			if ok && c < best {
+				best = c
+			}
+			return
+		}
+		for m := 1; m <= env.P; m++ {
+			alloc[i] = m
+			recurse(i + 1)
+		}
+	}
+	recurse(0)
+	if best == model.Infinity {
+		t.Fatal("no feasible fixed allocation found")
+	}
+	return best
+}
+
+// fixedAllocCompletion list-schedules the graph with a fixed
+// allocation vector against the environment.
+func fixedAllocCompletion(g *dag.Graph, env Env, alloc []int) (model.Time, bool) {
+	exec, err := g.ExecTimes(alloc)
+	if err != nil {
+		return 0, false
+	}
+	order, err := cpa.PriorityOrder(g, exec)
+	if err != nil {
+		return 0, false
+	}
+	avail := env.Avail.Clone()
+	finish := make([]model.Time, g.NumTasks())
+	completion := env.Now
+	for _, t := range order {
+		ready := env.Now
+		for _, pr := range g.Predecessors(t) {
+			if finish[pr] > ready {
+				ready = finish[pr]
+			}
+		}
+		st := avail.EarliestFit(alloc[t], exec[t], ready)
+		if exec[t] > 0 {
+			if err := avail.Reserve(st, st+exec[t], alloc[t]); err != nil {
+				return 0, false
+			}
+		}
+		finish[t] = st + exec[t]
+		if finish[t] > completion {
+			completion = finish[t]
+		}
+	}
+	return completion, true
+}
+
+// TestHeuristicQualityAgainstExhaustive compares BD_CPAR's turnaround
+// against the best fixed-allocation list schedule found by brute force
+// on tiny instances. The heuristic is not optimal, but it must stay
+// within a factor 2 on every one of these fixed cases (empirically it
+// lands within ~25%).
+func TestHeuristicQualityAgainstExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive search")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// 4 tasks, 4 processors: 4^4 = 256 allocation vectors.
+		g := dag.New(4)
+		for i := 0; i < 4; i++ {
+			g.AddTask(dag.Task{
+				Seq:   model.Duration(rng.Intn(4*int(model.Hour)) + int(model.Minute)),
+				Alpha: rng.Float64() * 0.3,
+			})
+		}
+		// A random small DAG shape.
+		g.MustAddEdge(0, 1)
+		if rng.Intn(2) == 0 {
+			g.MustAddEdge(0, 2)
+		} else {
+			g.MustAddEdge(1, 2)
+		}
+		g.MustAddEdge(2, 3)
+
+		prof := profile.New(4, 0)
+		if rng.Intn(2) == 0 {
+			start := model.Time(rng.Intn(int(2 * model.Hour)))
+			if err := prof.Reserve(start, start+model.Hour, rng.Intn(3)+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		env := Env{P: 4, Now: 0, Avail: prof, Q: 4}
+
+		opt := bestFixedAllocMakespan(t, g, env)
+		s := mustScheduler(t, g)
+		sched, err := s.Turnaround(env, BLCPAR, BDCPAR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Verify(env, sched); err != nil {
+			t.Fatal(err)
+		}
+		if got := sched.Completion(); got > 2*opt {
+			t.Fatalf("seed %d: BD_CPAR completion %d vs exhaustive best %d (over 2x)", seed, got, opt)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"resched/internal/model"
+)
+
+// DefaultGranularity is the resolution of the tightest-deadline binary
+// search: one minute, the granularity of the paper's task durations.
+const DefaultGranularity model.Duration = model.Minute
+
+// maxDoublings bounds the search for a feasible upper deadline.
+const maxDoublings = 24
+
+// TightestDeadline finds, by binary search (Section 5.3), the earliest
+// deadline the given algorithm can meet, within the given granularity
+// (DefaultGranularity if zero or negative). It returns the deadline and
+// the corresponding schedule.
+//
+// Deadline feasibility under these heuristics is not strictly monotone
+// in K; as in the paper, the binary search treats it as if it were and
+// returns the tightest deadline it certifies feasible.
+func (s *Scheduler) TightestDeadline(env Env, algo DLAlgorithm) (model.Time, *Schedule, error) {
+	return s.TightestDeadlineGranularity(env, algo, DefaultGranularity)
+}
+
+// TightestDeadlineGranularity is TightestDeadline with an explicit
+// search resolution.
+func (s *Scheduler) TightestDeadlineGranularity(env Env, algo DLAlgorithm, granularity model.Duration) (model.Time, *Schedule, error) {
+	if granularity <= 0 {
+		granularity = DefaultGranularity
+	}
+	if _, err := env.validate(); err != nil {
+		return 0, nil, err
+	}
+
+	// Lower bound: even an empty machine cannot beat the critical path
+	// with every task on all p processors.
+	exec, err := s.g.ExecTimes(s.g.UniformAlloc(env.P))
+	if err != nil {
+		return 0, nil, err
+	}
+	cp, err := s.g.CriticalPathLength(exec)
+	if err != nil {
+		return 0, nil, err
+	}
+	lo := env.Now + cp // invariant: lo-granularity is infeasible or lo is the floor
+
+	// A feasible starting point: the turn-around-optimized forward
+	// schedule's completion time, doubled until the backward algorithm
+	// accepts it.
+	fwd, err := s.Turnaround(env, BLCPAR, BDCPAR)
+	if err != nil {
+		return 0, nil, err
+	}
+	hi := fwd.Completion()
+	if hi < lo {
+		hi = lo
+	}
+	best, err := s.Deadline(env, algo, hi)
+	for n := 0; err != nil && errors.Is(err, ErrInfeasible) && n < maxDoublings; n++ {
+		gap := hi - env.Now
+		if gap < granularity {
+			gap = granularity
+		}
+		hi = env.Now + 2*gap
+		best, err = s.Deadline(env, algo, hi)
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: no feasible deadline found up to %d: %w", hi, err)
+	}
+
+	// Binary search between the infeasible floor and the feasible hi.
+	if lo > hi {
+		lo = hi
+	}
+	for hi-lo > granularity {
+		mid := lo + (hi-lo)/2
+		sched, err := s.Deadline(env, algo, mid)
+		switch {
+		case err == nil:
+			hi, best = mid, sched
+		case errors.Is(err, ErrInfeasible):
+			lo = mid
+		default:
+			return 0, nil, err
+		}
+	}
+	return hi, best, nil
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"resched/internal/cpa"
+	"resched/internal/model"
+)
+
+// Turnaround solves RESSCHED with the BL_x_BD_y heuristic of Section
+// 4.2: compute bottom levels with method bl, then schedule tasks in
+// decreasing bottom-level order, each at the <processors, start>
+// pair that minimizes its completion time against the current
+// reservation schedule, with allocations bounded by method bd.
+func (s *Scheduler) Turnaround(env Env, bl BLMethod, bd BDMethod) (*Schedule, error) {
+	q, err := env.validate()
+	if err != nil {
+		return nil, err
+	}
+	exec, err := s.blExec(bl, env.P, q)
+	if err != nil {
+		return nil, err
+	}
+	order, err := cpa.PriorityOrder(s.g, exec)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := s.bounds(bd, env.P, q)
+	if err != nil {
+		return nil, err
+	}
+
+	avail := env.Avail.Clone()
+	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
+	for _, t := range order {
+		ready := env.Now
+		for _, pr := range s.g.Predecessors(t) {
+			if f := sched.Tasks[pr].End; f > ready {
+				ready = f
+			}
+		}
+		task := s.g.Task(t)
+		limit := bound[t]
+		if limit > env.P {
+			limit = env.P
+		}
+		bestM, bestStart, bestFinish := 0, model.Time(0), model.Infinity
+		for _, m := range allocCandidates(task.Seq, task.Alpha, limit) {
+			d := model.ExecTime(task.Seq, task.Alpha, m)
+			st := avail.EarliestFit(m, d, ready)
+			if st+d < bestFinish {
+				bestM, bestStart, bestFinish = m, st, st+d
+			}
+		}
+		if bestM == 0 {
+			return nil, fmt.Errorf("core: no allocation bound for task %d", t)
+		}
+		if bestFinish > bestStart {
+			if err := avail.Reserve(bestStart, bestFinish, bestM); err != nil {
+				return nil, fmt.Errorf("core: reserving task %d: %w", t, err)
+			}
+		}
+		sched.Tasks[t] = Placement{Procs: bestM, Start: bestStart, End: bestFinish}
+	}
+	return sched, nil
+}

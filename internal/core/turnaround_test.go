@@ -1,0 +1,281 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+func TestTurnaroundEmptyMachineChain(t *testing.T) {
+	// A 3-task chain of fully parallel work on an empty 4-proc cluster:
+	// BD_ALL gives each task the whole machine back to back.
+	g := chainGraph(3, model.Hour, 0)
+	s := mustScheduler(t, g)
+	env := emptyEnv(4, 500)
+	sched, err := s.Turnaround(env, BL1, BDAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(env, sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Turnaround() != 3*900 {
+		t.Fatalf("Turnaround = %d, want 2700 (3 x 15 min)", sched.Turnaround())
+	}
+	for i, pl := range sched.Tasks {
+		if pl.Procs != 4 {
+			t.Fatalf("task %d allocated %d procs, want the whole machine", i, pl.Procs)
+		}
+	}
+}
+
+func TestTurnaroundWaitsForReservation(t *testing.T) {
+	// One task needing the full machine while a competing reservation
+	// holds every processor for the first hour.
+	g := chainGraph(1, model.Hour, 1) // fully serial: duration is 1h on any alloc
+	s := mustScheduler(t, g)
+	env := busyEnv(t, 4, 0, []profile.Reservation{{Start: 0, End: model.Hour, Procs: 4}})
+	sched, err := s.Turnaround(env, BL1, BDAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(env, sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Tasks[0].Start != model.Hour {
+		t.Fatalf("task started at %d, want %d (after the competing reservation)", sched.Tasks[0].Start, model.Hour)
+	}
+}
+
+func TestTurnaroundSqueezesIntoHole(t *testing.T) {
+	// 2 of 4 processors stay free during a long competing reservation;
+	// a small task should run immediately on the free pair rather than
+	// wait for the full machine.
+	g := chainGraph(1, model.Hour, 0)
+	s := mustScheduler(t, g)
+	env := busyEnv(t, 4, 0, []profile.Reservation{{Start: 0, End: 10 * model.Hour, Procs: 2}})
+	sched, err := s.Turnaround(env, BL1, BDAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(env, sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Tasks[0].Start != 0 || sched.Tasks[0].Procs != 2 {
+		t.Fatalf("placement = %+v, want immediate start on 2 procs", sched.Tasks[0])
+	}
+}
+
+func TestTurnaroundBDHalfBoundsAllocations(t *testing.T) {
+	g := chainGraph(4, model.Hour, 0)
+	s := mustScheduler(t, g)
+	env := emptyEnv(8, 0)
+	sched, err := s.Turnaround(env, BL1, BDHalf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pl := range sched.Tasks {
+		if pl.Procs > 4 {
+			t.Fatalf("task %d allocated %d procs, BD_HALF bound is 4", i, pl.Procs)
+		}
+	}
+}
+
+func TestTurnaroundBDCPARRespectsCPABound(t *testing.T) {
+	g, env, _ := randomInstance(7)
+	s := mustScheduler(t, g)
+	q := env.Q
+	if q == 0 {
+		q = env.P
+	}
+	bound, err := s.cpaAlloc(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := s.Turnaround(env, BLCPAR, BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pl := range sched.Tasks {
+		if pl.Procs > bound[i] {
+			t.Fatalf("task %d allocated %d procs, CPA bound is %d", i, pl.Procs, bound[i])
+		}
+	}
+}
+
+func TestTurnaroundAllCombinationsValid(t *testing.T) {
+	g, env, _ := randomInstance(11)
+	s := mustScheduler(t, g)
+	for _, bl := range AllBL {
+		for _, bd := range AllBD {
+			sched, err := s.Turnaround(env, bl, bd)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", bl, bd, err)
+			}
+			if err := s.Verify(env, sched); err != nil {
+				t.Fatalf("%v/%v: %v", bl, bd, err)
+			}
+		}
+	}
+}
+
+func TestTurnaroundUnknownMethods(t *testing.T) {
+	g := chainGraph(2, model.Hour, 0)
+	s := mustScheduler(t, g)
+	env := emptyEnv(4, 0)
+	if _, err := s.Turnaround(env, BLMethod(99), BDCPAR); err == nil {
+		t.Fatal("unknown BL method accepted")
+	}
+	if _, err := s.Turnaround(env, BL1, BDMethod(99)); err == nil {
+		t.Fatal("unknown BD method accepted")
+	}
+}
+
+// With Q = P the *_CPAR methods collapse onto their *_CPA
+// counterparts: identical bottom levels, identical bounds, identical
+// schedules.
+func TestCPARCollapsesToCPAWhenQEqualsP(t *testing.T) {
+	g, env, _ := randomInstance(17)
+	env.Q = env.P
+	s := mustScheduler(t, g)
+	a, err := s.Turnaround(env, BLCPAR, BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Turnaround(env, BLCPA, BDCPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("task %d: CPAR %+v != CPA %+v with q = p", i, a.Tasks[i], b.Tasks[i])
+		}
+	}
+	// Same collapse for the deadline algorithms.
+	k := env.Now + 2*a.Turnaround()
+	da, err := s.Deadline(env, DLBDCPAR, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := s.Deadline(env, DLBDCPA, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range da.Tasks {
+		if da.Tasks[i] != db.Tasks[i] {
+			t.Fatalf("deadline task %d: CPAR %+v != CPA %+v with q = p", i, da.Tasks[i], db.Tasks[i])
+		}
+	}
+}
+
+// Property: every heuristic produces a verifiable schedule on random
+// instances, and single-task turnaround equals the best over all m of
+// (earliest fit + duration).
+func TestTurnaroundPropertyValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g, env, _ := randomInstance(seed)
+		s, err := NewScheduler(g)
+		if err != nil {
+			return false
+		}
+		for _, bd := range AllBD {
+			sched, err := s.Turnaround(env, BLCPAR, bd)
+			if err != nil {
+				return false
+			}
+			if err := s.Verify(env, sched); err != nil {
+				return false
+			}
+			if sched.Turnaround() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the BD_ALL schedule of a single task achieves the true
+// minimum completion over every allocation (exhaustive check).
+func TestTurnaroundSingleTaskOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		g, env, rng := randomInstance(seed)
+		_ = g
+		single := chainGraph(1, model.Duration(rng.Intn(7200)+60), rng.Float64())
+		s, err := NewScheduler(single)
+		if err != nil {
+			return false
+		}
+		sched, err := s.Turnaround(env, BL1, BDAll)
+		if err != nil {
+			return false
+		}
+		task := single.Task(0)
+		best := model.Infinity
+		for m := 1; m <= env.P; m++ {
+			d := model.ExecTime(task.Seq, task.Alpha, m)
+			st := env.Avail.EarliestFit(m, d, env.Now)
+			if st+d < best {
+				best = st + d
+			}
+		}
+		return sched.Completion() == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with identical inputs the scheduler is deterministic.
+func TestTurnaroundDeterministic(t *testing.T) {
+	g, env, _ := randomInstance(5)
+	s1 := mustScheduler(t, g)
+	s2 := mustScheduler(t, g)
+	a, err := s1.Turnaround(env, BLCPA, BDCPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s2.Turnaround(env, BLCPA, BDCPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("nondeterministic placement for task %d: %+v vs %+v", i, a.Tasks[i], b.Tasks[i])
+		}
+	}
+}
+
+// With an empty reservation schedule and q = p, BL_CPA_BD_CPA plays the
+// role of plain CPA (paper, end of Section 4.2). Sanity-check that its
+// turnaround is bracketed by the two trivial bounds: the critical path
+// at unbounded allocations and the fully serialized execution.
+func TestTurnaroundReducesToCPAOnEmptyMachine(t *testing.T) {
+	g, _, _ := randomInstance(21)
+	s := mustScheduler(t, g)
+	p := 16
+	env := emptyEnv(p, 0)
+	sched, err := s.Turnaround(env, BLCPA, BDCPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(env, sched); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := g.ExecTimes(g.UniformAlloc(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lower, err := g.CriticalPathLength(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper := g.TotalSequentialWork()
+	if ta := sched.Turnaround(); ta < lower || ta > upper {
+		t.Fatalf("turnaround %d outside [%d, %d]", ta, lower, upper)
+	}
+}

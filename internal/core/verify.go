@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// Verify checks that a schedule is valid for the given application and
+// environment: every task has a reservation of the modeled duration
+// within the cluster bounds, starting at or after Now; precedence
+// constraints hold; and all task reservations fit into the competing
+// reservation profile simultaneously. It is used by the test suite and
+// by callers that assemble schedules from external input.
+func (s *Scheduler) Verify(env Env, sched *Schedule) error {
+	if _, err := env.validate(); err != nil {
+		return err
+	}
+	if sched == nil {
+		return fmt.Errorf("core: nil schedule")
+	}
+	if len(sched.Tasks) != s.g.NumTasks() {
+		return fmt.Errorf("core: schedule has %d placements for %d tasks", len(sched.Tasks), s.g.NumTasks())
+	}
+	avail := env.Avail.Clone()
+	for t, pl := range sched.Tasks {
+		task := s.g.Task(t)
+		if pl.Procs < 1 || pl.Procs > env.P {
+			return fmt.Errorf("core: task %d allocated %d processors on a %d-processor cluster", t, pl.Procs, env.P)
+		}
+		if pl.Start < env.Now {
+			return fmt.Errorf("core: task %d starts at %d before now %d", t, pl.Start, env.Now)
+		}
+		want := model.ExecTime(task.Seq, task.Alpha, pl.Procs)
+		if pl.End-pl.Start != want {
+			return fmt.Errorf("core: task %d reserved %d s on %d procs, model says %d s", t, pl.End-pl.Start, pl.Procs, want)
+		}
+		for _, pr := range s.g.Predecessors(t) {
+			if sched.Tasks[pr].End > pl.Start {
+				return fmt.Errorf("core: task %d starts at %d before predecessor %d finishes at %d", t, pl.Start, pr, sched.Tasks[pr].End)
+			}
+		}
+		if pl.End > pl.Start {
+			if err := avail.Reserve(pl.Start, pl.End, pl.Procs); err != nil {
+				return fmt.Errorf("core: task %d overcommits the cluster: %w", t, err)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyDeadline is Verify plus the deadline constraint.
+func (s *Scheduler) VerifyDeadline(env Env, sched *Schedule, deadline model.Time) error {
+	if err := s.Verify(env, sched); err != nil {
+		return err
+	}
+	if c := sched.Completion(); c > deadline {
+		return fmt.Errorf("core: schedule completes at %d, after deadline %d", c, deadline)
+	}
+	return nil
+}
+
+// HistoricalAvail estimates q, the historical average number of
+// available processors (Section 4.2), from the reservations that were
+// active during the window days preceding now. The result is rounded to
+// the nearest integer and clamped to [1, p]. With no past data it
+// returns p (an empty machine).
+func HistoricalAvail(p int, past []profile.Reservation, now model.Time, window model.Duration) (int, error) {
+	if p < 1 {
+		return 0, fmt.Errorf("core: cluster size %d < 1", p)
+	}
+	if window <= 0 {
+		return 0, fmt.Errorf("core: window %d <= 0", window)
+	}
+	start := now - window
+	prof, err := profile.FromReservations(p, start, clipReservations(past, start, now))
+	if err != nil {
+		return 0, err
+	}
+	avg := prof.AvgFree(start, now)
+	q := int(avg + 0.5)
+	if q < 1 {
+		q = 1
+	}
+	if q > p {
+		q = p
+	}
+	return q, nil
+}
+
+// clipReservations clips reservations to the [start, end) window and
+// drops those fully outside it.
+func clipReservations(rs []profile.Reservation, start, end model.Time) []profile.Reservation {
+	var out []profile.Reservation
+	for _, r := range rs {
+		s, e := r.Start, r.End
+		if s < start {
+			s = start
+		}
+		if e > end {
+			e = end
+		}
+		if e <= s {
+			continue
+		}
+		out = append(out, profile.Reservation{Start: s, End: e, Procs: r.Procs})
+	}
+	return out
+}

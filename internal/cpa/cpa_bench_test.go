@@ -1,0 +1,48 @@
+package cpa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"resched/internal/daggen"
+)
+
+// BenchmarkAllocate tracks the allocation phase's cost across cluster
+// sizes — the P and P' factors of the paper's Table 8 complexities —
+// for both stopping rules.
+func BenchmarkAllocate(b *testing.B) {
+	g := daggen.MustGenerate(daggen.Default(), rand.New(rand.NewSource(1)))
+	for _, p := range []int{32, 256, 1152} {
+		for _, rule := range []StopRule{StopStringent, StopClassic} {
+			b.Run(fmt.Sprintf("p=%d/%v", p, rule), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := Allocate(g, p, rule); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkListSchedule measures the mapping phase, the building block
+// of the DL_RC reference schedules recomputed per task.
+func BenchmarkListSchedule(b *testing.B) {
+	for _, n := range []int{50, 100} {
+		spec := daggen.Default()
+		spec.N = n
+		g := daggen.MustGenerate(spec, rand.New(rand.NewSource(2)))
+		alloc, err := Allocate(g, 128, StopStringent)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ListSchedule(g, alloc, 128, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

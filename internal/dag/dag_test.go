@@ -1,0 +1,336 @@
+package dag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"resched/internal/model"
+)
+
+// diamond builds the classic 4-task diamond:
+//
+//	0 -> 1 -> 3
+//	0 -> 2 -> 3
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.AddTask(Task{Seq: model.Duration(100 * (i + 1)), Alpha: 0.1})
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	return g
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(2)
+	a := g.AddTask(Task{Seq: 10})
+	b := g.AddTask(Task{Seq: 10})
+	if err := g.AddEdge(a, a); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(a, 99); err == nil {
+		t.Fatal("edge to unknown task accepted")
+	}
+	if err := g.AddEdge(-1, b); err == nil {
+		t.Fatal("edge from negative task accepted")
+	}
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	// Duplicate edges are idempotent.
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("duplicate edge errored: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d after duplicate add, want 1", g.NumEdges())
+	}
+}
+
+func TestAddTaskValidation(t *testing.T) {
+	g := New(1)
+	for _, task := range []Task{{Seq: -1}, {Seq: 1, Alpha: -0.1}, {Seq: 1, Alpha: 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("AddTask(%+v) did not panic", task)
+				}
+			}()
+			g.AddTask(task)
+		}()
+	}
+}
+
+func TestTopoOrderDiamond(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for u := 0; u < g.NumTasks(); u++ {
+		for _, v := range g.Successors(u) {
+			if pos[u] >= pos[v] {
+				t.Fatalf("topo order violates edge %d -> %d: %v", u, v, order)
+			}
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		g.AddTask(Task{Seq: 10})
+	}
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected by TopoOrder")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("cycle not detected by Validate")
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := New(0).Validate(); err == nil {
+		t.Fatal("empty graph validated")
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond(t)
+	if got := g.Sources(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Sources = %v, want [0]", got)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Sinks = %v, want [3]", got)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := diamond(t)
+	lvl, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 1, 2}
+	for i := range want {
+		if lvl[i] != want[i] {
+			t.Fatalf("Levels = %v, want %v", lvl, want)
+		}
+	}
+	n, err := g.NumLevels()
+	if err != nil || n != 3 {
+		t.Fatalf("NumLevels = %d, %v; want 3", n, err)
+	}
+}
+
+func TestBottomLevelsDiamond(t *testing.T) {
+	g := diamond(t)
+	exec := []model.Duration{10, 20, 30, 40}
+	bl, err := g.BottomLevels(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bl(3)=40, bl(1)=20+40=60, bl(2)=30+40=70, bl(0)=10+70=80
+	want := []model.Duration{80, 60, 70, 40}
+	for i := range want {
+		if bl[i] != want[i] {
+			t.Fatalf("BottomLevels = %v, want %v", bl, want)
+		}
+	}
+	cp, err := g.CriticalPathLength(exec)
+	if err != nil || cp != 80 {
+		t.Fatalf("CriticalPathLength = %d, %v; want 80", cp, err)
+	}
+}
+
+func TestTopLevelsDiamond(t *testing.T) {
+	g := diamond(t)
+	exec := []model.Duration{10, 20, 30, 40}
+	tl, err := g.TopLevels(exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Duration{0, 10, 10, 40}
+	for i := range want {
+		if tl[i] != want[i] {
+			t.Fatalf("TopLevels = %v, want %v", tl, want)
+		}
+	}
+}
+
+func TestBottomLevelsBadLength(t *testing.T) {
+	g := diamond(t)
+	if _, err := g.BottomLevels([]model.Duration{1}); err == nil {
+		t.Fatal("mismatched exec vector accepted")
+	}
+	if _, err := g.TopLevels(nil); err == nil {
+		t.Fatal("nil exec vector accepted by TopLevels")
+	}
+	if _, err := g.ExecTimes([]int{1, 2}); err == nil {
+		t.Fatal("mismatched alloc vector accepted by ExecTimes")
+	}
+}
+
+func TestExecTimes(t *testing.T) {
+	g := New(2)
+	g.AddTask(Task{Seq: 100, Alpha: 0})
+	g.AddTask(Task{Seq: 100, Alpha: 1})
+	exec, err := g.ExecTimes([]int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec[0] != 25 || exec[1] != 100 {
+		t.Fatalf("ExecTimes = %v, want [25 100]", exec)
+	}
+}
+
+func TestUniformAllocAndWork(t *testing.T) {
+	g := diamond(t)
+	alloc := g.UniformAlloc(3)
+	for _, m := range alloc {
+		if m != 3 {
+			t.Fatalf("UniformAlloc = %v", alloc)
+		}
+	}
+	if got := g.TotalSequentialWork(); got != 100+200+300+400 {
+		t.Fatalf("TotalSequentialWork = %d", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.AddTask(Task{Seq: 5})
+	c.MustAddEdge(3, 4)
+	if g.NumTasks() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("mutating clone changed original: %v", g)
+	}
+	if c.NumTasks() != 5 || c.NumEdges() != 5 {
+		t.Fatalf("clone wrong: %v", c)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := New(2)
+	g.AddTask(Task{Name: "filter", Seq: 60, Alpha: 0.2})
+	g.AddTask(Task{Seq: 120})
+	g.MustAddEdge(0, 1)
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "filter", "0 -> 1"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// randomDAG builds a random DAG where edges only go from lower to
+// higher IDs — acyclic by construction.
+func randomDAG(rng *rand.Rand, n int, edgeProb float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddTask(Task{Seq: model.Duration(rng.Intn(1000) + 1), Alpha: rng.Float64()})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < edgeProb {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Property: bottom level of a task is at least its own execution time,
+// and strictly greater than each successor's bottom level.
+func TestBottomLevelInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, rng.Intn(40)+2, 0.2)
+		exec := make([]model.Duration, g.NumTasks())
+		for i := range exec {
+			exec[i] = model.Duration(rng.Intn(100) + 1)
+		}
+		bl, err := g.BottomLevels(exec)
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.NumTasks(); u++ {
+			if bl[u] < exec[u] {
+				return false
+			}
+			for _, v := range g.Successors(u) {
+				if bl[u] < bl[v]+exec[u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: top level + bottom level of any task never exceeds the
+// critical path length, and equality holds for at least one task.
+func TestCriticalPathDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, rng.Intn(40)+2, 0.15)
+		exec := make([]model.Duration, g.NumTasks())
+		for i := range exec {
+			exec[i] = model.Duration(rng.Intn(100) + 1)
+		}
+		bl, _ := g.BottomLevels(exec)
+		tl, _ := g.TopLevels(exec)
+		cp, _ := g.CriticalPathLength(exec)
+		onCP := false
+		for i := 0; i < g.NumTasks(); i++ {
+			if tl[i]+bl[i] > cp {
+				return false
+			}
+			if tl[i]+bl[i] == cp {
+				onCP = true
+			}
+		}
+		return onCP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Levels is consistent with edges (level strictly increases
+// along each edge) and TopoOrder sorts by dependency.
+func TestLevelsRespectEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDAG(rng, rng.Intn(40)+2, 0.2)
+		lvl, err := g.Levels()
+		if err != nil {
+			return false
+		}
+		for u := 0; u < g.NumTasks(); u++ {
+			for _, v := range g.Successors(u) {
+				if lvl[v] <= lvl[u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package daggen generates synthetic mixed-parallel application DAGs
+// following the model of the paper's Section 3.1 and Table 1: the DAG
+// shape is controlled by the number of tasks and by four parameters —
+// width, regularity, density, and jump — and each task's execution
+// behavior by a sequential time drawn between 1 minute and 10 hours
+// and an Amdahl serial fraction drawn in [0, alpha].
+//
+// The original DAG generation program by Suter [14] is not available
+// offline; this package reimplements its parameterization as described
+// in the paper:
+//
+//   - width sets the maximum parallelism. The mean number of tasks per
+//     level is n^width: width -> 0 yields chain graphs (one task per
+//     level), width -> 1 yields fork-join graphs (a handful of levels
+//     holding nearly all tasks).
+//   - regularity sets how uniform level populations are. Each level's
+//     size is drawn uniformly in mean*(1 ± (1-regularity)).
+//   - density sets the probability of an edge between a task and each
+//     task of the previous level. Every non-first-level task keeps at
+//     least one predecessor in the previous level so levels are exact.
+//   - jump adds random edges from level l to level l+j for j in
+//     [2, jump]; jump = 1 produces a layered DAG.
+package daggen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resched/internal/dag"
+	"resched/internal/model"
+)
+
+// Spec describes one application configuration (a row of Table 1).
+type Spec struct {
+	N          int     // number of tasks
+	Alpha      float64 // upper bound on each task's serial fraction
+	Width      float64 // (0,1]: mean tasks per level = N^Width
+	Regularity float64 // [0,1]: uniformity of level sizes
+	Density    float64 // (0,1]: inter-level edge probability
+	Jump       int     // >=1: maximum level distance of extra edges
+	MinSeq     model.Duration
+	MaxSeq     model.Duration
+}
+
+// Default is the boldface configuration of Table 1: 50 tasks,
+// alpha = 0.20, width/density/regularity = 0.5, layered (jump = 1),
+// sequential times between 1 minute and 10 hours.
+func Default() Spec {
+	return Spec{
+		N:          50,
+		Alpha:      0.20,
+		Width:      0.5,
+		Regularity: 0.5,
+		Density:    0.5,
+		Jump:       1,
+		MinSeq:     model.Minute,
+		MaxSeq:     10 * model.Hour,
+	}
+}
+
+// Validate reports whether the spec's parameters are in range.
+func (s Spec) Validate() error {
+	switch {
+	case s.N < 1:
+		return fmt.Errorf("daggen: N %d < 1", s.N)
+	case s.Alpha < 0 || s.Alpha > 1:
+		return fmt.Errorf("daggen: alpha %v outside [0,1]", s.Alpha)
+	case s.Width <= 0 || s.Width > 1:
+		return fmt.Errorf("daggen: width %v outside (0,1]", s.Width)
+	case s.Regularity < 0 || s.Regularity > 1:
+		return fmt.Errorf("daggen: regularity %v outside [0,1]", s.Regularity)
+	case s.Density <= 0 || s.Density > 1:
+		return fmt.Errorf("daggen: density %v outside (0,1]", s.Density)
+	case s.Jump < 1:
+		return fmt.Errorf("daggen: jump %d < 1", s.Jump)
+	case s.MinSeq < 1 || s.MaxSeq < s.MinSeq:
+		return fmt.Errorf("daggen: sequential time range [%d,%d] invalid", s.MinSeq, s.MaxSeq)
+	}
+	return nil
+}
+
+// String renders the spec compactly, e.g. for experiment labels.
+func (s Spec) String() string {
+	return fmt.Sprintf("n=%d a=%.2f w=%.1f d=%.1f r=%.1f j=%d",
+		s.N, s.Alpha, s.Width, s.Density, s.Regularity, s.Jump)
+}
+
+// Generate builds a random application DAG from the spec using the
+// given random source. The result always validates: it is acyclic,
+// has exactly spec.N tasks, and every non-source task has at least one
+// predecessor in the level immediately above it.
+func Generate(spec Spec, rng *rand.Rand) (*dag.Graph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	levels := drawLevels(spec, rng)
+	g := dag.New(spec.N)
+	// Tasks are created level by level; IDs are dense and level-ordered.
+	byLevel := make([][]int, len(levels))
+	for l, size := range levels {
+		byLevel[l] = make([]int, 0, size)
+		for k := 0; k < size; k++ {
+			seq := spec.MinSeq + model.Duration(rng.Int63n(int64(spec.MaxSeq-spec.MinSeq+1)))
+			id := g.AddTask(dag.Task{
+				Seq:   seq,
+				Alpha: rng.Float64() * spec.Alpha,
+			})
+			byLevel[l] = append(byLevel[l], id)
+		}
+	}
+	// Primary (layered) edges, controlled by density.
+	for l := 1; l < len(byLevel); l++ {
+		prev := byLevel[l-1]
+		for _, v := range byLevel[l] {
+			connected := false
+			for _, u := range prev {
+				if rng.Float64() < spec.Density {
+					g.MustAddEdge(u, v)
+					connected = true
+				}
+			}
+			if !connected {
+				g.MustAddEdge(prev[rng.Intn(len(prev))], v)
+			}
+		}
+	}
+	// Jump edges from level l to level l+j, j in [2, jump]. The paper
+	// only asks for "random jump edges"; we add each candidate pair
+	// with a probability that decays with the jump distance so longer
+	// jumps stay rare, scaled by density like the primary edges.
+	for j := 2; j <= spec.Jump; j++ {
+		pj := spec.Density / float64(2*j)
+		for l := 0; l+j < len(byLevel); l++ {
+			for _, u := range byLevel[l] {
+				for _, v := range byLevel[l+j] {
+					if rng.Float64() < pj {
+						g.MustAddEdge(u, v)
+					}
+				}
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("daggen: generated invalid graph: %w", err)
+	}
+	return g, nil
+}
+
+// MustGenerate is Generate that panics on error; specs validated ahead
+// of time (e.g. the Table 1 grid) cannot fail.
+func MustGenerate(spec Spec, rng *rand.Rand) *dag.Graph {
+	g, err := Generate(spec, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// drawLevels draws level sizes until spec.N tasks are placed. The mean
+// level size is N^Width; regularity shrinks the uniform jitter around
+// the mean.
+func drawLevels(spec Spec, rng *rand.Rand) []int {
+	mean := math.Pow(float64(spec.N), spec.Width)
+	if mean < 1 {
+		mean = 1
+	}
+	if mean > float64(spec.N) {
+		mean = float64(spec.N)
+	}
+	jitter := 1 - spec.Regularity
+	var levels []int
+	remaining := spec.N
+	for remaining > 0 {
+		f := mean * (1 + jitter*(2*rng.Float64()-1))
+		size := int(math.Round(f))
+		if size < 1 {
+			size = 1
+		}
+		if size > remaining {
+			size = remaining
+		}
+		levels = append(levels, size)
+		remaining -= size
+	}
+	return levels
+}
+
+// ParamGrid returns the 40 application specifications used by the
+// paper's experiments (Section 4.3.1): for each of the six parameters
+// of Table 1, all its values are swept while the other five stay at
+// their defaults. Default-valued rows appear only once per swept
+// parameter, giving 5+4+9+9+9+4 = 40 specs.
+func ParamGrid() []Spec {
+	d := Default()
+	var grid []Spec
+	for _, n := range []int{10, 25, 50, 75, 100} {
+		s := d
+		s.N = n
+		grid = append(grid, s)
+	}
+	for _, a := range []float64{0.05, 0.10, 0.15, 0.20} {
+		s := d
+		s.Alpha = a
+		grid = append(grid, s)
+	}
+	nine := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	for _, w := range nine {
+		s := d
+		s.Width = w
+		grid = append(grid, s)
+	}
+	for _, de := range nine {
+		s := d
+		s.Density = de
+		grid = append(grid, s)
+	}
+	for _, r := range nine {
+		s := d
+		s.Regularity = r
+		grid = append(grid, s)
+	}
+	for _, j := range []int{1, 2, 3, 4} {
+		s := d
+		s.Jump = j
+		grid = append(grid, s)
+	}
+	return grid
+}

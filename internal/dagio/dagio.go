@@ -1,0 +1,78 @@
+// Package dagio serializes application DAGs as JSON so the command
+// line tools (resgen, ressched) and external systems can exchange
+// them.
+//
+// The format is deliberately minimal:
+//
+//	{
+//	  "tasks": [{"name": "prep", "seq": 3600, "alpha": 0.1}, ...],
+//	  "edges": [[0, 1], [0, 2], ...]
+//	}
+//
+// Task IDs are the indices into the tasks array.
+package dagio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"resched/internal/dag"
+	"resched/internal/model"
+)
+
+type jsonTask struct {
+	Name  string         `json:"name,omitempty"`
+	Seq   model.Duration `json:"seq"`
+	Alpha float64        `json:"alpha"`
+}
+
+type jsonGraph struct {
+	Tasks []jsonTask `json:"tasks"`
+	Edges [][2]int   `json:"edges"`
+}
+
+// Write serializes the graph as indented JSON.
+func Write(w io.Writer, g *dag.Graph) error {
+	jg := jsonGraph{Tasks: make([]jsonTask, g.NumTasks())}
+	for i := 0; i < g.NumTasks(); i++ {
+		t := g.Task(i)
+		jg.Tasks[i] = jsonTask{Name: t.Name, Seq: t.Seq, Alpha: t.Alpha}
+		for _, s := range g.Successors(i) {
+			jg.Edges = append(jg.Edges, [2]int{i, s})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jg)
+}
+
+// Read parses a JSON graph and validates it (acyclicity, edge bounds,
+// task parameters).
+func Read(r io.Reader) (*dag.Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("dagio: %w", err)
+	}
+	g := dag.New(len(jg.Tasks))
+	for i, t := range jg.Tasks {
+		if t.Seq < 0 {
+			return nil, fmt.Errorf("dagio: task %d has negative seq %d", i, t.Seq)
+		}
+		if t.Alpha < 0 || t.Alpha > 1 {
+			return nil, fmt.Errorf("dagio: task %d has alpha %v outside [0,1]", i, t.Alpha)
+		}
+		g.AddTask(dag.Task{Name: t.Name, Seq: t.Seq, Alpha: t.Alpha})
+	}
+	for _, e := range jg.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("dagio: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("dagio: %w", err)
+	}
+	return g, nil
+}

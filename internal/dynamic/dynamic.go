@@ -1,0 +1,291 @@
+// Package dynamic relaxes the paper's assumption that "while the
+// application is being scheduled the reservation schedule does not
+// change" (Section 3.2.2; flagged as future work in the conclusion).
+//
+// The model: the application scheduler computes a plan against a
+// snapshot of the reservation table, then submits one reservation
+// request per task, in schedule order. Between consecutive requests,
+// competing users book their own reservations (a Poisson stream of
+// arrivals shaped like tagged batch jobs). A request that no longer
+// fits is a conflict; the package implements three reactions and
+// reports how each degrades turnaround:
+//
+//   - Naive: give up on the first conflict (measures how fragile the
+//     static assumption is).
+//   - Rebook: keep the planned allocation but move the conflicting
+//     task (and, transitively, any successor whose precedence breaks)
+//     to its earliest feasible start.
+//   - Replan: recompute the whole remaining schedule from the live
+//     reservation table with the paper's BL_CPAR/BD_CPAR heuristic.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"resched/internal/core"
+	"resched/internal/cpa"
+	"resched/internal/dag"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// Strategy selects the reaction to a booking conflict.
+type Strategy int
+
+const (
+	// Naive aborts on the first conflict.
+	Naive Strategy = iota
+	// Rebook shifts the conflicting task to its earliest feasible
+	// start, keeping its planned allocation.
+	Rebook
+	// Replan recomputes the remaining tasks' schedule from the live
+	// reservation table.
+	Replan
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Naive:
+		return "naive"
+	case Rebook:
+		return "rebook"
+	case Replan:
+		return "replan"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ErrConflict is returned by the Naive strategy when a booking fails.
+var ErrConflict = errors.New("dynamic: reservation conflict")
+
+// Competitor generates the competing reservations that arrive between
+// our booking requests.
+type Competitor struct {
+	// Rate is the expected number of competing reservations arriving
+	// between two consecutive bookings.
+	Rate float64
+	// MeanProcs and MeanDur shape each competing reservation.
+	MeanProcs int
+	MeanDur   model.Duration
+	// Horizon bounds how far in the future competitors book, relative
+	// to "now".
+	Horizon model.Duration
+}
+
+// DefaultCompetitor returns a competitor model sized for a cluster of
+// p processors: jobs average an eighth of the machine for two hours,
+// booked within the next day.
+func DefaultCompetitor(p int) Competitor {
+	procs := p / 8
+	if procs < 1 {
+		procs = 1
+	}
+	return Competitor{Rate: 1, MeanProcs: procs, MeanDur: 2 * model.Hour, Horizon: model.Day}
+}
+
+// inject books a Poisson number of competing reservations on the live
+// profile, each at its earliest fit after a random future point.
+func (c Competitor) inject(live *profile.Profile, now model.Time, rng *rand.Rand) int {
+	n := poisson(c.Rate, rng)
+	injected := 0
+	for i := 0; i < n; i++ {
+		procs := 1 + rng.Intn(2*c.MeanProcs)
+		if procs > live.Capacity() {
+			procs = live.Capacity()
+		}
+		dur := model.Duration(rng.ExpFloat64()*float64(c.MeanDur)) + model.Minute
+		earliest := now + model.Time(rng.Int63n(int64(c.Horizon)))
+		start := live.EarliestFit(procs, dur, earliest)
+		if err := live.Reserve(start, start+dur, procs); err != nil {
+			continue // extremely contended instant; skip
+		}
+		injected++
+	}
+	return injected
+}
+
+// poisson draws a Poisson variate (Knuth's product method; rates here
+// are small).
+func poisson(rate float64, rng *rand.Rand) int {
+	if rate <= 0 {
+		return 0
+	}
+	limit := math.Exp(-rate)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= limit || k > 1000 {
+			return k
+		}
+		k++
+	}
+}
+
+// Result reports one dynamic scheduling run.
+type Result struct {
+	Schedule *core.Schedule
+	// PlannedTurnaround is what the snapshot plan promised.
+	PlannedTurnaround model.Duration
+	// Conflicts counts bookings that failed against the live table.
+	Conflicts int
+	// Replans counts full re-plans (Replan strategy only).
+	Replans int
+	// Injected counts competing reservations that arrived during
+	// booking.
+	Injected int
+}
+
+// Run plans against a snapshot of env.Avail and then books task by
+// task against a live copy into which the competitor injects
+// reservations between bookings. The returned schedule is always
+// verified against the final live table (it reflects reality, not the
+// plan).
+func Run(g *dag.Graph, env core.Env, comp Competitor, strategy Strategy, rng *rand.Rand) (*Result, error) {
+	s, err := core.NewScheduler(g)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := s.Turnaround(env, core.BLCPAR, core.BDCPAR)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{PlannedTurnaround: plan.Turnaround()}
+
+	live := env.Avail.Clone()
+	exec := func(t, m int) model.Duration {
+		task := g.Task(t)
+		return model.ExecTime(task.Seq, task.Alpha, m)
+	}
+
+	// Book in planned start order, which respects precedence.
+	order, err := planOrder(g, plan)
+	if err != nil {
+		return nil, err
+	}
+	final := &core.Schedule{Now: env.Now, Tasks: make([]core.Placement, g.NumTasks())}
+	booked := make([]bool, g.NumTasks())
+	justReplanned := false
+	for oi := 0; oi < len(order); oi++ {
+		t := order[oi]
+		res.Injected += comp.inject(live, env.Now, rng)
+
+		pl := plan.Tasks[t]
+		// The planned start may also be invalid because a predecessor
+		// was shifted; the effective ready time comes from the booked
+		// placements.
+		ready := env.Now
+		for _, pr := range g.Predecessors(t) {
+			if f := final.Tasks[pr].End; booked[pr] && f > ready {
+				ready = f
+			}
+		}
+		want := pl.Start
+		if want < ready {
+			want = ready
+		}
+		d := exec(t, pl.Procs)
+		fits := d == 0 || live.MinFree(want, want+d) >= pl.Procs
+		if !fits || want != pl.Start {
+			res.Conflicts++
+			switch {
+			case strategy == Naive:
+				return nil, fmt.Errorf("%w: task %d planned at %d", ErrConflict, t, pl.Start)
+			case strategy == Replan && !justReplanned:
+				// Recompute the remaining schedule from the live table
+				// and redo this slot with the fresh plan. If the fresh
+				// plan immediately conflicts again (a predecessor's
+				// committed placement differs from the re-planner's
+				// view), fall through to rebooking rather than looping.
+				rest, order2, err := replanRemaining(g, env, live, final, booked)
+				if err != nil {
+					return nil, err
+				}
+				plan = rest
+				order = append(order[:oi], order2...)
+				res.Replans++
+				justReplanned = true
+				oi--
+				continue
+			default: // Rebook, or Replan's fallback
+				want = live.EarliestFit(pl.Procs, d, ready)
+			}
+		}
+		if d > 0 {
+			if err := live.Reserve(want, want+d, pl.Procs); err != nil {
+				return nil, fmt.Errorf("dynamic: booking task %d: %w", t, err)
+			}
+		}
+		final.Tasks[t] = core.Placement{Procs: pl.Procs, Start: want, End: want + d}
+		booked[t] = true
+		justReplanned = false
+	}
+	res.Schedule = final
+	return res, nil
+}
+
+// planOrder returns task IDs by increasing planned start, stable on
+// topological order so precedence is never violated during booking.
+func planOrder(g *dag.Graph, plan *core.Schedule) ([]int, error) {
+	exec1, err := g.ExecTimes(g.UniformAlloc(1))
+	if err != nil {
+		return nil, err
+	}
+	order, err := cpa.PriorityOrder(g, exec1)
+	if err != nil {
+		return nil, err
+	}
+	// Stable sort by planned start.
+	sorted := append([]int(nil), order...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && plan.Tasks[sorted[j]].Start < plan.Tasks[sorted[j-1]].Start; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	// The stable sort could reorder dependent tasks with equal starts
+	// only if a zero-duration predecessor shares its successor's start,
+	// in which case the original priority order was kept.
+	return sorted, nil
+}
+
+// replanRemaining schedules the not-yet-booked tasks against the live
+// table, honoring already-booked placements as fixed constraints.
+func replanRemaining(g *dag.Graph, env core.Env, live *profile.Profile, final *core.Schedule, booked []bool) (*core.Schedule, []int, error) {
+	s, err := core.NewScheduler(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Build an environment whose profile is the live table; booked
+	// tasks are injected as placements the scheduler must respect via
+	// their reservations (already committed in live) and via ready
+	// times (handled by the caller's booking loop). We lean on the
+	// core scheduler for the remaining set by scheduling the whole DAG
+	// and overriding booked placements afterwards; the live profile
+	// already contains the booked reservations, so re-scheduling a
+	// booked task cannot steal its own slot — we simply ignore the
+	// duplicate and keep the committed placement.
+	env2 := core.Env{P: env.P, Now: env.Now, Avail: live, Q: env.Q}
+	plan, err := s.Turnaround(env2, core.BLCPAR, core.BDCPAR)
+	if err != nil {
+		return nil, nil, err
+	}
+	for t := range booked {
+		if booked[t] {
+			plan.Tasks[t] = final.Tasks[t]
+		}
+	}
+	order, err := planOrder(g, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	var remaining []int
+	for _, t := range order {
+		if !booked[t] {
+			remaining = append(remaining, t)
+		}
+	}
+	return plan, remaining, nil
+}

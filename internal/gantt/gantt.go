@@ -1,0 +1,116 @@
+// Package gantt renders application schedules as ASCII timelines: one
+// bar per task reservation plus a cluster-load band showing how the
+// application's reservations stack on top of the competing ones. It
+// backs the ressched -gantt flag and is handy in tests when a schedule
+// looks wrong.
+package gantt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"resched/internal/core"
+	"resched/internal/dag"
+	"resched/internal/model"
+)
+
+// DefaultWidth is the rendered timeline width in characters.
+const DefaultWidth = 72
+
+// loadRamp maps a utilization fraction to a density character.
+var loadRamp = []byte(" .:-=+*#%@")
+
+// Render writes the schedule as a Gantt chart. The time axis spans
+// [env.Now, completion]; width columns of resolution (DefaultWidth if
+// width <= 0).
+func Render(w io.Writer, g *dag.Graph, env core.Env, s *core.Schedule, width int) error {
+	if width <= 0 {
+		width = DefaultWidth
+	}
+	if len(s.Tasks) != g.NumTasks() {
+		return fmt.Errorf("gantt: schedule has %d placements for %d tasks", len(s.Tasks), g.NumTasks())
+	}
+	end := s.Completion()
+	if end <= env.Now {
+		return fmt.Errorf("gantt: empty schedule window [%d, %d]", env.Now, end)
+	}
+	span := end - env.Now
+	colDur := float64(span) / float64(width)
+	col := func(t model.Time) int {
+		c := int(float64(t-env.Now) / colDur)
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time axis: %d .. %d s (%.2f h), one column = %.0f s\n",
+		env.Now, end, float64(span)/float64(model.Hour), colDur)
+
+	nameWidth := 6
+	for i := 0; i < g.NumTasks(); i++ {
+		if n := len(taskName(g, i)); n > nameWidth {
+			nameWidth = n
+		}
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		pl := s.Tasks[i]
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		lo, hi := col(pl.Start), col(pl.End-1)
+		for j := lo; j <= hi; j++ {
+			row[j] = '#'
+		}
+		fmt.Fprintf(&b, "%-*s |%s| %d procs\n", nameWidth, taskName(g, i), row, pl.Procs)
+	}
+
+	// Cluster load band: competing reservations plus the application's
+	// own, sampled per column.
+	app := env.Avail.Clone()
+	for _, pl := range s.Tasks {
+		if pl.End > pl.Start {
+			if err := app.Reserve(pl.Start, pl.End, pl.Procs); err != nil {
+				return fmt.Errorf("gantt: schedule does not fit its environment: %w", err)
+			}
+		}
+	}
+	bands := [2]struct {
+		label string
+		prof  interface{ ReservedAt(model.Time) int }
+	}{
+		{"load", app},
+		{"bg", env.Avail},
+	}
+	for _, band := range bands {
+		row := make([]byte, width)
+		for j := 0; j < width; j++ {
+			t := env.Now + model.Time(float64(j)*colDur)
+			frac := float64(band.prof.ReservedAt(t)) / float64(env.P)
+			idx := int(frac * float64(len(loadRamp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(loadRamp) {
+				idx = len(loadRamp) - 1
+			}
+			row[j] = loadRamp[idx]
+		}
+		fmt.Fprintf(&b, "%-*s |%s| of %d procs\n", nameWidth, band.label, row, env.P)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func taskName(g *dag.Graph, i int) string {
+	if n := g.Task(i).Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("t%d", i)
+}

@@ -1,0 +1,119 @@
+package gantt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resched/internal/core"
+	"resched/internal/dag"
+	"resched/internal/daggen"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+func testSchedule(t *testing.T) (*dag.Graph, core.Env, *core.Schedule) {
+	t.Helper()
+	g := dag.New(3)
+	g.AddTask(dag.Task{Name: "alpha", Seq: model.Hour, Alpha: 0.1})
+	g.AddTask(dag.Task{Seq: 2 * model.Hour, Alpha: 0.1})
+	g.AddTask(dag.Task{Name: "omega", Seq: model.Hour, Alpha: 0.1})
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	prof := profile.New(8, 0)
+	if err := prof.Reserve(0, model.Hour, 4); err != nil {
+		t.Fatal(err)
+	}
+	env := core.Env{P: 8, Now: 0, Avail: prof}
+	s, err := core.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := s.Turnaround(env, core.BL1, core.BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, env, sched
+}
+
+func TestRenderBasics(t *testing.T) {
+	g, env, sched := testSchedule(t)
+	var b strings.Builder
+	if err := Render(&b, g, env, sched, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"alpha", "t1", "omega", "load", "bg", "time axis", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Every task row must contain at least one bar cell.
+	lines := strings.Split(out, "\n")
+	bars := 0
+	for _, l := range lines {
+		if strings.Contains(l, "procs") && strings.Contains(l, "#") {
+			bars++
+		}
+	}
+	if bars != 3 {
+		t.Fatalf("want 3 task bars, got %d:\n%s", bars, out)
+	}
+}
+
+func TestRenderDefaultWidth(t *testing.T) {
+	g, env, sched := testSchedule(t)
+	var b strings.Builder
+	if err := Render(&b, g, env, sched, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Bars are DefaultWidth wide between the pipes.
+	for _, l := range strings.Split(b.String(), "\n") {
+		if i := strings.IndexByte(l, '|'); i >= 0 {
+			j := strings.LastIndexByte(l, '|')
+			if j-i-1 != DefaultWidth {
+				t.Fatalf("row width %d, want %d: %q", j-i-1, DefaultWidth, l)
+			}
+		}
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	g, env, sched := testSchedule(t)
+	var b strings.Builder
+	if err := Render(&b, g, env, &core.Schedule{Now: env.Now, Tasks: sched.Tasks[:1]}, 40); err == nil {
+		t.Fatal("wrong-length schedule accepted")
+	}
+	if err := Render(&b, g, env, &core.Schedule{Now: env.Now, Tasks: make([]core.Placement, 3)}, 40); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	// A schedule that overcommits the environment must be rejected.
+	bad := &core.Schedule{Now: env.Now, Tasks: append([]core.Placement(nil), sched.Tasks...)}
+	bad.Tasks[0] = core.Placement{Procs: 8, Start: 0, End: model.Hour} // clashes with the background reservation
+	if err := Render(&b, g, env, bad, 40); err == nil {
+		t.Fatal("overcommitted schedule accepted")
+	}
+}
+
+func TestRenderRandomSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spec := daggen.Default()
+	spec.N = 15
+	g := daggen.MustGenerate(spec, rng)
+	env := core.Env{P: 16, Now: 1000, Avail: profile.New(16, 1000)}
+	s, err := core.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := s.Turnaround(env, core.BLCPAR, core.BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Render(&b, g, env, sched, 60); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "\n") < 17 {
+		t.Fatalf("expected one row per task plus bands:\n%s", b.String())
+	}
+}

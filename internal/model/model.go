@@ -1,0 +1,106 @@
+// Package model defines the time base and the data-parallel task
+// execution-time model used throughout the library.
+//
+// All scheduling times are integer seconds. Reservations in production
+// batch systems are requested in whole seconds (the Standard Workload
+// Format records seconds), and an integer time base keeps the
+// availability profile exact: there is no floating-point drift in
+// breakpoints, which makes schedule validation in tests bitwise
+// reproducible.
+//
+// Task execution times follow Amdahl's law, as in the paper (Section
+// 3.1): a task with sequential execution time T and non-parallelizable
+// fraction alpha runs on m processors in
+//
+//	T(m) = T * (alpha + (1-alpha)/m)
+//
+// evaluated in float64 and rounded up to a whole second (a reservation
+// must cover the full execution).
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an absolute point in time, in seconds. The origin is
+// arbitrary (experiment harnesses use the start of the workload log).
+type Time = int64
+
+// Duration is a span of time in seconds.
+type Duration = int64
+
+// Convenient durations, in seconds.
+const (
+	Second Duration = 1
+	Minute Duration = 60
+	Hour   Duration = 3600
+	Day    Duration = 86400
+	Week   Duration = 7 * Day
+)
+
+// Infinity is a Time far beyond any schedule horizon. It is used as the
+// "no deadline" sentinel and as the right endpoint of the availability
+// profile's final segment. It is small enough that Infinity+Infinity
+// does not overflow int64.
+const Infinity Time = math.MaxInt64 / 4
+
+// ExecSeconds returns Amdahl's-law execution time in (fractional)
+// seconds for a task with sequential time seq and serial fraction alpha
+// on m processors. It panics if m < 1, seq < 0, or alpha is outside
+// [0, 1]: these are programming errors, not data errors.
+func ExecSeconds(seq Duration, alpha float64, m int) float64 {
+	if m < 1 {
+		panic(fmt.Sprintf("model: processor count %d < 1", m))
+	}
+	if seq < 0 {
+		panic(fmt.Sprintf("model: negative sequential time %d", seq))
+	}
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("model: alpha %v outside [0,1]", alpha))
+	}
+	return float64(seq) * (alpha + (1-alpha)/float64(m))
+}
+
+// ExecTime returns Amdahl's-law execution time rounded up to a whole
+// second. A task with seq > 0 always takes at least one second on any
+// number of processors; a task with seq == 0 takes zero time.
+func ExecTime(seq Duration, alpha float64, m int) Duration {
+	s := ExecSeconds(seq, alpha, m)
+	d := Duration(math.Ceil(s))
+	if d == 0 && seq > 0 {
+		return 1
+	}
+	return d
+}
+
+// Work returns the processor-seconds consumed by running the task on m
+// processors for its (rounded) execution time. This is the quantity a
+// batch system charges for an m-processor reservation.
+func Work(seq Duration, alpha float64, m int) Duration {
+	return Duration(m) * ExecTime(seq, alpha, m)
+}
+
+// CPUHours converts processor-seconds into CPU-hours, the resource
+// consumption unit reported in the paper's Tables 4-7.
+func CPUHours(procSeconds Duration) float64 {
+	return float64(procSeconds) / float64(Hour)
+}
+
+// Speedup returns the Amdahl speedup T(1)/T(m) using the exact
+// (unrounded) model.
+func Speedup(alpha float64, m int) float64 {
+	if m < 1 {
+		panic(fmt.Sprintf("model: processor count %d < 1", m))
+	}
+	return 1 / (alpha + (1-alpha)/float64(m))
+}
+
+// Gain is the CPA profitability metric for growing a task's allocation
+// from m to m+1 processors: T(m)/m - T(m+1)/(m+1). CPA picks the
+// critical-path task with the largest gain (Radulescu & van Gemund,
+// ICPP 2001). The unrounded model is used so the allocator's choices do
+// not depend on one-second rounding artifacts.
+func Gain(seq Duration, alpha float64, m int) float64 {
+	return ExecSeconds(seq, alpha, m)/float64(m) - ExecSeconds(seq, alpha, m+1)/float64(m+1)
+}

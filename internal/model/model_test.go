@@ -1,0 +1,151 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExecSecondsBasic(t *testing.T) {
+	tests := []struct {
+		name  string
+		seq   Duration
+		alpha float64
+		m     int
+		want  float64
+	}{
+		{"sequential on one proc", 100, 0.2, 1, 100},
+		{"fully parallel halves", 100, 0, 2, 50},
+		{"fully serial never speeds up", 100, 1, 64, 100},
+		{"amdahl alpha 0.2 on 4", 100, 0.2, 4, 40},
+		{"zero work", 0, 0.5, 8, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ExecSeconds(tc.seq, tc.alpha, tc.m)
+			if math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("ExecSeconds(%d, %v, %d) = %v, want %v", tc.seq, tc.alpha, tc.m, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExecTimeRoundsUp(t *testing.T) {
+	// 100 * (0.1 + 0.9/7) = 22.857... -> 23
+	if got := ExecTime(100, 0.1, 7); got != 23 {
+		t.Fatalf("ExecTime = %d, want 23", got)
+	}
+	// Exact divisions stay exact.
+	if got := ExecTime(100, 0, 4); got != 25 {
+		t.Fatalf("ExecTime = %d, want 25", got)
+	}
+}
+
+func TestExecTimeMinimumOneSecond(t *testing.T) {
+	if got := ExecTime(1, 0, 1024); got != 1 {
+		t.Fatalf("ExecTime(1,0,1024) = %d, want 1", got)
+	}
+	if got := ExecTime(0, 0, 8); got != 0 {
+		t.Fatalf("ExecTime(0,0,8) = %d, want 0", got)
+	}
+}
+
+func TestExecTimePanicsOnBadInput(t *testing.T) {
+	for _, fn := range []func(){
+		func() { ExecTime(10, 0.5, 0) },
+		func() { ExecTime(-1, 0.5, 1) },
+		func() { ExecTime(10, -0.1, 1) },
+		func() { ExecTime(10, 1.1, 1) },
+		func() { ExecTime(10, math.NaN(), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: execution time is non-increasing in the processor count.
+func TestExecTimeMonotoneInProcs(t *testing.T) {
+	f := func(seqRaw uint32, alphaRaw uint16, mRaw uint8) bool {
+		seq := Duration(seqRaw%36000) + 1
+		alpha := float64(alphaRaw%1000) / 1000
+		m := int(mRaw%100) + 1
+		return ExecTime(seq, alpha, m+1) <= ExecTime(seq, alpha, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: work (processor-seconds) is non-decreasing in the processor
+// count whenever alpha > 0 — Amdahl's diminishing returns mean larger
+// allocations always cost at least as many CPU-hours.
+func TestWorkMonotoneInProcs(t *testing.T) {
+	f := func(seqRaw uint32, alphaRaw uint16, mRaw uint8) bool {
+		seq := Duration(seqRaw%36000) + 60
+		alpha := float64(alphaRaw%1000)/1000 + 0.0005
+		m := int(mRaw%100) + 1
+		// Rounding to whole seconds can make work dip by at most m
+		// seconds; compare with that slack.
+		return Work(seq, alpha, m+1) >= Work(seq, alpha, m)-Duration(m+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: execution time never drops below the serial fraction.
+func TestExecTimeLowerBound(t *testing.T) {
+	f := func(seqRaw uint32, alphaRaw uint16, mRaw uint8) bool {
+		seq := Duration(seqRaw%36000) + 1
+		alpha := float64(alphaRaw%1000) / 1000
+		m := int(mRaw)%200 + 1
+		return float64(ExecTime(seq, alpha, m)) >= alpha*float64(seq)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupBounds(t *testing.T) {
+	if s := Speedup(0, 8); math.Abs(s-8) > 1e-9 {
+		t.Fatalf("Speedup(0,8) = %v, want 8", s)
+	}
+	if s := Speedup(1, 8); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("Speedup(1,8) = %v, want 1", s)
+	}
+	// Speedup is capped by 1/alpha.
+	if s := Speedup(0.25, 1<<20); s > 4 {
+		t.Fatalf("Speedup(0.25, big) = %v, want <= 4", s)
+	}
+}
+
+// Property: the CPA gain is non-negative and decreasing in m — adding
+// the k-th processor never helps more than adding the (k-1)-th.
+func TestGainDecreasing(t *testing.T) {
+	f := func(seqRaw uint32, alphaRaw uint16, mRaw uint8) bool {
+		seq := Duration(seqRaw%36000) + 60
+		alpha := float64(alphaRaw%1000) / 1000
+		m := int(mRaw%64) + 1
+		g1 := Gain(seq, alpha, m)
+		g2 := Gain(seq, alpha, m+1)
+		return g1 >= -1e-9 && g2 <= g1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCPUHours(t *testing.T) {
+	if got := CPUHours(2 * Hour); got != 2 {
+		t.Fatalf("CPUHours(2h of one proc) = %v, want 2", got)
+	}
+	if got := CPUHours(Work(Hour, 0, 4)); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("4 procs x 15min = %v CPU-hours, want 1", got)
+	}
+}

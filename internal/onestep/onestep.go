@@ -1,0 +1,205 @@
+// Package onestep implements the extension suggested in the paper's
+// conclusion: a one-step mixed-parallel scheduler in the spirit of
+// iCASLB (Vydyanathan et al., ICPP 2006) adapted to advance
+// reservation scenarios. Instead of CPA's two phases — allocate, then
+// map — the algorithm interleaves them: it starts from one-processor
+// allocations, repeatedly grows the allocation of a critical task, and
+// re-maps the whole application against the reservation schedule after
+// every change, accepting the allocation that actually shortens the
+// schedule rather than a proxy objective. A bounded look-ahead lets it
+// cross small plateaus instead of stopping at the first non-improving
+// step, and the earliest-fit mapping backfills tasks into reservation
+// holes.
+package onestep
+
+import (
+	"fmt"
+
+	"resched/internal/core"
+	"resched/internal/cpa"
+	"resched/internal/dag"
+	"resched/internal/model"
+)
+
+// Options tunes the scheduler.
+type Options struct {
+	// Lookahead is how many consecutive non-improving allocation steps
+	// are explored before giving up (the iCASLB look-ahead). Zero
+	// means DefaultLookahead.
+	Lookahead int
+	// MaxSteps caps the total number of allocation increments. Zero
+	// means 4x the number of tasks.
+	MaxSteps int
+	// Candidates is how many distinct critical tasks are evaluated per
+	// step (each evaluation re-maps the application). Zero means
+	// DefaultCandidates.
+	Candidates int
+}
+
+// Default option values.
+const (
+	DefaultLookahead  = 5
+	DefaultCandidates = 3
+)
+
+// Result carries the schedule and the search statistics.
+type Result struct {
+	Schedule *core.Schedule
+	// Steps is the number of accepted allocation increments.
+	Steps int
+	// Evaluated is the number of full re-mappings performed.
+	Evaluated int
+}
+
+// Schedule runs the one-step algorithm for the given environment and
+// returns the best schedule found. The result always verifies against
+// the environment (one reservation per task, capacity respected).
+func Schedule(g *dag.Graph, env core.Env, opt Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if env.P < 1 || env.Avail == nil || env.Avail.Capacity() != env.P {
+		return nil, fmt.Errorf("onestep: invalid environment")
+	}
+	lookahead := opt.Lookahead
+	if lookahead <= 0 {
+		lookahead = DefaultLookahead
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 4 * g.NumTasks()
+	}
+	candidates := opt.Candidates
+	if candidates <= 0 {
+		candidates = DefaultCandidates
+	}
+
+	alloc := g.UniformAlloc(1)
+	cur, err := mapWithAllocs(g, env, alloc)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Schedule: cur, Evaluated: 1}
+	best := cur
+	sinceBest := 0
+
+	for step := 0; step < maxSteps && sinceBest <= lookahead; step++ {
+		cands := criticalCandidates(g, alloc, env.P, candidates)
+		if len(cands) == 0 {
+			break
+		}
+		// Evaluate each candidate increment by a full re-mapping and
+		// keep the one with the shortest completion.
+		type trial struct {
+			task  int
+			sched *core.Schedule
+		}
+		var bestTrial *trial
+		for _, t := range cands {
+			alloc[t]++
+			sched, err := mapWithAllocs(g, env, alloc)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluated++
+			if bestTrial == nil || sched.Completion() < bestTrial.sched.Completion() {
+				bestTrial = &trial{task: t, sched: sched}
+			}
+			alloc[t]--
+		}
+		// Commit the best trial even if it does not improve (plateau
+		// crossing); track the best-seen schedule separately.
+		alloc[bestTrial.task]++
+		cur = bestTrial.sched
+		res.Steps++
+		if cur.Completion() < best.Completion() {
+			best = cur
+			sinceBest = 0
+		} else {
+			sinceBest++
+		}
+	}
+	res.Schedule = best
+	return res, nil
+}
+
+// mapWithAllocs list-schedules the application with fixed per-task
+// allocations against the reservation schedule, placing each task at
+// its earliest completion time (which backfills into holes).
+func mapWithAllocs(g *dag.Graph, env core.Env, alloc []int) (*core.Schedule, error) {
+	exec, err := g.ExecTimes(alloc)
+	if err != nil {
+		return nil, err
+	}
+	order, err := cpa.PriorityOrder(g, exec)
+	if err != nil {
+		return nil, err
+	}
+	avail := env.Avail.Clone()
+	sched := &core.Schedule{Now: env.Now, Tasks: make([]core.Placement, g.NumTasks())}
+	for _, t := range order {
+		ready := env.Now
+		for _, pr := range g.Predecessors(t) {
+			if f := sched.Tasks[pr].End; f > ready {
+				ready = f
+			}
+		}
+		start := avail.EarliestFit(alloc[t], exec[t], ready)
+		if exec[t] > 0 {
+			if err := avail.Reserve(start, start+exec[t], alloc[t]); err != nil {
+				return nil, fmt.Errorf("onestep: reserving task %d: %w", t, err)
+			}
+		}
+		sched.Tasks[t] = core.Placement{Procs: alloc[t], Start: start, End: start + exec[t]}
+	}
+	return sched, nil
+}
+
+// criticalCandidates returns up to k distinct tasks on the current
+// critical path (under the allocation's execution times) whose
+// allocation can still grow, ordered by decreasing Amdahl gain.
+func criticalCandidates(g *dag.Graph, alloc []int, p, k int) []int {
+	exec, err := g.ExecTimes(alloc)
+	if err != nil {
+		return nil
+	}
+	bl, err := g.BottomLevels(exec)
+	if err != nil {
+		return nil
+	}
+	tl, err := g.TopLevels(exec)
+	if err != nil {
+		return nil
+	}
+	var cp model.Duration
+	for _, v := range bl {
+		if v > cp {
+			cp = v
+		}
+	}
+	type cand struct {
+		task int
+		gain float64
+	}
+	var cands []cand
+	for i := 0; i < g.NumTasks(); i++ {
+		if tl[i]+bl[i] != cp || alloc[i] >= p {
+			continue
+		}
+		cands = append(cands, cand{i, model.Gain(g.Task(i).Seq, g.Task(i).Alpha, alloc[i])})
+	}
+	// Highest gain first; insertion sort is fine at this size.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].gain > cands[j-1].gain; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.task
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package onestep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resched/internal/core"
+	"resched/internal/dag"
+	"resched/internal/daggen"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+func chainGraph(n int, seq model.Duration, alpha float64) *dag.Graph {
+	g := dag.New(n)
+	for i := 0; i < n; i++ {
+		g.AddTask(dag.Task{Seq: seq, Alpha: alpha})
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i-1, i)
+	}
+	return g
+}
+
+func emptyEnv(p int, now model.Time) core.Env {
+	return core.Env{P: p, Now: now, Avail: profile.New(p, now)}
+}
+
+func randomEnv(rng *rand.Rand, p int) core.Env {
+	prof := profile.New(p, 0)
+	for k := 0; k < rng.Intn(12); k++ {
+		start := model.Time(rng.Int63n(int64(model.Day)))
+		dur := model.Duration(rng.Int63n(int64(6*model.Hour)) + 600)
+		procs := rng.Intn(p) + 1
+		if prof.MinFree(start, start+dur) >= procs {
+			if err := prof.Reserve(start, start+dur, procs); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return core.Env{P: p, Now: 0, Avail: prof, Q: 1 + rng.Intn(p)}
+}
+
+func TestScheduleChainGrowsAllocations(t *testing.T) {
+	// A chain of scalable tasks: growing allocations directly cuts the
+	// makespan, so the one-step search must beat the all-ones mapping.
+	g := chainGraph(4, 2*model.Hour, 0.05)
+	env := emptyEnv(32, 0)
+	res, err := Schedule(g, env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := mapWithAllocs(g, env, g.UniformAlloc(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Completion() >= baseline.Completion() {
+		t.Fatalf("one-step completion %d did not improve on serial mapping %d",
+			res.Schedule.Completion(), baseline.Completion())
+	}
+	if res.Steps == 0 || res.Evaluated <= res.Steps {
+		t.Fatalf("suspicious search stats: %+v", res)
+	}
+}
+
+func TestScheduleVerifies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := daggen.Default()
+		spec.N = rng.Intn(20) + 4
+		g := daggen.MustGenerate(spec, rng)
+		env := randomEnv(rng, rng.Intn(24)+4)
+		res, err := Schedule(g, env, Options{})
+		if err != nil {
+			return false
+		}
+		s, err := core.NewScheduler(g)
+		if err != nil {
+			return false
+		}
+		return s.Verify(env, res.Schedule) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := daggen.MustGenerate(daggen.Default(), rng)
+	env := randomEnv(rng, 16)
+	a, err := Schedule(g, env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(g, env, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule.Completion() != b.Schedule.Completion() || a.Steps != b.Steps {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestScheduleRespectsStepCap(t *testing.T) {
+	g := chainGraph(6, model.Hour, 0.01)
+	env := emptyEnv(64, 0)
+	res, err := Schedule(g, env, Options{MaxSteps: 2, Candidates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps > 2 {
+		t.Fatalf("steps = %d, cap was 2", res.Steps)
+	}
+}
+
+func TestScheduleCompetitiveWithBDCPAR(t *testing.T) {
+	// The one-step scheduler optimizes the actual reservation-aware
+	// makespan; over a batch of instances its mean turnaround should be
+	// within a modest factor of BD_CPAR's (often better).
+	var one, two float64
+	n := 0
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		spec := daggen.Default()
+		spec.N = 20
+		g := daggen.MustGenerate(spec, rng)
+		env := randomEnv(rng, 24)
+		res, err := Schedule(g, env, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.NewScheduler(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := s.Turnaround(env, core.BLCPAR, core.BDCPAR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one += float64(res.Schedule.Turnaround())
+		two += float64(ref.Turnaround())
+		n++
+	}
+	if one > 1.5*two {
+		t.Fatalf("one-step mean turnaround %.0f vs BD_CPAR %.0f: more than 1.5x worse", one/float64(n), two/float64(n))
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	g := chainGraph(2, model.Hour, 0)
+	if _, err := Schedule(g, core.Env{P: 0}, Options{}); err == nil {
+		t.Fatal("bad env accepted")
+	}
+	bad := dag.New(2)
+	bad.AddTask(dag.Task{Seq: 1})
+	bad.AddTask(dag.Task{Seq: 1})
+	bad.MustAddEdge(0, 1)
+	bad.MustAddEdge(1, 0)
+	if _, err := Schedule(bad, emptyEnv(4, 0), Options{}); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}

@@ -1,0 +1,126 @@
+// Package pessimism studies the impact of inaccurate execution-time
+// knowledge, which the paper's Section 3.1 explicitly leaves out of
+// scope: "reservations would be made using pessimistic estimates of
+// task execution times... More pessimistic estimates lead to task
+// reservations later in the future... and thus to longer application
+// execution time."
+//
+// The model follows that paragraph. The scheduler sees estimated
+// sequential times f x T (f >= 1) and books reservations sized for
+// them; tasks actually run with their true times. A task cannot start
+// before its reserved start even when its predecessors finished early
+// (the reservation is a fixed contract with the batch system), so the
+// realized completion uses reserved starts with true durations, while
+// the user pays for the full reservations.
+package pessimism
+
+import (
+	"fmt"
+	"math"
+
+	"resched/internal/core"
+	"resched/internal/dag"
+	"resched/internal/model"
+)
+
+// Result quantifies one pessimism factor.
+type Result struct {
+	// Factor is the runtime overestimation multiplier (>= 1).
+	Factor float64
+	// Reserved is the schedule the scheduler booked (inflated tasks).
+	Reserved *core.Schedule
+	// ReservedTurnaround is the plan's turnaround (reserved ends).
+	ReservedTurnaround model.Duration
+	// RealizedTurnaround uses reserved starts with true durations —
+	// when the work actually finishes.
+	RealizedTurnaround model.Duration
+	// PaidCPUHours is the reserved (billed) consumption;
+	// UsedCPUHours what the tasks actually consumed.
+	PaidCPUHours float64
+	UsedCPUHours float64
+}
+
+// WasteFraction is the share of paid CPU-hours the application never
+// used.
+func (r *Result) WasteFraction() float64 {
+	if r.PaidCPUHours == 0 {
+		return 0
+	}
+	return 1 - r.UsedCPUHours/r.PaidCPUHours
+}
+
+// Evaluate schedules the application with sequential times inflated by
+// factor using the BL_CPAR/BD_CPAR heuristic, then replays the true
+// runtimes inside the reserved slots.
+func Evaluate(g *dag.Graph, env core.Env, factor float64) (*Result, error) {
+	if factor < 1 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return nil, fmt.Errorf("pessimism: factor %v < 1", factor)
+	}
+	inflated, err := inflate(g, factor)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.NewScheduler(inflated)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := s.Turnaround(env, core.BLCPAR, core.BDCPAR)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Verify(env, plan); err != nil {
+		return nil, fmt.Errorf("pessimism: planned schedule invalid: %w", err)
+	}
+
+	res := &Result{Factor: factor, Reserved: plan, ReservedTurnaround: plan.Turnaround()}
+	realized := env.Now
+	var used model.Duration
+	for t, pl := range plan.Tasks {
+		task := g.Task(t)
+		actual := model.ExecTime(task.Seq, task.Alpha, pl.Procs)
+		if f := pl.Start + actual; f > realized {
+			realized = f
+		}
+		used += model.Duration(pl.Procs) * actual
+	}
+	res.RealizedTurnaround = realized - env.Now
+	res.PaidCPUHours = plan.CPUHours()
+	res.UsedCPUHours = model.CPUHours(used)
+	return res, nil
+}
+
+// Sweep evaluates a series of pessimism factors on the same instance.
+func Sweep(g *dag.Graph, env core.Env, factors []float64) ([]*Result, error) {
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("pessimism: no factors")
+	}
+	out := make([]*Result, len(factors))
+	for i, f := range factors {
+		r, err := Evaluate(g, env, f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// inflate clones the graph with sequential times scaled by factor
+// (rounded up; the serial fraction alpha is a ratio and stays put).
+func inflate(g *dag.Graph, factor float64) (*dag.Graph, error) {
+	out := dag.New(g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		task := g.Task(i)
+		seq := model.Duration(math.Ceil(factor * float64(task.Seq)))
+		if seq < task.Seq {
+			return nil, fmt.Errorf("pessimism: overflow inflating task %d", i)
+		}
+		out.AddTask(dag.Task{Name: task.Name, Seq: seq, Alpha: task.Alpha})
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		for _, sc := range g.Successors(i) {
+			out.MustAddEdge(i, sc)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package pessimism
+
+import (
+	"math/rand"
+	"testing"
+
+	"resched/internal/core"
+	"resched/internal/daggen"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+func instance(t *testing.T, seed int64, busy bool) (*daggen.Spec, core.Env) {
+	t.Helper()
+	spec := daggen.Default()
+	spec.N = 20
+	p := 32
+	prof := profile.New(p, 0)
+	if busy {
+		rng := rand.New(rand.NewSource(seed + 100))
+		for k := 0; k < 15; k++ {
+			start := model.Time(rng.Int63n(int64(2 * model.Day)))
+			dur := model.Duration(rng.Int63n(int64(6*model.Hour)) + 1800)
+			procs := rng.Intn(p/2) + 1
+			if prof.MinFree(start, start+dur) >= procs {
+				if err := prof.Reserve(start, start+dur, procs); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return &spec, core.Env{P: p, Now: 0, Avail: prof, Q: 24}
+}
+
+func TestEvaluateFactorOne(t *testing.T) {
+	spec, env := instance(t, 1, true)
+	g := daggen.MustGenerate(*spec, rand.New(rand.NewSource(1)))
+	res, err := Evaluate(g, env, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RealizedTurnaround != res.ReservedTurnaround {
+		t.Fatalf("factor 1: realized %d != reserved %d", res.RealizedTurnaround, res.ReservedTurnaround)
+	}
+	if res.WasteFraction() != 0 {
+		t.Fatalf("factor 1: waste %v, want 0", res.WasteFraction())
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	spec, env := instance(t, 2, false)
+	g := daggen.MustGenerate(*spec, rand.New(rand.NewSource(2)))
+	for _, f := range []float64{0.5, 0} {
+		if _, err := Evaluate(g, env, f); err == nil {
+			t.Fatalf("factor %v accepted", f)
+		}
+	}
+	if _, err := Sweep(g, env, nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestPessimismCostsTimeAndMoney(t *testing.T) {
+	spec, env := instance(t, 3, true)
+	g := daggen.MustGenerate(*spec, rand.New(rand.NewSource(3)))
+	results, err := Sweep(g, env, []float64{1, 1.5, 2, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.RealizedTurnaround > r.ReservedTurnaround {
+			t.Fatalf("factor %v: realized %d exceeds reserved %d", r.Factor, r.RealizedTurnaround, r.ReservedTurnaround)
+		}
+		if r.UsedCPUHours > r.PaidCPUHours+1e-9 {
+			t.Fatalf("factor %v: used %v exceeds paid %v", r.Factor, r.UsedCPUHours, r.PaidCPUHours)
+		}
+		if i > 0 && r.WasteFraction() <= results[i-1].WasteFraction() {
+			t.Fatalf("waste did not grow with pessimism: %v then %v at factor %v",
+				results[i-1].WasteFraction(), r.WasteFraction(), r.Factor)
+		}
+	}
+	// The paper's prediction: pessimistic estimates stretch realized
+	// turnaround. Compare the extremes.
+	if results[len(results)-1].RealizedTurnaround <= results[0].RealizedTurnaround {
+		t.Fatalf("factor 5 realized turnaround %d not above factor 1's %d",
+			results[len(results)-1].RealizedTurnaround, results[0].RealizedTurnaround)
+	}
+}
+
+func TestReservedTurnaroundScalesOnEmptyMachine(t *testing.T) {
+	// On an empty machine, uniform inflation scales every execution
+	// time by f, CPA's comparisons are scale-invariant, so the
+	// reserved turnaround must grow roughly linearly.
+	spec, env := instance(t, 4, false)
+	g := daggen.MustGenerate(*spec, rand.New(rand.NewSource(4)))
+	one, err := Evaluate(g, env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Evaluate(g, env, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(two.ReservedTurnaround) / float64(one.ReservedTurnaround)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("reserved turnaround ratio %v, want ~2", ratio)
+	}
+}
+
+func TestInflatePreservesStructure(t *testing.T) {
+	spec, _ := instance(t, 5, false)
+	g := daggen.MustGenerate(*spec, rand.New(rand.NewSource(5)))
+	inf, err := inflate(g, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.NumTasks() != g.NumTasks() || inf.NumEdges() != g.NumEdges() {
+		t.Fatalf("inflate changed structure: %v vs %v", inf, g)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if inf.Task(i).Alpha != g.Task(i).Alpha {
+			t.Fatalf("inflate changed alpha of task %d", i)
+		}
+		if inf.Task(i).Seq < 2*g.Task(i).Seq {
+			t.Fatalf("task %d not inflated: %d vs %d", i, inf.Task(i).Seq, g.Task(i).Seq)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package probe implements the practical extension sketched in the
+// paper's conclusion: scheduling without full knowledge of the
+// reservation schedule. Real batch schedulers often hide the
+// reservation table; what they do offer is a probe-style dialogue —
+// "when is the earliest you could run m processors for d seconds?" —
+// followed by booking one of the offers (the paper's Section 3.2.2
+// calls this "a bounded number of trial-and-error reservation requests
+// for each application task").
+//
+// The package defines that narrow BatchSystem interface, a simulated
+// implementation backed by an availability profile, and a blind
+// scheduler that places a mixed-parallel application through the
+// interface using a bounded number of probes per task.
+package probe
+
+import (
+	"fmt"
+
+	"resched/internal/core"
+	"resched/internal/cpa"
+	"resched/internal/dag"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// BatchSystem is the reservation dialogue a batch scheduler exposes to
+// an application-level scheduler that cannot see the reservation
+// table.
+type BatchSystem interface {
+	// Capacity returns the cluster size.
+	Capacity() int
+	// Now returns the current time; reservations cannot start earlier.
+	Now() model.Time
+	// Probe returns the earliest start time at or after notBefore at
+	// which procs processors are free for dur seconds. Probing does
+	// not reserve anything.
+	Probe(procs int, dur model.Duration, notBefore model.Time) (model.Time, error)
+	// Book commits a reservation previously discovered by Probe. It
+	// fails if the slot is no longer free.
+	Book(procs int, start model.Time, dur model.Duration) error
+}
+
+// SimulatedBatch is a BatchSystem backed by an availability profile —
+// the stand-in for a production batch scheduler in simulations. It
+// counts probes so experiments can report the cost of blindness.
+type SimulatedBatch struct {
+	avail  *profile.Profile
+	now    model.Time
+	probes int
+	books  int
+}
+
+// NewSimulatedBatch wraps a clone of the given profile; the caller's
+// profile is never modified.
+func NewSimulatedBatch(avail *profile.Profile, now model.Time) *SimulatedBatch {
+	return &SimulatedBatch{avail: avail.Clone(), now: now}
+}
+
+// Capacity implements BatchSystem.
+func (sb *SimulatedBatch) Capacity() int { return sb.avail.Capacity() }
+
+// Now implements BatchSystem.
+func (sb *SimulatedBatch) Now() model.Time { return sb.now }
+
+// Probe implements BatchSystem.
+func (sb *SimulatedBatch) Probe(procs int, dur model.Duration, notBefore model.Time) (model.Time, error) {
+	if procs < 1 || procs > sb.avail.Capacity() {
+		return 0, fmt.Errorf("probe: %d processors on a %d-processor cluster", procs, sb.avail.Capacity())
+	}
+	if notBefore < sb.now {
+		notBefore = sb.now
+	}
+	sb.probes++
+	return sb.avail.EarliestFit(procs, dur, notBefore), nil
+}
+
+// Book implements BatchSystem.
+func (sb *SimulatedBatch) Book(procs int, start model.Time, dur model.Duration) error {
+	if start < sb.now {
+		return fmt.Errorf("probe: booking in the past (%d < %d)", start, sb.now)
+	}
+	if dur <= 0 {
+		return fmt.Errorf("probe: booking with non-positive duration %d", dur)
+	}
+	if err := sb.avail.Reserve(start, start+dur, procs); err != nil {
+		return err
+	}
+	sb.books++
+	return nil
+}
+
+// Probes returns how many probes have been issued.
+func (sb *SimulatedBatch) Probes() int { return sb.probes }
+
+// Bookings returns how many reservations have been committed.
+func (sb *SimulatedBatch) Bookings() int { return sb.books }
+
+// Options tunes the blind scheduler.
+type Options struct {
+	// Q is the assumed historical average number of available
+	// processors, used for CPA bottom levels and allocation bounds
+	// exactly as in the full-knowledge BD_CPAR algorithm. Zero means
+	// the full cluster.
+	Q int
+	// MaxProbesPerTask bounds the reservation dialogue per task. The
+	// scheduler probes a geometric ladder of allocation sizes up to
+	// this budget. Zero means 8, a realistic request budget.
+	MaxProbesPerTask int
+}
+
+// DefaultMaxProbes is the per-task probe budget when none is given.
+const DefaultMaxProbes = 8
+
+// Result is a blind scheduling outcome.
+type Result struct {
+	Schedule *core.Schedule
+	// Probes is the total number of probe requests issued.
+	Probes int
+}
+
+// Schedule places the application through the batch system: tasks in
+// decreasing BL_CPAR bottom-level order, each booked at the earliest
+// completion time among the probed allocation sizes. It is the blind
+// counterpart of the paper's BL_CPAR_BD_CPAR heuristic.
+func Schedule(g *dag.Graph, bs BatchSystem, opt Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	p := bs.Capacity()
+	q := opt.Q
+	if q <= 0 {
+		q = p
+	}
+	if q > p {
+		return nil, fmt.Errorf("probe: q %d exceeds cluster size %d", q, p)
+	}
+	budget := opt.MaxProbesPerTask
+	if budget <= 0 {
+		budget = DefaultMaxProbes
+	}
+
+	alloc, err := cpa.Allocate(g, q, cpa.StopStringent)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := g.ExecTimes(alloc)
+	if err != nil {
+		return nil, err
+	}
+	order, err := cpa.PriorityOrder(g, exec)
+	if err != nil {
+		return nil, err
+	}
+
+	now := bs.Now()
+	sched := &core.Schedule{Now: now, Tasks: make([]core.Placement, g.NumTasks())}
+	probes := 0
+	for _, t := range order {
+		ready := now
+		for _, pr := range g.Predecessors(t) {
+			if f := sched.Tasks[pr].End; f > ready {
+				ready = f
+			}
+		}
+		task := g.Task(t)
+		bestM, bestStart, bestFinish := 0, model.Time(0), model.Infinity
+		for _, m := range probeLadder(alloc[t], budget) {
+			d := model.ExecTime(task.Seq, task.Alpha, m)
+			start, err := bs.Probe(m, d, ready)
+			if err != nil {
+				return nil, fmt.Errorf("probe: task %d: %w", t, err)
+			}
+			probes++
+			if start+d < bestFinish {
+				bestM, bestStart, bestFinish = m, start, start+d
+			}
+		}
+		if bestM == 0 {
+			return nil, fmt.Errorf("probe: no allocation candidate for task %d", t)
+		}
+		d := bestFinish - bestStart
+		if d > 0 {
+			if err := bs.Book(bestM, bestStart, d); err != nil {
+				return nil, fmt.Errorf("probe: booking task %d: %w", t, err)
+			}
+		}
+		sched.Tasks[t] = core.Placement{Procs: bestM, Start: bestStart, End: bestFinish}
+	}
+	return &Result{Schedule: sched, Probes: probes}, nil
+}
+
+// probeLadder picks at most budget allocation sizes in [1, bound]:
+// always 1 and the bound itself, with geometric steps in between —
+// the spread that loses the least completion time for a fixed number
+// of requests under Amdahl's law.
+func probeLadder(bound, budget int) []int {
+	if bound < 1 {
+		return nil
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	var out []int
+	seen := make(map[int]bool)
+	add := func(m int) {
+		if m >= 1 && m <= bound && !seen[m] {
+			out = append(out, m)
+			seen[m] = true
+		}
+	}
+	add(1)
+	add(bound)
+	for step := 2; len(out) < budget && step < 2*bound; step *= 2 {
+		add(step)
+	}
+	// Fill any remaining budget with midpoints.
+	for len(out) < budget && len(out) < bound {
+		grew := false
+		for i := 0; i < len(out)-1 && len(out) < budget; i++ {
+			mid := (out[i] + out[i+1]) / 2
+			if !seen[mid] && mid > 0 {
+				add(mid)
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	// Keep the ladder sorted for deterministic probing.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package probe
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"resched/internal/core"
+	"resched/internal/dag"
+	"resched/internal/daggen"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+func chainGraph(n int, seq model.Duration, alpha float64) *dag.Graph {
+	g := dag.New(n)
+	for i := 0; i < n; i++ {
+		g.AddTask(dag.Task{Seq: seq, Alpha: alpha})
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i-1, i)
+	}
+	return g
+}
+
+func TestSimulatedBatchBasics(t *testing.T) {
+	prof := profile.New(8, 0)
+	if err := prof.Reserve(100, 200, 8); err != nil {
+		t.Fatal(err)
+	}
+	sb := NewSimulatedBatch(prof, 50)
+	if sb.Capacity() != 8 || sb.Now() != 50 {
+		t.Fatalf("header: %d procs, now %d", sb.Capacity(), sb.Now())
+	}
+	start, err := sb.Probe(4, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 200 {
+		t.Fatalf("Probe = %d, want 200 (notBefore clamped to now, blocked by reservation)", start)
+	}
+	if err := sb.Book(4, start, 100); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Probes() != 1 || sb.Bookings() != 1 {
+		t.Fatalf("counters: %d probes, %d bookings", sb.Probes(), sb.Bookings())
+	}
+	// Booking over capacity fails and leaves the system consistent.
+	if err := sb.Book(8, 200, 50); err == nil {
+		t.Fatal("conflicting booking accepted")
+	}
+	if err := sb.Book(1, 10, 0); err == nil {
+		t.Fatal("zero-duration booking accepted")
+	}
+	if err := sb.Book(1, 0, 100); err == nil {
+		t.Fatal("booking before now accepted")
+	}
+	if _, err := sb.Probe(99, 10, 0); err == nil {
+		t.Fatal("oversized probe accepted")
+	}
+	// The caller's profile must be untouched.
+	if prof.FreeAt(250) != 8 {
+		t.Fatal("SimulatedBatch mutated the caller's profile")
+	}
+}
+
+func TestProbeLadder(t *testing.T) {
+	ladder := probeLadder(64, 5)
+	if len(ladder) > 5 {
+		t.Fatalf("ladder %v exceeds budget", ladder)
+	}
+	if ladder[0] != 1 || ladder[len(ladder)-1] != 64 {
+		t.Fatalf("ladder %v must span [1, bound]", ladder)
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] <= ladder[i-1] {
+			t.Fatalf("ladder %v not strictly increasing", ladder)
+		}
+	}
+	if got := probeLadder(1, 10); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ladder for bound 1 = %v", got)
+	}
+	if got := probeLadder(0, 4); got != nil {
+		t.Fatalf("ladder for bound 0 = %v", got)
+	}
+	// A generous budget enumerates at most bound sizes.
+	if got := probeLadder(4, 100); len(got) > 4 {
+		t.Fatalf("ladder %v larger than bound", got)
+	}
+}
+
+func TestProbeLadderProperty(t *testing.T) {
+	f := func(boundRaw, budgetRaw uint8) bool {
+		bound := int(boundRaw)%200 + 1
+		budget := int(budgetRaw)%16 + 1
+		ladder := probeLadder(bound, budget)
+		if len(ladder) == 0 {
+			return false
+		}
+		if ladder[0] != 1 || ladder[len(ladder)-1] != bound {
+			// bound == 1 collapses both into one entry.
+			if !(bound == 1 && len(ladder) == 1) {
+				return false
+			}
+		}
+		for i, m := range ladder {
+			if m < 1 || m > bound {
+				return false
+			}
+			if i > 0 && m <= ladder[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlindScheduleChain(t *testing.T) {
+	g := chainGraph(3, model.Hour, 1) // serial: allocation irrelevant
+	prof := profile.New(4, 0)
+	sb := NewSimulatedBatch(prof, 0)
+	res, err := Schedule(g, sb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Turnaround() != 3*model.Hour {
+		t.Fatalf("turnaround = %d, want 3h", res.Schedule.Turnaround())
+	}
+	if res.Probes == 0 || res.Probes > 3*DefaultMaxProbes {
+		t.Fatalf("probes = %d", res.Probes)
+	}
+}
+
+func TestBlindScheduleMatchesFullKnowledgeClosely(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := daggen.Default()
+		spec.N = rng.Intn(20) + 5
+		g := daggen.MustGenerate(spec, rng)
+		p := rng.Intn(28) + 4
+		prof := profile.New(p, 0)
+		for k := 0; k < rng.Intn(10); k++ {
+			start := model.Time(rng.Int63n(int64(model.Day)))
+			dur := model.Duration(rng.Int63n(int64(4*model.Hour)) + 600)
+			procs := rng.Intn(p) + 1
+			if prof.MinFree(start, start+dur) >= procs {
+				if err := prof.Reserve(start, start+dur, procs); err != nil {
+					return false
+				}
+			}
+		}
+		q := 1 + rng.Intn(p)
+
+		// Full knowledge baseline.
+		s, err := core.NewScheduler(g)
+		if err != nil {
+			return false
+		}
+		env := core.Env{P: p, Now: 0, Avail: prof, Q: q}
+		full, err := s.Turnaround(env, core.BLCPAR, core.BDCPAR)
+		if err != nil {
+			return false
+		}
+
+		// Blind scheduler with the same q.
+		sb := NewSimulatedBatch(prof, 0)
+		res, err := Schedule(g, sb, Options{Q: q})
+		if err != nil {
+			return false
+		}
+		// The blind schedule must verify against the true environment.
+		if err := s.Verify(env, res.Schedule); err != nil {
+			return false
+		}
+		// Blindness costs something, but the probed ladder includes the
+		// candidates BD_CPAR cares most about; allow 2x.
+		return res.Schedule.Turnaround() <= 2*full.Turnaround()+model.Minute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlindScheduleOptionsValidation(t *testing.T) {
+	g := chainGraph(2, model.Hour, 0)
+	sb := NewSimulatedBatch(profile.New(4, 0), 0)
+	if _, err := Schedule(g, sb, Options{Q: 99}); err == nil {
+		t.Fatal("q > capacity accepted")
+	}
+	bad := dag.New(2)
+	bad.AddTask(dag.Task{Seq: 1})
+	bad.AddTask(dag.Task{Seq: 1})
+	bad.MustAddEdge(0, 1)
+	bad.MustAddEdge(1, 0)
+	if _, err := Schedule(bad, sb, Options{}); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+func TestBlindScheduleProbeBudget(t *testing.T) {
+	g := chainGraph(5, model.Hour, 0.1)
+	sb := NewSimulatedBatch(profile.New(64, 0), 0)
+	res, err := Schedule(g, sb, Options{MaxProbesPerTask: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes > 5*3 {
+		t.Fatalf("probes = %d, budget was 3 per task", res.Probes)
+	}
+}

@@ -1,0 +1,4 @@
+package profile
+
+// Check exposes the representation-invariant verifier to the tests.
+func (p *Profile) Check() error { return p.check() }

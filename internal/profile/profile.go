@@ -1,0 +1,365 @@
+// Package profile implements the processor-availability profile that
+// represents a reservation schedule (the paper's Section 3.2): a step
+// function over time giving the number of free processors on a
+// homogeneous cluster. All scheduling algorithms interact with the
+// reservation system exclusively through this type — finding the
+// earliest or latest feasible start for an m-processor, d-second
+// reservation, and committing reservations.
+//
+// Queries are linear scans over the breakpoints, matching the O(R)
+// per-task cost assumed by the paper's complexity analysis (Section 6).
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"resched/internal/model"
+)
+
+// Reservation is one advance reservation: Procs processors held during
+// [Start, End). End is exclusive.
+type Reservation struct {
+	Start model.Time
+	End   model.Time
+	Procs int
+}
+
+// Duration returns End - Start.
+func (r Reservation) Duration() model.Duration { return r.End - r.Start }
+
+// Profile is a step function of free processors over [origin, +inf).
+// The zero value is not usable; construct with New or FromReservations.
+//
+// Invariants (checked by (*Profile).check and the package tests):
+// times is strictly increasing; free values are within [0, capacity];
+// adjacent segments have different free values (the representation is
+// coalesced); the final segment extends to model.Infinity.
+type Profile struct {
+	capacity int
+	times    []model.Time // times[i] is the start of segment i
+	free     []int        // free[i] processors during [times[i], times[i+1])
+}
+
+// New returns a profile for a cluster with the given capacity, fully
+// free from origin onward.
+func New(capacity int, origin model.Time) *Profile {
+	if capacity < 1 {
+		panic(fmt.Sprintf("profile: capacity %d < 1", capacity))
+	}
+	return &Profile{
+		capacity: capacity,
+		times:    []model.Time{origin},
+		free:     []int{capacity},
+	}
+}
+
+// FromReservations builds a profile from origin with the given
+// competing reservations already committed. Reservations (or parts of
+// them) before origin are clipped; reservations that would exceed the
+// cluster capacity yield an error.
+func FromReservations(capacity int, origin model.Time, rs []Reservation) (*Profile, error) {
+	p := New(capacity, origin)
+	for i, r := range rs {
+		start, end := r.Start, r.End
+		if start < origin {
+			start = origin
+		}
+		if end <= start {
+			continue // entirely in the past (or empty)
+		}
+		if err := p.Reserve(start, end, r.Procs); err != nil {
+			return nil, fmt.Errorf("profile: reservation %d (%d procs, [%d,%d)): %w", i, r.Procs, r.Start, r.End, err)
+		}
+	}
+	return p, nil
+}
+
+// Capacity returns the total number of processors.
+func (p *Profile) Capacity() int { return p.capacity }
+
+// Origin returns the start of the profile's horizon.
+func (p *Profile) Origin() model.Time { return p.times[0] }
+
+// NumSegments returns the number of constant-availability segments.
+func (p *Profile) NumSegments() int { return len(p.times) }
+
+// Clone returns an independent copy of the profile. Scheduling
+// algorithms clone the competing-reservation profile before committing
+// their own task reservations.
+func (p *Profile) Clone() *Profile {
+	return &Profile{
+		capacity: p.capacity,
+		times:    append([]model.Time(nil), p.times...),
+		free:     append([]int(nil), p.free...),
+	}
+}
+
+// segEnd returns the exclusive end of segment i.
+func (p *Profile) segEnd(i int) model.Time {
+	if i+1 < len(p.times) {
+		return p.times[i+1]
+	}
+	return model.Infinity
+}
+
+// segAt returns the index of the segment containing time t. t must be
+// >= the origin.
+func (p *Profile) segAt(t model.Time) int {
+	if t < p.times[0] {
+		panic(fmt.Sprintf("profile: time %d before origin %d", t, p.times[0]))
+	}
+	// First index with times[i] > t, minus one.
+	i := sort.Search(len(p.times), func(i int) bool { return p.times[i] > t }) - 1
+	return i
+}
+
+// FreeAt returns the number of free processors at time t. Times before
+// the origin report the origin's availability.
+func (p *Profile) FreeAt(t model.Time) int {
+	if t < p.times[0] {
+		t = p.times[0]
+	}
+	return p.free[p.segAt(t)]
+}
+
+// ReservedAt returns capacity - FreeAt(t).
+func (p *Profile) ReservedAt(t model.Time) int { return p.capacity - p.FreeAt(t) }
+
+// MinFree returns the minimum number of free processors over [start,
+// end). It panics if end <= start.
+func (p *Profile) MinFree(start, end model.Time) int {
+	if end <= start {
+		panic(fmt.Sprintf("profile: MinFree over empty interval [%d,%d)", start, end))
+	}
+	if start < p.times[0] {
+		start = p.times[0]
+	}
+	min := p.capacity
+	for i := p.segAt(start); i < len(p.times) && p.times[i] < end; i++ {
+		if p.free[i] < min {
+			min = p.free[i]
+		}
+	}
+	return min
+}
+
+// AvgFree returns the time-weighted average number of free processors
+// over [start, end).
+func (p *Profile) AvgFree(start, end model.Time) float64 {
+	if end <= start {
+		panic(fmt.Sprintf("profile: AvgFree over empty interval [%d,%d)", start, end))
+	}
+	if start < p.times[0] {
+		start = p.times[0]
+	}
+	if end <= start {
+		return float64(p.capacity)
+	}
+	var acc float64
+	for i := p.segAt(start); i < len(p.times) && p.times[i] < end; i++ {
+		lo := p.times[i]
+		if lo < start {
+			lo = start
+		}
+		hi := p.segEnd(i)
+		if hi > end {
+			hi = end
+		}
+		acc += float64(p.free[i]) * float64(hi-lo)
+	}
+	return acc / float64(end-start)
+}
+
+// ensureBreak inserts a breakpoint at time t (>= origin) and returns
+// the index of the segment starting at t. If a breakpoint already
+// exists at t, it is reused.
+func (p *Profile) ensureBreak(t model.Time) int {
+	i := p.segAt(t)
+	if p.times[i] == t {
+		return i
+	}
+	p.times = append(p.times, 0)
+	p.free = append(p.free, 0)
+	copy(p.times[i+2:], p.times[i+1:])
+	copy(p.free[i+2:], p.free[i+1:])
+	p.times[i+1] = t
+	p.free[i+1] = p.free[i]
+	return i + 1
+}
+
+// coalesce merges adjacent segments with equal availability.
+func (p *Profile) coalesce() {
+	w := 0
+	for i := 0; i < len(p.times); i++ {
+		if w > 0 && p.free[w-1] == p.free[i] {
+			continue
+		}
+		p.times[w] = p.times[i]
+		p.free[w] = p.free[i]
+		w++
+	}
+	p.times = p.times[:w]
+	p.free = p.free[:w]
+}
+
+// Reserve commits a reservation of procs processors during [start,
+// end). It fails without modifying the profile if the interval lies
+// (partly) before the origin, if end <= start, if procs is outside
+// [1, capacity], or if fewer than procs processors are free at any
+// point of the interval.
+func (p *Profile) Reserve(start, end model.Time, procs int) error {
+	if procs < 1 || procs > p.capacity {
+		return fmt.Errorf("cannot reserve %d processors on a %d-processor cluster", procs, p.capacity)
+	}
+	if start < p.times[0] {
+		return fmt.Errorf("reservation start %d before profile origin %d", start, p.times[0])
+	}
+	if end <= start {
+		return fmt.Errorf("reservation interval [%d,%d) is empty", start, end)
+	}
+	if end >= model.Infinity {
+		return fmt.Errorf("reservation end %d beyond the scheduling horizon", end)
+	}
+	if p.MinFree(start, end) < procs {
+		return fmt.Errorf("only %d of %d requested processors free during [%d,%d)", p.MinFree(start, end), procs, start, end)
+	}
+	i := p.ensureBreak(start)
+	j := p.ensureBreak(end)
+	for k := i; k < j; k++ {
+		p.free[k] -= procs
+	}
+	p.coalesce()
+	return nil
+}
+
+// EarliestFit returns the earliest start time s >= notBefore such that
+// procs processors are free during [s, s+dur). Because the profile's
+// final segment is fully free, a fit always exists for procs <=
+// capacity; the method panics on procs outside [1, capacity] or
+// negative dur (programming errors). A zero dur returns
+// max(notBefore, origin).
+func (p *Profile) EarliestFit(procs int, dur model.Duration, notBefore model.Time) model.Time {
+	if procs < 1 || procs > p.capacity {
+		panic(fmt.Sprintf("profile: EarliestFit for %d processors on a %d-processor cluster", procs, p.capacity))
+	}
+	if dur < 0 {
+		panic(fmt.Sprintf("profile: negative duration %d", dur))
+	}
+	s := notBefore
+	if s < p.times[0] {
+		s = p.times[0]
+	}
+	if dur == 0 {
+		return s
+	}
+	for i := p.segAt(s); i < len(p.times); i++ {
+		if p.free[i] < procs {
+			s = p.segEnd(i) // earliest possible start moves past this segment
+			continue
+		}
+		// s never trails the run's first feasible segment: it starts
+		// inside segAt(s) and each infeasible segment advances it to
+		// the following breakpoint.
+		if p.segEnd(i) >= s+dur {
+			return s
+		}
+		// Segment fits partially; the run continues into the next
+		// segment with the same candidate start.
+	}
+	// Unreachable: the final segment is fully free and infinite.
+	panic("profile: EarliestFit fell off the horizon")
+}
+
+// LatestFit returns the latest start time s such that s >= notBefore,
+// s+dur <= finishBy, and procs processors are free during [s, s+dur).
+// The boolean reports whether any such start exists. A zero dur
+// returns finishBy when the window is non-empty.
+func (p *Profile) LatestFit(procs int, dur model.Duration, notBefore, finishBy model.Time) (model.Time, bool) {
+	if procs < 1 || procs > p.capacity {
+		panic(fmt.Sprintf("profile: LatestFit for %d processors on a %d-processor cluster", procs, p.capacity))
+	}
+	if dur < 0 {
+		panic(fmt.Sprintf("profile: negative duration %d", dur))
+	}
+	lo := notBefore
+	if lo < p.times[0] {
+		lo = p.times[0]
+	}
+	if finishBy-dur < lo {
+		return 0, false
+	}
+	if dur == 0 {
+		return finishBy, true
+	}
+	// Walk maximal runs of segments with free >= procs, latest first.
+	i := len(p.times) - 1
+	for i >= 0 {
+		if p.free[i] < procs {
+			i--
+			continue
+		}
+		j := i
+		for j >= 0 && p.free[j] >= procs {
+			j--
+		}
+		runStart, runEnd := p.times[j+1], p.segEnd(i)
+		if runStart < lo {
+			runStart = lo
+		}
+		if runEnd > finishBy {
+			runEnd = finishBy
+		}
+		if runEnd-dur >= runStart {
+			return runEnd - dur, true
+		}
+		i = j
+	}
+	return 0, false
+}
+
+// Reservations returns the profile's busy intervals as a list of
+// (start, end, reservedProcs) triples — the complement view of the
+// free-processor step function. Fully-free segments are omitted.
+func (p *Profile) Reservations() []Reservation {
+	var out []Reservation
+	for i := range p.times {
+		if p.free[i] == p.capacity {
+			continue
+		}
+		out = append(out, Reservation{Start: p.times[i], End: p.segEnd(i), Procs: p.capacity - p.free[i]})
+	}
+	return out
+}
+
+// check verifies the representation invariants. It is exported to the
+// package tests via export_test.go.
+func (p *Profile) check() error {
+	if len(p.times) == 0 || len(p.times) != len(p.free) {
+		return fmt.Errorf("profile: %d times, %d free values", len(p.times), len(p.free))
+	}
+	for i := range p.times {
+		if i > 0 && p.times[i] <= p.times[i-1] {
+			return fmt.Errorf("profile: breakpoints not increasing at %d", i)
+		}
+		if i > 0 && p.free[i] == p.free[i-1] {
+			return fmt.Errorf("profile: uncoalesced segments at %d", i)
+		}
+		if p.free[i] < 0 || p.free[i] > p.capacity {
+			return fmt.Errorf("profile: free %d outside [0,%d]", p.free[i], p.capacity)
+		}
+	}
+	if p.free[len(p.free)-1] != p.capacity {
+		return fmt.Errorf("profile: final segment not fully free")
+	}
+	return nil
+}
+
+// String renders the profile compactly for debugging.
+func (p *Profile) String() string {
+	s := fmt.Sprintf("profile{cap %d:", p.capacity)
+	for i := range p.times {
+		s += fmt.Sprintf(" [%d:%d free]", p.times[i], p.free[i])
+	}
+	return s + "}"
+}

@@ -1,0 +1,54 @@
+package profile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// loadedProfile builds a profile carrying n random reservations.
+func loadedProfile(n int) *Profile {
+	rng := rand.New(rand.NewSource(int64(n)))
+	p := New(1024, 0)
+	for k := 0; k < n; k++ {
+		start := model.Time(rng.Int63n(int64(30 * model.Day)))
+		dur := model.Duration(rng.Int63n(int64(6*model.Hour)) + 60)
+		procs := rng.Intn(512) + 1
+		if p.MinFree(start, start+dur) >= procs {
+			if err := p.Reserve(start, start+dur, procs); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return p
+}
+
+// The profile queries are the inner loop of every algorithm; these
+// benches track their scaling with the reservation count R (the R
+// factor of the paper's Table 8 complexities).
+func BenchmarkProfileScaling(b *testing.B) {
+	for _, n := range []int{32, 256, 2048} {
+		p := loadedProfile(n)
+		b.Run(fmt.Sprintf("EarliestFit/R=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.EarliestFit(256, model.Hour, 0)
+			}
+		})
+		b.Run(fmt.Sprintf("LatestFit/R=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.LatestFit(256, model.Hour, 0, 30*model.Day)
+			}
+		})
+		b.Run(fmt.Sprintf("CloneReserve/R=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := p.Clone()
+				st := c.EarliestFit(64, model.Hour, 0)
+				if err := c.Reserve(st, st+model.Hour, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,151 @@
+// Package schedio serializes application schedules as JSON so
+// schedules computed by this library can be handed to submission
+// tooling (one advance-reservation request per task) and read back for
+// inspection or verification.
+//
+// Format:
+//
+//	{
+//	  "now": 12345,
+//	  "tasks": [
+//	    {"task": 0, "name": "prep", "procs": 4, "start": 12400, "end": 13000},
+//	    ...
+//	  ]
+//	}
+package schedio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"resched/internal/core"
+	"resched/internal/dag"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+type jsonPlacement struct {
+	Task  int        `json:"task"`
+	Name  string     `json:"name,omitempty"`
+	Procs int        `json:"procs"`
+	Start model.Time `json:"start"`
+	End   model.Time `json:"end"`
+}
+
+type jsonSchedule struct {
+	Now   model.Time      `json:"now"`
+	Tasks []jsonPlacement `json:"tasks"`
+}
+
+// Write serializes a schedule; task names come from the graph when
+// present.
+func Write(w io.Writer, g *dag.Graph, s *core.Schedule) error {
+	if len(s.Tasks) != g.NumTasks() {
+		return fmt.Errorf("schedio: schedule has %d placements for %d tasks", len(s.Tasks), g.NumTasks())
+	}
+	js := jsonSchedule{Now: s.Now, Tasks: make([]jsonPlacement, len(s.Tasks))}
+	for i, pl := range s.Tasks {
+		js.Tasks[i] = jsonPlacement{
+			Task:  i,
+			Name:  g.Task(i).Name,
+			Procs: pl.Procs,
+			Start: pl.Start,
+			End:   pl.End,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
+type jsonReservation struct {
+	Start model.Time `json:"start"`
+	End   model.Time `json:"end"`
+	Procs int        `json:"procs"`
+}
+
+type jsonReservationFile struct {
+	Procs        int               `json:"procs"`
+	Now          model.Time        `json:"now"`
+	Reservations []jsonReservation `json:"reservations"`
+}
+
+// WriteReservations serializes a reservation schedule — the competing
+// reservations an application scheduler works around — together with
+// the machine size and observation time.
+func WriteReservations(w io.Writer, procs int, now model.Time, rs []profile.Reservation) error {
+	if procs < 1 {
+		return fmt.Errorf("schedio: machine size %d < 1", procs)
+	}
+	jf := jsonReservationFile{Procs: procs, Now: now, Reservations: make([]jsonReservation, len(rs))}
+	for i, r := range rs {
+		jf.Reservations[i] = jsonReservation{Start: r.Start, End: r.End, Procs: r.Procs}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jf)
+}
+
+// ReadReservations parses a reservation schedule and checks it is
+// capacity-feasible (by building the availability profile).
+func ReadReservations(r io.Reader) (procs int, now model.Time, rs []profile.Reservation, err error) {
+	var jf jsonReservationFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jf); err != nil {
+		return 0, 0, nil, fmt.Errorf("schedio: %w", err)
+	}
+	if jf.Procs < 1 {
+		return 0, 0, nil, fmt.Errorf("schedio: machine size %d < 1", jf.Procs)
+	}
+	out := make([]profile.Reservation, len(jf.Reservations))
+	for i, jr := range jf.Reservations {
+		if jr.End <= jr.Start {
+			return 0, 0, nil, fmt.Errorf("schedio: reservation %d has empty interval", i)
+		}
+		if jr.Procs < 1 || jr.Procs > jf.Procs {
+			return 0, 0, nil, fmt.Errorf("schedio: reservation %d uses %d of %d processors", i, jr.Procs, jf.Procs)
+		}
+		out[i] = profile.Reservation{Start: jr.Start, End: jr.End, Procs: jr.Procs}
+	}
+	if _, err := profile.FromReservations(jf.Procs, jf.Now, out); err != nil {
+		return 0, 0, nil, fmt.Errorf("schedio: infeasible reservation set: %w", err)
+	}
+	return jf.Procs, jf.Now, out, nil
+}
+
+// Read parses a schedule for the given graph. Placements may appear in
+// any order but every task must appear exactly once with sane fields;
+// semantic validity (precedence, capacity) is the caller's job via
+// (*core.Scheduler).Verify.
+func Read(r io.Reader, g *dag.Graph) (*core.Schedule, error) {
+	var js jsonSchedule
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		return nil, fmt.Errorf("schedio: %w", err)
+	}
+	if len(js.Tasks) != g.NumTasks() {
+		return nil, fmt.Errorf("schedio: %d placements for %d tasks", len(js.Tasks), g.NumTasks())
+	}
+	s := &core.Schedule{Now: js.Now, Tasks: make([]core.Placement, g.NumTasks())}
+	seen := make([]bool, g.NumTasks())
+	for _, pl := range js.Tasks {
+		if pl.Task < 0 || pl.Task >= g.NumTasks() {
+			return nil, fmt.Errorf("schedio: unknown task %d", pl.Task)
+		}
+		if seen[pl.Task] {
+			return nil, fmt.Errorf("schedio: duplicate placement for task %d", pl.Task)
+		}
+		if pl.Procs < 1 {
+			return nil, fmt.Errorf("schedio: task %d has %d processors", pl.Task, pl.Procs)
+		}
+		if pl.End < pl.Start {
+			return nil, fmt.Errorf("schedio: task %d ends before it starts", pl.Task)
+		}
+		seen[pl.Task] = true
+		s.Tasks[pl.Task] = core.Placement{Procs: pl.Procs, Start: pl.Start, End: pl.End}
+	}
+	return s, nil
+}

@@ -1,0 +1,126 @@
+package schedio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resched/internal/core"
+	"resched/internal/daggen"
+	"resched/internal/profile"
+)
+
+func testPair(t *testing.T) (*core.Scheduler, core.Env, *core.Schedule) {
+	t.Helper()
+	g := daggen.MustGenerate(daggen.Default(), rand.New(rand.NewSource(8)))
+	s, err := core.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := core.Env{P: 32, Now: 1000, Avail: profile.New(32, 1000), Q: 24}
+	sched, err := s.Turnaround(env, core.BLCPAR, core.BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, env, sched
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, env, sched := testPair(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, s.Graph(), sched); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(bytes.NewReader(buf.Bytes()), s.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Now != sched.Now {
+		t.Fatalf("Now %d != %d", back.Now, sched.Now)
+	}
+	for i := range sched.Tasks {
+		if back.Tasks[i] != sched.Tasks[i] {
+			t.Fatalf("task %d: %+v != %+v", i, back.Tasks[i], sched.Tasks[i])
+		}
+	}
+	// The round-tripped schedule still verifies semantically.
+	if err := s.Verify(env, back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteShapeMismatch(t *testing.T) {
+	s, _, sched := testPair(t)
+	var buf bytes.Buffer
+	bad := &core.Schedule{Now: sched.Now, Tasks: sched.Tasks[:1]}
+	if err := Write(&buf, s.Graph(), bad); err == nil {
+		t.Fatal("short schedule accepted")
+	}
+}
+
+func TestReservationsRoundTrip(t *testing.T) {
+	rs := []profile.Reservation{
+		{Start: 100, End: 200, Procs: 4},
+		{Start: 150, End: 400, Procs: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteReservations(&buf, 8, 50, rs); err != nil {
+		t.Fatal(err)
+	}
+	procs, now, back, err := ReadReservations(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if procs != 8 || now != 50 || len(back) != 2 {
+		t.Fatalf("round trip header: %d procs, now %d, %d reservations", procs, now, len(back))
+	}
+	for i := range rs {
+		if back[i] != rs[i] {
+			t.Fatalf("reservation %d: %+v != %+v", i, back[i], rs[i])
+		}
+	}
+}
+
+func TestReservationsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReservations(&buf, 0, 0, nil); err == nil {
+		t.Fatal("zero-proc machine accepted")
+	}
+	cases := []string{
+		`garbage`,
+		`{"procs": 0, "now": 0, "reservations": []}`,
+		`{"procs": 4, "now": 0, "reservations": [{"start": 10, "end": 10, "procs": 1}]}`,
+		`{"procs": 4, "now": 0, "reservations": [{"start": 0, "end": 10, "procs": 5}]}`,
+		`{"procs": 4, "now": 0, "reservations": [{"start": 0, "end": 10, "procs": 3}, {"start": 5, "end": 15, "procs": 3}]}`,
+	}
+	for i, in := range cases {
+		if _, _, _, err := ReadReservations(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	s, _, _ := testPair(t)
+	g := s.Graph()
+	cases := []string{
+		`not json`,
+		`{"now": 0, "tasks": []}`,
+		`{"now": 0, "tasks": [{"task": -1, "procs": 1, "start": 0, "end": 1}]}`,
+		`{"now": 0, "tasks": [{"task": 0, "procs": 0, "start": 0, "end": 1}]}`,
+		`{"now": 0, "tasks": [{"task": 0, "procs": 1, "start": 5, "end": 1}]}`,
+		`{"now": 0, "bogus": 1, "tasks": []}`,
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in), g); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	// Duplicate task entries.
+	dup := `{"now": 0, "tasks": [` + strings.Repeat(`{"task": 0, "procs": 1, "start": 0, "end": 1},`, g.NumTasks()-1) +
+		`{"task": 0, "procs": 1, "start": 0, "end": 1}]}`
+	if _, err := Read(strings.NewReader(dup), g); err == nil {
+		t.Fatal("duplicate placements accepted")
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"resched/internal/core"
+	"resched/internal/model"
+)
+
+// LooseFactor sets the "loose deadline" of Section 5.3: 50% larger
+// than the latest tightest deadline across the compared algorithms.
+const LooseFactor = 1.5
+
+// DeadlineResult aggregates the RESSCHEDDL experiments (Tables 6 and
+// 7): per algorithm, average percentage degradation from best for the
+// tightest achievable deadline and for CPU-hours consumed under a
+// loose deadline.
+type DeadlineResult struct {
+	Algorithms []core.DLAlgorithm
+	// DegTightest[i] is algorithm i's mean percentage degradation from
+	// the per-scenario best (smallest) tightest deadline, measured as
+	// deadline - now.
+	DegTightest []float64
+	// DegCPUHours[i] is the mean percentage degradation from the
+	// per-scenario best CPU-hour consumption at the loose deadline.
+	DegCPUHours []float64
+	// WinsTightest counts scenarios where algorithm i achieved the
+	// tightest deadline (with ties).
+	WinsTightest []int
+	Scenarios    int
+	// SkippedInstances counts instances dropped because some algorithm
+	// found no feasible schedule even at the loose deadline.
+	SkippedInstances int
+	Instances        int
+}
+
+// RunDeadline runs the RESSCHEDDL comparison. For every instance it
+// determines each algorithm's tightest deadline by binary search, then
+// measures CPU-hours at a loose deadline 50% larger than the latest
+// tightest deadline across algorithms. Instances where an algorithm
+// cannot meet even the loose deadline are skipped (and counted).
+func RunDeadline(lab *Lab, scenarios []Scenario, algos []core.DLAlgorithm) (*DeadlineResult, error) {
+	if len(algos) == 0 {
+		return nil, fmt.Errorf("sim: no algorithms")
+	}
+	nA := len(algos)
+	tight := make([][]float64, len(scenarios))
+	cpu := make([][]float64, len(scenarios))
+	counted := make([]int, len(scenarios))
+	skipped := make([]int, len(scenarios))
+
+	gran := lab.Config().Granularity
+	err := lab.forEachScenario(scenarios, func(i int, sc Scenario) error {
+		insts, err := lab.Instances(sc)
+		if err != nil {
+			return err
+		}
+		sumT := make([]float64, nA)
+		sumC := make([]float64, nA)
+		for _, inst := range insts {
+			tights := make([]model.Duration, nA)
+			worst := model.Duration(0)
+			ok := true
+			for a, algo := range algos {
+				k, _, err := inst.Sched.TightestDeadlineGranularity(inst.Env, algo, gran)
+				if err != nil {
+					ok = false
+					break
+				}
+				tights[a] = k - inst.Env.Now
+				if tights[a] > worst {
+					worst = tights[a]
+				}
+			}
+			if !ok {
+				skipped[i]++
+				continue
+			}
+			loose := inst.Env.Now + model.Duration(LooseFactor*float64(worst))
+			cpus := make([]float64, nA)
+			for a, algo := range algos {
+				sched, err := inst.Sched.Deadline(inst.Env, algo, loose)
+				if err != nil {
+					if errors.Is(err, core.ErrInfeasible) {
+						ok = false
+						break
+					}
+					return err
+				}
+				cpus[a] = sched.CPUHours()
+			}
+			if !ok {
+				skipped[i]++
+				continue
+			}
+			for a := 0; a < nA; a++ {
+				sumT[a] += float64(tights[a])
+				sumC[a] += cpus[a]
+			}
+			counted[i]++
+		}
+		if counted[i] == 0 {
+			return fmt.Errorf("sim: every instance skipped")
+		}
+		tight[i] = make([]float64, nA)
+		cpu[i] = make([]float64, nA)
+		for a := 0; a < nA; a++ {
+			tight[i][a] = sumT[a] / float64(counted[i])
+			cpu[i][a] = sumC[a] / float64(counted[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DeadlineResult{
+		Algorithms:   algos,
+		DegTightest:  make([]float64, nA),
+		DegCPUHours:  make([]float64, nA),
+		WinsTightest: make([]int, nA),
+		Scenarios:    len(scenarios),
+	}
+	for i := range scenarios {
+		res.Instances += counted[i]
+		res.SkippedInstances += skipped[i]
+		if err := accumulate(tight[i], res.DegTightest, res.WinsTightest); err != nil {
+			return nil, err
+		}
+		wins := make([]int, nA) // CPU-hour wins are not reported in the paper
+		if err := accumulate(cpu[i], res.DegCPUHours, wins); err != nil {
+			return nil, err
+		}
+	}
+	for a := 0; a < nA; a++ {
+		res.DegTightest[a] /= float64(len(scenarios))
+		res.DegCPUHours[a] /= float64(len(scenarios))
+	}
+	return res, nil
+}

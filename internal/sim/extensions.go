@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+
+	"resched/internal/core"
+	"resched/internal/onestep"
+	"resched/internal/probe"
+)
+
+// ExtensionsResult compares the library's extensions against the
+// paper's best RESSCHED heuristic on the same instances: the one-step
+// allocate-and-map scheduler and the blind (probe-based) scheduler.
+type ExtensionsResult struct {
+	// Mean turnaround seconds per scheduler.
+	TurnBDCPAR, TurnOneStep, TurnBlind float64
+	// Mean CPU-hours per scheduler.
+	CPUBDCPAR, CPUOneStep, CPUBlind float64
+	// MeanProbes is the blind scheduler's average probe count.
+	MeanProbes float64
+	Instances  int
+}
+
+// RunExtensions schedules every instance of the scenarios with
+// BD_CPAR (full knowledge), the one-step scheduler, and the blind
+// scheduler, and reports mean turnaround and CPU-hours for each.
+func RunExtensions(lab *Lab, scenarios []Scenario) (*ExtensionsResult, error) {
+	res := &ExtensionsResult{}
+	err := lab.forEachScenario(scenarios, func(_ int, sc Scenario) error {
+		insts, err := lab.Instances(sc)
+		if err != nil {
+			return err
+		}
+		for _, inst := range insts {
+			base, err := inst.Sched.Turnaround(inst.Env, core.BLCPAR, core.BDCPAR)
+			if err != nil {
+				return err
+			}
+			one, err := onestep.Schedule(inst.Sched.Graph(), inst.Env, onestep.Options{})
+			if err != nil {
+				return err
+			}
+			bs := probe.NewSimulatedBatch(inst.Env.Avail, inst.Env.Now)
+			blind, err := probe.Schedule(inst.Sched.Graph(), bs, probe.Options{Q: inst.Env.Q})
+			if err != nil {
+				return err
+			}
+			// Every scheduler's output must verify against the true
+			// environment; a broken extension must fail loudly here.
+			for name, s := range map[string]*core.Schedule{
+				"BD_CPAR": base, "one-step": one.Schedule, "blind": blind.Schedule,
+			} {
+				if err := inst.Sched.Verify(inst.Env, s); err != nil {
+					return fmt.Errorf("%s schedule invalid: %w", name, err)
+				}
+			}
+			res.TurnBDCPAR += float64(base.Turnaround())
+			res.TurnOneStep += float64(one.Schedule.Turnaround())
+			res.TurnBlind += float64(blind.Schedule.Turnaround())
+			res.CPUBDCPAR += base.CPUHours()
+			res.CPUOneStep += one.Schedule.CPUHours()
+			res.CPUBlind += blind.Schedule.CPUHours()
+			res.MeanProbes += float64(blind.Probes)
+			res.Instances++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Instances == 0 {
+		return nil, fmt.Errorf("sim: no instances")
+	}
+	n := float64(res.Instances)
+	res.TurnBDCPAR /= n
+	res.TurnOneStep /= n
+	res.TurnBlind /= n
+	res.CPUBDCPAR /= n
+	res.CPUOneStep /= n
+	res.CPUBlind /= n
+	res.MeanProbes /= n
+	return res, nil
+}

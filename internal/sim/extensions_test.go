@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestRunExtensionsSmoke(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	res, err := RunExtensions(lab, tinyScenarios()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances != 4 {
+		t.Fatalf("Instances = %d", res.Instances)
+	}
+	for name, v := range map[string]float64{
+		"TurnBDCPAR":  res.TurnBDCPAR,
+		"TurnOneStep": res.TurnOneStep,
+		"TurnBlind":   res.TurnBlind,
+		"CPUBDCPAR":   res.CPUBDCPAR,
+		"CPUOneStep":  res.CPUOneStep,
+		"CPUBlind":    res.CPUBlind,
+		"MeanProbes":  res.MeanProbes,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s = %v, want > 0", name, v)
+		}
+	}
+	// The blind scheduler probes a subset of the candidates BD_CPAR
+	// scans; greedy composition means it can occasionally luck into a
+	// better global schedule, but not substantially so on average.
+	if res.TurnBlind < 0.95*res.TurnBDCPAR {
+		t.Fatalf("blind mean turnaround %.0f substantially beats full knowledge %.0f", res.TurnBlind, res.TurnBDCPAR)
+	}
+	if _, err := RunExtensions(lab, nil); err == nil {
+		t.Fatal("empty scenario list accepted")
+	}
+}

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"resched/internal/core"
+	"resched/internal/daggen"
+	"resched/internal/model"
+	"resched/internal/multicluster"
+	"resched/internal/workload"
+)
+
+// MultiSiteResult compares the single-site baseline against the
+// federated platform under both allocation policies.
+type MultiSiteResult struct {
+	// Turnaround seconds / CPU-hours, averaged over instances.
+	TurnSolo, TurnCPA, TurnUnbounded float64
+	CPUSolo, CPUCPA, CPUUnbounded    float64
+	Instances                        int
+}
+
+// RunMultiSite builds two-site platforms — one reservation environment
+// from each of two archetypes, observed at the same relative log
+// position — schedules every sample application on the first site
+// alone and on the federation under both allocation policies, and
+// averages the metrics. The staging delay applies to cross-site edges.
+func RunMultiSite(lab *Lab, apps []daggen.Spec, archA, archB workload.Archetype, phi float64, stage model.Duration) (*MultiSiteResult, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("sim: no applications")
+	}
+	cfg := lab.Config()
+	envs := make([][2]multicluster.Cluster, 0)
+
+	// Build StartTimes x Taggings site pairs.
+	siteFor := func(arch workload.Archetype, at model.Time, rng *rand.Rand) (multicluster.Cluster, error) {
+		lg, err := lab.Log(arch)
+		if err != nil {
+			return multicluster.Cluster{}, err
+		}
+		ex, err := workload.Extract(lg, phi, workload.Expo, at, rng)
+		if err != nil {
+			return multicluster.Cluster{}, err
+		}
+		prof, err := ex.Profile()
+		if err != nil {
+			return multicluster.Cluster{}, err
+		}
+		q, err := core.HistoricalAvail(ex.Procs, ex.Past, ex.At, workload.HistWindow)
+		if err != nil {
+			return multicluster.Cluster{}, err
+		}
+		return multicluster.Cluster{Name: arch.Name, P: ex.Procs, Avail: prof, Q: q}, nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ seedOf("multisite")))
+	lgA, err := lab.Log(archA)
+	if err != nil {
+		return nil, err
+	}
+	starts, err := workload.StartTimes(lgA, cfg.StartTimes, rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, at := range starts {
+		for k := 0; k < cfg.Taggings; k++ {
+			a, err := siteFor(archA, at, rng)
+			if err != nil {
+				return nil, err
+			}
+			b, err := siteFor(archB, at, rng)
+			if err != nil {
+				return nil, err
+			}
+			// Both sites observe the same "now".
+			envs = append(envs, [2]multicluster.Cluster{a, b})
+		}
+	}
+
+	res := &MultiSiteResult{}
+	for _, spec := range apps {
+		g, err := daggen.Generate(spec, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, pair := range envs {
+			now := pair[0].Avail.Origin()
+			solo := multicluster.Env{Now: now, Clusters: pair[:1]}
+			fed := multicluster.Env{Now: now, Clusters: pair[:]}
+			opt := multicluster.Options{StageDelay: stage}
+
+			s1, err := multicluster.Turnaround(g, solo, opt)
+			if err != nil {
+				return nil, err
+			}
+			opt.Policy = multicluster.PolicyCPA
+			s2, err := multicluster.Turnaround(g, fed, opt)
+			if err != nil {
+				return nil, err
+			}
+			opt.Policy = multicluster.PolicyUnbounded
+			s3, err := multicluster.Turnaround(g, fed, opt)
+			if err != nil {
+				return nil, err
+			}
+			res.TurnSolo += float64(s1.Turnaround())
+			res.TurnCPA += float64(s2.Turnaround())
+			res.TurnUnbounded += float64(s3.Turnaround())
+			res.CPUSolo += s1.CPUHours()
+			res.CPUCPA += s2.CPUHours()
+			res.CPUUnbounded += s3.CPUHours()
+			res.Instances++
+		}
+	}
+	n := float64(res.Instances)
+	res.TurnSolo /= n
+	res.TurnCPA /= n
+	res.TurnUnbounded /= n
+	res.CPUSolo /= n
+	res.CPUCPA /= n
+	res.CPUUnbounded /= n
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"resched/internal/dynamic"
+	"resched/internal/pessimism"
+)
+
+// PessimismResult aggregates the runtime-overestimation study over a
+// scenario set: per factor, mean reserved and realized turnaround and
+// the mean fraction of paid CPU-hours wasted.
+type PessimismResult struct {
+	Factors     []float64
+	ReservedTAT []float64 // seconds
+	RealizedTAT []float64 // seconds
+	WastePct    []float64
+	Instances   int
+}
+
+// RunPessimism evaluates the given overestimation factors on every
+// instance of the scenarios.
+func RunPessimism(lab *Lab, scenarios []Scenario, factors []float64) (*PessimismResult, error) {
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("sim: no factors")
+	}
+	res := &PessimismResult{
+		Factors:     factors,
+		ReservedTAT: make([]float64, len(factors)),
+		RealizedTAT: make([]float64, len(factors)),
+		WastePct:    make([]float64, len(factors)),
+	}
+	err := lab.forEachScenario(scenarios, func(_ int, sc Scenario) error {
+		insts, err := lab.Instances(sc)
+		if err != nil {
+			return err
+		}
+		for _, inst := range insts {
+			for fi, f := range factors {
+				r, err := pessimism.Evaluate(inst.Sched.Graph(), inst.Env, f)
+				if err != nil {
+					return err
+				}
+				res.ReservedTAT[fi] += float64(r.ReservedTurnaround)
+				res.RealizedTAT[fi] += float64(r.RealizedTurnaround)
+				res.WastePct[fi] += 100 * r.WasteFraction()
+			}
+			res.Instances++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Instances == 0 {
+		return nil, fmt.Errorf("sim: no instances")
+	}
+	for fi := range factors {
+		res.ReservedTAT[fi] /= float64(res.Instances)
+		res.RealizedTAT[fi] /= float64(res.Instances)
+		res.WastePct[fi] /= float64(res.Instances)
+	}
+	return res, nil
+}
+
+// DynamicSweepResult aggregates the changing-reservation-table study:
+// per conflict strategy, the survival rate and the mean slowdown of
+// survivors relative to the static plan.
+type DynamicSweepResult struct {
+	Strategies    []dynamic.Strategy
+	SurvivalPct   []float64
+	SlowdownPct   []float64 // mean over surviving runs
+	MeanConflicts []float64
+	Instances     int
+}
+
+// RunDynamic books every instance's plan against a live table with
+// the given competitor pressure, once per strategy.
+func RunDynamic(lab *Lab, scenarios []Scenario, rate float64) (*DynamicSweepResult, error) {
+	strategies := []dynamic.Strategy{dynamic.Naive, dynamic.Rebook, dynamic.Replan}
+	res := &DynamicSweepResult{
+		Strategies:    strategies,
+		SurvivalPct:   make([]float64, len(strategies)),
+		SlowdownPct:   make([]float64, len(strategies)),
+		MeanConflicts: make([]float64, len(strategies)),
+	}
+	survived := make([]int, len(strategies))
+	err := lab.forEachScenario(scenarios, func(_ int, sc Scenario) error {
+		insts, err := lab.Instances(sc)
+		if err != nil {
+			return err
+		}
+		for ii, inst := range insts {
+			comp := dynamic.DefaultCompetitor(inst.Env.P)
+			comp.Rate = rate
+			for si, strat := range strategies {
+				h := fnv.New64a()
+				fmt.Fprintf(h, "%s/%d/%v", sc, ii, strat)
+				rng := rand.New(rand.NewSource(int64(h.Sum64() >> 1)))
+				r, err := dynamic.Run(inst.Sched.Graph(), inst.Env, comp, strat, rng)
+				if errors.Is(err, dynamic.ErrConflict) {
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				survived[si]++
+				res.SlowdownPct[si] += 100 * (float64(r.Schedule.Turnaround())/float64(r.PlannedTurnaround) - 1)
+				res.MeanConflicts[si] += float64(r.Conflicts)
+			}
+			res.Instances++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Instances == 0 {
+		return nil, fmt.Errorf("sim: no instances")
+	}
+	for si := range strategies {
+		res.SurvivalPct[si] = 100 * float64(survived[si]) / float64(res.Instances)
+		if survived[si] > 0 {
+			res.SlowdownPct[si] /= float64(survived[si])
+			res.MeanConflicts[si] /= float64(survived[si])
+		}
+	}
+	return res, nil
+}

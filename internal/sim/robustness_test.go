@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"resched/internal/daggen"
+	"resched/internal/workload"
+	"testing"
+)
+
+func TestRunPessimismSweep(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	factors := []float64{1, 2, 4}
+	res, err := RunPessimism(lab, tinyScenarios()[:1], factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances != 4 {
+		t.Fatalf("Instances = %d", res.Instances)
+	}
+	// Waste strictly grows with the factor; factor 1 wastes nothing.
+	if res.WastePct[0] != 0 {
+		t.Fatalf("factor 1 waste = %v", res.WastePct[0])
+	}
+	for i := 1; i < len(factors); i++ {
+		if res.WastePct[i] <= res.WastePct[i-1] {
+			t.Fatalf("waste not increasing: %v", res.WastePct)
+		}
+		if res.ReservedTAT[i] <= res.ReservedTAT[i-1] {
+			t.Fatalf("reserved turnaround not increasing: %v", res.ReservedTAT)
+		}
+	}
+	// Realized work always fits inside reservations.
+	for i := range factors {
+		if res.RealizedTAT[i] > res.ReservedTAT[i] {
+			t.Fatalf("realized %v above reserved %v", res.RealizedTAT, res.ReservedTAT)
+		}
+	}
+	if _, err := RunPessimism(lab, tinyScenarios()[:1], nil); err == nil {
+		t.Fatal("empty factors accepted")
+	}
+}
+
+func TestRunMultiSite(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	res, err := RunMultiSite(lab, []daggen.Spec{tinyApp()}, workload.SDSCDS, workload.OSCCluster, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances != 2 { // StartTimes x Taggings = 2 x 1
+		t.Fatalf("Instances = %d", res.Instances)
+	}
+	// Adding a free second site can only help the greedy scheduler on
+	// these fixed instances.
+	if res.TurnCPA > res.TurnSolo {
+		t.Fatalf("federation slower than solo: %v vs %v", res.TurnCPA, res.TurnSolo)
+	}
+	// The unbounded policy buys turnaround with CPU-hours.
+	if res.CPUUnbounded < res.CPUCPA {
+		t.Fatalf("unbounded cheaper than CPA: %v vs %v", res.CPUUnbounded, res.CPUCPA)
+	}
+	if _, err := RunMultiSite(lab, nil, workload.SDSCDS, workload.OSCCluster, 0.2, 0); err == nil {
+		t.Fatal("empty app list accepted")
+	}
+}
+
+func TestRunDynamicSweep(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	res, err := RunDynamic(lab, tinyScenarios()[:1], 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instances != 4 {
+		t.Fatalf("Instances = %d", res.Instances)
+	}
+	// Rebook and replan never abort; naive survives at most as often.
+	idx := map[string]int{}
+	for i, s := range res.Strategies {
+		idx[s.String()] = i
+	}
+	if res.SurvivalPct[idx["rebook"]] != 100 || res.SurvivalPct[idx["replan"]] != 100 {
+		t.Fatalf("recovery strategies aborted: %v", res.SurvivalPct)
+	}
+	if res.SurvivalPct[idx["naive"]] > 100 {
+		t.Fatalf("survival > 100%%: %v", res.SurvivalPct)
+	}
+	for i, s := range res.SlowdownPct {
+		if s < 0 {
+			t.Fatalf("negative slowdown for %v: %v", res.Strategies[i], s)
+		}
+	}
+}

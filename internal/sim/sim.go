@@ -1,0 +1,279 @@
+// Package sim is the experiment harness reproducing the paper's
+// evaluation methodology (Sections 4.3 and 5.3): it enumerates
+// experimental scenarios (application spec x log x phi x decay method),
+// materializes random instances (sample DAGs x reservation-schedule
+// instances), runs the scheduling algorithms, and aggregates the
+// paper's metrics — average percentage degradation from best and win
+// counts per algorithm.
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"resched/internal/core"
+	"resched/internal/dag"
+	"resched/internal/daggen"
+	"resched/internal/model"
+	"resched/internal/workload"
+)
+
+// Scenario is one experimental scenario: an application specification
+// evaluated against reservation schedules derived from one log with one
+// tagging fraction and one decay method. Grid'5000 scenarios use
+// Phi = 1 with the Real method (the whole log is reservations).
+type Scenario struct {
+	App    daggen.Spec
+	Arch   workload.Archetype
+	Phi    float64
+	Method workload.Method
+}
+
+// String identifies the scenario in results and error messages.
+func (s Scenario) String() string {
+	return fmt.Sprintf("%s/phi=%.1f/%s/%s", s.Arch.Name, s.Phi, s.Method, s.App)
+}
+
+// Config controls how many random instances each scenario gets and how
+// heavy the underlying logs are. The paper uses DAGReps=20,
+// StartTimes=10, Taggings=5 over multi-month logs; the defaults here
+// are laptop-scale (see EXPERIMENTS.md).
+type Config struct {
+	// LogDays is the synthetic log length in days.
+	LogDays int
+	// DAGReps is the number of sample DAGs per application spec.
+	DAGReps int
+	// StartTimes is the number of observation times per log.
+	StartTimes int
+	// Taggings is the number of random taggings per observation time.
+	Taggings int
+	// Seed makes the whole experiment deterministic.
+	Seed int64
+	// Granularity is the tightest-deadline search resolution.
+	Granularity model.Duration
+	// Workers bounds scenario-level parallelism (0 = NumCPU).
+	Workers int
+	// Progress, when non-nil, is called after each completed scenario.
+	Progress func(done, total int)
+}
+
+// DefaultConfig returns the laptop-scale configuration used by the
+// resexp tool unless overridden.
+func DefaultConfig() Config {
+	return Config{
+		LogDays:     45,
+		DAGReps:     3,
+		StartTimes:  3,
+		Taggings:    2,
+		Seed:        1,
+		Granularity: core.DefaultGranularity,
+	}
+}
+
+func (c *Config) normalize() {
+	if c.LogDays <= 0 {
+		c.LogDays = 45
+	}
+	if c.DAGReps <= 0 {
+		c.DAGReps = 1
+	}
+	if c.StartTimes <= 0 {
+		c.StartTimes = 1
+	}
+	if c.Taggings <= 0 {
+		c.Taggings = 1
+	}
+	if c.Granularity <= 0 {
+		c.Granularity = core.DefaultGranularity
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+}
+
+// Lab materializes scenarios: it caches synthesized logs per archetype
+// and turns scenarios into concrete (DAG, environment) instances.
+// A Lab is safe for concurrent use after construction.
+type Lab struct {
+	cfg Config
+
+	mu   sync.Mutex
+	logs map[string]*workload.Log
+}
+
+// NewLab returns a Lab with the given configuration.
+func NewLab(cfg Config) *Lab {
+	cfg.normalize()
+	return &Lab{cfg: cfg, logs: make(map[string]*workload.Log)}
+}
+
+// Config returns the lab's normalized configuration.
+func (l *Lab) Config() Config { return l.cfg }
+
+// Log returns the (cached) synthetic log for an archetype.
+func (l *Lab) Log(arch workload.Archetype) (*workload.Log, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lg, ok := l.logs[arch.Name]; ok {
+		return lg, nil
+	}
+	rng := rand.New(rand.NewSource(l.cfg.Seed ^ seedOf("log:"+arch.Name)))
+	lg, err := workload.Synthesize(arch, l.cfg.LogDays, rng)
+	if err != nil {
+		return nil, err
+	}
+	l.logs[arch.Name] = lg
+	return lg, nil
+}
+
+// seedOf derives a stable 63-bit seed from a label.
+func seedOf(label string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	return int64(h.Sum64() >> 1)
+}
+
+// Instance is one materialized problem: a sample DAG (wrapped in its
+// scheduler) and a reservation environment.
+type Instance struct {
+	Sched *core.Scheduler
+	Env   core.Env
+}
+
+// Instances materializes all random instances of a scenario:
+// DAGReps sample DAGs x (StartTimes x Taggings) reservation-schedule
+// instances. Deterministic for a given lab seed and scenario.
+func (l *Lab) Instances(sc Scenario) ([]Instance, error) {
+	lg, err := l.Log(sc.Arch)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(l.cfg.Seed ^ seedOf("scenario:"+sc.String())))
+
+	starts, err := workload.StartTimes(lg, l.cfg.StartTimes, rng)
+	if err != nil {
+		return nil, err
+	}
+	var envs []core.Env
+	for _, at := range starts {
+		for k := 0; k < l.cfg.Taggings; k++ {
+			ex, err := workload.Extract(lg, sc.Phi, sc.Method, at, rng)
+			if err != nil {
+				return nil, err
+			}
+			prof, err := ex.Profile()
+			if err != nil {
+				return nil, err
+			}
+			q, err := core.HistoricalAvail(ex.Procs, ex.Past, ex.At, workload.HistWindow)
+			if err != nil {
+				return nil, err
+			}
+			envs = append(envs, core.Env{P: ex.Procs, Now: ex.At, Avail: prof, Q: q})
+		}
+	}
+
+	var graphs []*dag.Graph
+	for i := 0; i < l.cfg.DAGReps; i++ {
+		g, err := daggen.Generate(sc.App, rng)
+		if err != nil {
+			return nil, err
+		}
+		graphs = append(graphs, g)
+	}
+
+	// Pair every DAG with every environment; the scheduler (and its
+	// CPA caches) is shared across the environments of one DAG.
+	var out []Instance
+	for _, g := range graphs {
+		sched, err := core.NewScheduler(g)
+		if err != nil {
+			return nil, err
+		}
+		for _, env := range envs {
+			out = append(out, Instance{Sched: sched, Env: env})
+		}
+	}
+	return out, nil
+}
+
+// forEachScenario runs fn over scenarios with bounded parallelism,
+// collecting the first error.
+func (l *Lab) forEachScenario(scenarios []Scenario, fn func(i int, sc Scenario) error) error {
+	type job struct {
+		i  int
+		sc Scenario
+	}
+	jobs := make(chan job, len(scenarios))
+	for i, sc := range scenarios {
+		jobs <- job{i, sc}
+	}
+	close(jobs)
+	errc := make(chan error, l.cfg.Workers)
+	var wg sync.WaitGroup
+	var done int
+	var progressMu sync.Mutex
+	for w := 0; w < l.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := fn(j.i, j.sc); err != nil {
+					select {
+					case errc <- fmt.Errorf("scenario %s: %w", j.sc, err):
+					default:
+					}
+					return
+				}
+				if l.cfg.Progress != nil {
+					progressMu.Lock()
+					done++
+					l.cfg.Progress(done, len(scenarios))
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// SynthScenarios builds the full synthetic-scenario grid of Section
+// 4.3: every application spec x every archetype x phi in phis x decay
+// method. The paper's grid is ParamGrid() x 4 logs x {0.1,0.2,0.5} x
+// {linear,expo,real} = 1,440 scenarios.
+func SynthScenarios(apps []daggen.Spec, archs []workload.Archetype, phis []float64, methods []workload.Method) []Scenario {
+	var out []Scenario
+	for _, app := range apps {
+		for _, arch := range archs {
+			for _, phi := range phis {
+				for _, m := range methods {
+					out = append(out, Scenario{App: app, Arch: arch, Phi: phi, Method: m})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Grid5000Scenarios builds the Grid'5000 scenarios: one per application
+// spec, with the whole reservation log used as the reservation schedule
+// (phi = 1, real method).
+func Grid5000Scenarios(apps []daggen.Spec) []Scenario {
+	var out []Scenario
+	for _, app := range apps {
+		out = append(out, Scenario{App: app, Arch: workload.Grid5000, Phi: 1, Method: workload.Real})
+	}
+	return out
+}
+
+// PaperPhis are the tagging fractions of Section 3.2.1.
+var PaperPhis = []float64{0.1, 0.2, 0.5}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+
+	"resched/internal/core"
+	"resched/internal/daggen"
+	"resched/internal/workload"
+)
+
+// tinyConfig keeps the tests fast: one small log, few instances.
+func tinyConfig() Config {
+	return Config{
+		LogDays:    21,
+		DAGReps:    2,
+		StartTimes: 2,
+		Taggings:   1,
+		Seed:       7,
+		Workers:    2,
+	}
+}
+
+// tinyApp is a small application spec for fast tests.
+func tinyApp() daggen.Spec {
+	spec := daggen.Default()
+	spec.N = 10
+	return spec
+}
+
+func tinyScenarios() []Scenario {
+	return SynthScenarios(
+		[]daggen.Spec{tinyApp()},
+		[]workload.Archetype{workload.SDSCDS},
+		[]float64{0.2},
+		[]workload.Method{workload.Real, workload.Expo},
+	)
+}
+
+func TestSynthScenariosGridSize(t *testing.T) {
+	apps := daggen.ParamGrid()
+	scs := SynthScenarios(apps, workload.BatchArchetypes, PaperPhis, workload.AllMethods)
+	if len(scs) != 40*4*3*3 {
+		t.Fatalf("full grid has %d scenarios, want 1440", len(scs))
+	}
+	g5k := Grid5000Scenarios(apps)
+	if len(g5k) != 40 {
+		t.Fatalf("grid5000 scenarios = %d, want 40", len(g5k))
+	}
+	if g5k[0].Phi != 1 || g5k[0].Method != workload.Real {
+		t.Fatalf("grid5000 scenario %+v", g5k[0])
+	}
+}
+
+func TestLabLogCaching(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	a, err := lab.Log(workload.SDSCDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lab.Log(workload.SDSCDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("log not cached")
+	}
+}
+
+func TestInstancesShapeAndDeterminism(t *testing.T) {
+	sc := tinyScenarios()[0]
+	lab1 := NewLab(tinyConfig())
+	insts, err := lab1.Instances(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 2 * 1 // DAGReps x StartTimes x Taggings
+	if len(insts) != want {
+		t.Fatalf("got %d instances, want %d", len(insts), want)
+	}
+	for _, inst := range insts {
+		if inst.Env.P != workload.SDSCDS.Procs {
+			t.Fatalf("instance cluster size %d", inst.Env.P)
+		}
+		if inst.Env.Q < 1 || inst.Env.Q > inst.Env.P {
+			t.Fatalf("instance q = %d", inst.Env.Q)
+		}
+	}
+	// Determinism: a fresh lab reproduces the same environments.
+	lab2 := NewLab(tinyConfig())
+	insts2, err := lab2.Instances(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if insts[i].Env.Now != insts2[i].Env.Now || insts[i].Env.Q != insts2[i].Env.Q {
+			t.Fatalf("instance %d differs across labs", i)
+		}
+	}
+}
+
+func TestRunTurnaroundSmoke(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	res, err := RunTurnaround(lab, tinyScenarios(), core.AllBD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenarios != 2 {
+		t.Fatalf("Scenarios = %d", res.Scenarios)
+	}
+	if res.Instances != 2*4 {
+		t.Fatalf("Instances = %d", res.Instances)
+	}
+	bestT, bestC := false, false
+	for a := range res.Algorithms {
+		if res.DegTurnaround[a] < 0 || res.DegCPUHours[a] < 0 {
+			t.Fatalf("negative degradation for %v", res.Algorithms[a])
+		}
+		if res.DegTurnaround[a] == 0 {
+			// An algorithm with zero average degradation must have won
+			// every scenario.
+			if res.WinsTurnaround[a] != res.Scenarios {
+				t.Fatalf("%v: zero degradation but %d wins", res.Algorithms[a], res.WinsTurnaround[a])
+			}
+		}
+		bestT = bestT || res.WinsTurnaround[a] > 0
+		bestC = bestC || res.WinsCPUHours[a] > 0
+	}
+	if !bestT || !bestC {
+		t.Fatal("no winners recorded")
+	}
+	if _, err := RunTurnaround(lab, tinyScenarios(), nil); err == nil {
+		t.Fatal("empty algorithm list accepted")
+	}
+}
+
+func TestRunTurnaroundCPADominatesStrawmen(t *testing.T) {
+	// Even at tiny scale the paper's headline ordering should show: the
+	// CPA-bounded algorithms beat BD_ALL on CPU-hours.
+	lab := NewLab(tinyConfig())
+	res, err := RunTurnaround(lab, tinyScenarios(), core.AllBD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[core.BDMethod]int{}
+	for i, a := range res.Algorithms {
+		idx[a] = i
+	}
+	if res.DegCPUHours[idx[core.BDAll]] <= res.DegCPUHours[idx[core.BDCPAR]] {
+		t.Fatalf("BD_ALL CPU-hour degradation %.2f not worse than BD_CPAR %.2f",
+			res.DegCPUHours[idx[core.BDAll]], res.DegCPUHours[idx[core.BDCPAR]])
+	}
+}
+
+func TestRunBLComparisonSmoke(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	res, err := RunBLComparison(lab, tinyScenarios(), []core.BDMethod{core.BDCPAR, core.BDAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cases != 2*2 {
+		t.Fatalf("Cases = %d", res.Cases)
+	}
+	var share float64
+	for m := range res.Methods {
+		share += res.BestShare[m]
+		if res.MinImprovePct[m] > res.MaxImprovePct[m] {
+			t.Fatalf("%v: min improvement %.2f > max %.2f", res.Methods[m], res.MinImprovePct[m], res.MaxImprovePct[m])
+		}
+	}
+	if share < 1 {
+		t.Fatalf("best shares sum to %.2f, want >= 1 (ties)", share)
+	}
+	// BL_1 improvement over itself is identically zero.
+	if res.MinImprovePct[0] != 0 || res.MaxImprovePct[0] != 0 {
+		t.Fatalf("BL_1 self-improvement [%v,%v]", res.MinImprovePct[0], res.MaxImprovePct[0])
+	}
+}
+
+// TestRunDeadlineOrdering checks the paper's Table 6 shape at tiny
+// scale: DL_BD_ALL consumes vastly more CPU-hours at loose deadlines
+// than the CPA-bounded aggressive algorithm, which in turn consumes
+// more than the resource-conservative one.
+func TestRunDeadlineOrdering(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	algos := []core.DLAlgorithm{core.DLBDAll, core.DLBDCPA, core.DLRCCPAR}
+	res, err := RunDeadline(lab, tinyScenarios()[:1], algos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, cpaAgg, rc := res.DegCPUHours[0], res.DegCPUHours[1], res.DegCPUHours[2]
+	if !(all > cpaAgg && cpaAgg > rc) {
+		t.Fatalf("CPU-hour ordering broken: BD_ALL %.1f, BD_CPA %.1f, RC_CPAR %.1f", all, cpaAgg, rc)
+	}
+	// The unbounded aggressive algorithm is at least an order of
+	// magnitude above the resource-conservative one.
+	if all < 10*(rc+1) {
+		t.Fatalf("BD_ALL degradation %.1f not an order of magnitude above RC %.1f", all, rc)
+	}
+}
+
+func TestRunDeadlineSmoke(t *testing.T) {
+	lab := NewLab(tinyConfig())
+	algos := []core.DLAlgorithm{core.DLBDCPA, core.DLRCCPAR}
+	res, err := RunDeadline(lab, tinyScenarios()[:1], algos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenarios != 1 {
+		t.Fatalf("Scenarios = %d", res.Scenarios)
+	}
+	if res.Instances+res.SkippedInstances != 4 {
+		t.Fatalf("instances %d + skipped %d != 4", res.Instances, res.SkippedInstances)
+	}
+	for a := range algos {
+		if res.DegTightest[a] < 0 || res.DegCPUHours[a] < 0 {
+			t.Fatalf("negative degradation")
+		}
+	}
+	if _, err := RunDeadline(lab, tinyScenarios()[:1], nil); err == nil {
+		t.Fatal("empty algorithm list accepted")
+	}
+}

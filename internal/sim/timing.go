@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"resched/internal/core"
+	"resched/internal/daggen"
+	"resched/internal/model"
+)
+
+// TimingRow is one algorithm's mean scheduling time across the swept
+// application specs.
+type TimingRow struct {
+	Name string
+	// MeanMs[i] is the mean wall-clock milliseconds to schedule one
+	// instance of specs[i], including bottom-level and CPA allocation
+	// computation (a fresh scheduler is timed for every call, matching
+	// the paper's per-invocation measurements in Tables 9 and 10).
+	MeanMs []float64
+}
+
+// TimingResult reproduces the execution-time tables: rows are
+// algorithms, columns the swept specs.
+type TimingResult struct {
+	Specs []daggen.Spec
+	Rows  []TimingRow
+}
+
+// timedAlgorithms is the row order of Tables 9 and 10.
+var timedTurnaround = []core.BDMethod{core.BDAll, core.BDCPA, core.BDCPAR}
+var timedDeadline = []core.DLAlgorithm{
+	core.DLBDAll, core.DLBDCPA, core.DLBDCPAR,
+	core.DLRCCPA, core.DLRCCPAR, core.DLRCCPARLambda, core.DLRCBDCPARLambda,
+}
+
+// timingDeadlineFactor is the slack of the fixed deadline the DL rows
+// are timed at. It is deliberately loose (3x the forward schedule)
+// so even DL_BD_ALL — whose huge allocations fragment badly — can
+// usually meet it; the tables report means over successful calls only.
+const timingDeadlineFactor = 3.0
+
+// RunTiming measures average algorithm execution times over the given
+// application specs against reservation schedules drawn from the base
+// scenario's log (the paper uses Grid'5000 schedules). Deadline
+// algorithms are timed at a loose fixed deadline; calls that cannot
+// meet it are excluded from the mean (a NaN mean marks an algorithm
+// that never succeeded).
+func RunTiming(lab *Lab, specs []daggen.Spec, base Scenario) (*TimingResult, error) {
+	res := &TimingResult{Specs: specs}
+	for _, bd := range timedTurnaround {
+		res.Rows = append(res.Rows, TimingRow{Name: bd.String(), MeanMs: make([]float64, len(specs))})
+	}
+	for _, dl := range timedDeadline {
+		res.Rows = append(res.Rows, TimingRow{Name: dl.String(), MeanMs: make([]float64, len(specs))})
+	}
+
+	for si, spec := range specs {
+		sc := base
+		sc.App = spec
+		insts, err := lab.Instances(sc)
+		if err != nil {
+			return nil, err
+		}
+		sums := make([]float64, len(res.Rows))
+		counts := make([]int, len(res.Rows))
+		for _, inst := range insts {
+			g := inst.Sched.Graph()
+			// Fixed feasible-ish deadline for the DL rows.
+			fwd, err := inst.Sched.Turnaround(inst.Env, core.BLCPAR, core.BDCPAR)
+			if err != nil {
+				return nil, err
+			}
+			deadline := inst.Env.Now + model.Duration(timingDeadlineFactor*float64(fwd.Turnaround()))
+
+			row := 0
+			for _, bd := range timedTurnaround {
+				fresh, err := core.NewScheduler(g)
+				if err != nil {
+					return nil, err
+				}
+				t0 := time.Now()
+				if _, err := fresh.Turnaround(inst.Env, core.BLCPAR, bd); err != nil {
+					return nil, fmt.Errorf("timing %v: %w", bd, err)
+				}
+				sums[row] += float64(time.Since(t0).Microseconds()) / 1000
+				counts[row]++
+				row++
+			}
+			for _, dl := range timedDeadline {
+				fresh, err := core.NewScheduler(g)
+				if err != nil {
+					return nil, err
+				}
+				t0 := time.Now()
+				_, err = fresh.Deadline(inst.Env, dl, deadline)
+				elapsed := float64(time.Since(t0).Microseconds()) / 1000
+				if err != nil && !errors.Is(err, core.ErrInfeasible) {
+					return nil, fmt.Errorf("timing %v: %w", dl, err)
+				}
+				if err == nil {
+					sums[row] += elapsed
+					counts[row]++
+				}
+				row++
+			}
+		}
+		for r := range res.Rows {
+			if counts[r] > 0 {
+				res.Rows[r].MeanMs[si] = sums[r] / float64(counts[r])
+			} else {
+				res.Rows[r].MeanMs[si] = -1 // no successful call
+			}
+		}
+	}
+	return res, nil
+}

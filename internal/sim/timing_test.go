@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+
+	"resched/internal/daggen"
+	"resched/internal/workload"
+)
+
+func TestRunTimingShape(t *testing.T) {
+	lab := NewLab(Config{LogDays: 21, DAGReps: 1, StartTimes: 1, Taggings: 1, Seed: 3, Workers: 1})
+	specs := []daggen.Spec{}
+	for _, n := range []int{10, 25} {
+		s := daggen.Default()
+		s.N = n
+		specs = append(specs, s)
+	}
+	base := Scenario{Arch: workload.SDSCDS, Phi: 0.2, Method: workload.Real}
+	res, err := RunTiming(lab, specs, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(timedTurnaround)+len(timedDeadline) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.MeanMs) != len(specs) {
+			t.Fatalf("row %s has %d cells", row.Name, len(row.MeanMs))
+		}
+		for i, ms := range row.MeanMs {
+			if ms == 0 {
+				t.Fatalf("row %s cell %d is exactly zero; want measured or -1 sentinel", row.Name, i)
+			}
+		}
+	}
+	// The turnaround algorithms must always have succeeded.
+	for _, row := range res.Rows[:len(timedTurnaround)] {
+		for i, ms := range row.MeanMs {
+			if ms < 0 {
+				t.Fatalf("turnaround row %s cell %d has no successful call", row.Name, i)
+			}
+		}
+	}
+}

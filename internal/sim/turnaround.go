@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+
+	"resched/internal/core"
+	"resched/internal/stats"
+)
+
+// winTolerance treats metric values within this relative distance of
+// the best as tied winners, absorbing one-second rounding noise.
+const winTolerance = 1e-9
+
+// TurnaroundResult aggregates the RESSCHED experiment (Tables 4 and 5):
+// per bounding method, the average percentage degradation from the
+// per-scenario best and the number of scenario wins, for both
+// turn-around time and CPU-hour consumption.
+type TurnaroundResult struct {
+	Algorithms []core.BDMethod
+	// DegTurnaround[i] is the mean over scenarios of algorithm i's
+	// percentage degradation from the scenario's best turnaround.
+	DegTurnaround  []float64
+	WinsTurnaround []int
+	DegCPUHours    []float64
+	WinsCPUHours   []int
+	Scenarios      int
+	Instances      int
+}
+
+// RunTurnaround runs the RESSCHED comparison: every scenario is solved
+// by each bounding method (bottom levels fixed to BL_CPAR, the paper's
+// choice after Section 4.3.1), metrics are averaged per scenario, and
+// degradation-from-best is averaged across scenarios.
+func RunTurnaround(lab *Lab, scenarios []Scenario, algos []core.BDMethod) (*TurnaroundResult, error) {
+	if len(algos) == 0 {
+		return nil, fmt.Errorf("sim: no algorithms")
+	}
+	nA := len(algos)
+	// Per-scenario per-algorithm means.
+	turn := make([][]float64, len(scenarios))
+	cpu := make([][]float64, len(scenarios))
+	instances := make([]int, len(scenarios))
+
+	err := lab.forEachScenario(scenarios, func(i int, sc Scenario) error {
+		insts, err := lab.Instances(sc)
+		if err != nil {
+			return err
+		}
+		sumT := make([]float64, nA)
+		sumC := make([]float64, nA)
+		for _, inst := range insts {
+			for a, bd := range algos {
+				sched, err := inst.Sched.Turnaround(inst.Env, core.BLCPAR, bd)
+				if err != nil {
+					return fmt.Errorf("%v: %w", bd, err)
+				}
+				sumT[a] += float64(sched.Turnaround())
+				sumC[a] += sched.CPUHours()
+			}
+		}
+		turn[i] = make([]float64, nA)
+		cpu[i] = make([]float64, nA)
+		for a := 0; a < nA; a++ {
+			turn[i][a] = sumT[a] / float64(len(insts))
+			cpu[i][a] = sumC[a] / float64(len(insts))
+		}
+		instances[i] = len(insts)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TurnaroundResult{
+		Algorithms:     algos,
+		DegTurnaround:  make([]float64, nA),
+		WinsTurnaround: make([]int, nA),
+		DegCPUHours:    make([]float64, nA),
+		WinsCPUHours:   make([]int, nA),
+		Scenarios:      len(scenarios),
+	}
+	for i := range scenarios {
+		res.Instances += instances[i]
+		if err := accumulate(turn[i], res.DegTurnaround, res.WinsTurnaround); err != nil {
+			return nil, err
+		}
+		if err := accumulate(cpu[i], res.DegCPUHours, res.WinsCPUHours); err != nil {
+			return nil, err
+		}
+	}
+	for a := 0; a < nA; a++ {
+		res.DegTurnaround[a] /= float64(len(scenarios))
+		res.DegCPUHours[a] /= float64(len(scenarios))
+	}
+	return res, nil
+}
+
+// accumulate adds one scenario's degradations into degSum and counts
+// its winners.
+func accumulate(values, degSum []float64, wins []int) error {
+	degs, err := stats.DegradationFromBest(values)
+	if err != nil {
+		return err
+	}
+	for a, d := range degs {
+		degSum[a] += d
+	}
+	for _, w := range stats.Winners(values, winTolerance) {
+		wins[w]++
+	}
+	return nil
+}
+
+// BLResult aggregates the bottom-level method comparison of Section
+// 4.3.1: for each bottom-level method, the share of scenarios where it
+// is (one of) the best, and the range of its turnaround improvement
+// relative to BL_1, all measured across every bounding method.
+type BLResult struct {
+	Methods []core.BLMethod
+	// BestShare[i] is the fraction of (scenario x bounding method)
+	// cases won by method i (ties count for every winner).
+	BestShare []float64
+	// MinImprovePct / MaxImprovePct bound the relative turnaround
+	// improvement over BL_1 in percent (negative = BL_1 better).
+	MinImprovePct []float64
+	MaxImprovePct []float64
+	Cases         int
+}
+
+// RunBLComparison reproduces Section 4.3.1: schedule each instance
+// with all four bottom-level methods under each bounding method, and
+// compare the per-scenario average turnarounds.
+func RunBLComparison(lab *Lab, scenarios []Scenario, bounds []core.BDMethod) (*BLResult, error) {
+	methods := core.AllBL
+	nM := len(methods)
+	type cell struct {
+		turn []float64 // per BL method mean turnaround
+	}
+	cells := make([][]cell, len(scenarios)) // [scenario][bound]
+	err := lab.forEachScenario(scenarios, func(i int, sc Scenario) error {
+		insts, err := lab.Instances(sc)
+		if err != nil {
+			return err
+		}
+		cells[i] = make([]cell, len(bounds))
+		for b := range bounds {
+			cells[i][b].turn = make([]float64, nM)
+		}
+		for _, inst := range insts {
+			for b, bd := range bounds {
+				for m, bl := range methods {
+					sched, err := inst.Sched.Turnaround(inst.Env, bl, bd)
+					if err != nil {
+						return err
+					}
+					cells[i][b].turn[m] += float64(sched.Turnaround())
+				}
+			}
+		}
+		for b := range bounds {
+			for m := range methods {
+				cells[i][b].turn[m] /= float64(len(insts))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BLResult{
+		Methods:       methods,
+		BestShare:     make([]float64, nM),
+		MinImprovePct: make([]float64, nM),
+		MaxImprovePct: make([]float64, nM),
+	}
+	first := true
+	for i := range scenarios {
+		for b := range bounds {
+			vals := cells[i][b].turn
+			for _, w := range stats.Winners(vals, winTolerance) {
+				res.BestShare[w]++
+			}
+			base := vals[0] // BL_1 is methods[0]
+			for m := range methods {
+				imp := 100 * (base - vals[m]) / base
+				if first || imp < res.MinImprovePct[m] {
+					res.MinImprovePct[m] = imp
+				}
+				if first || imp > res.MaxImprovePct[m] {
+					res.MaxImprovePct[m] = imp
+				}
+			}
+			first = false
+			res.Cases++
+		}
+	}
+	for m := range methods {
+		res.BestShare[m] /= float64(res.Cases)
+	}
+	return res, nil
+}

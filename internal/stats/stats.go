@@ -1,0 +1,138 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness needs: means, coefficients of variation (Table 3),
+// Pearson correlation (the reservation-schedule validation of Section
+// 3.2.1), and degradation-from-best aggregation (Tables 4-7).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the sample variance (n-1 denominator), or NaN when
+// fewer than two values are given.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var acc float64
+	for _, x := range xs {
+		d := x - m
+		acc += d * d
+	}
+	return acc / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CV returns the coefficient of variation in percent: 100 * stddev /
+// mean. It is NaN when the mean is zero or the sample is too small.
+func CV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return math.NaN()
+	}
+	return 100 * StdDev(xs) / m
+}
+
+// Min returns the minimum of xs, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and
+// ys. It returns an error when the lengths differ, fewer than two
+// points are given, or either series is constant.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("stats: series lengths %d and %d differ", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("stats: need at least two points, have %d", len(xs))
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: constant series has no correlation")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// DegradationFromBest converts per-algorithm metric values for one
+// scenario into percentage degradations relative to the scenario's
+// best (lowest) value: 100 * (x - best) / best. All values must be
+// positive.
+func DegradationFromBest(values []float64) ([]float64, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("stats: no values")
+	}
+	best := Min(values)
+	if best <= 0 {
+		return nil, fmt.Errorf("stats: non-positive best value %v", best)
+	}
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = 100 * (v - best) / best
+	}
+	return out, nil
+}
+
+// Winners returns the indices achieving the minimum of values within a
+// relative tolerance tol (e.g. 1e-9 for exact ties). The paper counts a
+// "win" for every algorithm tied for best in a scenario.
+func Winners(values []float64, tol float64) []int {
+	if len(values) == 0 {
+		return nil
+	}
+	best := Min(values)
+	var out []int
+	for i, v := range values {
+		if v <= best*(1+tol) || v == best {
+			out = append(out, i)
+		}
+	}
+	return out
+}

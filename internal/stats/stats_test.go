@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean of empty should be NaN")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance of this classic set is 32/7.
+	if !almost(Variance(xs), 32.0/7) {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), math.Sqrt(32.0/7)) {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of singleton should be NaN")
+	}
+}
+
+func TestCV(t *testing.T) {
+	xs := []float64{10, 10, 10}
+	if got := CV(xs); !almost(got, 0) {
+		t.Fatalf("CV of constant = %v", got)
+	}
+	if !math.IsNaN(CV([]float64{-1, 1})) {
+		t.Fatal("CV with zero mean should be NaN")
+	}
+	got := CV([]float64{8, 12})
+	// mean 10, sd = sqrt(8) -> 28.28%
+	if !almost(got, 100*math.Sqrt(8)/10) {
+		t.Fatalf("CV = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("empty Min/Max should be NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almost(r, 1) {
+		t.Fatalf("perfect correlation: r=%v err=%v", r, err)
+	}
+	ysNeg := []float64{8, 6, 4, 2}
+	r, err = Pearson(xs, ysNeg)
+	if err != nil || !almost(r, -1) {
+		t.Fatalf("perfect anticorrelation: r=%v err=%v", r, err)
+	}
+	if _, err := Pearson(xs, ys[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Fatal("too-short series accepted")
+	}
+	if _, err := Pearson([]float64{5, 5}, []float64{1, 2}); err == nil {
+		t.Fatal("constant series accepted")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 3
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return true // degenerate draw
+		}
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegradationFromBest(t *testing.T) {
+	degs, err := DegradationFromBest([]float64{10, 15, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 50, 100}
+	for i := range want {
+		if !almost(degs[i], want[i]) {
+			t.Fatalf("degs = %v, want %v", degs, want)
+		}
+	}
+	if _, err := DegradationFromBest(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := DegradationFromBest([]float64{0, 1}); err == nil {
+		t.Fatal("zero best accepted")
+	}
+}
+
+func TestWinners(t *testing.T) {
+	ws := Winners([]float64{3, 1, 1, 2}, 1e-12)
+	if len(ws) != 2 || ws[0] != 1 || ws[1] != 2 {
+		t.Fatalf("Winners = %v", ws)
+	}
+	if Winners(nil, 0) != nil {
+		t.Fatal("Winners(nil) should be nil")
+	}
+	// Tolerance captures near-ties.
+	ws = Winners([]float64{100, 100.0001, 200}, 1e-4)
+	if len(ws) != 2 {
+		t.Fatalf("Winners with tolerance = %v", ws)
+	}
+}
+
+// Property: degradations are non-negative and zero exactly for winners.
+func TestDegradationWinnersConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*100 + 1
+		}
+		degs, err := DegradationFromBest(xs)
+		if err != nil {
+			return false
+		}
+		winners := map[int]bool{}
+		for _, w := range Winners(xs, 1e-12) {
+			winners[w] = true
+		}
+		for i, d := range degs {
+			if d < 0 {
+				return false
+			}
+			if (d == 0) != winners[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,60 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tb := New("Table X: demo", "Algorithm", "Deg [%]", "Wins")
+	tb.Addf("BD_CPAR", 0.21, 386)
+	tb.Addf("BD_ALL", 33.75, 36)
+	out := tb.String()
+	for _, want := range []string{"Table X: demo", "Algorithm", "BD_CPAR", "0.21", "386", "33.75"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	// Header separator present.
+	if !strings.Contains(out, "---") {
+		t.Fatalf("no separator:\n%s", out)
+	}
+}
+
+func TestRenderAlignsColumns(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.Add("x", "1")
+	tb.Add("longer", "22")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	// All data lines must have equal rendered width.
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("misaligned rows:\n%s", tb.String())
+	}
+}
+
+func TestShortAndLongRows(t *testing.T) {
+	tb := New("t", "A", "B")
+	tb.Add("only")
+	tb.Add("a", "b", "c")
+	out := tb.String()
+	if !strings.Contains(out, "only") || !strings.Contains(out, "c") {
+		t.Fatalf("rows lost:\n%s", out)
+	}
+}
+
+func TestAddfFormats(t *testing.T) {
+	tb := New("", "v")
+	tb.Addf(3.14159)
+	tb.Addf(float32(2.5))
+	tb.Addf(42)
+	tb.Addf("str")
+	out := tb.String()
+	for _, want := range []string{"3.14", "2.50", "42", "str"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

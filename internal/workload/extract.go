@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// Method is one of the paper's three ways of turning a stationary
+// tagged-job schedule into a realistic reservation schedule whose
+// density decreases after the scheduling time T (Section 3.2.1).
+type Method int
+
+const (
+	// Linear makes the number of reservation jobs per day decrease
+	// approximately linearly, reaching zero at T + 7 days.
+	Linear Method = iota
+	// Expo makes the per-day reservation count decrease approximately
+	// exponentially, also vanishing by T + 7 days.
+	Expo
+	// Real keeps exactly the reservations of jobs submitted before T —
+	// what a real batch scheduler would know at time T.
+	Real
+)
+
+// AllMethods lists the decay methods in paper order.
+var AllMethods = []Method{Linear, Expo, Real}
+
+func (m Method) String() string {
+	switch m {
+	case Linear:
+		return "linear"
+	case Expo:
+		return "expo"
+	case Real:
+		return "real"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// decayWindow is the paper's 7-day horizon after which linear/expo
+// reservation schedules are empty.
+const decayWindow = 7
+
+// Extraction is a reservation schedule observed at time T, split into
+// the ongoing-and-future reservations the application scheduler must
+// work around and the past reservations used to estimate the historical
+// average number of available processors.
+type Extraction struct {
+	// At is the observation (scheduling) time T.
+	At model.Time
+	// Procs is the machine size.
+	Procs int
+	// Future holds reservations still active at or starting after At.
+	Future []profile.Reservation
+	// Past holds tagged reservations that started before At (their
+	// active-before-At parts inform the historical average).
+	Past []profile.Reservation
+}
+
+// Profile builds the availability profile an application scheduler
+// sees at time At.
+func (e *Extraction) Profile() (*profile.Profile, error) {
+	return profile.FromReservations(e.Procs, e.At, e.Future)
+}
+
+// HistWindow is the window used to estimate the historical average
+// number of available processors: the 7 days preceding T.
+const HistWindow = 7 * model.Day
+
+// Extract tags a fraction phi of the log's jobs as advance
+// reservations (uniformly at random), observes the resulting
+// reservation schedule at time at, and reshapes its future part with
+// the given decay method.
+func Extract(lg *Log, phi float64, method Method, at model.Time, rng *rand.Rand) (*Extraction, error) {
+	if phi <= 0 || phi > 1 {
+		return nil, fmt.Errorf("workload: phi %v outside (0,1]", phi)
+	}
+	if len(lg.Jobs) == 0 {
+		return nil, fmt.Errorf("workload: empty log")
+	}
+	first, last := lg.Span()
+	if at < first || at >= last {
+		return nil, fmt.Errorf("workload: observation time %d outside log span [%d,%d)", at, first, last)
+	}
+
+	ex := &Extraction{At: at, Procs: lg.Procs}
+	var past, ongoing, future []Job
+	for _, j := range lg.Jobs {
+		if rng.Float64() >= phi || j.Run == 0 {
+			continue
+		}
+		switch {
+		case j.End() <= at:
+			past = append(past, j)
+		case j.Start() < at:
+			ongoing = append(ongoing, j)
+		default:
+			future = append(future, j)
+		}
+	}
+	for _, j := range past {
+		ex.Past = append(ex.Past, profile.Reservation{Start: j.Start(), End: j.End(), Procs: j.Procs})
+	}
+	for _, j := range ongoing {
+		// Ongoing reservations contribute to both views.
+		ex.Past = append(ex.Past, profile.Reservation{Start: j.Start(), End: j.End(), Procs: j.Procs})
+		ex.Future = append(ex.Future, profile.Reservation{Start: j.Start(), End: j.End(), Procs: j.Procs})
+	}
+
+	switch method {
+	case Real:
+		for _, j := range future {
+			if j.Submit <= at {
+				ex.Future = append(ex.Future, profile.Reservation{Start: j.Start(), End: j.End(), Procs: j.Procs})
+			}
+		}
+	case Linear, Expo:
+		if err := decayFuture(ex, past, future, method, rng); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown decay method %v", method)
+	}
+	sort.Slice(ex.Future, func(i, k int) bool { return ex.Future[i].Start < ex.Future[k].Start })
+	sort.Slice(ex.Past, func(i, k int) bool { return ex.Past[i].Start < ex.Past[k].Start })
+	return ex, nil
+}
+
+// decayFuture adds and removes future reservations so the per-day
+// count over the 7 days after T follows the chosen decay profile, with
+// nothing starting after T + 7 days. The base rate is the average
+// number of tagged jobs starting per day during the 7 days before T.
+func decayFuture(ex *Extraction, past, future []Job, method Method, rng *rand.Rand) error {
+	at := ex.At
+	// Base rate from the past week.
+	baseCount := 0
+	for _, j := range past {
+		if j.Start() >= at-HistWindow {
+			baseCount++
+		}
+	}
+	base := float64(baseCount) / float64(decayWindow)
+	if base == 0 {
+		base = float64(len(future)) / float64(decayWindow) // sparse fallback
+	}
+
+	// Bucket future reservations by day after T.
+	buckets := make([][]Job, decayWindow)
+	for _, j := range future {
+		d := int((j.Start() - at) / model.Day)
+		if d >= decayWindow {
+			continue // dropped: nothing beyond the window survives
+		}
+		buckets[d] = append(buckets[d], j)
+	}
+
+	// Build the occupancy profile of everything already kept (ongoing
+	// reservations), so additions stay capacity-feasible.
+	occ, err := profile.FromReservations(ex.Procs, at, ex.Future)
+	if err != nil {
+		return err
+	}
+
+	for d := 0; d < decayWindow; d++ {
+		var target int
+		frac := (float64(d) + 0.5) / float64(decayWindow)
+		switch method {
+		case Linear:
+			target = int(math.Round(base * (1 - frac)))
+		case Expo:
+			// exp decay reaching ~5% at the end of the window.
+			target = int(math.Round(base * math.Exp(-3*frac)))
+		}
+		jobs := buckets[d]
+		// Shuffle so removals and keeps are unbiased.
+		rng.Shuffle(len(jobs), func(i, k int) { jobs[i], jobs[k] = jobs[k], jobs[i] })
+		if len(jobs) > target {
+			jobs = jobs[:target]
+		}
+		for _, j := range jobs {
+			r := profile.Reservation{Start: j.Start(), End: j.End(), Procs: j.Procs}
+			if occ.MinFree(r.Start, r.End) < r.Procs {
+				continue // conflicting after earlier edits; drop
+			}
+			if err := occ.Reserve(r.Start, r.End, r.Procs); err != nil {
+				return err
+			}
+			ex.Future = append(ex.Future, r)
+		}
+		// Top up with clones of random past jobs placed inside this
+		// day, if the log's own future is too sparse.
+		for extra := target - len(jobs); extra > 0 && len(past) > 0; extra-- {
+			src := past[rng.Intn(len(past))]
+			dayStart := at + model.Time(d)*model.Day
+			offset := model.Time(rng.Int63n(int64(model.Day)))
+			start := occ.EarliestFit(src.Procs, src.Run, dayStart+offset)
+			if start >= dayStart+model.Day+model.Day/2 {
+				continue // no room anywhere near this day; skip
+			}
+			if err := occ.Reserve(start, start+src.Run, src.Procs); err != nil {
+				return err
+			}
+			ex.Future = append(ex.Future, profile.Reservation{Start: start, End: start + src.Run, Procs: src.Procs})
+		}
+	}
+	return nil
+}
+
+// StartTimes picks n observation times spread uniformly at random over
+// the log's interior, leaving a HistWindow margin at the front (so a
+// past week exists) and a decay window at the back.
+func StartTimes(lg *Log, n int, rng *rand.Rand) ([]model.Time, error) {
+	first, last := lg.Span()
+	lo := first + HistWindow
+	hi := last - decayWindow*model.Day
+	if hi <= lo {
+		return nil, fmt.Errorf("workload: log span [%d,%d) too short for observation times", first, last)
+	}
+	out := make([]model.Time, n)
+	for i := range out {
+		out[i] = lo + model.Time(rng.Int63n(int64(hi-lo)))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+	return out, nil
+}

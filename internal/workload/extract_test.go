@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// testLog synthesizes a modest log once for the extraction tests.
+func testLog(t *testing.T, a Archetype, days int, seed int64) *Log {
+	t.Helper()
+	lg, err := Synthesize(a, days, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lg
+}
+
+func TestMethodString(t *testing.T) {
+	if Linear.String() != "linear" || Expo.String() != "expo" || Real.String() != "real" {
+		t.Fatal("Method.String broken")
+	}
+	if Method(9).String() == "" {
+		t.Fatal("unknown method must stringify")
+	}
+	if len(AllMethods) != 3 {
+		t.Fatal("AllMethods incomplete")
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	lg := testLog(t, SDSCDS, 21, 1)
+	rng := rand.New(rand.NewSource(2))
+	at := model.Time(10 * model.Day)
+	if _, err := Extract(lg, 0, Linear, at, rng); err == nil {
+		t.Fatal("phi=0 accepted")
+	}
+	if _, err := Extract(lg, 1.5, Linear, at, rng); err == nil {
+		t.Fatal("phi>1 accepted")
+	}
+	if _, err := Extract(lg, 0.2, Linear, -5, rng); err == nil {
+		t.Fatal("time before log accepted")
+	}
+	if _, err := Extract(lg, 0.2, Method(9), at, rng); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := Extract(&Log{Name: "e", Procs: 4}, 0.2, Linear, 0, rng); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}
+
+func TestExtractAllMethodsFeasible(t *testing.T) {
+	lg := testLog(t, SDSCDS, 21, 3)
+	for _, method := range AllMethods {
+		for _, phi := range []float64{0.1, 0.2, 0.5} {
+			rng := rand.New(rand.NewSource(17))
+			at := model.Time(10 * model.Day)
+			ex, err := Extract(lg, phi, method, at, rng)
+			if err != nil {
+				t.Fatalf("%v phi=%v: %v", method, phi, err)
+			}
+			if ex.Procs != lg.Procs || ex.At != at {
+				t.Fatalf("%v: extraction header %+v", method, ex)
+			}
+			// The future reservations must form a feasible profile.
+			prof, err := ex.Profile()
+			if err != nil {
+				t.Fatalf("%v phi=%v: future set infeasible: %v", method, phi, err)
+			}
+			if prof.Capacity() != lg.Procs {
+				t.Fatalf("profile capacity %d", prof.Capacity())
+			}
+			for _, r := range ex.Future {
+				if r.End <= ex.At {
+					t.Fatalf("%v: past reservation in future set: %+v", method, r)
+				}
+			}
+			for _, r := range ex.Past {
+				if r.Start >= ex.At {
+					t.Fatalf("%v: future reservation in past set: %+v", method, r)
+				}
+			}
+		}
+	}
+}
+
+func TestExtractRealKeepsOnlySubmittedBefore(t *testing.T) {
+	lg := testLog(t, SDSCDS, 21, 5)
+	at := model.Time(10 * model.Day)
+	rng := rand.New(rand.NewSource(23))
+	ex, err := Extract(lg, 0.5, Real, at, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every future reservation must trace back to a job submitted at or
+	// before `at` — verify by matching intervals against the log.
+	type key struct {
+		start, end model.Time
+		procs      int
+	}
+	submitted := map[key][]model.Time{}
+	for _, j := range lg.Jobs {
+		submitted[key{j.Start(), j.End(), j.Procs}] = append(submitted[key{j.Start(), j.End(), j.Procs}], j.Submit)
+	}
+	for _, r := range ex.Future {
+		if r.Start < at {
+			continue // ongoing reservation, started before at
+		}
+		subs, ok := submitted[key{r.Start, r.End, r.Procs}]
+		if !ok {
+			t.Fatalf("future reservation %+v not in the log", r)
+		}
+		early := false
+		for _, s := range subs {
+			if s <= at {
+				early = true
+			}
+		}
+		if !early {
+			t.Fatalf("reservation %+v only matches jobs submitted after %d", r, at)
+		}
+	}
+}
+
+func TestExtractDecayEmptiesAfterWindow(t *testing.T) {
+	lg := testLog(t, SDSCDS, 28, 7)
+	at := model.Time(10 * model.Day)
+	for _, method := range []Method{Linear, Expo} {
+		rng := rand.New(rand.NewSource(31))
+		ex, err := Extract(lg, 0.5, method, at, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range ex.Future {
+			if r.Start >= at+7*model.Day {
+				t.Fatalf("%v: reservation starts at %d, beyond the 7-day window (at=%d)", method, r.Start, at)
+			}
+		}
+	}
+}
+
+func TestExtractDecayDecreases(t *testing.T) {
+	// Averaged over several taggings, the first day must carry more
+	// reservations than the last day of the window.
+	lg := testLog(t, SDSCDS, 28, 9)
+	at := model.Time(12 * model.Day)
+	for _, method := range []Method{Linear, Expo} {
+		firstDays, lastDays := 0, 0
+		for seed := int64(0); seed < 8; seed++ {
+			ex, err := Extract(lg, 0.5, method, at, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range ex.Future {
+				if r.Start < at {
+					continue
+				}
+				d := int((r.Start - at) / model.Day)
+				switch {
+				case d <= 1:
+					firstDays++
+				case d >= 5:
+					lastDays++
+				}
+			}
+		}
+		if firstDays <= lastDays {
+			t.Fatalf("%v: %d reservations in days 0-1 vs %d in days 5-6; expected decay", method, firstDays, lastDays)
+		}
+	}
+}
+
+func TestExtractPhiScalesCount(t *testing.T) {
+	lg := testLog(t, SDSCDS, 21, 13)
+	at := model.Time(10 * model.Day)
+	count := func(phi float64) int {
+		total := 0
+		for seed := int64(0); seed < 5; seed++ {
+			ex, err := Extract(lg, phi, Real, at, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += len(ex.Future) + len(ex.Past)
+		}
+		return total
+	}
+	if c1, c5 := count(0.1), count(0.5); c5 <= c1 {
+		t.Fatalf("phi=0.5 produced %d reservations vs %d at phi=0.1", c5, c1)
+	}
+}
+
+func TestStartTimes(t *testing.T) {
+	lg := testLog(t, SDSCDS, 28, 15)
+	rng := rand.New(rand.NewSource(1))
+	ts, err := StartTimes(lg, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 10 {
+		t.Fatalf("got %d start times", len(ts))
+	}
+	first, last := lg.Span()
+	for i, tt := range ts {
+		if tt < first+HistWindow || tt > last-7*model.Day {
+			t.Fatalf("start time %d out of safe range", tt)
+		}
+		if i > 0 && ts[i-1] > tt {
+			t.Fatal("start times not sorted")
+		}
+	}
+	short := &Log{Name: "s", Procs: 4, Jobs: []Job{{ID: 1, Submit: 0, Run: 100, Procs: 1}}}
+	if _, err := StartTimes(short, 3, rng); err == nil {
+		t.Fatal("short log accepted")
+	}
+}
+
+func TestExtractGrid5000Schedule(t *testing.T) {
+	// The Grid'5000 usage in the paper: extract reservation schedules
+	// directly from the reservation log at random times, with phi = 1
+	// and the real method (every job is a reservation).
+	lg := testLog(t, Grid5000, 21, 17)
+	at := model.Time(10 * model.Day)
+	ex, err := Extract(lg, 1, Real, at, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Future) == 0 {
+		t.Fatal("no future reservations in a dense reservation log")
+	}
+	if _, err := ex.Profile(); err != nil {
+		t.Fatal(err)
+	}
+}

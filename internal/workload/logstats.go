@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"fmt"
+
+	"resched/internal/model"
+	"resched/internal/profile"
+	"resched/internal/stats"
+)
+
+// Stats are the per-log metrics of the paper's Table 3: average job
+// execution time and average time between submission and start
+// ("time to exec"), with coefficients of variation. Following the
+// table's very low CV values (under 4%), the CVs are computed over
+// weekly bucket means — the dispersion of the weekly averages, not of
+// individual jobs (whose CV in any real log far exceeds 100%).
+type Stats struct {
+	Name         string
+	MeanRunHours float64
+	CVRunPct     float64
+	MeanToExecH  float64
+	CVToExecPct  float64
+	Jobs         int
+	Utilization  float64
+}
+
+// ComputeStats derives Table 3-style statistics from a log.
+func ComputeStats(lg *Log) (Stats, error) {
+	if len(lg.Jobs) == 0 {
+		return Stats{}, fmt.Errorf("workload: empty log")
+	}
+	first, last := lg.Span()
+	weeks := int((last-first)/model.Week) + 1
+	runBuckets := make([][]float64, weeks)
+	waitBuckets := make([][]float64, weeks)
+	var runs, waits []float64
+	for _, j := range lg.Jobs {
+		w := int((j.Submit - first) / model.Week)
+		r := float64(j.Run) / float64(model.Hour)
+		wt := float64(j.Wait) / float64(model.Hour)
+		runBuckets[w] = append(runBuckets[w], r)
+		waitBuckets[w] = append(waitBuckets[w], wt)
+		runs = append(runs, r)
+		waits = append(waits, wt)
+	}
+	var runMeans, waitMeans []float64
+	for w := 0; w < weeks; w++ {
+		if len(runBuckets[w]) == 0 {
+			continue
+		}
+		runMeans = append(runMeans, stats.Mean(runBuckets[w]))
+		waitMeans = append(waitMeans, stats.Mean(waitBuckets[w]))
+	}
+	return Stats{
+		Name:         lg.Name,
+		MeanRunHours: stats.Mean(runs),
+		CVRunPct:     stats.CV(runMeans),
+		MeanToExecH:  stats.Mean(waits),
+		CVToExecPct:  stats.CV(waitMeans),
+		Jobs:         len(lg.Jobs),
+		Utilization:  lg.Utilization(),
+	}, nil
+}
+
+// ReservedSeries samples the number of reserved processors of a
+// reservation set at the given period over [from, to), producing the
+// time series used for the correlation analysis of Section 3.2.1.
+func ReservedSeries(procs int, rs []profile.Reservation, from, to model.Time, period model.Duration) ([]float64, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("workload: period %d <= 0", period)
+	}
+	if to <= from {
+		return nil, fmt.Errorf("workload: empty sampling window [%d,%d)", from, to)
+	}
+	prof, err := profile.FromReservations(procs, from, rs)
+	if err != nil {
+		return nil, err
+	}
+	var out []float64
+	for t := from; t < to; t += period {
+		out = append(out, float64(prof.ReservedAt(t)))
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"resched/internal/batchsim"
+)
+
+func TestSynthesizeQueuedBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lg, err := SynthesizeQueued(SDSCDS, 14, batchsim.EASY, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Validate(); err != nil {
+		t.Fatalf("queued log infeasible: %v", err)
+	}
+	if len(lg.Jobs) == 0 {
+		t.Fatal("no jobs")
+	}
+	st, err := ComputeStats(lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Utilization <= 0 || st.Utilization > 1 {
+		t.Fatalf("utilization %v", st.Utilization)
+	}
+}
+
+func TestSynthesizeQueuedRejectsReservationLogs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SynthesizeQueued(Grid5000, 10, batchsim.EASY, rng); err == nil {
+		t.Fatal("reservation archetype accepted")
+	}
+	if _, err := SynthesizeQueued(SDSCDS, 0, batchsim.EASY, rng); err == nil {
+		t.Fatal("zero days accepted")
+	}
+	bad := SDSCDS
+	bad.Procs = 0
+	if _, err := SynthesizeQueued(bad, 10, batchsim.EASY, rng); err == nil {
+		t.Fatal("invalid archetype accepted")
+	}
+}
+
+func TestSynthesizeQueuedProducesRealWaits(t *testing.T) {
+	// On a loaded machine, the queued generator must produce clearly
+	// larger waits than idealized FCFS packing — the motivation for
+	// this generator (see Table 3's time-to-exec column).
+	rng1 := rand.New(rand.NewSource(5))
+	rng2 := rand.New(rand.NewSource(5))
+	arch := CTCSP2
+	packed, err := Synthesize(arch, 14, rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := SynthesizeQueued(arch, 14, batchsim.EASY, rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanWait := func(lg *Log) float64 {
+		var sum float64
+		for _, j := range lg.Jobs {
+			sum += float64(j.Wait)
+		}
+		return sum / float64(len(lg.Jobs))
+	}
+	if meanWait(queued) <= meanWait(packed) {
+		t.Fatalf("queued waits %.0f not above packed waits %.0f", meanWait(queued), meanWait(packed))
+	}
+}
+
+func TestSynthesizeQueuedFeedsExtraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lg, err := SynthesizeQueued(SDSCDS, 21, batchsim.FCFS, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts, err := StartTimes(lg, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := Extract(lg, 0.2, Expo, starts[0], rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Profile(); err != nil {
+		t.Fatal(err)
+	}
+}

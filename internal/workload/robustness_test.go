@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// TestParseSWFNeverPanics feeds structured garbage to the parser; it
+// must return an error or a (possibly empty) log, never panic.
+func TestParseSWFNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	tokens := []string{"-1", "0", "1", "9999999999", "abc", ";", "1.5", "", "\t"}
+	for round := 0; round < 200; round++ {
+		var b strings.Builder
+		lines := rng.Intn(6)
+		for l := 0; l < lines; l++ {
+			fields := rng.Intn(22)
+			for f := 0; f < fields; f++ {
+				b.WriteString(tokens[rng.Intn(len(tokens))])
+				b.WriteByte(' ')
+			}
+			b.WriteByte('\n')
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseSWF panicked on:\n%s\npanic: %v", b.String(), r)
+				}
+			}()
+			_, _ = ParseSWF(strings.NewReader(b.String()), "fuzz")
+		}()
+	}
+}
+
+// TestParseSWFHeaderVariants checks MaxProcs header recognition.
+func TestParseSWFHeaderVariants(t *testing.T) {
+	cases := []struct {
+		header string
+		want   int
+	}{
+		{"; MaxProcs: 128", 128},
+		{";MaxProcs: 64", 64},
+		{"; Computer: foo MaxProcs: 32", 32},
+		{"; MaxProcs: notanumber", 16}, // falls back to widest job
+		{"; NothingUseful: 7", 16},
+	}
+	record := "1 0 0 100 16 -1 -1 16 100 -1 1 1 1 -1 1 -1 -1 -1\n"
+	for _, c := range cases {
+		lg, err := ParseSWF(strings.NewReader(c.header+"\n"+record), "h")
+		if err != nil {
+			t.Fatalf("header %q: %v", c.header, err)
+		}
+		if lg.Procs != c.want {
+			t.Fatalf("header %q: Procs = %d, want %d", c.header, lg.Procs, c.want)
+		}
+	}
+}
+
+// TestParseSWFSortsBySubmit verifies out-of-order records are sorted.
+func TestParseSWFSortsBySubmit(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("; MaxProcs: 8\n")
+	for _, submit := range []int{500, 100, 300} {
+		fmt.Fprintf(&b, "1 %d 0 100 2 -1 -1 2 100 -1 1 1 1 -1 1 -1 -1 -1\n", submit)
+	}
+	lg, err := ParseSWF(strings.NewReader(b.String()), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(lg.Jobs); i++ {
+		if lg.Jobs[i].Submit < lg.Jobs[i-1].Submit {
+			t.Fatalf("jobs not sorted by submit: %+v", lg.Jobs)
+		}
+	}
+}
+
+// TestExtractFragmentationStress builds a log of many tiny jobs and
+// checks extraction stays feasible and fast enough to matter.
+func TestExtractFragmentationStress(t *testing.T) {
+	lg := &Log{Name: "tiny", Procs: 16}
+	for i := 0; i < 4000; i++ {
+		lg.Jobs = append(lg.Jobs, Job{
+			ID:     i + 1,
+			Submit: model.Time(i) * 600,
+			Run:    590,
+			Procs:  1 + i%3,
+		})
+	}
+	if err := lg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	at := model.Time(2200) * 600
+	for _, method := range AllMethods {
+		ex, err := Extract(lg, 0.5, method, at, rng)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if _, err := ex.Profile(); err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package workload provides the batch-workload substrate behind the
+// paper's reservation model (Section 3.2): parsing and writing logs in
+// the Standard Workload Format (SWF) used by the Parallel Workloads
+// Archive, synthesizing statistically similar logs for the paper's four
+// supercomputer traces and the Grid'5000 reservation trace (the real
+// traces are not redistributable and this module builds offline — see
+// DESIGN.md, Substitutions), and turning a log into a reservation
+// schedule by tagging a fraction phi of jobs as reservations and
+// applying the paper's linear / expo / real decay methods.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"resched/internal/model"
+)
+
+// Job is one batch job. Times follow SWF conventions: Submit is the
+// submission time relative to the log start, Wait the queueing delay,
+// Run the execution time, and Procs the number of allocated
+// processors.
+type Job struct {
+	ID     int
+	Submit model.Time
+	Wait   model.Duration
+	Run    model.Duration
+	Procs  int
+}
+
+// Start returns the job's start time.
+func (j Job) Start() model.Time { return j.Submit + j.Wait }
+
+// End returns the job's (exclusive) end time.
+func (j Job) End() model.Time { return j.Start() + j.Run }
+
+// Log is a batch workload: a machine size and a list of jobs sorted by
+// submission time.
+type Log struct {
+	Name  string
+	Procs int
+	Jobs  []Job
+}
+
+// Span returns the time range [first submit, last end) covered by the
+// log.
+func (l *Log) Span() (model.Time, model.Time) {
+	if len(l.Jobs) == 0 {
+		return 0, 0
+	}
+	first := l.Jobs[0].Submit
+	var last model.Time
+	for _, j := range l.Jobs {
+		if j.Submit < first {
+			first = j.Submit
+		}
+		if j.End() > last {
+			last = j.End()
+		}
+	}
+	return first, last
+}
+
+// Utilization returns the fraction of the machine's capacity consumed
+// by the log's jobs over its span.
+func (l *Log) Utilization() float64 {
+	first, last := l.Span()
+	if last <= first || l.Procs == 0 {
+		return 0
+	}
+	var area float64
+	for _, j := range l.Jobs {
+		area += float64(j.Procs) * float64(j.Run)
+	}
+	return area / (float64(l.Procs) * float64(last-first))
+}
+
+// Validate checks that the log is internally consistent: jobs have
+// positive sizes within the machine, non-negative times, and — the
+// property the reservation extraction relies on — the jobs' concurrent
+// processor usage never exceeds the machine size.
+func (l *Log) Validate() error {
+	if l.Procs < 1 {
+		return fmt.Errorf("workload: machine size %d < 1", l.Procs)
+	}
+	type ev struct {
+		t     model.Time
+		delta int
+	}
+	evs := make([]ev, 0, 2*len(l.Jobs))
+	for i, j := range l.Jobs {
+		if j.Procs < 1 || j.Procs > l.Procs {
+			return fmt.Errorf("workload: job %d uses %d of %d processors", i, j.Procs, l.Procs)
+		}
+		if j.Submit < 0 || j.Wait < 0 || j.Run < 0 {
+			return fmt.Errorf("workload: job %d has negative time fields", i)
+		}
+		if j.Run == 0 {
+			continue
+		}
+		evs = append(evs, ev{j.Start(), j.Procs}, ev{j.End(), -j.Procs})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].delta < evs[b].delta // releases before acquires
+	})
+	used := 0
+	for _, e := range evs {
+		used += e.delta
+		if used > l.Procs {
+			return fmt.Errorf("workload: %d processors in use at time %d on a %d-processor machine", used, e.t, l.Procs)
+		}
+	}
+	return nil
+}
+
+// swfFields is the number of columns in a Standard Workload Format
+// record.
+const swfFields = 18
+
+// ParseSWF reads a log in Standard Workload Format. Header comments
+// (lines starting with ';') are honored for the MaxProcs field; jobs
+// with unknown (-1) run time or processor count, or failed status, are
+// skipped, mirroring how the paper's methodology uses the archive logs.
+func ParseSWF(r io.Reader, name string) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	log := &Log{Name: name}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			if v, ok := headerInt(line, "MaxProcs:"); ok {
+				log.Procs = v
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < swfFields {
+			return nil, fmt.Errorf("workload: line %d: %d fields, want %d", lineNo, len(fields), swfFields)
+		}
+		vals := make([]int64, 5)
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d field %d: %v", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		status, err := strconv.ParseInt(fields[10], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d status: %v", lineNo, err)
+		}
+		job := Job{
+			ID:     int(vals[0]),
+			Submit: vals[1],
+			Wait:   vals[2],
+			Run:    vals[3],
+			Procs:  int(vals[4]),
+		}
+		if job.Run < 0 || job.Procs < 1 || status == 0 || job.Wait < 0 {
+			continue // cancelled / failed / incomplete record
+		}
+		log.Jobs = append(log.Jobs, job)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if log.Procs == 0 {
+		// No MaxProcs header: infer from the widest job.
+		for _, j := range log.Jobs {
+			if j.Procs > log.Procs {
+				log.Procs = j.Procs
+			}
+		}
+	}
+	sort.Slice(log.Jobs, func(i, k int) bool { return log.Jobs[i].Submit < log.Jobs[k].Submit })
+	return log, nil
+}
+
+func headerInt(line, key string) (int, bool) {
+	idx := strings.Index(line, key)
+	if idx < 0 {
+		return 0, false
+	}
+	rest := strings.TrimSpace(line[idx+len(key):])
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return 0, false
+	}
+	v, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// WriteSWF writes the log in Standard Workload Format. Unknown fields
+// are written as -1 per the SWF convention.
+func (l *Log) WriteSWF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; SWF log generated by resched\n")
+	fmt.Fprintf(bw, "; Computer: %s\n", l.Name)
+	fmt.Fprintf(bw, "; MaxProcs: %d\n", l.Procs)
+	for _, j := range l.Jobs {
+		// job submit wait run procs cpu mem reqProcs reqTime reqMem
+		// status user group exe queue partition preceding thinkTime
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d %d -1 -1 %d %d -1 1 -1 -1 -1 -1 -1 -1 -1\n",
+			j.ID, j.Submit, j.Wait, j.Run, j.Procs, j.Procs, j.Run); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"resched/internal/model"
+)
+
+func TestJobTimes(t *testing.T) {
+	j := Job{Submit: 100, Wait: 50, Run: 200, Procs: 4}
+	if j.Start() != 150 || j.End() != 350 {
+		t.Fatalf("Start/End = %d/%d", j.Start(), j.End())
+	}
+}
+
+func TestLogSpanAndUtilization(t *testing.T) {
+	lg := &Log{Name: "x", Procs: 4, Jobs: []Job{
+		{ID: 1, Submit: 0, Wait: 0, Run: 100, Procs: 2},
+		{ID: 2, Submit: 50, Wait: 50, Run: 100, Procs: 2},
+	}}
+	first, last := lg.Span()
+	if first != 0 || last != 200 {
+		t.Fatalf("Span = [%d,%d)", first, last)
+	}
+	// 400 proc-seconds over 4*200 capacity.
+	if got := lg.Utilization(); got != 0.5 {
+		t.Fatalf("Utilization = %v", got)
+	}
+	if err := lg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogValidateCatchesOvercommit(t *testing.T) {
+	lg := &Log{Name: "x", Procs: 4, Jobs: []Job{
+		{ID: 1, Submit: 0, Wait: 0, Run: 100, Procs: 3},
+		{ID: 2, Submit: 0, Wait: 0, Run: 100, Procs: 3},
+	}}
+	if err := lg.Validate(); err == nil {
+		t.Fatal("overcommitted log validated")
+	}
+	lg = &Log{Name: "x", Procs: 4, Jobs: []Job{{ID: 1, Submit: 0, Run: 100, Procs: 5}}}
+	if err := lg.Validate(); err == nil {
+		t.Fatal("oversized job validated")
+	}
+	lg = &Log{Name: "x", Procs: 4, Jobs: []Job{{ID: 1, Submit: -5, Run: 100, Procs: 1}}}
+	if err := lg.Validate(); err == nil {
+		t.Fatal("negative submit validated")
+	}
+	lg = &Log{Name: "x", Procs: 0}
+	if err := lg.Validate(); err == nil {
+		t.Fatal("zero-proc machine validated")
+	}
+}
+
+func TestLogValidateBackToBack(t *testing.T) {
+	// End-exclusive semantics: a job may start exactly when another
+	// releases the processors.
+	lg := &Log{Name: "x", Procs: 2, Jobs: []Job{
+		{ID: 1, Submit: 0, Run: 100, Procs: 2},
+		{ID: 2, Submit: 0, Wait: 100, Run: 100, Procs: 2},
+	}}
+	if err := lg.Validate(); err != nil {
+		t.Fatalf("back-to-back jobs rejected: %v", err)
+	}
+}
+
+const sampleSWF = `; Computer: TestMachine
+; MaxProcs: 64
+; UnixStartTime: 0
+1 0 10 100 4 -1 -1 4 200 -1 1 1 1 -1 1 -1 -1 -1
+2 50 0 300 8 -1 -1 8 400 -1 1 2 1 -1 1 -1 -1 -1
+3 60 5 -1 4 -1 -1 4 100 -1 1 3 1 -1 1 -1 -1 -1
+4 70 5 100 -1 -1 -1 4 100 -1 1 3 1 -1 1 -1 -1 -1
+5 80 5 100 4 -1 -1 4 100 -1 0 3 1 -1 1 -1 -1 -1
+`
+
+func TestParseSWF(t *testing.T) {
+	lg, err := ParseSWF(strings.NewReader(sampleSWF), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Procs != 64 {
+		t.Fatalf("Procs = %d, want 64 from header", lg.Procs)
+	}
+	// Jobs 3 (unknown runtime), 4 (unknown procs), 5 (failed status)
+	// are skipped.
+	if len(lg.Jobs) != 2 {
+		t.Fatalf("parsed %d jobs, want 2", len(lg.Jobs))
+	}
+	if lg.Jobs[0].ID != 1 || lg.Jobs[0].Wait != 10 || lg.Jobs[0].Run != 100 || lg.Jobs[0].Procs != 4 {
+		t.Fatalf("job 1 = %+v", lg.Jobs[0])
+	}
+}
+
+func TestParseSWFErrors(t *testing.T) {
+	if _, err := ParseSWF(strings.NewReader("1 2 3\n"), "x"); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if _, err := ParseSWF(strings.NewReader("a 0 0 1 1 -1 -1 1 1 -1 1 1 1 -1 1 -1 -1 -1\n"), "x"); err == nil {
+		t.Fatal("non-numeric field accepted")
+	}
+}
+
+func TestParseSWFInfersMaxProcs(t *testing.T) {
+	in := "1 0 0 100 16 -1 -1 16 100 -1 1 1 1 -1 1 -1 -1 -1\n"
+	lg, err := ParseSWF(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Procs != 16 {
+		t.Fatalf("inferred Procs = %d, want 16", lg.Procs)
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	orig, err := Synthesize(OSCCluster, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteSWF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSWF(&buf, orig.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Procs != orig.Procs || len(back.Jobs) != len(orig.Jobs) {
+		t.Fatalf("round trip: %d procs %d jobs, want %d procs %d jobs",
+			back.Procs, len(back.Jobs), orig.Procs, len(orig.Jobs))
+	}
+	for i := range orig.Jobs {
+		if orig.Jobs[i] != back.Jobs[i] {
+			t.Fatalf("job %d: %+v != %+v", i, orig.Jobs[i], back.Jobs[i])
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	lg := &Log{Name: "x", Procs: 8, Jobs: []Job{
+		{ID: 1, Submit: 0, Wait: model.Hour, Run: 2 * model.Hour, Procs: 2},
+		{ID: 2, Submit: model.Hour, Wait: 3 * model.Hour, Run: 4 * model.Hour, Procs: 2},
+	}}
+	st, err := ComputeStats(lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanRunHours != 3 {
+		t.Fatalf("MeanRunHours = %v", st.MeanRunHours)
+	}
+	if st.MeanToExecH != 2 {
+		t.Fatalf("MeanToExecH = %v", st.MeanToExecH)
+	}
+	if st.Jobs != 2 {
+		t.Fatalf("Jobs = %d", st.Jobs)
+	}
+	if _, err := ComputeStats(&Log{Name: "empty", Procs: 1}); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}

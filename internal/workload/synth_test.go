@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"resched/internal/profile"
+)
+
+func TestArchetypeValidation(t *testing.T) {
+	for _, a := range append(append([]Archetype{}, BatchArchetypes...), Grid5000) {
+		if err := a.Validate(); err != nil {
+			t.Fatalf("built-in archetype %s invalid: %v", a.Name, err)
+		}
+	}
+	bad := CTCSP2
+	bad.Procs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-proc archetype validated")
+	}
+	bad = CTCSP2
+	bad.TargetUtil = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("util > 1 validated")
+	}
+	bad = CTCSP2
+	bad.MaxJobProcs = 9999
+	if err := bad.Validate(); err == nil {
+		t.Fatal("max width > machine validated")
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("SDSC_BLUE")
+	if err != nil || a.Procs != 1152 {
+		t.Fatalf("ByName(SDSC_BLUE) = %+v, %v", a, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown archetype accepted")
+	}
+}
+
+func TestSynthesizeFeasibleAndDeterministic(t *testing.T) {
+	a := SDSCDS
+	lg1, err := Synthesize(a, 14, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg1.Validate(); err != nil {
+		t.Fatalf("synthetic log infeasible: %v", err)
+	}
+	lg2, err := Synthesize(a, 14, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lg1.Jobs) != len(lg2.Jobs) {
+		t.Fatalf("nondeterministic synthesis: %d vs %d jobs", len(lg1.Jobs), len(lg2.Jobs))
+	}
+	for i := range lg1.Jobs {
+		if lg1.Jobs[i] != lg2.Jobs[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+}
+
+func TestSynthesizeHitsTargetUtilization(t *testing.T) {
+	for _, a := range []Archetype{OSCCluster, SDSCDS} {
+		lg, err := Synthesize(a, 30, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := lg.Utilization()
+		if math.Abs(got-a.TargetUtil) > 0.15 {
+			t.Fatalf("%s: utilization %.3f, target %.3f (tolerance 0.15)", a.Name, got, a.TargetUtil)
+		}
+	}
+}
+
+func TestSynthesizeRunTimesTrackMean(t *testing.T) {
+	a := Grid5000
+	lg, err := Synthesize(a, 30, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, j := range lg.Jobs {
+		sum += float64(j.Run)
+	}
+	mean := sum / float64(len(lg.Jobs))
+	// Lognormal clamping biases the mean down somewhat; accept 2x band.
+	if mean < float64(a.MeanRun)/2 || mean > float64(a.MeanRun)*2 {
+		t.Fatalf("mean run %.0fs far from target %ds", mean, a.MeanRun)
+	}
+}
+
+func TestSynthesizeReservationLogHasLead(t *testing.T) {
+	lg, err := Synthesize(Grid5000, 20, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withLead int
+	for _, j := range lg.Jobs {
+		if j.Wait > 0 {
+			withLead++
+		}
+	}
+	if frac := float64(withLead) / float64(len(lg.Jobs)); frac < 0.9 {
+		t.Fatalf("only %.0f%% of reservation jobs booked in advance", 100*frac)
+	}
+	var sumWait float64
+	for _, j := range lg.Jobs {
+		sumWait += float64(j.Wait)
+	}
+	meanWait := sumWait / float64(len(lg.Jobs))
+	if meanWait < float64(Grid5000.MeanLead)/2 {
+		t.Fatalf("mean lead %.0fs far below target %ds", meanWait, Grid5000.MeanLead)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	if _, err := Synthesize(CTCSP2, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("zero days accepted")
+	}
+	bad := CTCSP2
+	bad.SigmaRun = -1
+	if _, err := Synthesize(bad, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid archetype accepted")
+	}
+}
+
+func TestSynthesizeJobFieldsInRange(t *testing.T) {
+	lg, err := Synthesize(CTCSP2, 10, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range lg.Jobs {
+		if j.Procs < 1 || j.Procs > CTCSP2.MaxJobProcs {
+			t.Fatalf("job width %d outside [1,%d]", j.Procs, CTCSP2.MaxJobProcs)
+		}
+		if j.Run < minRun || j.Run > maxRun {
+			t.Fatalf("job run %d outside [%d,%d]", j.Run, minRun, maxRun)
+		}
+		if j.Wait < 0 {
+			t.Fatalf("negative wait %d", j.Wait)
+		}
+	}
+}
+
+func TestExpectedJobProcsMatchesEmpirical(t *testing.T) {
+	a := SDSCDS
+	rng := rand.New(rand.NewSource(13))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(a.drawProcs(rng))
+	}
+	emp := sum / n
+	ana := a.expectedJobProcs()
+	if math.Abs(emp-ana)/ana > 0.1 {
+		t.Fatalf("empirical mean width %.2f vs analytical %.2f", emp, ana)
+	}
+}
+
+func TestReservedSeries(t *testing.T) {
+	rs := []profile.Reservation{{Start: 0, End: 100, Procs: 2}, {Start: 50, End: 150, Procs: 3}}
+	series, err := ReservedSeries(8, rs, 0, 200, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 5, 3, 0}
+	for i := range want {
+		if series[i] != want[i] {
+			t.Fatalf("series = %v, want %v", series, want)
+		}
+	}
+	if _, err := ReservedSeries(8, nil, 0, 100, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := ReservedSeries(8, nil, 100, 100, 10); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}

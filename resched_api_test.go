@@ -1,0 +1,143 @@
+package resched_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"resched"
+)
+
+// TestPublicAPIEndToEnd walks the README path: build a DAG, set up a
+// cluster with competing reservations, schedule for turnaround and for
+// a deadline, and check the metrics line up.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g := resched.NewGraph(2)
+	prep := g.AddTask(resched.Task{Name: "prep", Seq: resched.Hour, Alpha: 0.1})
+	solve := g.AddTask(resched.Task{Name: "solve", Seq: 4 * resched.Hour, Alpha: 0.05})
+	g.MustAddEdge(prep, solve)
+
+	avail := resched.NewProfile(64, 0)
+	if err := avail.Reserve(0, 2*resched.Hour, 48); err != nil {
+		t.Fatal(err)
+	}
+	s, err := resched.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := resched.Env{P: 64, Now: 0, Avail: avail, Q: 32}
+
+	sched, err := s.Turnaround(env, resched.BLCPAR, resched.BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(env, sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Turnaround() <= 0 || sched.CPUHours() <= 0 {
+		t.Fatalf("degenerate metrics: %d s, %v CPU-hours", sched.Turnaround(), sched.CPUHours())
+	}
+
+	dl, err := s.Deadline(env, resched.DLRCBDCPARLambda, 12*resched.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyDeadline(env, dl, 12*resched.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// An absurd deadline must report infeasibility through the exported
+	// sentinel.
+	if _, err := s.Deadline(env, resched.DLBDCPA, resched.Minute); !errors.Is(err, resched.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+// TestPublicAPIWorkloadPath exercises the workload half of the facade:
+// synthesize, round-trip through SWF, extract reservations, schedule.
+func TestPublicAPIWorkloadPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lg, err := resched.SynthesizeLog(resched.SDSCDS, 21, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lg.WriteSWF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := resched.ParseSWF(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Jobs) != len(lg.Jobs) {
+		t.Fatalf("SWF round trip lost jobs: %d -> %d", len(lg.Jobs), len(parsed.Jobs))
+	}
+
+	at := resched.Time(10 * resched.Day)
+	ex, err := resched.ExtractReservations(parsed, 0.2, resched.Expo, at, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail, err := ex.Profile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := resched.HistoricalAvail(ex.Procs, ex.Past, ex.At, resched.Week)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := resched.DefaultDAGSpec()
+	spec.N = 20
+	g, err := resched.GenerateDAG(spec, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := resched.NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := resched.Env{P: ex.Procs, Now: ex.At, Avail: avail, Q: q}
+	sched, err := s.Turnaround(env, resched.BLCPA, resched.BDCPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(env, sched); err != nil {
+		t.Fatal(err)
+	}
+
+	k, tight, err := s.TightestDeadline(env, resched.DLBDCPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.VerifyDeadline(env, tight, k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIParsersAndHelpers(t *testing.T) {
+	if _, err := resched.ParseBD("BD_CPAR"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resched.ParseBL("BL_ALL"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resched.ParseDL("DL_RCBD_CPAR-l"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resched.ParseBD("nope"); err == nil {
+		t.Fatal("bad name accepted")
+	}
+	if got := resched.ExecTime(100, 0, 4); got != 25 {
+		t.Fatalf("ExecTime = %d", got)
+	}
+	g := resched.NewGraph(1)
+	g.AddTask(resched.Task{Seq: resched.Hour, Alpha: 0.2})
+	alloc, err := resched.CPAAllocate(g, 16)
+	if err != nil || len(alloc) != 1 || alloc[0] < 1 {
+		t.Fatalf("CPAAllocate = %v, %v", alloc, err)
+	}
+	if _, err := resched.ProfileFromReservations(4, 0, []resched.Reservation{{Start: 0, End: 10, Procs: 5}}); err == nil {
+		t.Fatal("overcommitted reservation accepted")
+	}
+}
