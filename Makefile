@@ -1,0 +1,27 @@
+# Tier-1 verification for the serving code (resbook, server,
+# reschedd): formatting, vet, and the full suite under the race
+# detector. `make test` is the quick non-race cycle.
+
+GO ?= go
+
+.PHONY: ci fmt vet test race build
+
+ci: fmt vet race
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

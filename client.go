@@ -1,0 +1,217 @@
+package resched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"resched/internal/api"
+	"resched/internal/dagio"
+)
+
+// Wire types of the reschedd HTTP API, shared with the server so the
+// two cannot drift.
+type (
+	// ScheduleResult is the response of a schedule or deadline
+	// request: the per-task placements plus, when committed, the
+	// reservation IDs booked for them.
+	ScheduleResult = api.ScheduleResponse
+	// TaskPlacement is one task's reservation within a ScheduleResult.
+	TaskPlacement = api.Placement
+	// BookedReservation is one reservation held by a reschedd book.
+	BookedReservation = api.Reservation
+	// ClusterProfile is the daemon's availability profile view.
+	ClusterProfile = api.ProfileResponse
+)
+
+// APIError is a non-2xx response from a reschedd daemon.
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // server-reported error
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("reschedd: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Client talks to a reschedd daemon. The zero value is not usable;
+// construct with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a Client for the daemon at baseURL (e.g.
+// "http://localhost:8080"). A nil httpClient uses
+// http.DefaultClient; pass one with a Timeout for production use.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// ScheduleOptions parameterize Client.Schedule. Zero values pick the
+// server defaults (BL_CPAR, BD_CPAR, now = book origin, q = 0).
+type ScheduleOptions struct {
+	BL, BD string // bottom-level and bounding method names
+	Now    Time   // scheduling time; 0 means the book's origin
+	Q      int    // historical average available processors
+	Commit bool   // book the schedule's reservations atomically
+}
+
+// Schedule computes a RESSCHED schedule for the application on the
+// daemon's current reservation book and, with opts.Commit, books it.
+func (c *Client) Schedule(ctx context.Context, g *Graph, opts ScheduleOptions) (*ScheduleResult, error) {
+	raw, err := encodeDAG(g)
+	if err != nil {
+		return nil, err
+	}
+	req := api.ScheduleRequest{DAG: raw, BL: opts.BL, BD: opts.BD, Now: opts.Now, Q: opts.Q, Commit: opts.Commit}
+	var resp ScheduleResult
+	if err := c.do(ctx, http.MethodPost, "/v1/schedule", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// DeadlineOptions parameterize Client.Deadline. Exactly one of
+// Deadline (seconds after Now) or Tightest must be set.
+type DeadlineOptions struct {
+	Algo     string   // RESSCHEDDL algorithm name; "" means DL_RC_CPAR-l
+	Deadline Duration // deadline, in seconds after the scheduling time
+	Tightest bool     // binary-search the tightest feasible deadline
+	Now      Time
+	Q        int
+	Commit   bool
+}
+
+// Deadline computes a RESSCHEDDL schedule on the daemon. The result's
+// Deadline field reports the absolute deadline met (the tightest one
+// found, when opts.Tightest is set). Infeasible deadlines surface as
+// an *APIError with status 422.
+func (c *Client) Deadline(ctx context.Context, g *Graph, opts DeadlineOptions) (*ScheduleResult, error) {
+	raw, err := encodeDAG(g)
+	if err != nil {
+		return nil, err
+	}
+	req := api.DeadlineRequest{
+		DAG: raw, Algo: opts.Algo, Deadline: opts.Deadline,
+		Tightest: opts.Tightest, Now: opts.Now, Q: opts.Q, Commit: opts.Commit,
+	}
+	var resp ScheduleResult
+	if err := c.do(ctx, http.MethodPost, "/v1/deadline", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Reserve books one advance reservation directly.
+func (c *Client) Reserve(ctx context.Context, start, end Time, procs int) (*BookedReservation, error) {
+	var resp BookedReservation
+	err := c.do(ctx, http.MethodPost, "/v1/reservations", api.ReservationRequest{Start: start, End: end, Procs: procs}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Reservations lists every reservation the daemon's book has seen,
+// including released ones.
+func (c *Client) Reservations(ctx context.Context) ([]BookedReservation, error) {
+	var resp []BookedReservation
+	if err := c.do(ctx, http.MethodGet, "/v1/reservations", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Reservation fetches one reservation by ID.
+func (c *Client) Reservation(ctx context.Context, id string) (*BookedReservation, error) {
+	var resp BookedReservation
+	if err := c.do(ctx, http.MethodGet, "/v1/reservations/"+id, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Activate marks a pending reservation active.
+func (c *Client) Activate(ctx context.Context, id string) (*BookedReservation, error) {
+	var resp BookedReservation
+	if err := c.do(ctx, http.MethodPost, "/v1/reservations/"+id+"/activate", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Release cancels a reservation, returning its processors to the
+// book. Releasing an already-released reservation is an *APIError
+// with status 409.
+func (c *Client) Release(ctx context.Context, id string) (*BookedReservation, error) {
+	var resp BookedReservation
+	if err := c.do(ctx, http.MethodDelete, "/v1/reservations/"+id, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Profile fetches the daemon's current availability profile.
+func (c *Client) Profile(ctx context.Context) (*ClusterProfile, error) {
+	var resp ClusterProfile
+	if err := c.do(ctx, http.MethodGet, "/v1/profile", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func encodeDAG(g *Graph) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := dagio.Write(&buf, g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// do runs one JSON round trip, mapping non-2xx responses to *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		payload, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var apiErr api.Error
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}

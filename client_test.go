@@ -1,0 +1,137 @@
+package resched_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"resched"
+	"resched/internal/resbook"
+	"resched/internal/server"
+)
+
+// newDaemon spins up an in-process reschedd and a client pointed at it.
+func newDaemon(t *testing.T, capacity int) (*resched.Client, *resbook.Book) {
+	t.Helper()
+	book := resbook.New(capacity, 0)
+	srv, err := server.New(server.Config{Book: book})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return resched.NewClient(ts.URL, ts.Client()), book
+}
+
+func clientTestGraph(t *testing.T) *resched.Graph {
+	t.Helper()
+	g := resched.NewGraph(4)
+	a := g.AddTask(resched.Task{Name: "prep", Seq: 10 * resched.Minute, Alpha: 0.1})
+	b := g.AddTask(resched.Task{Name: "left", Seq: 30 * resched.Minute, Alpha: 0.05})
+	c := g.AddTask(resched.Task{Name: "right", Seq: 30 * resched.Minute, Alpha: 0.05})
+	d := g.AddTask(resched.Task{Name: "post", Seq: 10 * resched.Minute, Alpha: 0.1})
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, d)
+	g.MustAddEdge(c, d)
+	return g
+}
+
+func TestClientScheduleAndCommit(t *testing.T) {
+	client, book := newDaemon(t, 32)
+	g := clientTestGraph(t)
+	ctx := context.Background()
+
+	dry, err := client.Schedule(ctx, g, resched.ScheduleOptions{Q: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dry.Tasks) != 4 || dry.Committed {
+		t.Fatalf("dry run: %+v", dry)
+	}
+
+	com, err := client.Schedule(ctx, g, resched.ScheduleOptions{Q: 16, Commit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !com.Committed || len(com.ReservationIDs) != 4 {
+		t.Fatalf("commit: %+v", com)
+	}
+	if book.Version() != 1 {
+		t.Errorf("book version %d after one commit", book.Version())
+	}
+
+	prof, err := client.Profile(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Capacity != 32 || len(prof.Reservations) != 4 {
+		t.Errorf("profile: capacity %d, %d reservations", prof.Capacity, len(prof.Reservations))
+	}
+}
+
+func TestClientDeadline(t *testing.T) {
+	client, _ := newDaemon(t, 32)
+	g := clientTestGraph(t)
+	ctx := context.Background()
+
+	tight, err := client.Deadline(ctx, g, resched.DeadlineOptions{Algo: "DL_BD_CPAR", Tightest: true, Q: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Deadline <= 0 {
+		t.Fatalf("tightest deadline: %+v", tight)
+	}
+
+	// An impossible deadline maps to *APIError 422.
+	_, err = client.Deadline(ctx, g, resched.DeadlineOptions{Algo: "DL_BD_CPAR", Deadline: resched.Minute, Q: 16})
+	var apiErr *resched.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 422 {
+		t.Fatalf("infeasible deadline: %v", err)
+	}
+}
+
+func TestClientReservationLifecycle(t *testing.T) {
+	client, _ := newDaemon(t, 16)
+	ctx := context.Background()
+
+	res, err := client.Reserve(ctx, 100, 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "pending" {
+		t.Fatalf("created: %+v", res)
+	}
+	act, err := client.Activate(ctx, res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Status != "active" {
+		t.Fatalf("activated: %+v", act)
+	}
+	rel, err := client.Release(ctx, res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Status != "released" {
+		t.Fatalf("released: %+v", rel)
+	}
+
+	// Double release and unknown IDs map to APIErrors.
+	var apiErr *resched.APIError
+	if _, err := client.Release(ctx, res.ID); !errors.As(err, &apiErr) || apiErr.Status != 409 {
+		t.Errorf("double release: %v", err)
+	}
+	if _, err := client.Reservation(ctx, "r999999"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Errorf("unknown reservation: %v", err)
+	}
+
+	list, err := client.Reservations(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Status != "released" {
+		t.Errorf("list: %+v", list)
+	}
+}

@@ -1,0 +1,139 @@
+// Command reschedd serves the scheduling and reservation API over
+// HTTP. It holds one reservation book for one cluster and lets
+// concurrent clients compute RESSCHED / RESSCHEDDL schedules against
+// live snapshots of it, commit them with optimistic concurrency, and
+// manage individual advance reservations.
+//
+// The book starts empty (-procs processors, all free from -origin) or
+// seeded from a reservation-schedule JSON file written by "resgen
+// resv" (-resv; its processor count and observation time override
+// -procs and -origin).
+//
+// Examples:
+//
+//	reschedd -addr :8080 -procs 128
+//	reschedd -addr :8080 -resv resv.json -workers 8 -log json
+//
+// The daemon drains in-flight requests on SIGINT/SIGTERM before
+// exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"resched/internal/model"
+	"resched/internal/resbook"
+	"resched/internal/schedio"
+	"resched/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "reschedd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	procs := flag.Int("procs", 64, "cluster capacity in processors")
+	origin := flag.Int64("origin", 0, "book origin time in seconds")
+	resv := flag.String("resv", "", "seed the book from this reservation-schedule JSON file (from 'resgen resv')")
+	workers := flag.Int("workers", 4, "max concurrently running scheduling computations")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
+	retries := flag.Int("retries", 8, "max version-conflict retries per commit")
+	logFormat := flag.String("log", "text", "log format: text or json")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("unknown log format %q (want text or json)", *logFormat)
+	}
+	log := slog.New(handler)
+
+	book, err := buildBook(*resv, *procs, model.Time(*origin))
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Book:       book,
+		Workers:    *workers,
+		Timeout:    *timeout,
+		MaxBody:    *maxBody,
+		MaxRetries: *retries,
+		Logger:     log,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Info("listening",
+			"addr", *addr,
+			"procs", book.Capacity(),
+			"origin", int64(book.Origin()),
+			"reservations", len(book.List()),
+		)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Info("bye", "final_version", book.Version())
+	return nil
+}
+
+// buildBook seeds the reservation book: empty with the given capacity
+// and origin, or from a reservation-schedule file whose own processor
+// count and observation time take precedence.
+func buildBook(resvPath string, procs int, origin model.Time) (*resbook.Book, error) {
+	if resvPath == "" {
+		return resbook.New(procs, origin), nil
+	}
+	f, err := os.Open(resvPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, now, rs, err := schedio.ReadReservations(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", resvPath, err)
+	}
+	return resbook.FromReservations(p, now, rs)
+}

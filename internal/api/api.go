@@ -1,0 +1,124 @@
+// Package api defines the JSON wire types of the reschedd HTTP API,
+// shared by the server (internal/server) and the public client
+// (resched.Client). Keeping them in one place means the two cannot
+// drift.
+//
+// Conventions: times are absolute integer seconds on the daemon's
+// logical clock (the book's origin is the epoch unless configured
+// otherwise); durations are integer seconds; DAGs use the dagio
+// format ({"tasks": [...], "edges": [[from,to], ...]}); algorithm
+// names are the paper's (BL_CPAR, BD_CPAR, DL_RC_CPAR-l, ...).
+package api
+
+import (
+	"encoding/json"
+
+	"resched/internal/model"
+)
+
+// ScheduleRequest asks the daemon to run a RESSCHED heuristic for one
+// application against the current reservation book.
+type ScheduleRequest struct {
+	// DAG is the application in dagio JSON format.
+	DAG json.RawMessage `json:"dag"`
+	// BL and BD name the heuristic (default BL_CPAR / BD_CPAR, the
+	// paper's best).
+	BL string `json:"bl,omitempty"`
+	BD string `json:"bd,omitempty"`
+	// Now is when scheduling happens; zero means the book's origin.
+	Now model.Time `json:"now,omitempty"`
+	// Q is the historical average number of available processors used
+	// by the *_CPAR methods; zero means the cluster size.
+	Q int `json:"q,omitempty"`
+	// Commit books the computed reservations through the
+	// optimistic-concurrency loop. Without it the request is a dry
+	// run against a snapshot.
+	Commit bool `json:"commit,omitempty"`
+}
+
+// DeadlineRequest asks the daemon to run a RESSCHEDDL algorithm.
+type DeadlineRequest struct {
+	DAG json.RawMessage `json:"dag"`
+	// Algo names the deadline algorithm (default DL_RC_CPAR-l).
+	Algo string `json:"algo,omitempty"`
+	// Deadline is the allowed turn-around in seconds after Now.
+	// Ignored with Tightest.
+	Deadline model.Duration `json:"deadline,omitempty"`
+	// Tightest binary-searches the tightest feasible deadline instead
+	// of using Deadline.
+	Tightest bool       `json:"tightest,omitempty"`
+	Now      model.Time `json:"now,omitempty"`
+	Q        int        `json:"q,omitempty"`
+	Commit   bool       `json:"commit,omitempty"`
+}
+
+// Placement is one task's reservation in a response.
+type Placement struct {
+	Task  int        `json:"task"`
+	Procs int        `json:"procs"`
+	Start model.Time `json:"start"`
+	End   model.Time `json:"end"`
+}
+
+// ScheduleResponse reports a computed (and possibly committed)
+// schedule.
+type ScheduleResponse struct {
+	Algorithm string `json:"algorithm"`
+	// Version is the book version the schedule was computed against
+	// (after commit: the version the commit produced).
+	Version    uint64         `json:"version"`
+	Now        model.Time     `json:"now"`
+	Tasks      []Placement    `json:"tasks"`
+	Completion model.Time     `json:"completion"`
+	Turnaround model.Duration `json:"turnaround"`
+	CPUHours   float64        `json:"cpu_hours"`
+	// Deadline is the (met or found-by-search) deadline for
+	// /v1/deadline responses.
+	Deadline model.Time `json:"deadline,omitempty"`
+	// Committed, ReservationIDs, and Retries describe the booking:
+	// whether it happened, the booked reservation IDs, and how many
+	// version-conflict retries the optimistic loop needed.
+	Committed      bool     `json:"committed"`
+	ReservationIDs []string `json:"reservation_ids,omitempty"`
+	Retries        int      `json:"retries"`
+}
+
+// ReservationRequest books one direct advance reservation.
+type ReservationRequest struct {
+	Start model.Time `json:"start"`
+	End   model.Time `json:"end"`
+	Procs int        `json:"procs"`
+}
+
+// Reservation is one booked reservation with its lifecycle status
+// ("pending", "active", or "released").
+type Reservation struct {
+	ID     string     `json:"id"`
+	Start  model.Time `json:"start"`
+	End    model.Time `json:"end"`
+	Procs  int        `json:"procs"`
+	Status string     `json:"status"`
+	// Version is the book version after the mutation that produced
+	// this response (0 in listings).
+	Version uint64 `json:"version,omitempty"`
+}
+
+// Segment is one constant-availability step of the profile.
+type Segment struct {
+	Start model.Time `json:"start"`
+	Free  int        `json:"free"`
+}
+
+// ProfileResponse reports the current reservation schedule.
+type ProfileResponse struct {
+	Capacity     int           `json:"capacity"`
+	Origin       model.Time    `json:"origin"`
+	Version      uint64        `json:"version"`
+	Segments     []Segment     `json:"segments"`
+	Reservations []Reservation `json:"reservations"`
+}
+
+// Error is the uniform error envelope for non-2xx responses.
+type Error struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// TestCanceledContextStopsScheduling checks that every context-aware
+// entry point returns promptly with context.Canceled instead of
+// completing the schedule — the property the daemon's per-request
+// timeouts rely on.
+func TestCanceledContextStopsScheduling(t *testing.T) {
+	g := chainGraph(20, model.Hour, 0.1)
+	s, err := NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{P: 16, Now: 0, Avail: profile.New(16, 0)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := s.TurnaroundCtx(ctx, env, BLCPAR, BDCPAR); !errors.Is(err, context.Canceled) {
+		t.Errorf("TurnaroundCtx under canceled ctx: %v, want context.Canceled", err)
+	}
+	for _, algo := range AllDL {
+		if _, err := s.DeadlineCtx(ctx, env, algo, 100*model.Hour); !errors.Is(err, context.Canceled) {
+			t.Errorf("DeadlineCtx(%v) under canceled ctx: %v, want context.Canceled", algo, err)
+		}
+	}
+	if _, _, err := s.TightestDeadlineCtx(ctx, env, DLBDCPA); !errors.Is(err, context.Canceled) {
+		t.Errorf("TightestDeadlineCtx under canceled ctx: %v, want context.Canceled", err)
+	}
+}
+
+// TestBackgroundContextMatchesPlainCalls checks the ctx variants are
+// pure wrappers: with a background context they produce the same
+// schedules as the original entry points.
+func TestBackgroundContextMatchesPlainCalls(t *testing.T) {
+	g := chainGraph(5, model.Hour, 0.1)
+	s, err := NewScheduler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avail := profile.New(16, 0)
+	if err := avail.Reserve(0, 2*model.Hour, 12); err != nil {
+		t.Fatal(err)
+	}
+	env := Env{P: 16, Now: 0, Avail: avail, Q: 8}
+
+	want, err := s.Turnaround(env, BLCPAR, BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.TurnaroundCtx(context.Background(), env, BLCPAR, BDCPAR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Completion() != want.Completion() || got.ProcSeconds() != want.ProcSeconds() {
+		t.Errorf("TurnaroundCtx schedule differs: completion %d vs %d", got.Completion(), want.Completion())
+	}
+
+	deadline := env.Now + 100*model.Hour
+	wantDL, err := s.Deadline(env, DLRCCPAR, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDL, err := s.DeadlineCtx(context.Background(), env, DLRCCPAR, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDL.Completion() != wantDL.Completion() || gotDL.ProcSeconds() != wantDL.ProcSeconds() {
+		t.Errorf("DeadlineCtx schedule differs: completion %d vs %d", gotDL.Completion(), wantDL.Completion())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,6 +22,15 @@ const LambdaStep = 0.05
 // start (Section 5.2). Bottom levels always use the BL_CPAR method,
 // which Section 4.3.1 found best.
 func (s *Scheduler) Deadline(env Env, algo DLAlgorithm, deadline model.Time) (*Schedule, error) {
+	return s.DeadlineCtx(context.Background(), env, algo, deadline)
+}
+
+// DeadlineCtx is Deadline with cooperative cancellation: the backward
+// list-scheduling loops (and the lambda sweep) check ctx between
+// tasks, so a serving process can bound the latency of a single
+// scheduling request. On cancellation it returns ctx.Err() (possibly
+// wrapped).
+func (s *Scheduler) DeadlineCtx(ctx context.Context, env Env, algo DLAlgorithm, deadline model.Time) (*Schedule, error) {
 	q, err := env.validate()
 	if err != nil {
 		return nil, err
@@ -30,15 +40,15 @@ func (s *Scheduler) Deadline(env Env, algo DLAlgorithm, deadline model.Time) (*S
 	}
 	switch algo {
 	case DLBDAll, DLBDCPA, DLBDCPAR:
-		return s.deadlineAggressive(env, q, algo, deadline)
+		return s.deadlineAggressive(ctx, env, q, algo, deadline)
 	case DLRCCPA:
-		return s.deadlineRC(env, q, env.P, deadline, 0, false)
+		return s.deadlineRC(ctx, env, q, env.P, deadline, 0, false)
 	case DLRCCPAR:
-		return s.deadlineRC(env, q, q, deadline, 0, false)
+		return s.deadlineRC(ctx, env, q, q, deadline, 0, false)
 	case DLRCCPARLambda:
-		return s.deadlineLambda(env, q, deadline, false)
+		return s.deadlineLambda(ctx, env, q, deadline, false)
 	case DLRCBDCPARLambda:
-		return s.deadlineLambda(env, q, deadline, true)
+		return s.deadlineLambda(ctx, env, q, deadline, true)
 	default:
 		return nil, fmt.Errorf("core: unknown deadline algorithm %v", algo)
 	}
@@ -95,7 +105,7 @@ type taskParams struct {
 	alpha float64
 }
 
-func (s *Scheduler) deadlineAggressive(env Env, q int, algo DLAlgorithm, deadline model.Time) (*Schedule, error) {
+func (s *Scheduler) deadlineAggressive(ctx context.Context, env Env, q int, algo DLAlgorithm, deadline model.Time) (*Schedule, error) {
 	var bound []int
 	switch algo {
 	case DLBDAll:
@@ -120,6 +130,9 @@ func (s *Scheduler) deadlineAggressive(env Env, q int, algo DLAlgorithm, deadlin
 	avail := env.Avail.Clone()
 	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
 	for _, t := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: deadline scheduling: %w", err)
+		}
 		dl := taskDeadline(sched, s.g.Successors(t), deadline)
 		task := taskParams{s.g.Task(t).Seq, s.g.Task(t).Alpha}
 		m, st, ok := latestPair(avail, task, bound[t], env.Now, dl)
@@ -139,7 +152,7 @@ func (s *Scheduler) deadlineAggressive(env Env, q int, algo DLAlgorithm, deadlin
 // historical average for DL_RC_CPAR). When an RC pick is impossible the
 // algorithm falls back to the aggressive latest-start choice, bounded
 // by the CPA allocation when boundedFallback is set (DL_RCBD_CPAR-λ).
-func (s *Scheduler) deadlineRC(env Env, q, qRef int, deadline model.Time, lambda float64, boundedFallback bool) (*Schedule, error) {
+func (s *Scheduler) deadlineRC(ctx context.Context, env Env, q, qRef int, deadline model.Time, lambda float64, boundedFallback bool) (*Schedule, error) {
 	allocRef, err := s.cpaAlloc(qRef)
 	if err != nil {
 		return nil, err
@@ -155,6 +168,9 @@ func (s *Scheduler) deadlineRC(env Env, q, qRef int, deadline model.Time, lambda
 		unscheduled[i] = true
 	}
 	for _, t := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: deadline scheduling: %w", err)
+		}
 		dl := taskDeadline(sched, s.g.Successors(t), deadline)
 		task := taskParams{s.g.Task(t).Seq, s.g.Task(t).Alpha}
 
@@ -217,14 +233,14 @@ func (s *Scheduler) deadlineRC(env Env, q, qRef int, deadline model.Time, lambda
 // deadlineLambda sweeps lambda from 0 to 1 in LambdaStep increments,
 // returning the first schedule that meets the deadline — i.e. the most
 // resource-conservative laxity that works (Section 5.4).
-func (s *Scheduler) deadlineLambda(env Env, q int, deadline model.Time, boundedFallback bool) (*Schedule, error) {
+func (s *Scheduler) deadlineLambda(ctx context.Context, env Env, q int, deadline model.Time, boundedFallback bool) (*Schedule, error) {
 	var lastErr error
 	for step := 0; ; step++ {
 		lambda := float64(step) * LambdaStep
 		if lambda > 1 {
 			break
 		}
-		sched, err := s.deadlineRC(env, q, q, deadline, lambda, boundedFallback)
+		sched, err := s.deadlineRC(ctx, env, q, q, deadline, lambda, boundedFallback)
 		if err == nil {
 			return sched, nil
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -275,7 +276,7 @@ func TestTightestDeadlineGranularity(t *testing.T) {
 	g := chainGraph(2, model.Hour, 1)
 	s := mustScheduler(t, g)
 	env := emptyEnv(4, 0)
-	k, _, err := s.TightestDeadlineGranularity(env, DLBDCPA, model.Second)
+	k, _, err := s.TightestDeadlineGranularity(context.Background(), env, DLBDCPA, model.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+// TestParseRoundTrip checks that every algorithm name the library
+// prints is parsed back to the same value — the contract the HTTP API
+// relies on when resolving heuristics from request bodies.
+func TestParseRoundTrip(t *testing.T) {
+	for _, m := range AllBL {
+		got, err := ParseBL(m.String())
+		if err != nil {
+			t.Errorf("ParseBL(%q): %v", m.String(), err)
+		} else if got != m {
+			t.Errorf("ParseBL(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+	for _, m := range AllBD {
+		got, err := ParseBD(m.String())
+		if err != nil {
+			t.Errorf("ParseBD(%q): %v", m.String(), err)
+		} else if got != m {
+			t.Errorf("ParseBD(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+	for _, a := range AllDL {
+		got, err := ParseDL(a.String())
+		if err != nil {
+			t.Errorf("ParseDL(%q): %v", a.String(), err)
+		} else if got != a {
+			t.Errorf("ParseDL(%q) = %v, want %v", a.String(), got, a)
+		}
+	}
+}
+
+func TestParseRejectsUnknownNames(t *testing.T) {
+	bad := []string{
+		"",
+		"BL_XXX",
+		"bl_cpar",           // lower case
+		"BL_CPAR ",          // trailing space
+		" BD_CPAR",          // leading space
+		"BD-CPAR",           // wrong separator
+		"DL_RC",             // truncated
+		"DL_RC_CPAR-lambda", // the paper spells the suffix "-l"
+		"BLMethod(7)",
+	}
+	for _, name := range bad {
+		if _, err := ParseBL(name); err == nil {
+			t.Errorf("ParseBL(%q) accepted", name)
+		}
+		if _, err := ParseBD(name); err == nil {
+			t.Errorf("ParseBD(%q) accepted", name)
+		}
+		if _, err := ParseDL(name); err == nil {
+			t.Errorf("ParseDL(%q) accepted", name)
+		}
+	}
+
+	// Names valid in one family must not leak into another.
+	if _, err := ParseBL("BD_CPAR"); err == nil {
+		t.Error("ParseBL accepted a BD name")
+	}
+	if _, err := ParseBD("BL_CPAR"); err == nil {
+		t.Error("ParseBD accepted a BL name")
+	}
+	if _, err := ParseDL("BD_CPAR"); err == nil {
+		t.Error("ParseDL accepted a BD name")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -23,12 +24,19 @@ const maxDoublings = 24
 // in K; as in the paper, the binary search treats it as if it were and
 // returns the tightest deadline it certifies feasible.
 func (s *Scheduler) TightestDeadline(env Env, algo DLAlgorithm) (model.Time, *Schedule, error) {
-	return s.TightestDeadlineGranularity(env, algo, DefaultGranularity)
+	return s.TightestDeadlineCtx(context.Background(), env, algo)
 }
 
-// TightestDeadlineGranularity is TightestDeadline with an explicit
+// TightestDeadlineCtx is TightestDeadline with cooperative
+// cancellation: ctx is checked between binary-search probes and inside
+// each probe's scheduling loop.
+func (s *Scheduler) TightestDeadlineCtx(ctx context.Context, env Env, algo DLAlgorithm) (model.Time, *Schedule, error) {
+	return s.TightestDeadlineGranularity(ctx, env, algo, DefaultGranularity)
+}
+
+// TightestDeadlineGranularity is TightestDeadlineCtx with an explicit
 // search resolution.
-func (s *Scheduler) TightestDeadlineGranularity(env Env, algo DLAlgorithm, granularity model.Duration) (model.Time, *Schedule, error) {
+func (s *Scheduler) TightestDeadlineGranularity(ctx context.Context, env Env, algo DLAlgorithm, granularity model.Duration) (model.Time, *Schedule, error) {
 	if granularity <= 0 {
 		granularity = DefaultGranularity
 	}
@@ -51,7 +59,7 @@ func (s *Scheduler) TightestDeadlineGranularity(env Env, algo DLAlgorithm, granu
 	// A feasible starting point: the turn-around-optimized forward
 	// schedule's completion time, doubled until the backward algorithm
 	// accepts it.
-	fwd, err := s.Turnaround(env, BLCPAR, BDCPAR)
+	fwd, err := s.TurnaroundCtx(ctx, env, BLCPAR, BDCPAR)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -59,14 +67,14 @@ func (s *Scheduler) TightestDeadlineGranularity(env Env, algo DLAlgorithm, granu
 	if hi < lo {
 		hi = lo
 	}
-	best, err := s.Deadline(env, algo, hi)
+	best, err := s.DeadlineCtx(ctx, env, algo, hi)
 	for n := 0; err != nil && errors.Is(err, ErrInfeasible) && n < maxDoublings; n++ {
 		gap := hi - env.Now
 		if gap < granularity {
 			gap = granularity
 		}
 		hi = env.Now + 2*gap
-		best, err = s.Deadline(env, algo, hi)
+		best, err = s.DeadlineCtx(ctx, env, algo, hi)
 	}
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: no feasible deadline found up to %d: %w", hi, err)
@@ -77,8 +85,11 @@ func (s *Scheduler) TightestDeadlineGranularity(env Env, algo DLAlgorithm, granu
 		lo = hi
 	}
 	for hi-lo > granularity {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, fmt.Errorf("core: tightest-deadline search: %w", err)
+		}
 		mid := lo + (hi-lo)/2
-		sched, err := s.Deadline(env, algo, mid)
+		sched, err := s.DeadlineCtx(ctx, env, algo, mid)
 		switch {
 		case err == nil:
 			hi, best = mid, sched

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"resched/internal/cpa"
@@ -13,6 +14,14 @@ import (
 // pair that minimizes its completion time against the current
 // reservation schedule, with allocations bounded by method bd.
 func (s *Scheduler) Turnaround(env Env, bl BLMethod, bd BDMethod) (*Schedule, error) {
+	return s.TurnaroundCtx(context.Background(), env, bl, bd)
+}
+
+// TurnaroundCtx is Turnaround with cooperative cancellation: the
+// list-scheduling loop checks ctx between tasks, so a serving process
+// can bound the latency of a single scheduling request. On
+// cancellation it returns ctx.Err() (possibly wrapped).
+func (s *Scheduler) TurnaroundCtx(ctx context.Context, env Env, bl BLMethod, bd BDMethod) (*Schedule, error) {
 	q, err := env.validate()
 	if err != nil {
 		return nil, err
@@ -33,6 +42,9 @@ func (s *Scheduler) Turnaround(env Env, bl BLMethod, bd BDMethod) (*Schedule, er
 	avail := env.Avail.Clone()
 	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
 	for _, t := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: turnaround scheduling: %w", err)
+		}
 		ready := env.Now
 		for _, pr := range s.g.Predecessors(t) {
 			if f := sched.Tasks[pr].End; f > ready {

@@ -233,6 +233,40 @@ func (p *Profile) Reserve(start, end model.Time, procs int) error {
 	return nil
 }
 
+// Unreserve returns procs processors to the profile during [start,
+// end) — the inverse of Reserve, used when a reservation is released
+// before (or after) it runs. It fails without modifying the profile if
+// the interval is empty, lies (partly) outside the horizon, or if
+// fewer than procs processors are reserved at any point of the
+// interval (releasing capacity that was never booked would corrupt
+// the schedule).
+func (p *Profile) Unreserve(start, end model.Time, procs int) error {
+	if procs < 1 || procs > p.capacity {
+		return fmt.Errorf("cannot release %d processors on a %d-processor cluster", procs, p.capacity)
+	}
+	if start < p.times[0] {
+		return fmt.Errorf("release start %d before profile origin %d", start, p.times[0])
+	}
+	if end <= start {
+		return fmt.Errorf("release interval [%d,%d) is empty", start, end)
+	}
+	if end >= model.Infinity {
+		return fmt.Errorf("release end %d beyond the scheduling horizon", end)
+	}
+	for i := p.segAt(start); i < len(p.times) && p.times[i] < end; i++ {
+		if p.free[i]+procs > p.capacity {
+			return fmt.Errorf("only %d of %d released processors reserved during [%d,%d)", p.capacity-p.free[i], procs, start, end)
+		}
+	}
+	i := p.ensureBreak(start)
+	j := p.ensureBreak(end)
+	for k := i; k < j; k++ {
+		p.free[k] += procs
+	}
+	p.coalesce()
+	return nil
+}
+
 // EarliestFit returns the earliest start time s >= notBefore such that
 // procs processors are free during [s, s+dur). Because the profile's
 // final segment is fully free, a fit always exists for procs <=
@@ -254,6 +288,17 @@ func (p *Profile) EarliestFit(procs int, dur model.Duration, notBefore model.Tim
 		return s
 	}
 	for i := p.segAt(s); i < len(p.times); i++ {
+		if i == len(p.times)-1 {
+			// Horizon segment: it extends to infinity, so any remaining
+			// duration fits. Handled explicitly rather than through the
+			// segEnd comparison below because s+dur may exceed the
+			// model.Infinity sentinel for very late starts or very long
+			// durations, which used to make the search fall off the end.
+			if p.free[i] < procs {
+				panic("profile: horizon segment not fully free")
+			}
+			return s
+		}
 		if p.free[i] < procs {
 			s = p.segEnd(i) // earliest possible start moves past this segment
 			continue
@@ -267,7 +312,7 @@ func (p *Profile) EarliestFit(procs int, dur model.Duration, notBefore model.Tim
 		// Segment fits partially; the run continues into the next
 		// segment with the same candidate start.
 	}
-	// Unreachable: the final segment is fully free and infinite.
+	// Unreachable: the loop always returns from the horizon segment.
 	panic("profile: EarliestFit fell off the horizon")
 }
 
@@ -318,6 +363,24 @@ func (p *Profile) LatestFit(procs int, dur model.Duration, notBefore, finishBy m
 	return 0, false
 }
 
+// Segment is one constant-availability step: Free processors from
+// Start until the next segment's start (the last segment extends to
+// model.Infinity).
+type Segment struct {
+	Start model.Time
+	Free  int
+}
+
+// Segments returns the profile's step function as a list of segments,
+// the exact representation (used by the HTTP API's profile view).
+func (p *Profile) Segments() []Segment {
+	out := make([]Segment, len(p.times))
+	for i := range p.times {
+		out[i] = Segment{Start: p.times[i], Free: p.free[i]}
+	}
+	return out
+}
+
 // Reservations returns the profile's busy intervals as a list of
 // (start, end, reservedProcs) triples — the complement view of the
 // free-processor step function. Fully-free segments are omitted.
@@ -332,8 +395,13 @@ func (p *Profile) Reservations() []Reservation {
 	return out
 }
 
-// check verifies the representation invariants. It is exported to the
-// package tests via export_test.go.
+// Check verifies the representation invariants. The package tests call
+// it after every mutation; long-lived holders of a profile (the
+// reservation book behind reschedd) call it to validate their ledger
+// against the live schedule.
+func (p *Profile) Check() error { return p.check() }
+
+// check verifies the representation invariants.
 func (p *Profile) check() error {
 	if len(p.times) == 0 || len(p.times) != len(p.free) {
 		return fmt.Errorf("profile: %d times, %d free values", len(p.times), len(p.free))

@@ -1,0 +1,78 @@
+package profile
+
+// This file holds the validated entry points for the profile queries.
+//
+// The core query methods (EarliestFit, LatestFit, MinFree, AvgFree)
+// panic on malformed arguments: inside the scheduling algorithms those
+// are programming errors, and a panic is the right failure mode. A
+// long-lived daemon serving untrusted requests cannot afford that — a
+// malformed API request must become an HTTP 400, not a crash. The
+// *Checked variants below validate their arguments and return errors;
+// serving code (internal/resbook, internal/server) goes exclusively
+// through them, while the batch schedulers keep the panicking fast
+// path.
+
+import (
+	"fmt"
+
+	"resched/internal/model"
+)
+
+// validateFit rejects processor counts and durations that the
+// panicking query methods treat as programming errors.
+func (p *Profile) validateFit(procs int, dur model.Duration) error {
+	if procs < 1 || procs > p.capacity {
+		return fmt.Errorf("profile: %d processors outside [1,%d]", procs, p.capacity)
+	}
+	if dur < 0 {
+		return fmt.Errorf("profile: negative duration %d", dur)
+	}
+	return nil
+}
+
+// validateWindow rejects empty query intervals.
+func (p *Profile) validateWindow(start, end model.Time) error {
+	if end <= start {
+		return fmt.Errorf("profile: empty interval [%d,%d)", start, end)
+	}
+	return nil
+}
+
+// EarliestFitChecked is EarliestFit with argument validation: it
+// returns an error instead of panicking when procs is outside
+// [1, capacity] or dur is negative.
+func (p *Profile) EarliestFitChecked(procs int, dur model.Duration, notBefore model.Time) (model.Time, error) {
+	if err := p.validateFit(procs, dur); err != nil {
+		return 0, err
+	}
+	return p.EarliestFit(procs, dur, notBefore), nil
+}
+
+// LatestFitChecked is LatestFit with argument validation. The boolean
+// reports whether a feasible start exists; the error reports malformed
+// arguments.
+func (p *Profile) LatestFitChecked(procs int, dur model.Duration, notBefore, finishBy model.Time) (model.Time, bool, error) {
+	if err := p.validateFit(procs, dur); err != nil {
+		return 0, false, err
+	}
+	s, ok := p.LatestFit(procs, dur, notBefore, finishBy)
+	return s, ok, nil
+}
+
+// MinFreeChecked is MinFree with argument validation: an empty
+// interval yields an error instead of a panic.
+func (p *Profile) MinFreeChecked(start, end model.Time) (int, error) {
+	if err := p.validateWindow(start, end); err != nil {
+		return 0, err
+	}
+	return p.MinFree(start, end), nil
+}
+
+// AvgFreeChecked is AvgFree with argument validation: an empty
+// interval yields an error instead of a panic.
+func (p *Profile) AvgFreeChecked(start, end model.Time) (float64, error) {
+	if err := p.validateWindow(start, end); err != nil {
+		return 0, err
+	}
+	return p.AvgFree(start, end), nil
+}

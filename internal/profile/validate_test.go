@@ -1,0 +1,165 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// TestEarliestFitPastHorizon is the regression test for the "fell off
+// the horizon" panic: a fit requested past the last reservation's end,
+// with a start or duration large enough that s+dur exceeds the
+// model.Infinity sentinel, must land in the (infinite, fully free)
+// horizon segment instead of panicking.
+func TestEarliestFitPastHorizon(t *testing.T) {
+	p := New(4, 0)
+	if err := p.Reserve(0, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain fit past the last reservation's end.
+	if got := p.EarliestFit(2, 50, 0); got != 100 {
+		t.Errorf("EarliestFit(2, 50, 0) = %d, want 100", got)
+	}
+
+	// Duration so long that start+dur exceeds the Infinity sentinel:
+	// the old implementation panicked here.
+	if got := p.EarliestFit(1, model.Infinity-50, 0); got != 100 {
+		t.Errorf("EarliestFit(1, Infinity-50, 0) = %d, want 100", got)
+	}
+
+	// Very late start with a long duration: same failure mode.
+	late := model.Infinity - 10
+	if got := p.EarliestFit(1, 100, late); got != late {
+		t.Errorf("EarliestFit(1, 100, %d) = %d, want %d", late, got, late)
+	}
+
+	// A fit starting inside a partially feasible run that extends into
+	// the horizon segment.
+	q := New(4, 0)
+	if err := q.Reserve(0, 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.EarliestFit(3, model.Infinity/2, 0); got != 100 {
+		t.Errorf("EarliestFit(3, Infinity/2, 0) = %d, want 100", got)
+	}
+	if got := q.EarliestFit(2, model.Infinity/2, 0); got != 0 {
+		t.Errorf("EarliestFit(2, Infinity/2, 0) = %d, want 0", got)
+	}
+}
+
+func TestCheckedVariantsRejectMalformedInput(t *testing.T) {
+	p := New(8, 0)
+	if err := p.Reserve(10, 20, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := p.EarliestFitChecked(0, 10, 0); err == nil {
+		t.Error("EarliestFitChecked(0 procs) accepted")
+	}
+	if _, err := p.EarliestFitChecked(9, 10, 0); err == nil {
+		t.Error("EarliestFitChecked(procs > capacity) accepted")
+	}
+	if _, err := p.EarliestFitChecked(1, -1, 0); err == nil {
+		t.Error("EarliestFitChecked(negative dur) accepted")
+	}
+	if _, _, err := p.LatestFitChecked(0, 10, 0, 100); err == nil {
+		t.Error("LatestFitChecked(0 procs) accepted")
+	}
+	if _, _, err := p.LatestFitChecked(1, -5, 0, 100); err == nil {
+		t.Error("LatestFitChecked(negative dur) accepted")
+	}
+	if _, err := p.MinFreeChecked(20, 20); err == nil {
+		t.Error("MinFreeChecked(empty interval) accepted")
+	}
+	if _, err := p.MinFreeChecked(30, 20); err == nil {
+		t.Error("MinFreeChecked(inverted interval) accepted")
+	}
+	if _, err := p.AvgFreeChecked(20, 20); err == nil {
+		t.Error("AvgFreeChecked(empty interval) accepted")
+	}
+}
+
+func TestCheckedVariantsMatchUnchecked(t *testing.T) {
+	p := New(8, 0)
+	if err := p.Reserve(10, 20, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, err := p.EarliestFitChecked(6, 5, 0); err != nil || got != p.EarliestFit(6, 5, 0) {
+		t.Errorf("EarliestFitChecked = (%d, %v), want (%d, nil)", got, err, p.EarliestFit(6, 5, 0))
+	}
+	ws, wok := p.LatestFit(6, 5, 0, 40)
+	if got, ok, err := p.LatestFitChecked(6, 5, 0, 40); err != nil || ok != wok || got != ws {
+		t.Errorf("LatestFitChecked = (%d, %v, %v), want (%d, %v, nil)", got, ok, err, ws, wok)
+	}
+	if got, err := p.MinFreeChecked(0, 30); err != nil || got != p.MinFree(0, 30) {
+		t.Errorf("MinFreeChecked = (%d, %v), want (%d, nil)", got, err, p.MinFree(0, 30))
+	}
+	if got, err := p.AvgFreeChecked(0, 30); err != nil || got != p.AvgFree(0, 30) {
+		t.Errorf("AvgFreeChecked = (%g, %v), want (%g, nil)", got, err, p.AvgFree(0, 30))
+	}
+}
+
+func TestUnreserve(t *testing.T) {
+	p := New(8, 0)
+	orig := p.String()
+	if err := p.Reserve(10, 20, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reserve(15, 30, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Releasing both reservations restores the original profile.
+	if err := p.Unreserve(15, 30, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Unreserve(10, 20, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != orig {
+		t.Errorf("profile after reserve+unreserve = %s, want %s", p, orig)
+	}
+}
+
+func TestUnreserveRejectsOverRelease(t *testing.T) {
+	p := New(8, 0)
+	if err := p.Reserve(10, 20, 3); err != nil {
+		t.Fatal(err)
+	}
+	before := p.String()
+
+	cases := []struct {
+		name       string
+		start, end model.Time
+		procs      int
+	}{
+		{"more than reserved", 10, 20, 4},
+		{"interval extends past reservation", 10, 25, 3},
+		{"nothing reserved there", 30, 40, 1},
+		{"empty interval", 10, 10, 1},
+		{"before origin", -5, 20, 1},
+		{"zero procs", 10, 20, 0},
+		{"procs beyond capacity", 10, 20, 9},
+		{"beyond horizon", 10, model.Infinity, 1},
+	}
+	for _, c := range cases {
+		if err := p.Unreserve(c.start, c.end, c.procs); err == nil {
+			t.Errorf("%s: Unreserve(%d, %d, %d) accepted", c.name, c.start, c.end, c.procs)
+		}
+	}
+	if p.String() != before {
+		t.Errorf("failed Unreserve modified the profile: %s -> %s", before, p)
+	}
+	if !strings.Contains(p.String(), "free") {
+		t.Fatalf("unexpected profile rendering %q", p)
+	}
+}

@@ -1,0 +1,361 @@
+// Package resbook implements the live reservation book behind the
+// reschedd daemon: the mutable, concurrently accessed counterpart of
+// the immutable availability profiles the batch CLIs schedule against
+// (the paper's §2 RESSCHED setting, where a batch scheduler owns the
+// reservation schedule and applications book against it).
+//
+// Concurrency model. The book guards a profile.Profile with an
+// RWMutex and hands out copy-on-read snapshots: a scheduler clones
+// the profile at version v, computes a schedule against the clone
+// without holding any lock (list scheduling is the expensive part),
+// and then commits the resulting reservations with a version check.
+// If any other mutation landed in between, the commit fails with
+// ErrStale and the caller recomputes against a fresh snapshot — an
+// optimistic-concurrency loop packaged as Transact.
+//
+// Lifecycle. Reservations move Pending → Active → Released. A commit
+// books Pending reservations (capacity held, job not yet confirmed);
+// Activate marks them confirmed; Release (also reachable directly
+// from Pending, i.e. cancellation) returns the capacity to the
+// profile. Released is terminal.
+package resbook
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// Status is a reservation's lifecycle state.
+type Status int
+
+const (
+	// Pending: booked, capacity held, not yet confirmed.
+	Pending Status = iota
+	// Active: confirmed; capacity held.
+	Active
+	// Released: capacity returned to the profile. Terminal.
+	Released
+)
+
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Active:
+		return "active"
+	case Released:
+		return "released"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the status as its lower-case name, the form the
+// HTTP API uses.
+func (s Status) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// Errors returned by the book. ErrStale is the optimistic-concurrency
+// signal: the snapshot a commit was computed against is no longer
+// current, and the caller should retry against a fresh one.
+var (
+	ErrStale    = errors.New("resbook: snapshot is stale")
+	ErrNotFound = errors.New("resbook: no such reservation")
+	ErrReleased = errors.New("resbook: reservation already released")
+)
+
+// Request is one reservation to commit: procs processors during
+// [Start, End).
+type Request struct {
+	Start model.Time
+	End   model.Time
+	Procs int
+}
+
+// Reservation is one booked reservation with its lifecycle state.
+type Reservation struct {
+	ID     string
+	Start  model.Time
+	End    model.Time
+	Procs  int
+	Status Status
+}
+
+// Snapshot is a consistent copy of the book's schedule at a version.
+// The profile is the caller's to mutate (schedulers reserve task slots
+// in it while searching); committing requires the version to still be
+// current.
+type Snapshot struct {
+	Version uint64
+	Profile *profile.Profile
+}
+
+// Book is a concurrent, versioned reservation book. The zero value is
+// not usable; construct with New or FromReservations.
+type Book struct {
+	mu      sync.RWMutex
+	version uint64
+	prof    *profile.Profile
+	res     map[string]*Reservation
+	nextID  uint64
+}
+
+// New returns an empty book for a cluster of the given capacity whose
+// schedule starts at origin.
+func New(capacity int, origin model.Time) *Book {
+	return &Book{
+		prof: profile.New(capacity, origin),
+		res:  make(map[string]*Reservation),
+	}
+}
+
+// FromReservations returns a book pre-loaded with the given competing
+// reservations, committed as Active (they represent already confirmed
+// bookings, e.g. a reservation schedule extracted from a batch log).
+// Reservations entirely before origin are dropped; partial overlaps
+// are clipped to the horizon.
+func FromReservations(capacity int, origin model.Time, rs []profile.Reservation) (*Book, error) {
+	b := New(capacity, origin)
+	for i, r := range rs {
+		start, end := r.Start, r.End
+		if start < origin {
+			start = origin
+		}
+		if end <= start {
+			continue
+		}
+		res, err := b.Reserve(start, end, r.Procs)
+		if err != nil {
+			return nil, fmt.Errorf("resbook: seeding reservation %d: %w", i, err)
+		}
+		if err := b.Activate(res.ID); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Capacity returns the cluster size.
+func (b *Book) Capacity() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.prof.Capacity()
+}
+
+// Origin returns the start of the book's horizon.
+func (b *Book) Origin() model.Time {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.prof.Origin()
+}
+
+// Version returns the current schedule version. It increases by one
+// on every successful mutation.
+func (b *Book) Version() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.version
+}
+
+// Snapshot returns a copy of the current schedule and its version.
+// The copy is independent: the caller may mutate it freely (and
+// scheduling algorithms do).
+func (b *Book) Snapshot() Snapshot {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return Snapshot{Version: b.version, Profile: b.prof.Clone()}
+}
+
+// newLocked books one validated reservation; the write lock must be
+// held. It does not bump the version — callers do, once per mutation.
+func (b *Book) newLocked(req Request) (*Reservation, error) {
+	if err := b.prof.Reserve(req.Start, req.End, req.Procs); err != nil {
+		return nil, err
+	}
+	b.nextID++
+	r := &Reservation{
+		ID:     fmt.Sprintf("r%06d", b.nextID),
+		Start:  req.Start,
+		End:    req.End,
+		Procs:  req.Procs,
+		Status: Pending,
+	}
+	b.res[r.ID] = r
+	return r, nil
+}
+
+// Reserve books a single Pending reservation at the current version.
+// Unlike Commit it needs no snapshot: the capacity check happens under
+// the lock, so it fails only if the processors genuinely are not free.
+func (b *Book) Reserve(start, end model.Time, procs int) (Reservation, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, err := b.newLocked(Request{Start: start, End: end, Procs: procs})
+	if err != nil {
+		return Reservation{}, err
+	}
+	b.version++
+	return *r, nil
+}
+
+// Commit atomically books all requests, provided the book is still at
+// the version the requests were computed against. On a version
+// mismatch it returns ErrStale (wrapped) and books nothing; the
+// caller should take a fresh Snapshot, recompute, and retry. On any
+// other error (e.g. a request that does not fit the profile it was
+// computed from, which indicates a caller bug) it also books nothing.
+func (b *Book) Commit(version uint64, reqs []Request) ([]Reservation, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.version != version {
+		return nil, fmt.Errorf("%w: computed at version %d, book at %d", ErrStale, version, b.version)
+	}
+	out := make([]Reservation, 0, len(reqs))
+	for i, req := range reqs {
+		r, err := b.newLocked(req)
+		if err != nil {
+			// Roll back the already-booked prefix; a failure to undo a
+			// reservation we just made is an invariant violation.
+			for _, prev := range out {
+				if uerr := b.prof.Unreserve(prev.Start, prev.End, prev.Procs); uerr != nil {
+					panic(fmt.Sprintf("resbook: rollback failed: %v", uerr))
+				}
+				delete(b.res, prev.ID)
+			}
+			return nil, fmt.Errorf("resbook: request %d: %w", i, err)
+		}
+		out = append(out, *r)
+	}
+	b.version++
+	return out, nil
+}
+
+// Get returns a copy of the reservation with the given ID.
+func (b *Book) Get(id string) (Reservation, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	r, ok := b.res[id]
+	if !ok {
+		return Reservation{}, false
+	}
+	return *r, true
+}
+
+// List returns copies of all reservations (including released ones),
+// ordered by ID.
+func (b *Book) List() []Reservation {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]Reservation, 0, len(b.res))
+	for _, r := range b.res {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Activate confirms a Pending reservation. Activating an Active
+// reservation is a no-op; a Released one is an error.
+func (b *Book) Activate(id string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.res[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if r.Status == Released {
+		return fmt.Errorf("%w: %s", ErrReleased, id)
+	}
+	if r.Status == Pending {
+		r.Status = Active
+		b.version++
+	}
+	return nil
+}
+
+// Release cancels a Pending or Active reservation, returning its
+// processors to the profile. Releasing twice is an error.
+func (b *Book) Release(id string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.res[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if r.Status == Released {
+		return fmt.Errorf("%w: %s", ErrReleased, id)
+	}
+	if err := b.prof.Unreserve(r.Start, r.End, r.Procs); err != nil {
+		// The profile holds every non-released reservation, so undoing
+		// one can only fail if the ledger and profile disagree.
+		panic(fmt.Sprintf("resbook: release %s failed: %v", id, err))
+	}
+	r.Status = Released
+	b.version++
+	return nil
+}
+
+// Transact runs the optimistic-concurrency loop: snapshot, compute,
+// commit, retrying on ErrStale up to maxAttempts times. fn receives a
+// private snapshot and returns the reservation requests to commit
+// (returning an empty slice commits nothing but still validates the
+// version). It reports the booked reservations and how many
+// version-conflict retries occurred. Any error from fn, from ctx, or
+// a non-stale commit failure aborts the loop.
+func (b *Book) Transact(ctx context.Context, maxAttempts int, fn func(Snapshot) ([]Request, error)) ([]Reservation, int, error) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	retries := 0
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, retries, err
+		}
+		snap := b.Snapshot()
+		reqs, err := fn(snap)
+		if err != nil {
+			return nil, retries, err
+		}
+		out, err := b.Commit(snap.Version, reqs)
+		if err == nil {
+			return out, retries, nil
+		}
+		if !errors.Is(err, ErrStale) {
+			return nil, retries, err
+		}
+		retries++
+	}
+	return nil, retries, fmt.Errorf("%w: gave up after %d attempts", ErrStale, maxAttempts)
+}
+
+// CheckInvariants validates the book: the profile satisfies its
+// representation invariants, and replaying the ledger's non-released
+// reservations onto an empty profile reproduces the live profile
+// exactly (no lost and no double-booked capacity).
+func (b *Book) CheckInvariants() error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if err := b.prof.Check(); err != nil {
+		return err
+	}
+	want := profile.New(b.prof.Capacity(), b.prof.Origin())
+	for _, r := range b.res {
+		if r.Status == Released {
+			continue
+		}
+		if err := want.Reserve(r.Start, r.End, r.Procs); err != nil {
+			return fmt.Errorf("resbook: ledger replay of %s: %w", r.ID, err)
+		}
+	}
+	if want.String() != b.prof.String() {
+		return fmt.Errorf("resbook: ledger %s != profile %s", want, b.prof)
+	}
+	return nil
+}

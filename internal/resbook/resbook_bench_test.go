@@ -1,0 +1,77 @@
+package resbook
+
+import (
+	"context"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// bench1kBook builds a book holding 1000 committed reservations with
+// staggered, overlapping windows — the serving-path baseline the
+// ISSUE calls for, complementing internal/profile's query benchmarks.
+func bench1kBook(b *testing.B) *Book {
+	b.Helper()
+	book := New(256, 0)
+	for i := 0; i < 1000; i++ {
+		start := model.Time(i) * 10
+		end := start + 500 // ~50 concurrent reservations at any time
+		procs := 1 + i%4
+		if _, err := book.Reserve(start, end, procs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return book
+}
+
+// BenchmarkSnapshot1k measures the copy-on-read cost a scheduling
+// request pays before it can compute.
+func BenchmarkSnapshot1k(b *testing.B) {
+	book := bench1kBook(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := book.Snapshot()
+		if snap.Profile.Capacity() != 256 {
+			b.Fatal("bad snapshot")
+		}
+	}
+}
+
+// BenchmarkSnapshotCommit1k measures one full optimistic booking
+// cycle — snapshot, commit one reservation, release it — against 1000
+// existing reservations.
+func BenchmarkSnapshotCommit1k(b *testing.B) {
+	book := bench1kBook(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := book.Snapshot()
+		out, err := book.Commit(snap.Version, []Request{{Start: 100, End: 200, Procs: 1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := book.Release(out[0].ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransact1k measures the same cycle through the Transact
+// retry loop (no contention, so exactly one attempt each).
+func BenchmarkTransact1k(b *testing.B) {
+	book := bench1kBook(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := book.Transact(context.Background(), 1, func(snap Snapshot) ([]Request, error) {
+			return []Request{{Start: 100, End: 200, Procs: 1}}, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := book.Release(out[0].ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package server
+
+// SetBeforeCommitHook installs a function that runs between computing
+// a schedule and committing it, so tests can force version conflicts
+// deterministically. Call before serving traffic.
+func (s *Server) SetBeforeCommitHook(f func()) { s.beforeCommit = f }

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"resched/internal/api"
+	"resched/internal/core"
+	"resched/internal/dagio"
+	"resched/internal/model"
+	"resched/internal/resbook"
+)
+
+// computeFn runs one scheduling algorithm against an environment
+// snapshot, returning the schedule and (for deadline requests) the
+// met deadline.
+type computeFn func(env core.Env) (*core.Schedule, model.Time, error)
+
+// resolveNow validates and defaults the request's scheduling time.
+func (s *Server) resolveNow(reqNow model.Time) (model.Time, error) {
+	origin := s.book.Origin()
+	if reqNow == 0 {
+		return origin, nil
+	}
+	if reqNow < origin {
+		return 0, fmt.Errorf("now %d before the book's origin %d", reqNow, origin)
+	}
+	return reqNow, nil
+}
+
+// runCommitLoop is the shared serving path of /v1/schedule and
+// /v1/deadline: snapshot the book, compute, and — when the request
+// asks to commit — book the reservations with a version check,
+// recomputing on conflict up to the configured retry budget.
+func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo string, now model.Time, q int, commit bool, compute computeFn) {
+	ctx := r.Context()
+	retries := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			s.writeSchedulingError(w, r, err)
+			return
+		}
+		snap := s.book.Snapshot()
+		env := core.Env{P: snap.Profile.Capacity(), Now: now, Avail: snap.Profile, Q: q}
+		sched, deadline, err := compute(env)
+		if err != nil {
+			if errors.Is(err, core.ErrInfeasible) {
+				writeJSON(w, http.StatusUnprocessableEntity, api.Error{Error: err.Error()})
+				return
+			}
+			s.writeSchedulingError(w, r, err)
+			return
+		}
+
+		resp := api.ScheduleResponse{
+			Algorithm:  algo,
+			Version:    snap.Version,
+			Now:        sched.Now,
+			Completion: sched.Completion(),
+			Turnaround: sched.Turnaround(),
+			CPUHours:   sched.CPUHours(),
+			Deadline:   deadline,
+			Retries:    retries,
+		}
+		for t, pl := range sched.Tasks {
+			resp.Tasks = append(resp.Tasks, api.Placement{Task: t, Procs: pl.Procs, Start: pl.Start, End: pl.End})
+		}
+		if !commit {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+
+		var reqs []resbook.Request
+		for _, pl := range sched.Tasks {
+			if pl.End > pl.Start {
+				reqs = append(reqs, resbook.Request{Start: pl.Start, End: pl.End, Procs: pl.Procs})
+			}
+		}
+		if s.beforeCommit != nil {
+			s.beforeCommit()
+		}
+		booked, err := s.book.Commit(snap.Version, reqs)
+		if err == nil {
+			resp.Version = snap.Version + 1
+			resp.Committed = true
+			resp.Retries = retries
+			for _, b := range booked {
+				resp.ReservationIDs = append(resp.ReservationIDs, b.ID)
+			}
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if errors.Is(err, resbook.ErrStale) {
+			retries++
+			s.metrics.retries.Add(1)
+			if retries > s.cfg.MaxRetries {
+				s.metrics.conflicts.Add(1)
+				writeJSON(w, http.StatusConflict,
+					api.Error{Error: fmt.Sprintf("gave up after %d version-conflict retries", retries-1)})
+				return
+			}
+			continue
+		}
+		// A schedule computed against its own snapshot cannot fail to
+		// commit at that version; anything else is an internal fault.
+		writeJSON(w, http.StatusInternalServerError, api.Error{Error: "commit failed: " + err.Error()})
+		return
+	}
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req api.ScheduleRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	g, err := dagio.Read(bytes.NewReader(req.DAG))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		return
+	}
+	bl := core.BLCPAR
+	if req.BL != "" {
+		if bl, err = core.ParseBL(req.BL); err != nil {
+			writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+			return
+		}
+	}
+	bd := core.BDCPAR
+	if req.BD != "" {
+		if bd, err = core.ParseBD(req.BD); err != nil {
+			writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+			return
+		}
+	}
+	now, err := s.resolveNow(req.Now)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		return
+	}
+	sch, err := core.NewScheduler(g)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		return
+	}
+	if !s.acquireWorker(w, r) {
+		return
+	}
+	defer s.releaseWorker()
+
+	s.runCommitLoop(w, r, fmt.Sprintf("%s_%s", bl, bd), now, req.Q, req.Commit,
+		func(env core.Env) (*core.Schedule, model.Time, error) {
+			sched, err := sch.TurnaroundCtx(r.Context(), env, bl, bd)
+			return sched, 0, err
+		})
+}
+
+func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
+	var req api.DeadlineRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	g, err := dagio.Read(bytes.NewReader(req.DAG))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		return
+	}
+	algo := core.DLRCCPARLambda
+	if req.Algo != "" {
+		if algo, err = core.ParseDL(req.Algo); err != nil {
+			writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+			return
+		}
+	}
+	if !req.Tightest && req.Deadline <= 0 {
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: "deadline (seconds after now) required unless tightest is set"})
+		return
+	}
+	now, err := s.resolveNow(req.Now)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		return
+	}
+	sch, err := core.NewScheduler(g)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		return
+	}
+	if !s.acquireWorker(w, r) {
+		return
+	}
+	defer s.releaseWorker()
+
+	s.runCommitLoop(w, r, algo.String(), now, req.Q, req.Commit,
+		func(env core.Env) (*core.Schedule, model.Time, error) {
+			if req.Tightest {
+				k, sched, err := sch.TightestDeadlineCtx(r.Context(), env, algo)
+				return sched, k, err
+			}
+			k := env.Now + req.Deadline
+			sched, err := sch.DeadlineCtx(r.Context(), env, algo, k)
+			return sched, k, err
+		})
+}
+
+func toAPIReservation(r resbook.Reservation, version uint64) api.Reservation {
+	return api.Reservation{
+		ID:      r.ID,
+		Start:   r.Start,
+		End:     r.End,
+		Procs:   r.Procs,
+		Status:  r.Status.String(),
+		Version: version,
+	}
+}
+
+func (s *Server) handleReservationCreate(w http.ResponseWriter, r *http.Request) {
+	var req api.ReservationRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	res, err := s.book.Reserve(req.Start, req.End, req.Procs)
+	if err != nil {
+		// Either malformed (empty interval, bad procs) or a genuine
+		// capacity conflict; both leave the book untouched.
+		writeJSON(w, http.StatusConflict, api.Error{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, toAPIReservation(res, s.book.Version()))
+}
+
+func (s *Server) handleReservationList(w http.ResponseWriter, r *http.Request) {
+	list := s.book.List()
+	out := make([]api.Reservation, 0, len(list))
+	for _, res := range list {
+		out = append(out, toAPIReservation(res, 0))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleReservationGet(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.book.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, api.Error{Error: "no such reservation"})
+		return
+	}
+	writeJSON(w, http.StatusOK, toAPIReservation(res, 0))
+}
+
+// writeLifecycleError maps book lifecycle failures to status codes.
+func writeLifecycleError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, resbook.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, api.Error{Error: err.Error()})
+	case errors.Is(err, resbook.ErrReleased):
+		writeJSON(w, http.StatusConflict, api.Error{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, api.Error{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleReservationActivate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.book.Activate(id); err != nil {
+		writeLifecycleError(w, err)
+		return
+	}
+	res, _ := s.book.Get(id)
+	writeJSON(w, http.StatusOK, toAPIReservation(res, s.book.Version()))
+}
+
+func (s *Server) handleReservationDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.book.Release(id); err != nil {
+		writeLifecycleError(w, err)
+		return
+	}
+	res, _ := s.book.Get(id)
+	writeJSON(w, http.StatusOK, toAPIReservation(res, s.book.Version()))
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	snap := s.book.Snapshot()
+	resp := api.ProfileResponse{
+		Capacity: snap.Profile.Capacity(),
+		Origin:   snap.Profile.Origin(),
+		Version:  snap.Version,
+	}
+	for _, seg := range snap.Profile.Segments() {
+		resp.Segments = append(resp.Segments, api.Segment{Start: seg.Start, Free: seg.Free})
+	}
+	for _, res := range s.book.List() {
+		resp.Reservations = append(resp.Reservations, toAPIReservation(res, 0))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.book.Version()))
+}

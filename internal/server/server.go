@@ -1,0 +1,215 @@
+// Package server implements the reschedd HTTP JSON API: scheduling
+// requests (RESSCHED and RESSCHEDDL) served against a live
+// resbook.Book, direct reservation management, profile inspection,
+// and expvar-style metrics.
+//
+// Serving discipline: a bounded worker pool caps the number of
+// concurrently running scheduling computations (they are CPU-bound;
+// unbounded concurrency would thrash), every request runs under a
+// per-request timeout enforced through context cancellation in the
+// scheduling loops, and request bodies are size-limited before they
+// reach the JSON decoder. Schedule commits run the book's
+// optimistic-concurrency loop: compute on a snapshot, commit with a
+// version check, recompute on conflict.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"resched/internal/api"
+	"resched/internal/resbook"
+)
+
+// Config parameterizes a Server. The zero value of every field except
+// Book gets a sensible default.
+type Config struct {
+	// Book is the reservation book to serve. Required.
+	Book *resbook.Book
+	// Workers bounds the number of concurrently executing scheduling
+	// computations (default 4). Requests beyond it queue until their
+	// timeout and are then shed with 503.
+	Workers int
+	// Timeout is the per-request deadline (default 30s).
+	Timeout time.Duration
+	// MaxBody is the request body limit in bytes (default 1 MiB).
+	MaxBody int64
+	// MaxRetries bounds the optimistic-concurrency commit loop
+	// (default 8); beyond it the request fails with 409.
+	MaxRetries int
+	// Logger receives one structured line per request. Nil discards.
+	Logger *slog.Logger
+}
+
+// Server serves the reschedd API. Construct with New.
+type Server struct {
+	cfg     Config
+	book    *resbook.Book
+	sem     chan struct{}
+	metrics *metrics
+	mux     *http.ServeMux
+	log     *slog.Logger
+
+	// beforeCommit, when non-nil, runs between computing a schedule
+	// and committing it. Tests use it to force version conflicts
+	// deterministically; production servers leave it nil.
+	beforeCommit func()
+}
+
+// New returns a Server for the given configuration.
+func New(cfg Config) (*Server, error) {
+	if cfg.Book == nil {
+		return nil, errors.New("server: nil reservation book")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := &Server{
+		cfg:     cfg,
+		book:    cfg.Book,
+		sem:     make(chan struct{}, cfg.Workers),
+		metrics: &metrics{},
+		log:     log,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/deadline", s.handleDeadline)
+	mux.HandleFunc("POST /v1/reservations", s.handleReservationCreate)
+	mux.HandleFunc("GET /v1/reservations", s.handleReservationList)
+	mux.HandleFunc("GET /v1/reservations/{id}", s.handleReservationGet)
+	mux.HandleFunc("POST /v1/reservations/{id}/activate", s.handleReservationActivate)
+	mux.HandleFunc("DELETE /v1/reservations/{id}", s.handleReservationDelete)
+	mux.HandleFunc("GET /v1/profile", s.handleProfile)
+	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound, api.Error{Error: "no such endpoint"})
+	})
+	s.mux = mux
+	return s, nil
+}
+
+// Book returns the reservation book the server mutates, so embedding
+// processes (and tests) can inspect it.
+func (s *Server) Book() *resbook.Book { return s.book }
+
+// Handler returns the fully wrapped http.Handler: routing inside
+// request-scoped timeout, metrics, and logging.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+
+		rw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.metrics.requests.Add(1)
+		s.mux.ServeHTTP(rw, r)
+
+		dur := time.Since(start)
+		s.metrics.countStatus(rw.status)
+		s.metrics.observe(dur)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rw.status,
+			"bytes", rw.bytes,
+			"duration_ms", float64(dur)/float64(time.Millisecond),
+		)
+	})
+}
+
+// statusWriter captures the response status and size for metrics and
+// logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// acquireWorker reserves a slot in the bounded pool, giving up when
+// the request's deadline expires first. It reports whether the slot
+// was acquired; on false the 503 has been written.
+func (s *Server) acquireWorker(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		s.metrics.overload.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, api.Error{Error: "scheduling workers saturated"})
+		return false
+	}
+}
+
+func (s *Server) releaseWorker() { <-s.sem }
+
+// decodeJSON reads a size-limited JSON body into v. On failure it
+// writes the error response and returns false.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				api.Error{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: "malformed JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeSchedulingError maps a scheduling/commit failure to a status
+// code: timeouts to 504, infeasible deadlines to 422, everything else
+// (malformed environments, impossible requests) to 400.
+func (s *Server) writeSchedulingError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.metrics.timeouts.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, api.Error{Error: "scheduling timed out: " + err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+	}
+}

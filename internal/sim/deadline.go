@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -63,7 +64,7 @@ func RunDeadline(lab *Lab, scenarios []Scenario, algos []core.DLAlgorithm) (*Dea
 			worst := model.Duration(0)
 			ok := true
 			for a, algo := range algos {
-				k, _, err := inst.Sched.TightestDeadlineGranularity(inst.Env, algo, gran)
+				k, _, err := inst.Sched.TightestDeadlineGranularity(context.Background(), inst.Env, algo, gran)
 				if err != nil {
 					ok = false
 					break
