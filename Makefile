@@ -1,12 +1,20 @@
 # Tier-1 verification for the serving code (resbook, server,
-# reschedd): formatting, vet, and the full suite under the race
-# detector. `make test` is the quick non-race cycle.
+# reschedd): formatting, vet, the full suite under the race detector,
+# and a one-iteration benchmark smoke run so benchmarks cannot
+# bit-rot. `make test` is the quick non-race cycle; `make bench`
+# produces the machine-readable perf trajectory (BENCH_PR2.json).
 
 GO ?= go
 
-.PHONY: ci fmt vet test race build
+# Benchmarks that feed the BENCH_*.json trajectory: the CPA allocation
+# hot path, the profile primitives, and the serving path.
+BENCH_PKGS ?= ./internal/cpa ./internal/profile ./internal/server ./internal/resbook
+BENCH_OUT ?= BENCH_PR2.json
+BENCH_LABEL ?= optimized
 
-ci: fmt vet race
+.PHONY: ci fmt vet test race build bench bench-smoke
+
+ci: fmt vet race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -25,3 +33,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench runs the trajectory benchmarks with -benchmem and folds the
+# results into $(BENCH_OUT) under $(BENCH_LABEL) (see cmd/benchjson
+# for the JSON format). Existing labels — e.g. the committed baseline
+# — are preserved.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT)
+
+# bench-smoke executes every benchmark in the repo exactly once so CI
+# catches benchmarks that no longer compile or crash. No timing is
+# recorded.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

@@ -1,0 +1,166 @@
+// Command benchjson converts `go test -bench` output into the
+// machine-readable BENCH_*.json trajectory format committed at the
+// repo root.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson -label optimized -out BENCH_PR2.json
+//
+// Each invocation parses the benchmark lines on stdin and stores them
+// under the given label in the output file, merging with any labels
+// already present — so a baseline run and an optimized run of the same
+// benchmarks land side by side:
+//
+//	{
+//	  "format": "resched-bench/v1",
+//	  "runs": {
+//	    "baseline":  {"internal/cpa.BenchmarkAllocateWide/n=200/p=256": {"ns_op": ..., "b_op": ..., "allocs_op": ...}},
+//	    "optimized": {...}
+//	  }
+//	}
+//
+// Domain metrics reported via b.ReportMetric (turnaround-s, cpu-hours,
+// probes, ...) are kept under "metrics" per benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsOp       float64            `json:"ns_op"`
+	BOp        float64            `json:"b_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_*.json schema.
+type File struct {
+	Format string                       `json:"format"`
+	Note   string                       `json:"note,omitempty"`
+	Runs   map[string]map[string]Result `json:"runs"`
+}
+
+var benchLine = regexp.MustCompile(`^Benchmark\S+`)
+
+// parse consumes `go test -bench` output. Package headers ("pkg:
+// resched/internal/cpa") qualify the benchmark names that follow, so
+// same-named benchmarks in different packages cannot collide.
+func parse(r *bufio.Scanner) (map[string]Result, error) {
+	out := make(map[string]Result)
+	pkg := ""
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if strings.HasPrefix(line, "pkg:") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg = strings.TrimPrefix(pkg, "resched/")
+			if pkg == "resched" {
+				pkg = ""
+			}
+			continue
+		}
+		if !benchLine.MatchString(line) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -<GOMAXPROCS> suffix.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: iters}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsOp = v
+			case "B/op":
+				res.BOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[fields[i+1]] = v
+			}
+		}
+		out[name] = res
+	}
+	return out, r.Err()
+}
+
+func run() error {
+	label := flag.String("label", "optimized", "run label to store the parsed results under")
+	outPath := flag.String("out", "BENCH_PR2.json", "output file; existing labels in it are preserved")
+	note := flag.String("note", "", "optional note stored in the file (kept from the existing file if empty)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	results, err := parse(sc)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+
+	f := File{Format: "resched-bench/v1", Runs: make(map[string]map[string]Result)}
+	if prev, err := os.ReadFile(*outPath); err == nil {
+		if err := json.Unmarshal(prev, &f); err != nil {
+			return fmt.Errorf("existing %s is not valid bench JSON: %w", *outPath, err)
+		}
+		if f.Runs == nil {
+			f.Runs = make(map[string]map[string]Result)
+		}
+	}
+	f.Format = "resched-bench/v1"
+	if *note != "" {
+		f.Note = *note
+	}
+	f.Runs[*label] = results
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results under label %q to %s\n", len(results), *label, *outPath)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

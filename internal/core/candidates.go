@@ -10,20 +10,27 @@ import "resched/internal/model"
 // equal) and consumes fewer processor-hours — so skipping the larger
 // ones changes no scheduling decision, only the constant factor.
 func allocCandidates(seq model.Duration, alpha float64, bound int) []int {
+	return appendAllocCandidates(nil, seq, alpha, bound)
+}
+
+// appendAllocCandidates is allocCandidates with a caller-owned buffer:
+// candidates are appended to dst (usually scratch[:0]) so the per-task
+// inner loop of the schedulers allocates nothing once the buffer has
+// grown to its steady size.
+func appendAllocCandidates(dst []int, seq model.Duration, alpha float64, bound int) []int {
 	if bound < 1 {
-		return nil
+		return dst
 	}
-	out := make([]int, 0, 16)
 	prev := model.Duration(-1)
 	for m := 1; m <= bound; m++ {
 		d := model.ExecTime(seq, alpha, m)
 		if d != prev {
-			out = append(out, m)
+			dst = append(dst, m)
 			prev = d
 		}
 		if d <= 1 {
 			break // durations cannot shrink further
 		}
 	}
-	return out
+	return dst
 }

@@ -65,3 +65,74 @@ func TestComplexityScaling(t *testing.T) {
 			ratio, small, large)
 	}
 }
+
+// TestAllocateWidthScaling guards the incremental CPA allocation phase
+// against regressing to the naive per-iteration level sweeps. On DAGs
+// of doubling width the naive implementation is quadratic-plus in the
+// task count (iterations x full O(V+E) sweeps); the incremental repair
+// should stay well under that. As with TestComplexityScaling the bound
+// is generous so wall-clock noise cannot flake the test: doubling n on
+// width-heavy DAGs costs the naive code ~5-6x (measured); we fail past
+// 12x, which it exceeds while the incremental version sits around 3x.
+func TestAllocateWidthScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	timeFor := func(n int) time.Duration {
+		spec := daggen.Default()
+		spec.N = n
+		spec.Width = 0.8
+		var total time.Duration
+		const reps = 4
+		for r := 0; r < reps; r++ {
+			g := daggen.MustGenerate(spec, rand.New(rand.NewSource(int64(r))))
+			s := mustScheduler(t, g)
+			t0 := time.Now()
+			if _, err := s.cpaAlloc(256); err != nil {
+				t.Fatal(err)
+			}
+			total += time.Since(t0)
+		}
+		return total / reps
+	}
+	timeFor(100) // warm up code paths before timing
+	small := timeFor(200)
+	large := timeFor(400)
+	if small <= 0 {
+		small = time.Microsecond
+	}
+	if ratio := float64(large) / float64(small); ratio > 12 {
+		t.Fatalf("CPA allocation grew %.1fx from n=200 to n=400 (%v -> %v): incremental repair regressed?",
+			ratio, small, large)
+	}
+}
+
+// TestTurnaroundAllocsPerTask asserts the zero-allocation property of
+// the per-task candidate scan: once the scheduler's scratch buffers
+// have warmed up, the number of allocations per Turnaround call must
+// not grow with the task count (only O(1)-count per-call slices such
+// as the order, level, and placement vectors remain).
+func TestTurnaroundAllocsPerTask(t *testing.T) {
+	allocsFor := func(n int) float64 {
+		spec := daggen.Default()
+		spec.N = n
+		g := daggen.MustGenerate(spec, rand.New(rand.NewSource(9)))
+		s := mustScheduler(t, g)
+		env := emptyEnv(64, 0)
+		if _, err := s.Turnaround(env, BLCPAR, BDCPAR); err != nil { // warm caches and scratch
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := s.Turnaround(env, BLCPAR, BDCPAR); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := allocsFor(20)
+	large := allocsFor(160)
+	// 8x the tasks may not cost even one extra allocation per added
+	// task; a per-task allocation anywhere in the loop would add >= 140.
+	if large > small+20 {
+		t.Fatalf("allocs/run grew from %.0f (n=20) to %.0f (n=160): a per-task allocation crept into the hot path", small, large)
+	}
+}

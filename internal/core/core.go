@@ -244,6 +244,17 @@ type Scheduler struct {
 	g          *dag.Graph
 	stop       cpa.StopRule
 	allocCache map[int][]int
+
+	// Scratch buffers reused across calls, keeping the per-task
+	// candidate scans and the per-call working profile allocation-free.
+	// scratchAvail is the clone-into target for the availability
+	// profile each scheduling call mutates; it is safe to reuse because
+	// every probe sequence against it is, per call, strictly sequential.
+	scratchCands  []int
+	scratchReqs   []profile.FitRequest
+	scratchStarts []model.Time
+	scratchOK     []bool
+	scratchAvail  profile.Profile
 }
 
 // NewScheduler returns a Scheduler for the given application using the
@@ -301,6 +312,29 @@ func (s *Scheduler) blExec(m BLMethod, p, q int) ([]model.Duration, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown bottom-level method %v", m)
 	}
+}
+
+// fitRequests fills the scheduler's request scratch with one
+// (processors, duration) probe per distinct-duration candidate
+// allocation in [1, bound] — the shared setup of every per-task
+// candidate scan.
+func (s *Scheduler) fitRequests(seq model.Duration, alpha float64, bound int) []profile.FitRequest {
+	s.scratchCands = appendAllocCandidates(s.scratchCands[:0], seq, alpha, bound)
+	reqs := s.scratchReqs[:0]
+	for _, m := range s.scratchCands {
+		reqs = append(reqs, profile.FitRequest{Procs: m, Dur: model.ExecTime(seq, alpha, m)})
+	}
+	s.scratchReqs = reqs
+	return reqs
+}
+
+// workingAvail copies the environment's availability profile into the
+// scheduler's scratch profile, the mutable working copy a scheduling
+// call commits task reservations into. The caller's profile is never
+// modified; reusing the scratch avoids a full Clone per call.
+func (s *Scheduler) workingAvail(env *Env) *profile.Profile {
+	env.Avail.CloneInto(&s.scratchAvail)
+	return &s.scratchAvail
 }
 
 // bounds returns the per-task allocation bounds under the given

@@ -87,14 +87,15 @@ func taskDeadline(sched *Schedule, succs []int, deadline model.Time) model.Time 
 
 // latestPair finds the <processors, start> pair with the latest start
 // time among allocations 1..bound, the aggressive choice of Section
-// 5.2.1. Ties favor fewer processors.
-func latestPair(avail *profile.Profile, task taskParams, bound int, now, dl model.Time) (int, model.Time, bool) {
+// 5.2.1. Ties favor fewer processors. The candidate probes run as one
+// batch LatestFits sweep of the profile.
+func (s *Scheduler) latestPair(avail *profile.Profile, task taskParams, bound int, now, dl model.Time) (int, model.Time, bool) {
+	reqs := s.fitRequests(task.seq, task.alpha, bound)
+	s.scratchStarts, s.scratchOK = avail.LatestFits(reqs, now, dl, s.scratchStarts, s.scratchOK)
 	bestM, bestStart, found := 0, model.Time(0), false
-	for _, m := range allocCandidates(task.seq, task.alpha, bound) {
-		d := model.ExecTime(task.seq, task.alpha, m)
-		st, ok := avail.LatestFit(m, d, now, dl)
-		if ok && (!found || st > bestStart) {
-			bestM, bestStart, found = m, st, true
+	for k := range reqs {
+		if s.scratchOK[k] && (!found || s.scratchStarts[k] > bestStart) {
+			bestM, bestStart, found = reqs[k].Procs, s.scratchStarts[k], true
 		}
 	}
 	return bestM, bestStart, found
@@ -127,7 +128,7 @@ func (s *Scheduler) deadlineAggressive(ctx context.Context, env Env, q int, algo
 	if err != nil {
 		return nil, err
 	}
-	avail := env.Avail.Clone()
+	avail := s.workingAvail(&env)
 	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
 	for _, t := range order {
 		if err := ctx.Err(); err != nil {
@@ -135,7 +136,7 @@ func (s *Scheduler) deadlineAggressive(ctx context.Context, env Env, q int, algo
 		}
 		dl := taskDeadline(sched, s.g.Successors(t), deadline)
 		task := taskParams{s.g.Task(t).Seq, s.g.Task(t).Alpha}
-		m, st, ok := latestPair(avail, task, bound[t], env.Now, dl)
+		m, st, ok := s.latestPair(avail, task, bound[t], env.Now, dl)
 		if !ok {
 			return nil, fmt.Errorf("%w: task %d has no feasible reservation before %d (%s)", ErrInfeasible, t, dl, algo)
 		}
@@ -161,7 +162,7 @@ func (s *Scheduler) deadlineRC(ctx context.Context, env Env, q, qRef int, deadli
 	if err != nil {
 		return nil, err
 	}
-	avail := env.Avail.Clone()
+	avail := s.workingAvail(&env)
 	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
 	unscheduled := make([]bool, s.g.NumTasks())
 	for i := range unscheduled {
@@ -198,15 +199,16 @@ func (s *Scheduler) deadlineRC(ctx context.Context, env Env, q, qRef int, deadli
 		// the deadline is loose the candidate start is far past S_t and
 		// one processor wins; as it tightens, candidate starts compress
 		// toward S_t and the allocation grows toward the CPA schedule's.
+		reqs := s.fitRequests(task.seq, task.alpha, allocRef[t])
+		s.scratchStarts, s.scratchOK = avail.LatestFits(reqs, env.Now, dl, s.scratchStarts, s.scratchOK)
 		m, st, ok := 0, model.Time(0), false
-		for _, cand := range allocCandidates(task.seq, task.alpha, allocRef[t]) {
-			d := model.ExecTime(task.seq, task.alpha, cand)
-			lst, fits := avail.LatestFit(cand, d, env.Now, dl)
-			if !fits || lst < threshold {
+		for k := range reqs {
+			lst := s.scratchStarts[k]
+			if !s.scratchOK[k] || lst < threshold {
 				continue
 			}
 			if !ok || lst < st {
-				m, st, ok = cand, lst, true
+				m, st, ok = reqs[k].Procs, lst, true
 			}
 		}
 		if !ok {
@@ -217,7 +219,7 @@ func (s *Scheduler) deadlineRC(ctx context.Context, env Env, q, qRef int, deadli
 			if boundedFallback {
 				bound = allocRef[t]
 			}
-			m, st, ok = latestPair(avail, task, bound, env.Now, dl)
+			m, st, ok = s.latestPair(avail, task, bound, env.Now, dl)
 		}
 		if !ok {
 			return nil, fmt.Errorf("%w: task %d has no feasible reservation before %d (RC)", ErrInfeasible, t, dl)

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"resched/internal/cpa"
+	"resched/internal/daggen"
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+// These tests pin the scheduling hot-path optimizations (batch profile
+// fits, scratch-buffer candidate scans, clone-into working profiles)
+// to the naive per-probe implementations they replaced: every
+// algorithm must produce placement-for-placement identical schedules.
+
+// naiveTurnaround is the pre-optimization turnaround inner loop: a
+// fresh Clone of the availability profile, allocCandidates allocated
+// per task, and one solo EarliestFit per candidate.
+func naiveTurnaround(s *Scheduler, env Env, bl BLMethod, bd BDMethod) (*Schedule, error) {
+	q, err := env.validate()
+	if err != nil {
+		return nil, err
+	}
+	exec, err := s.blExec(bl, env.P, q)
+	if err != nil {
+		return nil, err
+	}
+	order, err := cpa.PriorityOrder(s.g, exec)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := s.bounds(bd, env.P, q)
+	if err != nil {
+		return nil, err
+	}
+	avail := env.Avail.Clone()
+	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
+	for _, t := range order {
+		ready := env.Now
+		for _, pr := range s.g.Predecessors(t) {
+			if f := sched.Tasks[pr].End; f > ready {
+				ready = f
+			}
+		}
+		task := s.g.Task(t)
+		limit := bound[t]
+		if limit > env.P {
+			limit = env.P
+		}
+		bestM, bestStart, bestFinish := 0, model.Time(0), model.Infinity
+		for _, m := range allocCandidates(task.Seq, task.Alpha, limit) {
+			d := model.ExecTime(task.Seq, task.Alpha, m)
+			st := avail.EarliestFit(m, d, ready)
+			if st+d < bestFinish {
+				bestM, bestStart, bestFinish = m, st, st+d
+			}
+		}
+		if bestM == 0 {
+			return nil, fmt.Errorf("core: no allocation bound for task %d", t)
+		}
+		if bestFinish > bestStart {
+			if err := avail.Reserve(bestStart, bestFinish, bestM); err != nil {
+				return nil, err
+			}
+		}
+		sched.Tasks[t] = Placement{Procs: bestM, Start: bestStart, End: bestFinish}
+	}
+	return sched, nil
+}
+
+// naiveLatestPair is the pre-optimization aggressive pick: one solo
+// LatestFit per candidate allocation.
+func naiveLatestPair(avail *profile.Profile, task taskParams, bound int, now, dl model.Time) (int, model.Time, bool) {
+	bestM, bestStart, found := 0, model.Time(0), false
+	for _, m := range allocCandidates(task.seq, task.alpha, bound) {
+		d := model.ExecTime(task.seq, task.alpha, m)
+		st, ok := avail.LatestFit(m, d, now, dl)
+		if ok && (!found || st > bestStart) {
+			bestM, bestStart, found = m, st, true
+		}
+	}
+	return bestM, bestStart, found
+}
+
+// naiveDeadline reimplements the backward schedulers (aggressive and
+// plain resource-conservative) with solo probes and a cloned profile.
+func naiveDeadline(s *Scheduler, env Env, algo DLAlgorithm, deadline model.Time) (*Schedule, error) {
+	q, err := env.validate()
+	if err != nil {
+		return nil, err
+	}
+	if deadline < env.Now {
+		return nil, fmt.Errorf("%w: deadline %d before now %d", ErrInfeasible, deadline, env.Now)
+	}
+	var bound []int
+	rc, qRef := false, 0
+	switch algo {
+	case DLBDAll:
+		bound = s.g.UniformAlloc(env.P)
+	case DLBDCPA:
+		if bound, err = s.cpaAlloc(env.P); err != nil {
+			return nil, err
+		}
+	case DLBDCPAR:
+		if bound, err = s.cpaAlloc(q); err != nil {
+			return nil, err
+		}
+	case DLRCCPA:
+		rc, qRef = true, env.P
+	case DLRCCPAR:
+		rc, qRef = true, q
+	default:
+		return nil, fmt.Errorf("naiveDeadline does not cover %v", algo)
+	}
+	var allocRef []int
+	if rc {
+		if allocRef, err = s.cpaAlloc(qRef); err != nil {
+			return nil, err
+		}
+	}
+	order, err := s.backwardOrder(env.P, q)
+	if err != nil {
+		return nil, err
+	}
+	avail := env.Avail.Clone()
+	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
+	unscheduled := make([]bool, s.g.NumTasks())
+	for i := range unscheduled {
+		unscheduled[i] = true
+	}
+	for _, t := range order {
+		dl := taskDeadline(sched, s.g.Successors(t), deadline)
+		task := taskParams{s.g.Task(t).Seq, s.g.Task(t).Alpha}
+		var m int
+		var st model.Time
+		var ok bool
+		if rc {
+			ref, err := cpa.ListScheduleSubset(s.g, allocRef, qRef, env.Now, unscheduled)
+			if err != nil {
+				return nil, err
+			}
+			threshold := ref.Start[t] // lambda = 0
+			for _, cand := range allocCandidates(task.seq, task.alpha, allocRef[t]) {
+				d := model.ExecTime(task.seq, task.alpha, cand)
+				lst, fits := avail.LatestFit(cand, d, env.Now, dl)
+				if !fits || lst < threshold {
+					continue
+				}
+				if !ok || lst < st {
+					m, st, ok = cand, lst, true
+				}
+			}
+			if !ok {
+				m, st, ok = naiveLatestPair(avail, task, env.P, env.Now, dl)
+			}
+		} else {
+			m, st, ok = naiveLatestPair(avail, task, bound[t], env.Now, dl)
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: task %d has no feasible reservation before %d", ErrInfeasible, t, dl)
+		}
+		d := model.ExecTime(task.seq, task.alpha, m)
+		if d > 0 {
+			if err := avail.Reserve(st, st+d, m); err != nil {
+				return nil, err
+			}
+		}
+		sched.Tasks[t] = Placement{Procs: m, Start: st, End: st + d}
+		unscheduled[t] = false
+	}
+	return sched, nil
+}
+
+func samePlacements(t *testing.T, label string, got, want *Schedule) {
+	t.Helper()
+	if len(got.Tasks) != len(want.Tasks) {
+		t.Fatalf("%s: %d tasks vs %d", label, len(got.Tasks), len(want.Tasks))
+	}
+	for i := range want.Tasks {
+		if got.Tasks[i] != want.Tasks[i] {
+			t.Fatalf("%s: task %d placed %+v, naive reference %+v", label, i, got.Tasks[i], want.Tasks[i])
+		}
+	}
+}
+
+// TestTurnaroundMatchesNaive compares every BL x BD heuristic against
+// the naive reimplementation over random DAGs and reservation
+// environments (>= 200 schedule comparisons).
+func TestTurnaroundMatchesNaive(t *testing.T) {
+	cases := 0
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		spec := daggen.Default()
+		spec.N = 30 + rng.Intn(40)
+		g := daggen.MustGenerate(spec, rng)
+		s := mustScheduler(t, g)
+		for e := 0; e < 4; e++ {
+			env := randomEnv(rng, 64, 1000)
+			for _, bl := range AllBL {
+				for _, bd := range []BDMethod{BDAll, BDCPA, BDCPAR} {
+					got, err := s.Turnaround(env, bl, bd)
+					if err != nil {
+						t.Fatalf("seed %d env %d %v/%v: %v", seed, e, bl, bd, err)
+					}
+					want, err := naiveTurnaround(s, env, bl, bd)
+					if err != nil {
+						t.Fatalf("naive seed %d env %d %v/%v: %v", seed, e, bl, bd, err)
+					}
+					samePlacements(t, fmt.Sprintf("seed %d env %d %v/%v", seed, e, bl, bd), got, want)
+					cases++
+				}
+			}
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("only %d turnaround comparisons; the corpus should cover at least 200", cases)
+	}
+}
+
+// TestDeadlineMatchesNaive compares the backward schedulers against
+// the naive reimplementation, at a loose deadline (feasible for every
+// algorithm) and a tight one (infeasibility must agree too).
+func TestDeadlineMatchesNaive(t *testing.T) {
+	algos := []DLAlgorithm{DLBDAll, DLBDCPA, DLBDCPAR, DLRCCPA, DLRCCPAR}
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		spec := daggen.Default()
+		spec.N = 20 + rng.Intn(25)
+		g := daggen.MustGenerate(spec, rng)
+		s := mustScheduler(t, g)
+		for e := 0; e < 2; e++ {
+			env := randomEnv(rng, 64, 1000)
+			base, err := s.Turnaround(env, BLCPAR, BDCPAR)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loose := base.Completion() + model.Time(2*model.Day)
+			tight := env.Now + (base.Completion()-env.Now)/4
+			for _, algo := range algos {
+				for _, deadline := range []model.Time{loose, tight} {
+					got, errGot := s.Deadline(env, algo, deadline)
+					want, errWant := naiveDeadline(s, env, algo, deadline)
+					if (errGot == nil) != (errWant == nil) {
+						t.Fatalf("seed %d env %d %v K=%d: optimized err %v, naive err %v",
+							seed, e, algo, deadline, errGot, errWant)
+					}
+					if errGot == nil {
+						samePlacements(t, fmt.Sprintf("seed %d env %d %v K=%d", seed, e, algo, deadline), got, want)
+					}
+				}
+			}
+		}
+	}
+}

@@ -39,7 +39,7 @@ func (s *Scheduler) TurnaroundCtx(ctx context.Context, env Env, bl BLMethod, bd 
 		return nil, err
 	}
 
-	avail := env.Avail.Clone()
+	avail := s.workingAvail(&env)
 	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
 	for _, t := range order {
 		if err := ctx.Err(); err != nil {
@@ -56,12 +56,12 @@ func (s *Scheduler) TurnaroundCtx(ctx context.Context, env Env, bl BLMethod, bd 
 		if limit > env.P {
 			limit = env.P
 		}
+		reqs := s.fitRequests(task.Seq, task.Alpha, limit)
+		s.scratchStarts = avail.EarliestFits(reqs, ready, s.scratchStarts)
 		bestM, bestStart, bestFinish := 0, model.Time(0), model.Infinity
-		for _, m := range allocCandidates(task.Seq, task.Alpha, limit) {
-			d := model.ExecTime(task.Seq, task.Alpha, m)
-			st := avail.EarliestFit(m, d, ready)
-			if st+d < bestFinish {
-				bestM, bestStart, bestFinish = m, st, st+d
+		for k := range reqs {
+			if st := s.scratchStarts[k]; st+reqs[k].Dur < bestFinish {
+				bestM, bestStart, bestFinish = reqs[k].Procs, st, st+reqs[k].Dur
 			}
 		}
 		if bestM == 0 {

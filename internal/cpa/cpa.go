@@ -76,6 +76,15 @@ const cpTolerance = 1e-6
 
 // Allocate runs the CPA allocation phase for a cluster of p processors
 // and returns the per-task processor counts, each in [1, p].
+//
+// The refinement loop is incremental: bottom and top levels are
+// maintained by worklist propagation from the single task whose
+// execution time changed (instead of two full O(V+E) sweeps per
+// iteration), the area term Σ m·T(m) is updated in O(1), and each
+// task's marginal gain is cached at its current allocation so
+// model.Gain never runs in the candidate scan. The retained naive
+// implementation (reference.go) is the differential-test oracle:
+// both produce identical allocation vectors.
 func Allocate(g *dag.Graph, p int, rule StopRule) ([]int, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("cpa: cluster size %d < 1", p)
@@ -87,28 +96,264 @@ func Allocate(g *dag.Graph, p int, rule StopRule) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	alloc := g.UniformAlloc(1)
-	exec := make([]float64, g.NumTasks())
-	caps := make([]int, g.NumTasks())
-	for i := range exec {
-		exec[i] = model.ExecSeconds(g.Task(i).Seq, g.Task(i).Alpha, 1)
-		caps[i] = p
-		if rule == StopStringent {
-			caps[i] = allocCap(g.Task(i).Alpha, p)
+	st := newAllocState(g, topo, p, rule)
+	for {
+		cp := st.criticalPath()
+		if !(cp > st.area/float64(p)) {
+			break // T_CP no longer exceeds T_A
 		}
-	}
-
-	tcp, ta := pressure(g, topo, alloc, exec, p)
-	for tcp > ta {
-		t := bestCandidate(g, topo, alloc, exec, caps)
+		t := st.bestCandidate(cp)
 		if t < 0 {
 			break // every critical-path task is at its allocation cap
 		}
-		alloc[t]++
-		exec[t] = model.ExecSeconds(g.Task(t).Seq, g.Task(t).Alpha, alloc[t])
-		tcp, ta = pressure(g, topo, alloc, exec, p)
+		st.grow(t)
 	}
-	return alloc, nil
+	return st.alloc, nil
+}
+
+// allocState is the incrementally maintained state of one allocation
+// phase run.
+type allocState struct {
+	g       *dag.Graph
+	alloc   []int
+	caps    []int
+	exec    []float64 // unrounded Amdahl time at the current allocation
+	bl, tl  []float64 // float bottom/top levels for the current exec
+	maxSucc []float64 // max successor bl (bl[i] = exec[i] + maxSucc[i])
+	gain    []float64 // model.Gain at the current allocation
+	area    float64   // Σ alloc[i]·exec[i]
+
+	// Adjacency flattened to CSR form: successors of task i are
+	// succ[succOff[i]:succOff[i+1]], likewise pred/predOff. The level
+	// repairs spend nearly all their time in these scans, and the
+	// contiguous layout beats chasing the graph's per-task slices.
+	succ, pred       []int32
+	succOff, predOff []int32
+
+	// depth is the longest-path depth of each task, which is static
+	// across the run (it depends only on the DAG's structure). Every
+	// edge strictly increases depth, so draining dirty tasks bucket by
+	// bucket — descending for bottom levels, ascending for top levels —
+	// recomputes each task exactly once, after everything it depends on
+	// is final, without any priority queue.
+	depth   []int32
+	buckets [][]int32 // dirty tasks grouped by depth
+	inDirty []bool
+	pending int // total tasks currently marked dirty
+}
+
+func newAllocState(g *dag.Graph, topo []int, p int, rule StopRule) *allocState {
+	n := g.NumTasks()
+	st := &allocState{
+		g:       g,
+		alloc:   g.UniformAlloc(1),
+		caps:    make([]int, n),
+		exec:    make([]float64, n),
+		bl:      make([]float64, n),
+		tl:      make([]float64, n),
+		maxSucc: make([]float64, n),
+		gain:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		task := g.Task(i)
+		st.exec[i] = model.ExecSeconds(task.Seq, task.Alpha, 1)
+		st.gain[i] = model.Gain(task.Seq, task.Alpha, 1)
+		st.caps[i] = p
+		if rule == StopStringent {
+			st.caps[i] = allocCap(task.Alpha, p)
+		}
+		st.area += st.exec[i] // alloc is uniformly 1
+	}
+	// Full initial level sweeps; every later iteration only repairs
+	// the sub-DAG reachable from the one task that changed.
+	for i := n - 1; i >= 0; i-- {
+		t := topo[i]
+		var best float64
+		for _, s := range g.Successors(t) {
+			if st.bl[s] > best {
+				best = st.bl[s]
+			}
+		}
+		st.maxSucc[t] = best
+		st.bl[t] = st.exec[t] + best
+	}
+	for _, t := range topo {
+		for _, p := range g.Predecessors(t) {
+			if v := st.tl[p] + st.exec[p]; v > st.tl[t] {
+				st.tl[t] = v
+			}
+		}
+	}
+
+	// CSR adjacency.
+	st.succOff = make([]int32, n+1)
+	st.predOff = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		st.succOff[i+1] = st.succOff[i] + int32(len(g.Successors(i)))
+		st.predOff[i+1] = st.predOff[i] + int32(len(g.Predecessors(i)))
+	}
+	st.succ = make([]int32, st.succOff[n])
+	st.pred = make([]int32, st.predOff[n])
+	for i := 0; i < n; i++ {
+		for k, s := range g.Successors(i) {
+			st.succ[int(st.succOff[i])+k] = int32(s)
+		}
+		for k, p := range g.Predecessors(i) {
+			st.pred[int(st.predOff[i])+k] = int32(p)
+		}
+	}
+
+	// Longest-path depths and the per-depth dirty buckets.
+	st.depth = make([]int32, n)
+	var maxDepth int32
+	for _, t := range topo {
+		var d int32
+		for _, p := range g.Predecessors(t) {
+			if st.depth[p]+1 > d {
+				d = st.depth[p] + 1
+			}
+		}
+		st.depth[t] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	st.buckets = make([][]int32, maxDepth+1)
+	st.inDirty = make([]bool, n)
+	return st
+}
+
+// mark flags a task for level recomputation, once.
+func (st *allocState) mark(t int32) {
+	if st.inDirty[t] {
+		return
+	}
+	st.inDirty[t] = true
+	st.buckets[st.depth[t]] = append(st.buckets[st.depth[t]], t)
+	st.pending++
+}
+
+// criticalPath returns T_CP, the largest bottom level.
+func (st *allocState) criticalPath() float64 {
+	var cp float64
+	for _, v := range st.bl {
+		if v > cp {
+			cp = v
+		}
+	}
+	return cp
+}
+
+// bestCandidate returns the critical-path task with the largest
+// per-processor gain whose allocation can still grow within its cap,
+// or -1. Gains are read from the cache, never recomputed here.
+func (st *allocState) bestCandidate(cp float64) int {
+	best := -1
+	var bestGain float64
+	for i := range st.bl {
+		if st.tl[i]+st.bl[i] < cp-cpTolerance || st.alloc[i] >= st.caps[i] {
+			continue
+		}
+		if best < 0 || st.gain[i] > bestGain {
+			best, bestGain = i, st.gain[i]
+		}
+	}
+	return best
+}
+
+// grow grants task t one more processor and repairs every derived
+// quantity: its execution time, the area term, its cached gain, and
+// the levels of the tasks its change can reach.
+func (st *allocState) grow(t int) {
+	task := st.g.Task(t)
+	old := st.exec[t]
+	oldContrib := st.tl[t] + old // t's contribution to its successors' tl
+	st.alloc[t]++
+	st.exec[t] = model.ExecSeconds(task.Seq, task.Alpha, st.alloc[t])
+	st.area += float64(st.alloc[t])*st.exec[t] - float64(st.alloc[t]-1)*old
+	st.gain[t] = model.Gain(task.Seq, task.Alpha, st.alloc[t])
+	st.repairBL(t)
+	// Top levels: t's own tl does not depend on exec[t]; only
+	// successors for which t attained the incoming maximum can change.
+	for _, s := range st.succ[st.succOff[t]:st.succOff[t+1]] {
+		if oldContrib == st.tl[s] {
+			st.mark(s)
+		}
+	}
+	st.drainTL(st.depth[t] + 1)
+}
+
+// repairBL recomputes bottom levels upward from t. Dirty tasks are
+// drained in decreasing depth-bucket order, so every successor's bl is
+// final when a task is recomputed (tasks of equal depth share no
+// edges). A predecessor is marked only when the changed task attained
+// its cached successor maximum — execution times only shrink during
+// the refinement loop, so a non-maximal successor that shrinks further
+// cannot move the max — which keeps the repair frontier to the argmax
+// chains instead of the full ancestor cone.
+func (st *allocState) repairBL(t int) {
+	st.mark(int32(t))
+	bl, maxSucc := st.bl, st.maxSucc
+	for d := st.depth[t]; st.pending > 0; d-- {
+		b := st.buckets[d]
+		st.buckets[d] = b[:0]
+		st.pending -= len(b)
+		for _, u := range b {
+			st.inDirty[u] = false
+			var best float64
+			for _, s := range st.succ[st.succOff[u]:st.succOff[u+1]] {
+				if bl[s] > best {
+					best = bl[s]
+				}
+			}
+			maxSucc[u] = best
+			nb := st.exec[u] + best
+			if nb == bl[u] {
+				continue
+			}
+			old := bl[u]
+			bl[u] = nb
+			for _, p := range st.pred[st.predOff[u]:st.predOff[u+1]] {
+				if old == maxSucc[p] {
+					st.mark(p)
+				}
+			}
+		}
+	}
+}
+
+// drainTL recomputes top levels downward from the seeded dirty set, in
+// increasing depth-bucket order so every predecessor is final when a
+// task is recomputed. For any task with predecessors tl is exactly the
+// maximum incoming contribution, so the attainment check needs no
+// separate cache: a successor is marked only when the changed task's
+// old contribution equals the successor's tl.
+func (st *allocState) drainTL(from int32) {
+	tl, exec := st.tl, st.exec
+	for d := from; st.pending > 0; d++ {
+		b := st.buckets[d]
+		st.buckets[d] = b[:0]
+		st.pending -= len(b)
+		for _, u := range b {
+			st.inDirty[u] = false
+			var nt float64
+			for _, p := range st.pred[st.predOff[u]:st.predOff[u+1]] {
+				if v := tl[p] + exec[p]; v > nt {
+					nt = v
+				}
+			}
+			if nt == tl[u] {
+				continue
+			}
+			oldContrib := tl[u] + exec[u]
+			tl[u] = nt
+			for _, s := range st.succ[st.succOff[u]:st.succOff[u+1]] {
+				if oldContrib == tl[s] {
+					st.mark(s)
+				}
+			}
+		}
+	}
 }
 
 // allocCap returns the largest allocation keeping a task's Amdahl
@@ -125,75 +370,6 @@ func allocCap(alpha float64, p int) int {
 		m = p
 	}
 	return m
-}
-
-// levels computes float bottom and top levels over a fixed topological
-// order.
-func levels(g *dag.Graph, topo []int, exec []float64) (bl, tl []float64) {
-	n := g.NumTasks()
-	bl = make([]float64, n)
-	tl = make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		t := topo[i]
-		var best float64
-		for _, s := range g.Successors(t) {
-			if bl[s] > best {
-				best = bl[s]
-			}
-		}
-		bl[t] = exec[t] + best
-	}
-	for _, t := range topo {
-		for _, p := range g.Predecessors(t) {
-			if v := tl[p] + exec[p]; v > tl[t] {
-				tl[t] = v
-			}
-		}
-	}
-	return bl, tl
-}
-
-// pressure computes (T_CP, T_A) for the current allocation: the
-// critical path length and the average per-processor work, in
-// fractional seconds.
-func pressure(g *dag.Graph, topo []int, alloc []int, exec []float64, p int) (float64, float64) {
-	bl, _ := levels(g, topo, exec)
-	var cp float64
-	for _, v := range bl {
-		if v > cp {
-			cp = v
-		}
-	}
-	var area float64
-	for i, m := range alloc {
-		area += float64(m) * exec[i]
-	}
-	return cp, area / float64(p)
-}
-
-// bestCandidate returns the critical-path task with the largest
-// per-processor gain whose allocation can still grow within its cap,
-// or -1.
-func bestCandidate(g *dag.Graph, topo []int, alloc []int, exec []float64, caps []int) int {
-	bl, tl := levels(g, topo, exec)
-	var cp float64
-	for _, v := range bl {
-		if v > cp {
-			cp = v
-		}
-	}
-	best := -1
-	var bestGain float64
-	for i := 0; i < g.NumTasks(); i++ {
-		if tl[i]+bl[i] < cp-cpTolerance || alloc[i] >= caps[i] {
-			continue
-		}
-		gain := model.Gain(g.Task(i).Seq, g.Task(i).Alpha, alloc[i])
-		if best < 0 || gain > bestGain {
-			best, bestGain = i, gain
-		}
-	}
-	return best
 }
 
 // Schedule is a dedicated-cluster schedule produced by the CPA mapping

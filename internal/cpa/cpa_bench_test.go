@@ -26,6 +26,29 @@ func BenchmarkAllocate(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocateWide tracks the allocation phase on width-heavy
+// DAGs, where the refinement loop runs many iterations and the cost of
+// recomputing levels from scratch dominates. This is the headline
+// hot-path benchmark of the PR 2 perf work (see BENCH_PR2.json).
+func BenchmarkAllocateWide(b *testing.B) {
+	for _, n := range []int{200, 400} {
+		spec := daggen.Default()
+		spec.N = n
+		spec.Width = 0.8
+		g := daggen.MustGenerate(spec, rand.New(rand.NewSource(3)))
+		for _, p := range []int{256, 1152} {
+			b.Run(fmt.Sprintf("n=%d/p=%d", n, p), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Allocate(g, p, StopStringent); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkListSchedule measures the mapping phase, the building block
 // of the DL_RC reference schedules recomputed per task.
 func BenchmarkListSchedule(b *testing.B) {

@@ -1,0 +1,79 @@
+package cpa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"resched/internal/daggen"
+)
+
+// TestAllocateMatchesReference is the differential guarantee behind
+// the incremental allocation phase: over the paper's full Table 1
+// parameter grid (40 specs x 3 seeds x 2 cluster sizes x both
+// stopping rules = 480 cases), Allocate must produce allocation
+// vectors identical to the retained naive implementation. Identity —
+// not approximate agreement — is what keeps the Tables 4-10
+// reproductions bit-for-bit stable across this optimization.
+func TestAllocateMatchesReference(t *testing.T) {
+	cases := 0
+	for _, spec := range daggen.ParamGrid() {
+		for seed := int64(1); seed <= 3; seed++ {
+			g := daggen.MustGenerate(spec, rand.New(rand.NewSource(seed)))
+			for _, p := range []int{16, 193} {
+				for _, rule := range []StopRule{StopStringent, StopClassic} {
+					got, err := Allocate(g, p, rule)
+					if err != nil {
+						t.Fatalf("Allocate(n=%d, p=%d, %v): %v", spec.N, p, rule, err)
+					}
+					want, err := referenceAllocate(g, p, rule)
+					if err != nil {
+						t.Fatalf("referenceAllocate(n=%d, p=%d, %v): %v", spec.N, p, rule, err)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("n=%d width=%.1f seed=%d p=%d rule=%v: task %d allocated %d, reference %d",
+								spec.N, spec.Width, seed, p, rule, i, got[i], want[i])
+						}
+					}
+					cases++
+				}
+			}
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("only %d differential cases; the corpus should cover at least 200", cases)
+	}
+}
+
+// TestAllocateWideAgainstReference drives the exact configurations the
+// BenchmarkAllocateWide acceptance benchmark measures, so the speedup
+// being claimed is for provably unchanged output.
+func TestAllocateWideAgainstReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide-DAG differential check is slow under -short")
+	}
+	for _, n := range []int{200, 400} {
+		for _, p := range []int{256, 1152} {
+			t.Run(fmt.Sprintf("n=%d/p=%d", n, p), func(t *testing.T) {
+				spec := daggen.Default()
+				spec.N = n
+				spec.Width = 0.8
+				g := daggen.MustGenerate(spec, rand.New(rand.NewSource(3)))
+				got, err := Allocate(g, p, StopStringent)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := referenceAllocate(g, p, StopStringent)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("task %d allocated %d, reference %d", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}

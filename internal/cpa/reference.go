@@ -1,0 +1,123 @@
+package cpa
+
+import (
+	"fmt"
+
+	"resched/internal/dag"
+	"resched/internal/model"
+)
+
+// This file retains the naive allocation-phase implementation that
+// Allocate replaced: one full levels() sweep for the stopping
+// criterion plus another inside candidate selection, a full area
+// re-summation per iteration, and model.Gain evaluated in the inner
+// loop. It is the reference oracle for the differential tests
+// (differential_test.go), which require the optimized Allocate to
+// produce identical allocation vectors over the paper's Table 1
+// parameter grid. It is not called on any serving path.
+
+// referenceAllocate is the pre-optimization CPA allocation phase,
+// kept verbatim.
+func referenceAllocate(g *dag.Graph, p int, rule StopRule) ([]int, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("cpa: cluster size %d < 1", p)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	alloc := g.UniformAlloc(1)
+	exec := make([]float64, g.NumTasks())
+	caps := make([]int, g.NumTasks())
+	for i := range exec {
+		exec[i] = model.ExecSeconds(g.Task(i).Seq, g.Task(i).Alpha, 1)
+		caps[i] = p
+		if rule == StopStringent {
+			caps[i] = allocCap(g.Task(i).Alpha, p)
+		}
+	}
+
+	tcp, ta := pressure(g, topo, alloc, exec, p)
+	for tcp > ta {
+		t := bestCandidate(g, topo, alloc, exec, caps)
+		if t < 0 {
+			break // every critical-path task is at its allocation cap
+		}
+		alloc[t]++
+		exec[t] = model.ExecSeconds(g.Task(t).Seq, g.Task(t).Alpha, alloc[t])
+		tcp, ta = pressure(g, topo, alloc, exec, p)
+	}
+	return alloc, nil
+}
+
+// levels computes float bottom and top levels over a fixed topological
+// order.
+func levels(g *dag.Graph, topo []int, exec []float64) (bl, tl []float64) {
+	n := g.NumTasks()
+	bl = make([]float64, n)
+	tl = make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		t := topo[i]
+		var best float64
+		for _, s := range g.Successors(t) {
+			if bl[s] > best {
+				best = bl[s]
+			}
+		}
+		bl[t] = exec[t] + best
+	}
+	for _, t := range topo {
+		for _, p := range g.Predecessors(t) {
+			if v := tl[p] + exec[p]; v > tl[t] {
+				tl[t] = v
+			}
+		}
+	}
+	return bl, tl
+}
+
+// pressure computes (T_CP, T_A) for the current allocation: the
+// critical path length and the average per-processor work, in
+// fractional seconds.
+func pressure(g *dag.Graph, topo []int, alloc []int, exec []float64, p int) (float64, float64) {
+	bl, _ := levels(g, topo, exec)
+	var cp float64
+	for _, v := range bl {
+		if v > cp {
+			cp = v
+		}
+	}
+	var area float64
+	for i, m := range alloc {
+		area += float64(m) * exec[i]
+	}
+	return cp, area / float64(p)
+}
+
+// bestCandidate returns the critical-path task with the largest
+// per-processor gain whose allocation can still grow within its cap,
+// or -1.
+func bestCandidate(g *dag.Graph, topo []int, alloc []int, exec []float64, caps []int) int {
+	bl, tl := levels(g, topo, exec)
+	var cp float64
+	for _, v := range bl {
+		if v > cp {
+			cp = v
+		}
+	}
+	best := -1
+	var bestGain float64
+	for i := 0; i < g.NumTasks(); i++ {
+		if tl[i]+bl[i] < cp-cpTolerance || alloc[i] >= caps[i] {
+			continue
+		}
+		gain := model.Gain(g.Task(i).Seq, g.Task(i).Alpha, alloc[i])
+		if best < 0 || gain > bestGain {
+			best, bestGain = i, gain
+		}
+	}
+	return best
+}

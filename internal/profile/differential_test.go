@@ -1,0 +1,193 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// These tests are the differential guarantee behind the PR 2 profile
+// optimizations: the boundary-local coalesce in Reserve/Unreserve must
+// leave step functions bit-identical to the retained full-sweep
+// reference, and the batch EarliestFits/LatestFits sweeps must answer
+// every probe exactly as the solo methods do.
+
+// randomWindow draws a reservation window, sometimes snapped to an
+// existing breakpoint so boundary-merge cases are exercised heavily.
+func randomWindow(rng *rand.Rand, p *Profile) (model.Time, model.Time) {
+	horizon := model.Time(30 * model.Day)
+	var start model.Time
+	if p.NumSegments() > 1 && rng.Intn(2) == 0 {
+		segs := p.Segments()
+		start = segs[rng.Intn(len(segs)-1)+1].Start
+		if rng.Intn(2) == 0 {
+			start += model.Time(rng.Int63n(int64(model.Hour)))
+		}
+	} else {
+		start = model.Time(rng.Int63n(int64(horizon)))
+	}
+	dur := model.Duration(rng.Int63n(int64(8*model.Hour)) + 1)
+	return start, start + dur
+}
+
+// TestMutatorsMatchReference applies identical random Reserve and
+// Unreserve sequences to an optimized and a reference profile and
+// requires identical outcomes after every operation: same error or
+// none, same rendered step function, and valid invariants.
+func TestMutatorsMatchReference(t *testing.T) {
+	const seeds, opsPerSeed = 12, 40
+	cases := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		opt := New(96, 0)
+		ref := New(96, 0)
+		var booked []Reservation
+		for op := 0; op < opsPerSeed; op++ {
+			var errOpt, errRef error
+			if len(booked) > 0 && rng.Intn(4) == 0 {
+				// Release a booked reservation (always succeeds), or a
+				// random window (both sides must reject identically).
+				if rng.Intn(3) > 0 {
+					k := rng.Intn(len(booked))
+					r := booked[k]
+					booked = append(booked[:k], booked[k+1:]...)
+					errOpt = opt.Unreserve(r.Start, r.End, r.Procs)
+					errRef = ref.referenceUnreserve(r.Start, r.End, r.Procs)
+				} else {
+					start, end := randomWindow(rng, opt)
+					procs := rng.Intn(96) + 1
+					errOpt = opt.Unreserve(start, end, procs)
+					errRef = ref.referenceUnreserve(start, end, procs)
+				}
+			} else {
+				start, end := randomWindow(rng, opt)
+				procs := rng.Intn(110) + 1 // sometimes > capacity
+				errOpt = opt.Reserve(start, end, procs)
+				errRef = ref.referenceReserve(start, end, procs)
+				if errOpt == nil {
+					booked = append(booked, Reservation{Start: start, End: end, Procs: procs})
+				}
+			}
+			if (errOpt == nil) != (errRef == nil) {
+				t.Fatalf("seed %d op %d: optimized err %v, reference err %v", seed, op, errOpt, errRef)
+			}
+			if got, want := opt.String(), ref.String(); got != want {
+				t.Fatalf("seed %d op %d: profiles diverged\noptimized: %s\nreference: %s", seed, op, got, want)
+			}
+			if err := opt.Check(); err != nil {
+				t.Fatalf("seed %d op %d: invariants: %v", seed, op, err)
+			}
+			cases++
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("only %d mutation cases; the corpus should cover at least 200", cases)
+	}
+}
+
+// fuzzedProfile builds a profile carrying about n random reservations.
+func fuzzedProfile(rng *rand.Rand, capacity, n int) *Profile {
+	p := New(capacity, 0)
+	for k := 0; k < n; k++ {
+		start := model.Time(rng.Int63n(int64(20 * model.Day)))
+		dur := model.Duration(rng.Int63n(int64(6*model.Hour)) + 60)
+		procs := rng.Intn(capacity) + 1
+		if p.MinFree(start, start+dur) >= procs {
+			if err := p.Reserve(start, start+dur, procs); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return p
+}
+
+// TestEarliestFitsMatchesSolo requires the one-sweep batch query to be
+// probe-for-probe identical to the solo EarliestFit.
+func TestEarliestFitsMatchesSolo(t *testing.T) {
+	cases := 0
+	var out []model.Time
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := fuzzedProfile(rng, 128, 60)
+		for trial := 0; trial < 8; trial++ {
+			notBefore := model.Time(rng.Int63n(int64(22 * model.Day)))
+			reqs := make([]FitRequest, rng.Intn(24)+1)
+			for j := range reqs {
+				reqs[j] = FitRequest{Procs: rng.Intn(128) + 1, Dur: model.Duration(rng.Int63n(int64(4 * model.Hour)))}
+			}
+			out = p.EarliestFits(reqs, notBefore, out)
+			for j, r := range reqs {
+				want := p.EarliestFit(r.Procs, r.Dur, notBefore)
+				if out[j] != want {
+					t.Fatalf("seed %d trial %d req %d (%d procs, %ds): batch %d, solo %d",
+						seed, trial, j, r.Procs, r.Dur, out[j], want)
+				}
+				cases++
+			}
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("only %d probes; the corpus should cover at least 200", cases)
+	}
+}
+
+// TestLatestFitsMatchesSolo requires the one-sweep batch query to be
+// probe-for-probe identical to the solo LatestFit, including requests
+// with no feasible start.
+func TestLatestFitsMatchesSolo(t *testing.T) {
+	cases := 0
+	var out []model.Time
+	var ok []bool
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := fuzzedProfile(rng, 128, 60)
+		for trial := 0; trial < 8; trial++ {
+			notBefore := model.Time(rng.Int63n(int64(10 * model.Day)))
+			finishBy := notBefore + model.Time(rng.Int63n(int64(12*model.Day)))
+			reqs := make([]FitRequest, rng.Intn(24)+1)
+			for j := range reqs {
+				// Durations sometimes exceed the window so infeasible
+				// probes are part of the corpus.
+				reqs[j] = FitRequest{Procs: rng.Intn(128) + 1, Dur: model.Duration(rng.Int63n(int64(16 * model.Day)))}
+			}
+			out, ok = p.LatestFits(reqs, notBefore, finishBy, out, ok)
+			for j, r := range reqs {
+				want, wantOK := p.LatestFit(r.Procs, r.Dur, notBefore, finishBy)
+				if ok[j] != wantOK || (wantOK && out[j] != want) {
+					t.Fatalf("seed %d trial %d req %d (%d procs, %ds in [%d,%d]): batch (%d,%v), solo (%d,%v)",
+						seed, trial, j, r.Procs, r.Dur, notBefore, finishBy, out[j], ok[j], want, wantOK)
+				}
+				cases++
+			}
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("only %d probes; the corpus should cover at least 200", cases)
+	}
+}
+
+// TestMinFreeSaturated pins the MinFree early-exit behavior: once an
+// interval touches a fully booked segment the minimum is 0, and
+// intervals that stop short of it are unaffected.
+func TestMinFreeSaturated(t *testing.T) {
+	p := New(8, 0)
+	if err := p.Reserve(100, 200, 8); err != nil { // saturate [100,200)
+		t.Fatal(err)
+	}
+	if err := p.Reserve(300, 400, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MinFree(0, 100); got != 8 {
+		t.Fatalf("MinFree before the full segment = %d, want 8", got)
+	}
+	if got := p.MinFree(50, 150); got != 0 {
+		t.Fatalf("MinFree overlapping the full segment = %d, want 0", got)
+	}
+	if got := p.MinFree(100, 500); got != 0 {
+		t.Fatalf("MinFree spanning the full segment = %d, want 0 (later segments cannot recover the min)", got)
+	}
+	if got := p.MinFree(200, 500); got != 5 {
+		t.Fatalf("MinFree after the full segment = %d, want 5", got)
+	}
+}

@@ -39,6 +39,14 @@ type Profile struct {
 	capacity int
 	times    []model.Time // times[i] is the start of segment i
 	free     []int        // free[i] processors during [times[i], times[i+1])
+
+	// Scratch areas for the batch fit queries, reused across calls so
+	// the scheduling inner loops allocate nothing. They are working
+	// state, not part of the profile's value: Clone and CloneInto do
+	// not carry them over. A Profile is not safe for concurrent use,
+	// with or without these.
+	fitActive []int32
+	fitRunEnd []model.Time
 }
 
 // New returns a profile for a cluster with the given capacity, fully
@@ -95,6 +103,18 @@ func (p *Profile) Clone() *Profile {
 	}
 }
 
+// CloneInto overwrites dst with a copy of p, reusing dst's backing
+// arrays when they are large enough. dst may be a previously used
+// profile of any capacity or a zero &Profile{}; afterwards it is fully
+// independent of p. This is the allocation-free path the serving layer
+// uses with its pooled scratch profiles, where Clone would copy the
+// whole step function into fresh arrays on every request.
+func (p *Profile) CloneInto(dst *Profile) {
+	dst.capacity = p.capacity
+	dst.times = append(dst.times[:0], p.times...)
+	dst.free = append(dst.free[:0], p.free...)
+}
+
 // segEnd returns the exclusive end of segment i.
 func (p *Profile) segEnd(i int) model.Time {
 	if i+1 < len(p.times) {
@@ -139,6 +159,9 @@ func (p *Profile) MinFree(start, end model.Time) int {
 	for i := p.segAt(start); i < len(p.times) && p.times[i] < end; i++ {
 		if p.free[i] < min {
 			min = p.free[i]
+			if min == 0 {
+				return 0 // the running minimum cannot recover
+			}
 		}
 	}
 	return min
@@ -188,27 +211,24 @@ func (p *Profile) ensureBreak(t model.Time) int {
 	return i + 1
 }
 
-// coalesce merges adjacent segments with equal availability.
-func (p *Profile) coalesce() {
-	w := 0
-	for i := 0; i < len(p.times); i++ {
-		if w > 0 && p.free[w-1] == p.free[i] {
-			continue
-		}
-		p.times[w] = p.times[i]
-		p.free[w] = p.free[i]
-		w++
+// coalesceBoundary merges segment k into segment k-1 when they have
+// equal availability. Reserve and Unreserve shift every segment in the
+// touched range [i, j) by the same amount, so segments inside the
+// range that were distinct stay distinct: only the two boundaries of
+// the range can newly merge, and a full coalescing sweep (the naive
+// referenceReserve keeps one) is unnecessary.
+func (p *Profile) coalesceBoundary(k int) {
+	if k <= 0 || k >= len(p.times) || p.free[k] != p.free[k-1] {
+		return
 	}
-	p.times = p.times[:w]
-	p.free = p.free[:w]
+	p.times = append(p.times[:k], p.times[k+1:]...)
+	p.free = append(p.free[:k], p.free[k+1:]...)
 }
 
-// Reserve commits a reservation of procs processors during [start,
-// end). It fails without modifying the profile if the interval lies
-// (partly) before the origin, if end <= start, if procs is outside
-// [1, capacity], or if fewer than procs processors are free at any
-// point of the interval.
-func (p *Profile) Reserve(start, end model.Time, procs int) error {
+// reserveChecks validates a Reserve call without modifying the
+// profile. Shared with referenceReserve so the optimized and naive
+// mutators accept and reject exactly the same calls.
+func (p *Profile) reserveChecks(start, end model.Time, procs int) error {
 	if procs < 1 || procs > p.capacity {
 		return fmt.Errorf("cannot reserve %d processors on a %d-processor cluster", procs, p.capacity)
 	}
@@ -224,23 +244,12 @@ func (p *Profile) Reserve(start, end model.Time, procs int) error {
 	if p.MinFree(start, end) < procs {
 		return fmt.Errorf("only %d of %d requested processors free during [%d,%d)", p.MinFree(start, end), procs, start, end)
 	}
-	i := p.ensureBreak(start)
-	j := p.ensureBreak(end)
-	for k := i; k < j; k++ {
-		p.free[k] -= procs
-	}
-	p.coalesce()
 	return nil
 }
 
-// Unreserve returns procs processors to the profile during [start,
-// end) — the inverse of Reserve, used when a reservation is released
-// before (or after) it runs. It fails without modifying the profile if
-// the interval is empty, lies (partly) outside the horizon, or if
-// fewer than procs processors are reserved at any point of the
-// interval (releasing capacity that was never booked would corrupt
-// the schedule).
-func (p *Profile) Unreserve(start, end model.Time, procs int) error {
+// unreserveChecks validates an Unreserve call without modifying the
+// profile; see reserveChecks.
+func (p *Profile) unreserveChecks(start, end model.Time, procs int) error {
 	if procs < 1 || procs > p.capacity {
 		return fmt.Errorf("cannot release %d processors on a %d-processor cluster", procs, p.capacity)
 	}
@@ -258,12 +267,46 @@ func (p *Profile) Unreserve(start, end model.Time, procs int) error {
 			return fmt.Errorf("only %d of %d released processors reserved during [%d,%d)", p.capacity-p.free[i], procs, start, end)
 		}
 	}
+	return nil
+}
+
+// Reserve commits a reservation of procs processors during [start,
+// end). It fails without modifying the profile if the interval lies
+// (partly) before the origin, if end <= start, if procs is outside
+// [1, capacity], or if fewer than procs processors are free at any
+// point of the interval.
+func (p *Profile) Reserve(start, end model.Time, procs int) error {
+	if err := p.reserveChecks(start, end, procs); err != nil {
+		return err
+	}
+	i := p.ensureBreak(start)
+	j := p.ensureBreak(end)
+	for k := i; k < j; k++ {
+		p.free[k] -= procs
+	}
+	p.coalesceBoundary(j) // higher boundary first: removing it leaves i valid
+	p.coalesceBoundary(i)
+	return nil
+}
+
+// Unreserve returns procs processors to the profile during [start,
+// end) — the inverse of Reserve, used when a reservation is released
+// before (or after) it runs. It fails without modifying the profile if
+// the interval is empty, lies (partly) outside the horizon, or if
+// fewer than procs processors are reserved at any point of the
+// interval (releasing capacity that was never booked would corrupt
+// the schedule).
+func (p *Profile) Unreserve(start, end model.Time, procs int) error {
+	if err := p.unreserveChecks(start, end, procs); err != nil {
+		return err
+	}
 	i := p.ensureBreak(start)
 	j := p.ensureBreak(end)
 	for k := i; k < j; k++ {
 		p.free[k] += procs
 	}
-	p.coalesce()
+	p.coalesceBoundary(j) // higher boundary first: removing it leaves i valid
+	p.coalesceBoundary(i)
 	return nil
 }
 
@@ -338,7 +381,12 @@ func (p *Profile) LatestFit(procs int, dur model.Duration, notBefore, finishBy m
 		return finishBy, true
 	}
 	// Walk maximal runs of segments with free >= procs, latest first.
-	i := len(p.times) - 1
+	// Segments entirely above the deadline never resolve a start: a
+	// run up there has runStart > finishBy >= runEnd - dur, and a run
+	// spanning the deadline gets runEnd clipped to finishBy whether
+	// the walk enters it from above or at the deadline segment. So
+	// jump straight to the segment containing finishBy.
+	i := p.segAt(finishBy)
 	for i >= 0 {
 		if p.free[i] < procs {
 			i--
@@ -361,6 +409,210 @@ func (p *Profile) LatestFit(procs int, dur model.Duration, notBefore, finishBy m
 		i = j
 	}
 	return 0, false
+}
+
+// FitRequest is one (processors, duration) probe of a batch fit query.
+// The scheduling algorithms build one request per candidate allocation
+// of the task at hand.
+type FitRequest struct {
+	Procs int
+	Dur   model.Duration
+}
+
+// EarliestFits answers EarliestFit for every request in a single
+// left-to-right sweep of the profile. The candidate scan of the
+// scheduling inner loop probes the same profile from the same ready
+// time once per candidate allocation; the solo method restarts
+// sort.Search plus a linear segment walk for each probe, while the
+// batch advances all candidate starts together over one pass of the
+// step function. Results are probe-for-probe identical to calling
+// EarliestFit(reqs[j].Procs, reqs[j].Dur, notBefore) for each j —
+// the differential tests enforce this.
+//
+// The returned slice is out (grown if needed) with out[j] holding
+// request j's earliest start; pass a reused buffer to avoid
+// allocation.
+func (p *Profile) EarliestFits(reqs []FitRequest, notBefore model.Time, out []model.Time) []model.Time {
+	if cap(out) < len(reqs) {
+		out = make([]model.Time, len(reqs))
+	}
+	out = out[:len(reqs)]
+	s0 := notBefore
+	if s0 < p.times[0] {
+		s0 = p.times[0]
+	}
+	if cap(p.fitActive) < len(reqs) {
+		p.fitActive = make([]int32, 0, len(reqs))
+	}
+	active := p.fitActive[:0]
+	for j, r := range reqs {
+		if r.Procs < 1 || r.Procs > p.capacity {
+			panic(fmt.Sprintf("profile: EarliestFits for %d processors on a %d-processor cluster", r.Procs, p.capacity))
+		}
+		if r.Dur < 0 {
+			panic(fmt.Sprintf("profile: negative duration %d", r.Dur))
+		}
+		out[j] = s0 // candidate start; final once the request resolves
+		if r.Dur > 0 {
+			active = append(active, int32(j))
+		}
+	}
+	last := len(p.times) - 1
+	for i := p.segAt(s0); len(active) > 0 && i < last; i++ {
+		end := p.times[i+1]
+		f := p.free[i]
+		w := 0
+		for _, j := range active {
+			r := &reqs[j]
+			if f < r.Procs {
+				// Blocked: the earliest possible start moves past this
+				// segment, exactly as in the solo scan.
+				out[j] = end
+				active[w] = j
+				w++
+			} else if end < out[j]+r.Dur {
+				// Fits only partially; the run continues into the next
+				// segment with the same candidate start.
+				active[w] = j
+				w++
+			}
+			// Otherwise resolved at out[j].
+		}
+		active = active[:w]
+	}
+	// Horizon segment: it extends to infinity, so every request still
+	// active resolves at its current candidate start.
+	for _, j := range active {
+		if p.free[last] < reqs[j].Procs {
+			panic("profile: horizon segment not fully free")
+		}
+	}
+	p.fitActive = active[:0]
+	return out
+}
+
+// LatestFits answers LatestFit for every request in a single
+// right-to-left sweep of the profile, walking each request's maximal
+// feasible runs latest-first exactly as the solo method does. Results
+// are probe-for-probe identical to calling LatestFit(reqs[j].Procs,
+// reqs[j].Dur, notBefore, finishBy) for each j.
+//
+// The returned slices are out and ok (grown if needed): ok[j] reports
+// whether request j has any feasible start, and out[j] holds the
+// latest one when it does.
+func (p *Profile) LatestFits(reqs []FitRequest, notBefore, finishBy model.Time, out []model.Time, ok []bool) ([]model.Time, []bool) {
+	if cap(out) < len(reqs) {
+		out = make([]model.Time, len(reqs))
+	}
+	out = out[:len(reqs)]
+	if cap(ok) < len(reqs) {
+		ok = make([]bool, len(reqs))
+	}
+	ok = ok[:len(reqs)]
+	lo := notBefore
+	if lo < p.times[0] {
+		lo = p.times[0]
+	}
+	if cap(p.fitActive) < len(reqs) {
+		p.fitActive = make([]int32, 0, len(reqs))
+	}
+	if cap(p.fitRunEnd) < len(reqs) {
+		p.fitRunEnd = make([]model.Time, len(reqs))
+	}
+	active := p.fitActive[:0]
+	runEnd := p.fitRunEnd[:len(reqs)]
+	const noRun = model.Time(-1) << 62 // no feasible run open; below any clipped run end
+	for j, r := range reqs {
+		if r.Procs < 1 || r.Procs > p.capacity {
+			panic(fmt.Sprintf("profile: LatestFits for %d processors on a %d-processor cluster", r.Procs, p.capacity))
+		}
+		if r.Dur < 0 {
+			panic(fmt.Sprintf("profile: negative duration %d", r.Dur))
+		}
+		out[j], ok[j] = 0, false
+		if finishBy-r.Dur < lo {
+			continue // no window at all
+		}
+		if r.Dur == 0 {
+			out[j], ok[j] = finishBy, true
+			continue
+		}
+		runEnd[j] = noRun
+		active = append(active, int32(j))
+	}
+	// As in the solo walk, segments entirely above the deadline are
+	// irrelevant: the sweep starts at the segment containing finishBy.
+	// (Any active request has finishBy > lo >= times[0], so segAt is
+	// in range; with none active the sweep is skipped entirely.)
+	i0 := -1
+	if len(active) > 0 {
+		i0 = p.segAt(finishBy)
+	}
+	for i := i0; len(active) > 0 && i >= 0; i-- {
+		if p.segEnd(i) <= lo {
+			// Entirely below the window: runs opened here could never
+			// reach lo, and runs already open are settled by the flush.
+			break
+		}
+		f := p.free[i]
+		// A run known to extend down to this segment resolves once its
+		// clipped end leaves room for the duration above floor.
+		floor := p.times[i]
+		if floor < lo {
+			floor = lo
+		}
+		w := 0
+		for _, j := range active {
+			r := &reqs[j]
+			if f >= r.Procs {
+				if runEnd[j] == noRun {
+					// A new maximal run opens; its end is clipped by the
+					// deadline up front, as the solo walk does.
+					e := p.segEnd(i)
+					if e > finishBy {
+						e = finishBy
+					}
+					runEnd[j] = e
+				}
+				if runEnd[j]-r.Dur >= floor {
+					// The run start can only be at or below floor, so
+					// this is already the latest feasible start.
+					out[j], ok[j] = runEnd[j]-r.Dur, true
+					continue
+				}
+				active[w] = j
+				w++
+				continue
+			}
+			// Segment infeasible: the run that was open (if any) starts
+			// at this segment's end.
+			if runEnd[j] != noRun {
+				runStart := p.segEnd(i)
+				if runStart < lo {
+					runStart = lo
+				}
+				if runEnd[j]-r.Dur >= runStart {
+					out[j], ok[j] = runEnd[j]-r.Dur, true
+					continue // resolved
+				}
+				runEnd[j] = noRun
+			}
+			active[w] = j
+			w++
+		}
+		active = active[:w]
+	}
+	// Runs still open at the origin start at times[0] <= lo.
+	for _, j := range active {
+		if runEnd[j] == noRun {
+			continue
+		}
+		if runEnd[j]-reqs[j].Dur >= lo {
+			out[j], ok[j] = runEnd[j]-reqs[j].Dur, true
+		}
+	}
+	p.fitActive = active[:0]
+	return out, ok
 }
 
 // Segment is one constant-availability step: Free processors from

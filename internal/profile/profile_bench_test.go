@@ -52,3 +52,49 @@ func BenchmarkProfileScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFitsBatch contrasts the solo probe loop with the one-sweep
+// batch queries on the request shape the scheduling inner loop
+// produces: one probe per candidate allocation, growing processors and
+// shrinking (Amdahl-like) durations, all from one ready time.
+func BenchmarkFitsBatch(b *testing.B) {
+	p := loadedProfile(512)
+	reqs := make([]FitRequest, 0, 48)
+	for m := 1; m <= 48; m++ {
+		reqs = append(reqs, FitRequest{Procs: 8 * m, Dur: model.Duration(6*model.Hour) / model.Duration(m)})
+	}
+	b.Run("EarliestFit/solo", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				p.EarliestFit(r.Procs, r.Dur, model.Day)
+			}
+		}
+	})
+	b.Run("EarliestFits/batch", func(b *testing.B) {
+		b.ReportAllocs()
+		var out []model.Time
+		for i := 0; i < b.N; i++ {
+			out = p.EarliestFits(reqs, model.Day, out)
+		}
+	})
+	// Deadline probes live in the congested region of the profile
+	// (task deadlines sit between the reservations), where each solo
+	// walk fails through many short runs before resolving.
+	b.Run("LatestFit/solo", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				p.LatestFit(r.Procs, r.Dur, model.Day, 12*model.Day)
+			}
+		}
+	})
+	b.Run("LatestFits/batch", func(b *testing.B) {
+		b.ReportAllocs()
+		var out []model.Time
+		var ok []bool
+		for i := 0; i < b.N; i++ {
+			out, ok = p.LatestFits(reqs, model.Day, 12*model.Day, out, ok)
+		}
+	})
+}

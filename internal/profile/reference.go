@@ -1,0 +1,56 @@
+package profile
+
+import "resched/internal/model"
+
+// This file retains the naive mutation path that Reserve and Unreserve
+// replaced: a full coalescing sweep over every segment after each
+// commit, instead of the two boundary merges that are the only merges
+// a uniform shift of [start, end) can create. It is the oracle for the
+// differential tests (differential_test.go), which require the
+// optimized mutators to leave bit-identical step functions. It is not
+// called on any serving path. The solo EarliestFit/LatestFit methods
+// remain the oracles for the batch EarliestFits/LatestFits queries.
+
+// coalesce merges adjacent segments with equal availability over the
+// whole profile.
+func (p *Profile) coalesce() {
+	w := 0
+	for i := 0; i < len(p.times); i++ {
+		if w > 0 && p.free[w-1] == p.free[i] {
+			continue
+		}
+		p.times[w] = p.times[i]
+		p.free[w] = p.free[i]
+		w++
+	}
+	p.times = p.times[:w]
+	p.free = p.free[:w]
+}
+
+// referenceReserve is the pre-optimization Reserve, kept verbatim.
+func (p *Profile) referenceReserve(start, end model.Time, procs int) error {
+	if err := p.reserveChecks(start, end, procs); err != nil {
+		return err
+	}
+	i := p.ensureBreak(start)
+	j := p.ensureBreak(end)
+	for k := i; k < j; k++ {
+		p.free[k] -= procs
+	}
+	p.coalesce()
+	return nil
+}
+
+// referenceUnreserve is the pre-optimization Unreserve, kept verbatim.
+func (p *Profile) referenceUnreserve(start, end model.Time, procs int) error {
+	if err := p.unreserveChecks(start, end, procs); err != nil {
+		return err
+	}
+	i := p.ensureBreak(start)
+	j := p.ensureBreak(end)
+	for k := i; k < j; k++ {
+		p.free[k] += procs
+	}
+	p.coalesce()
+	return nil
+}

@@ -173,6 +173,18 @@ func (b *Book) Snapshot() Snapshot {
 	return Snapshot{Version: b.version, Profile: b.prof.Clone()}
 }
 
+// SnapshotInto copies the current schedule into dst — reusing dst's
+// backing arrays when they are large enough — and returns the
+// snapshot's version. It is Snapshot for callers that recycle profile
+// buffers (the serving layer pools them across requests): the copy is
+// just as independent, only the allocation is avoided.
+func (b *Book) SnapshotInto(dst *profile.Profile) uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.prof.CloneInto(dst)
+	return b.version
+}
+
 // newLocked books one validated reservation; the write lock must be
 // held. It does not bump the version — callers do, once per mutation.
 func (b *Book) newLocked(req Request) (*Reservation, error) {

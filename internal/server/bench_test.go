@@ -1,0 +1,69 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"resched/internal/api"
+	"resched/internal/daggen"
+	"resched/internal/dagio"
+	"resched/internal/model"
+	"resched/internal/resbook"
+)
+
+// benchBook builds a reservation book carrying n competing
+// reservations, the serving-time analogue of profile_bench_test's
+// loadedProfile.
+func benchBook(b *testing.B, n int) *resbook.Book {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(n)))
+	book := resbook.New(256, 0)
+	for k := 0; k < n; k++ {
+		start := model.Time(rng.Int63n(int64(14 * model.Day)))
+		dur := model.Duration(rng.Int63n(int64(6*model.Hour)) + 60)
+		procs := rng.Intn(128) + 1
+		// Capacity conflicts are expected; they just leave this draw
+		// unbooked.
+		_, _ = book.Reserve(start, start+dur, procs)
+	}
+	return book
+}
+
+// BenchmarkSchedulePost measures the full POST /v1/schedule serving
+// path — JSON decode, DAG parse, snapshot, scheduling, response encode
+// — for a dry-run request. allocs/op here is the PR 2 acceptance
+// metric for the serving layer (see BENCH_PR2.json).
+func BenchmarkSchedulePost(b *testing.B) {
+	book := benchBook(b, 200)
+	srv, err := New(Config{Book: book})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+
+	spec := daggen.Default()
+	g := daggen.MustGenerate(spec, rand.New(rand.NewSource(7)))
+	var dagBuf bytes.Buffer
+	if err := dagio.Write(&dagBuf, g); err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(api.ScheduleRequest{DAG: dagBuf.Bytes(), Q: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(body))
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, req)
+		if rw.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rw.Code, rw.Body.String())
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"resched/internal/core"
 	"resched/internal/dagio"
 	"resched/internal/model"
+	"resched/internal/profile"
 	"resched/internal/resbook"
 )
 
@@ -37,13 +38,18 @@ func (s *Server) resolveNow(reqNow model.Time) (model.Time, error) {
 func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo string, now model.Time, q int, commit bool, compute computeFn) {
 	ctx := r.Context()
 	retries := 0
+	// The snapshot profile is pooled: SnapshotInto reuses its backing
+	// arrays, and nothing retains it once compute returns (schedulers
+	// work on their own copy), so it goes back to the pool on exit.
+	prof := s.profPool.Get().(*profile.Profile)
+	defer s.profPool.Put(prof)
 	for {
 		if err := ctx.Err(); err != nil {
 			s.writeSchedulingError(w, r, err)
 			return
 		}
-		snap := s.book.Snapshot()
-		env := core.Env{P: snap.Profile.Capacity(), Now: now, Avail: snap.Profile, Q: q}
+		version := s.book.SnapshotInto(prof)
+		env := core.Env{P: prof.Capacity(), Now: now, Avail: prof, Q: q}
 		sched, deadline, err := compute(env)
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) {
@@ -56,13 +62,14 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 
 		resp := api.ScheduleResponse{
 			Algorithm:  algo,
-			Version:    snap.Version,
+			Version:    version,
 			Now:        sched.Now,
 			Completion: sched.Completion(),
 			Turnaround: sched.Turnaround(),
 			CPUHours:   sched.CPUHours(),
 			Deadline:   deadline,
 			Retries:    retries,
+			Tasks:      make([]api.Placement, 0, len(sched.Tasks)),
 		}
 		for t, pl := range sched.Tasks {
 			resp.Tasks = append(resp.Tasks, api.Placement{Task: t, Procs: pl.Procs, Start: pl.Start, End: pl.End})
@@ -72,7 +79,7 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 			return
 		}
 
-		var reqs []resbook.Request
+		reqs := make([]resbook.Request, 0, len(sched.Tasks))
 		for _, pl := range sched.Tasks {
 			if pl.End > pl.Start {
 				reqs = append(reqs, resbook.Request{Start: pl.Start, End: pl.End, Procs: pl.Procs})
@@ -81,9 +88,9 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 		if s.beforeCommit != nil {
 			s.beforeCommit()
 		}
-		booked, err := s.book.Commit(snap.Version, reqs)
+		booked, err := s.book.Commit(version, reqs)
 		if err == nil {
-			resp.Version = snap.Version + 1
+			resp.Version = version + 1
 			resp.Committed = true
 			resp.Retries = retries
 			for _, b := range booked {

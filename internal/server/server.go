@@ -21,9 +21,11 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 
 	"resched/internal/api"
+	"resched/internal/profile"
 	"resched/internal/resbook"
 )
 
@@ -55,6 +57,13 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	log     *slog.Logger
+
+	// profPool recycles the snapshot profiles the commit loop copies
+	// the book into, one per in-flight scheduling attempt. Combined
+	// with Book.SnapshotInto this removes a full step-function
+	// allocation per request; the schedulers' own working copy is a
+	// second clone-into against per-Scheduler scratch.
+	profPool sync.Pool
 
 	// beforeCommit, when non-nil, runs between computing a schedule
 	// and committing it. Tests use it to force version conflicts
@@ -90,6 +99,7 @@ func New(cfg Config) (*Server, error) {
 		metrics: &metrics{},
 		log:     log,
 	}
+	s.profPool.New = func() any { return &profile.Profile{} }
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("POST /v1/deadline", s.handleDeadline)
