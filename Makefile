@@ -1,20 +1,30 @@
 # Tier-1 verification for the serving code (resbook, server,
-# reschedd): formatting, vet, the full suite under the race detector,
-# and a one-iteration benchmark smoke run so benchmarks cannot
-# bit-rot. `make test` is the quick non-race cycle; `make bench`
-# produces the machine-readable perf trajectory (BENCH_PR2.json).
+# reschedd): formatting, vet, the reschedvet domain analyzers, the
+# full suite under the race detector, a one-iteration benchmark smoke
+# run so benchmarks cannot bit-rot, and a short fuzz smoke of the
+# profile/parser invariants. `make test` is the quick non-race cycle;
+# `make bench` produces the machine-readable perf trajectory
+# ($(BENCH_OUT)).
 
 GO ?= go
 
 # Benchmarks that feed the BENCH_*.json trajectory: the CPA allocation
 # hot path, the profile primitives, and the serving path.
 BENCH_PKGS ?= ./internal/cpa ./internal/profile ./internal/server ./internal/resbook
-BENCH_OUT ?= BENCH_PR2.json
+# BENCH_PR names the PR whose trajectory file `make bench` writes by
+# default; override either variable to target another file, e.g.
+#   make bench BENCH_PR=PR4
+#   make bench BENCH_OUT=/tmp/scratch.json
+BENCH_PR ?= PR3
+BENCH_OUT ?= BENCH_$(BENCH_PR).json
 BENCH_LABEL ?= optimized
 
-.PHONY: ci fmt vet test race build bench bench-smoke
+# How long each fuzz target runs in fuzz-smoke.
+FUZZTIME ?= 10s
 
-ci: fmt vet race bench-smoke
+.PHONY: ci fmt vet lint test race build bench bench-smoke fuzz-smoke vuln
+
+ci: fmt vet lint race bench-smoke fuzz-smoke vuln
 
 build:
 	$(GO) build ./...
@@ -27,6 +37,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the domain-aware reschedvet analyzers (see
+# internal/analysis) over the whole module. Any diagnostic fails the
+# target — and therefore ci — with a file:line message.
+lint:
+	$(GO) run ./cmd/reschedvet ./...
 
 test:
 	$(GO) test ./...
@@ -46,3 +62,21 @@ bench:
 # recorded.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# fuzz-smoke gives each native fuzz target a short budget so CI keeps
+# the harnesses compiling and shakes the invariants on fresh inputs.
+# `go test -fuzz` accepts one target per invocation, hence one line
+# per target.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzProfileReserveUnreserve$$' -fuzztime=$(FUZZTIME) ./internal/profile
+	$(GO) test -run='^$$' -fuzz='^FuzzScheduleParseRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/core
+
+# vuln is advisory: it reports known-vulnerable dependencies when
+# govulncheck is installed but never fails the build (and this module
+# is stdlib-only, so findings would point at the toolchain itself).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "vuln: advisory findings above (not fatal)"; \
+	else \
+		echo "vuln: govulncheck not installed; skipping (advisory)"; \
+	fi

@@ -1,0 +1,79 @@
+// Command reschedvet is the repo's domain-aware multichecker: it runs
+// the internal/analysis analyzers — refguard, poolescape,
+// checkedentry, ctxflow, modeexhaustive — over the given packages
+// (default ./...) and exits non-zero if any finding survives. Each
+// finding prints as
+//
+//	path/to/file.go:line:col: message (analyzer)
+//
+// `make lint` runs it as part of `make ci`. Suppress a finding with a
+// //reschedvet:ignore comment; see internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"resched/internal/analysis"
+	"resched/internal/analysis/checkedentry"
+	"resched/internal/analysis/ctxflow"
+	"resched/internal/analysis/modeexhaustive"
+	"resched/internal/analysis/poolescape"
+	"resched/internal/analysis/refguard"
+)
+
+var analyzers = []*analysis.Analyzer{
+	checkedentry.Analyzer,
+	ctxflow.Analyzer,
+	modeexhaustive.Analyzer,
+	poolescape.Analyzer,
+	refguard.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: reschedvet [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the resched domain analyzers over the packages (default ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reschedvet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reschedvet:", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "reschedvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

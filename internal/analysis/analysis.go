@@ -1,0 +1,170 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework modeled on golang.org/x/tools/go/analysis (which is not
+// vendored here; the toolchain image carries only the standard
+// library). It exists to enforce, on every build, the domain
+// invariants that PR 1 and PR 2 introduced by convention:
+//
+//   - naive reference implementations are differential-test oracles,
+//     never serving code (refguard);
+//   - pooled scratch objects must not escape their request (poolescape);
+//   - serving code calls the validated *Checked profile entry points,
+//     not the panicking fast paths (checkedentry);
+//   - scheduling loops below the HTTP handler thread the request
+//     context (ctxflow);
+//   - switches over the scheduler-mode and reservation-lifecycle
+//     enums are exhaustive or fail loudly (modeexhaustive).
+//
+// The cmd/reschedvet multichecker loads packages with Load, runs every
+// analyzer with RunAnalyzers, and exits non-zero on any diagnostic;
+// `make lint` wires it into `make ci`.
+//
+// A finding can be suppressed with a directive comment on the same
+// line or the line directly above it:
+//
+//	//reschedvet:ignore ctxflow reason for the exception
+//
+// Naming one or more analyzers suppresses only those; a bare
+// directive suppresses every analyzer on that line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single package through
+// its Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //reschedvet:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run performs the check. A returned error aborts the whole vet
+	// run (it means the analyzer itself failed, not that the code has
+	// findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Fset maps token.Pos values in Files (and in imported objects)
+	// to file positions.
+	Fset *token.FileSet
+	// Files holds the package's parsed syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos is the finding's resolved file position.
+	Pos token.Position
+	// Message describes the violated invariant.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Filename returns the name of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return p.Fset.Position(pos).Filename
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Filename(pos), "_test.go")
+}
+
+// InModule reports whether the package path belongs to this module.
+// Fixture packages under an analyzer's testdata mirror the real import
+// paths, so the same predicate serves both the repo and the tests.
+func InModule(path string) bool {
+	return path == "resched" || strings.HasPrefix(path, "resched/")
+}
+
+// DeclaredInFile reports whether obj's declaration lies in a file with
+// the given base name (e.g. "reference.go").
+func (p *Pass) DeclaredInFile(obj types.Object, base string) bool {
+	return filepath.Base(p.Filename(obj.Pos())) == base
+}
+
+// Callee resolves the called function or method of a call expression,
+// or nil when the callee is not a statically known *types.Func (calls
+// through function values, conversions, builtins).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // qualified identifier pkg.F
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// ReceiverNamed returns the defined type of a method's receiver,
+// unwrapping a pointer receiver, or nil for non-methods.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := types.Unalias(t).(*types.Named)
+	return named
+}
+
+// HasMethod reports whether the defined type declares a method with
+// the given name (on either receiver form).
+func HasMethod(named *types.Named, name string) bool {
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// UsesVar reports whether any identifier inside node resolves to v.
+func UsesVar(info *types.Info, node ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

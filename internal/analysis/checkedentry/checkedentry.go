@@ -1,0 +1,74 @@
+// Package checkedentry enforces the serving-layer entry-point
+// discipline from PR 1: the profile's core query methods
+// (EarliestFit, LatestFit, MinFree, AvgFree) panic on malformed
+// arguments, which is the right failure mode inside the batch
+// schedulers but a crash vector in a daemon serving untrusted
+// requests. The serving packages must go through the validated
+// *Checked variants, which turn the same conditions into errors.
+package checkedentry
+
+import (
+	"go/types"
+	"strings"
+
+	"resched/internal/analysis"
+)
+
+// ServingPackages are the packages held to the *Checked discipline:
+// everything between the HTTP surface and the reservation book. The
+// batch schedulers (internal/core and below) legitimately keep the
+// panicking fast path.
+var ServingPackages = map[string]bool{
+	"resched/internal/server":  true,
+	"resched/internal/api":     true,
+	"resched/internal/resbook": true,
+}
+
+// profilePackage is where the panicking fast paths and their *Checked
+// siblings live.
+const profilePackage = "resched/internal/profile"
+
+// Analyzer flags uses, in serving packages, of a profile function or
+// method that has a *Checked sibling. The sibling's existence is the
+// marker: any entry point important enough to grow a validated
+// variant is one serving code must not call unvalidated.
+var Analyzer = &analysis.Analyzer{
+	Name: "checkedentry",
+	Doc: "serving code (internal/server, internal/api, internal/resbook) must call the " +
+		"validated *Checked profile entry points, not the panicking fast-path variants",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !ServingPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != profilePackage {
+			continue
+		}
+		if strings.HasSuffix(fn.Name(), "Checked") || pass.InTestFile(id.Pos()) {
+			continue
+		}
+		sibling := fn.Name() + "Checked"
+		if !hasSibling(fn, sibling) {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"%s panics on malformed arguments; serving code must call %s instead",
+			fn.Name(), sibling)
+	}
+	return nil
+}
+
+// hasSibling reports whether the validated variant exists: a method
+// of the same receiver type, or a package-level function, named like
+// fn plus the Checked suffix.
+func hasSibling(fn *types.Func, name string) bool {
+	if named := analysis.ReceiverNamed(fn); named != nil {
+		return analysis.HasMethod(named, name)
+	}
+	_, ok := fn.Pkg().Scope().Lookup(name).(*types.Func)
+	return ok
+}

@@ -1,0 +1,13 @@
+package checkedentry_test
+
+import (
+	"testing"
+
+	"resched/internal/analysis/analysistest"
+	"resched/internal/analysis/checkedentry"
+)
+
+func TestCheckedEntry(t *testing.T) {
+	analysistest.Run(t, "testdata", checkedentry.Analyzer,
+		"resched/internal/server", "batch")
+}

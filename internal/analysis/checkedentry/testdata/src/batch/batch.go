@@ -1,0 +1,7 @@
+// Package batch is outside the serving set: the scheduling
+// algorithms legitimately keep the panicking fast path.
+package batch
+
+import "resched/internal/profile"
+
+func run(p *profile.Profile) int { return p.EarliestFit(1, 2, 3) }

@@ -1,0 +1,28 @@
+// Package profile is a fixture stub mirroring the panicking fast
+// paths and their validated *Checked siblings.
+package profile
+
+// Profile mirrors the step-function type.
+type Profile struct{ capacity int }
+
+// EarliestFit panics on malformed arguments (fast path).
+func (p *Profile) EarliestFit(procs, dur, notBefore int) int {
+	if procs < 1 {
+		panic("bad procs")
+	}
+	return notBefore
+}
+
+// EarliestFitChecked is the validated sibling.
+func (p *Profile) EarliestFitChecked(procs, dur, notBefore int) (int, error) {
+	return notBefore, nil
+}
+
+// Reserve has no Checked sibling; it already returns an error.
+func (p *Profile) Reserve(start, end, procs int) error { return nil }
+
+// Fit is a package-level fast path.
+func Fit(procs int) int { return procs }
+
+// FitChecked is its validated sibling.
+func FitChecked(procs int) (int, error) { return procs, nil }

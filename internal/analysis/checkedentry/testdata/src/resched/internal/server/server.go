@@ -1,0 +1,13 @@
+// Package server is a fixture consumer inside the serving set.
+package server
+
+import "resched/internal/profile"
+
+func handle(p *profile.Profile) error {
+	_ = p.EarliestFit(1, 2, 3) // want "must call EarliestFitChecked instead"
+	if _, err := p.EarliestFitChecked(1, 2, 3); err != nil {
+		return err
+	}
+	_ = profile.Fit(1) // want "must call FitChecked instead"
+	return p.Reserve(0, 1, 1)
+}

@@ -1,0 +1,6 @@
+package server
+
+import "resched/internal/profile"
+
+// Tests inside the serving packages may exercise the fast path.
+func testHelper(p *profile.Profile) int { return p.EarliestFit(1, 2, 3) }

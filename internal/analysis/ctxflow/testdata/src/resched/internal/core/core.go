@@ -1,0 +1,20 @@
+// Package core is a fixture stub with *Ctx scheduling-loop siblings.
+// It is outside the serving set, so its own context.Background wrapper
+// is legal — that is exactly the batch-CLI escape hatch.
+package core
+
+import "context"
+
+// Scheduler mirrors the real scheduler.
+type Scheduler struct{}
+
+// Turnaround wraps context.Background for the batch CLIs.
+func (s *Scheduler) Turnaround(env int) error {
+	return s.TurnaroundCtx(context.Background(), env)
+}
+
+// TurnaroundCtx threads cancellation.
+func (s *Scheduler) TurnaroundCtx(ctx context.Context, env int) error { return ctx.Err() }
+
+// Validate has no Ctx sibling and stays legal everywhere.
+func (s *Scheduler) Validate() error { return nil }

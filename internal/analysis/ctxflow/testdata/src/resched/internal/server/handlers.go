@@ -1,0 +1,29 @@
+// Package server is a fixture consumer inside the serving set.
+package server
+
+import (
+	"context"
+
+	"resched/internal/core"
+)
+
+func handle(ctx context.Context, sch *core.Scheduler) error {
+	bg := context.Background() // want "severs the request's cancellation chain"
+	_ = bg
+	if err := sch.Turnaround(1); err != nil { // want "must call TurnaroundCtx"
+		return err
+	}
+	if err := sch.Validate(); err != nil {
+		return err
+	}
+	return sch.TurnaroundCtx(ctx, 1)
+}
+
+func todoSuppressed() context.Context {
+	//reschedvet:ignore ctxflow fixture exercises the suppression path
+	return context.TODO()
+}
+
+func todoFlagged() context.Context {
+	return context.TODO() // want "context.TODO severs"
+}

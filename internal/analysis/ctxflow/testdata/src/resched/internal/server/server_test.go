@@ -1,0 +1,6 @@
+package server
+
+import "context"
+
+// Tests may mint root contexts.
+func testCtx() context.Context { return context.Background() }

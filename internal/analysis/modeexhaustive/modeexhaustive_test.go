@@ -1,0 +1,12 @@
+package modeexhaustive_test
+
+import (
+	"testing"
+
+	"resched/internal/analysis/analysistest"
+	"resched/internal/analysis/modeexhaustive"
+)
+
+func TestModeExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", modeexhaustive.Analyzer, "modeswitch")
+}

@@ -1,0 +1,13 @@
+// Package core is a fixture stub declaring a guarded scheduler-mode
+// enum.
+package core
+
+// BLMethod mirrors the real bottom-level method enum.
+type BLMethod int
+
+const (
+	BL1 BLMethod = iota
+	BLAll
+	BLCPA
+	BLCPAR
+)

@@ -1,0 +1,12 @@
+// Package resbook is a fixture stub declaring the guarded
+// reservation-lifecycle enum.
+package resbook
+
+// Status mirrors the real lifecycle enum.
+type Status int
+
+const (
+	Pending Status = iota
+	Active
+	Released
+)

@@ -1,0 +1,213 @@
+// Package poolescape enforces the pooled-scratch discipline from
+// PR 2's copy-free serving path: a scratch object obtained from a
+// sync.Pool inside a function (the server's snapshot profiles,
+// obtained via profPool.Get and filled by Book.SnapshotInto) is
+// borrowed, not owned. Once it goes back with Put, another request
+// may be writing through the same pointer, so the borrower must not
+// let it outlive the borrow. Four escape routes are flagged:
+//
+//   - storing the pooled value in a struct field;
+//   - capturing it in a goroutine (the goroutine can outlive the
+//     enclosing call, and with it the borrow);
+//   - using it after a non-deferred Put;
+//   - returning it to the caller.
+//
+// The analysis is per-function and syntactic over the type-checked
+// AST: it tracks local variables initialized directly from a pool
+// Get. That is exactly the shape the serving code uses (get, defer
+// put, use), so the cheap analysis covers the real invariant without
+// a full escape analysis.
+package poolescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"resched/internal/analysis"
+)
+
+// Analyzer flags pooled scratch objects that escape their borrow.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: "a sync.Pool scratch object must not be stored in a struct field, captured by a " +
+		"goroutine, used after Put, or returned",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// isPoolMethod reports whether call invokes the named method on a
+// sync.Pool (or *sync.Pool) receiver.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	named := analysis.ReceiverNamed(fn)
+	return named != nil && named.Obj().Name() == "Pool"
+}
+
+// pooledSource unwraps `pool.Get()` and `pool.Get().(*T)` and reports
+// whether expr yields a fresh pooled object.
+func pooledSource(info *types.Info, expr ast.Expr) bool {
+	e := ast.Unparen(expr)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	return ok && isPoolMethod(info, call, "Get")
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Pass 1: find the pooled locals — variables whose defining
+	// assignment is a pool Get.
+	pooled := map[*types.Var]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !pooledSource(info, rhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if v, ok := objOf(info, id).(*types.Var); ok {
+					pooled[v] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(pooled) == 0 {
+		return
+	}
+
+	// Pass 2: walk the body once, flagging escapes and recording the
+	// non-deferred Puts and the re-assignments that end a borrow.
+	putEnd := map[*types.Var]token.Pos{} // borrow ends after this position
+	killed := map[*types.Var]token.Pos{} // var rebound to a non-pooled value here
+	inDefer := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Put is the idiomatic borrow end (it runs at
+			// function exit, after every use); a deferred anything
+			// else runs at exit too. Neither is an escape.
+			inDefer[n.Call] = true
+			return true
+		case *ast.GoStmt:
+			for v := range pooled {
+				if analysis.UsesVar(info, n.Call, v) {
+					pass.Reportf(n.Pos(), "pooled %s captured by goroutine, which may outlive the borrow", v.Name())
+				}
+			}
+			return false // already handled the whole go statement
+		case *ast.AssignStmt:
+			checkAssign(pass, n, pooled, killed)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				for v := range pooled {
+					if analysis.UsesVar(info, res, v) {
+						pass.Reportf(n.Pos(), "pooled %s returned to the caller, escaping its borrow", v.Name())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isPoolMethod(info, n, "Put") && !inDefer[n] {
+				for _, arg := range n.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if v, ok := info.Uses[id].(*types.Var); ok && pooled[v] {
+							putEnd[v] = n.End()
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: any use after a non-deferred Put, unless the variable
+	// was re-bound in between. Assignment targets are not uses: a
+	// re-binding is how a borrow legitimately ends.
+	if len(putEnd) == 0 {
+		return
+	}
+	lhs := map[*ast.Ident]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+					lhs[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || lhs[id] {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || !pooled[v] {
+			return true
+		}
+		end, put := putEnd[v]
+		if put && id.Pos() > end && !(killed[v] > end && killed[v] < id.Pos()) {
+			pass.Reportf(id.Pos(), "pooled %s used after Put returned it to the pool", v.Name())
+		}
+		return true
+	})
+}
+
+// checkAssign flags struct-field stores of pooled values and records
+// re-bindings of the pooled variables themselves.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, pooled map[*types.Var]bool, killed map[*types.Var]token.Pos) {
+	info := pass.TypesInfo
+	for i, lhs := range as.Lhs {
+		// Pair LHS with its RHS; with a single multi-value RHS the
+		// pooled value cannot be on the right, so skip.
+		if len(as.Lhs) != len(as.Rhs) {
+			break
+		}
+		rhs := as.Rhs[i]
+		if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				for v := range pooled {
+					if analysis.UsesVar(info, rhs, v) {
+						pass.Reportf(as.Pos(), "pooled %s stored in struct field %s, escaping its borrow", v.Name(), sel.Sel.Name)
+					}
+				}
+			}
+		}
+		// Re-binding the variable — to a fresh pooled object or
+		// anything else — ends the previous borrow.
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if v, ok := objOf(info, id).(*types.Var); ok && pooled[v] {
+				killed[v] = as.End()
+			}
+		}
+	}
+}
+
+// objOf resolves an identifier whether it defines (:=) or uses (=)
+// the variable.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

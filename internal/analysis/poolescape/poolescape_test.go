@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"resched/internal/analysis/analysistest"
+	"resched/internal/analysis/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, "testdata", poolescape.Analyzer, "pooluse")
+}

@@ -1,0 +1,83 @@
+// Package pooluse exercises the pooled-borrow discipline.
+package pooluse
+
+import "sync"
+
+type scratch struct{ buf []byte }
+
+type holder struct{ s *scratch }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+func use(*scratch) {}
+
+// borrowOK is the serving idiom: get, defer put, use.
+func borrowOK() {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	use(s)
+}
+
+// putThenDone returns the borrow explicitly after the last use.
+func putThenDone() {
+	s := pool.Get().(*scratch)
+	use(s)
+	pool.Put(s)
+}
+
+func fieldStore(h *holder) {
+	s := pool.Get().(*scratch)
+	h.s = s // want "stored in struct field s"
+	pool.Put(s)
+}
+
+func goroutineCapture() {
+	s := pool.Get().(*scratch)
+	go func() { use(s) }() // want "captured by goroutine"
+	pool.Put(s)
+}
+
+func goroutineArg() {
+	s := pool.Get().(*scratch)
+	go use(s) // want "captured by goroutine"
+	pool.Put(s)
+}
+
+func useAfterPut() {
+	s := pool.Get().(*scratch)
+	pool.Put(s)
+	use(s) // want "used after Put"
+}
+
+func returned() *scratch {
+	s := pool.Get().(*scratch)
+	return s // want "returned to the caller"
+}
+
+// rebound: once the variable no longer holds the pooled object, its
+// later uses are the new value's business.
+func rebound() {
+	s := pool.Get().(*scratch)
+	pool.Put(s)
+	s = new(scratch)
+	use(s)
+}
+
+// reget: a second Get opens a fresh borrow.
+func reget() {
+	s := pool.Get().(*scratch)
+	pool.Put(s)
+	s = pool.Get().(*scratch)
+	use(s)
+	pool.Put(s)
+}
+
+// server mirrors the real handler shape: the pool lives in a struct
+// field.
+type server struct{ pool sync.Pool }
+
+func (sv *server) handler() {
+	p := sv.pool.Get().(*scratch)
+	defer sv.pool.Put(p)
+	use(p)
+}

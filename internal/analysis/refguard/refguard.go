@@ -1,0 +1,47 @@
+// Package refguard enforces the differential-oracle discipline from
+// PR 2: the naive reference implementations kept in reference.go
+// files (internal/cpa/reference.go, internal/profile/reference.go)
+// exist only to cross-check the optimized code, so the only legal
+// callers are _test.go files and the reference files themselves.
+// Serving or scheduling code that reaches for a reference
+// implementation silently reintroduces the exact complexity the
+// optimized paths removed.
+package refguard
+
+import (
+	"go/types"
+	"path/filepath"
+
+	"resched/internal/analysis"
+)
+
+// Analyzer flags any use of a function or method declared in a module
+// reference.go file from a non-test, non-reference file. Uses, not
+// just calls: storing a reference implementation in a function value
+// smuggles it out just as effectively.
+var Analyzer = &analysis.Analyzer{
+	Name: "refguard",
+	Doc: "reference implementations (reference.go) are differential-test oracles; " +
+		"they may be used only from _test.go files",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for id, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || !analysis.InModule(fn.Pkg().Path()) {
+			continue
+		}
+		if !pass.DeclaredInFile(fn, "reference.go") {
+			continue
+		}
+		useFile := pass.Filename(id.Pos())
+		if pass.InTestFile(id.Pos()) || filepath.Base(useFile) == "reference.go" {
+			continue
+		}
+		pass.Reportf(id.Pos(),
+			"%s is a naive reference implementation (declared in %s); only _test.go files may use it",
+			fn.Name(), filepath.Base(filepath.Dir(pass.Filename(fn.Pos())))+"/reference.go")
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package refguard_test
+
+import (
+	"testing"
+
+	"resched/internal/analysis/analysistest"
+	"resched/internal/analysis/refguard"
+)
+
+func TestRefguard(t *testing.T) {
+	analysistest.Run(t, "testdata", refguard.Analyzer,
+		"resched/internal/cpa", "refconsumer")
+}

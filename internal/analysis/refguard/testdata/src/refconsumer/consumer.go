@@ -1,0 +1,10 @@
+// Package refconsumer exercises cross-package misuse of a reference
+// implementation, including taking it as a function value.
+package refconsumer
+
+import "resched/internal/cpa"
+
+func consume(n int) int {
+	f := cpa.ReferenceAllocate // want "naive reference implementation"
+	return f(n) + cpa.Allocate(n)
+}

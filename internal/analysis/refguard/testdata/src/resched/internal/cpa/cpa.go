@@ -1,0 +1,6 @@
+// Package cpa is a fixture stub mirroring resched/internal/cpa: an
+// optimized entry point beside a naive oracle kept in reference.go.
+package cpa
+
+// Allocate is the optimized entry point.
+func Allocate(n int) int { return n * 2 }

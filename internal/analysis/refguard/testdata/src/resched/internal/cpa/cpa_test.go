@@ -1,0 +1,5 @@
+package cpa
+
+// oracleCheck is the differential-test pattern: _test.go files may
+// use the reference implementation freely.
+func oracleCheck(n int) bool { return Allocate(n) >= ReferenceAllocate(n) }

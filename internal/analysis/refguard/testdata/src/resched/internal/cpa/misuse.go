@@ -1,0 +1,5 @@
+package cpa
+
+func misuse(n int) int {
+	return ReferenceAllocate(n) // want "naive reference implementation"
+}

@@ -1,0 +1,9 @@
+package cpa
+
+// ReferenceAllocate is the naive oracle, exported so cross-package
+// fixtures can exercise the guard.
+func ReferenceAllocate(n int) int { return refHelper(n) }
+
+// refHelper being called from reference.go itself is legal: the
+// oracle may be built out of helpers living beside it.
+func refHelper(n int) int { return n + n }

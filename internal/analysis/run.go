@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses findings. See
+// the package documentation.
+const ignoreDirective = "//reschedvet:ignore"
+
+// ignoreSet records, per file and line, which analyzers are silenced
+// there. The empty string key means "all analyzers".
+type ignoreSet map[string]map[int]map[string]bool
+
+// collectIgnores scans a package's comments for ignore directives. A
+// directive silences its own line and the line below it, so it can
+// sit at the end of the offending line or on its own line above.
+func collectIgnores(pkg *Package) ignoreSet {
+	set := ignoreSet{}
+	add := func(file string, line int, name string) {
+		lines := set[file]
+		if lines == nil {
+			lines = map[int]map[string]bool{}
+			set[file] = lines
+		}
+		for _, l := range []int{line, line + 1} {
+			if lines[l] == nil {
+				lines[l] = map[string]bool{}
+			}
+			lines[l][name] = true
+		}
+	}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //reschedvet:ignoreXXX is not a directive
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				names := strings.Fields(rest)
+				if len(names) == 0 {
+					add(pos.Filename, pos.Line, "")
+					continue
+				}
+				for _, n := range names {
+					add(pos.Filename, pos.Line, n)
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s ignoreSet) suppresses(d Diagnostic) bool {
+	names := s[d.Pos.Filename][d.Pos.Line]
+	return names[""] || names[d.Analyzer]
+}
+
+// RunAnalyzers applies every analyzer to every package and returns
+// the surviving findings sorted by position. An error from an
+// analyzer aborts the run: it indicates a broken analyzer, not a
+// finding.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := collectIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.report = func(d Diagnostic) {
+				if !ignores.suppresses(d) {
+					diags = append(diags, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}

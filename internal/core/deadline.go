@@ -123,6 +123,11 @@ func (s *Scheduler) deadlineAggressive(ctx context.Context, env Env, q int, algo
 			return nil, err
 		}
 		bound = a
+	default:
+		// DeadlineCtx dispatches only the DL_BD algorithms here; an
+		// unhandled one would otherwise leave bound nil and fail far
+		// from the cause.
+		return nil, fmt.Errorf("core: %v is not an aggressive deadline algorithm", algo)
 	}
 	order, err := s.backwardOrder(env.P, q)
 	if err != nil {

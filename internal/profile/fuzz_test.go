@@ -1,0 +1,75 @@
+package profile
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// decodeOp unpacks one fuzzed mutation: a Reserve/Unreserve selector,
+// a start time, a duration, and a processor count. Values are taken
+// raw (not clamped to valid ranges) so the fuzzer exercises the
+// rejection paths as hard as the commit paths.
+func decodeOp(b []byte) (reserve bool, start model.Time, end model.Time, procs int) {
+	reserve = b[0]%2 == 0
+	start = model.Time(binary.LittleEndian.Uint16(b[1:3]))
+	end = start + model.Duration(binary.LittleEndian.Uint16(b[3:5]))
+	procs = int(b[5])
+	return
+}
+
+// FuzzProfileReserveUnreserve feeds random Reserve/Unreserve
+// sequences to the optimized step-function mutators and to the naive
+// reference mutators kept in reference.go, requiring after every
+// operation that (1) both accept or both reject, (2) the optimized
+// representation invariants hold, and (3) the two step functions are
+// bit-identical — the same contract the fixed-grid differential tests
+// enforce, extended to adversarial inputs.
+func FuzzProfileReserveUnreserve(f *testing.F) {
+	f.Add(uint8(7), []byte{0, 10, 0, 20, 0, 3, 1, 15, 0, 10, 0, 2})
+	f.Add(uint8(0), []byte{0, 0, 0, 0, 0, 0})
+	f.Add(uint8(31), []byte{0, 1, 0, 1, 0, 255, 1, 1, 0, 1, 0, 255})
+	f.Fuzz(func(t *testing.T, capRaw uint8, ops []byte) {
+		capacity := int(capRaw%32) + 1
+		// The per-step String() comparison is O(segments), so bound the
+		// sequence length to keep worst-case inputs out of the mutator's
+		// way; 64 mutations is plenty to compose interesting schedules.
+		if len(ops) > 64*6 {
+			ops = ops[:64*6]
+		}
+		p := New(capacity, 0)
+		ref := New(capacity, 0)
+		for step := 0; len(ops) >= 6; step++ {
+			reserve, start, end, procs := decodeOp(ops)
+			ops = ops[6:]
+
+			var got, want error
+			if reserve {
+				got = p.Reserve(start, end, procs)
+				want = ref.referenceReserve(start, end, procs)
+			} else {
+				got = p.Unreserve(start, end, procs)
+				want = ref.referenceUnreserve(start, end, procs)
+			}
+			if (got == nil) != (want == nil) {
+				t.Fatalf("step %d: optimized err=%v, reference err=%v", step, got, want)
+			}
+			if err := p.Check(); err != nil {
+				t.Fatalf("step %d: invariants: %v", step, err)
+			}
+			if p.String() != ref.String() {
+				t.Fatalf("step %d: divergence\n  optimized %s\n  reference %s", step, p, ref)
+			}
+		}
+		// The solo fit queries are the oracles for the batch sweeps;
+		// close the loop on the final profile with a single probe.
+		if capacity >= 1 {
+			req := []FitRequest{{Procs: 1, Dur: 7}}
+			batch := p.EarliestFits(req, 3, nil)
+			if solo := p.EarliestFit(1, 7, 3); batch[0] != solo {
+				t.Fatalf("EarliestFits=%d, EarliestFit=%d on %s", batch[0], solo, p)
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"resched/internal/api"
+	"resched/internal/server"
+)
+
+// TestCommitRetryExhaustion drives the commit loop into permanent
+// version conflict: the before-commit hook bumps the book's version
+// before every commit attempt, so after MaxRetries recomputations the
+// request must give up with 409 and an error naming the retry budget,
+// leaving the book without the loser's reservations.
+func TestCommitRetryExhaustion(t *testing.T) {
+	const maxRetries = 3
+	ts, srv, book := newTestServer(t, 16, server.Config{Workers: 2, Timeout: time.Minute, MaxRetries: maxRetries})
+	srv.SetBeforeCommitHook(func() {
+		res, err := book.Reserve(1_000_000, 1_000_010, 1)
+		if err != nil {
+			t.Errorf("conflicting Reserve: %v", err)
+			return
+		}
+		if err := book.Release(res.ID); err != nil {
+			t.Errorf("conflicting Release: %v", err)
+		}
+	})
+
+	versionBefore := book.Version()
+	resp, raw := postJSON(t, ts.URL+"/v1/schedule", api.ScheduleRequest{DAG: testDAGJSON(t, 2), Commit: true})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("permanently conflicted commit: HTTP %d (%s), want 409", resp.StatusCode, raw)
+	}
+	var apiErr api.Error
+	if err := json.Unmarshal(raw, &apiErr); err != nil {
+		t.Fatalf("decoding error body %q: %v", raw, err)
+	}
+	if !strings.Contains(apiErr.Error, "version-conflict retries") {
+		t.Errorf("error %q does not mention retry exhaustion", apiErr.Error)
+	}
+
+	// Every version bump came from the hook's reserve+release pairs:
+	// the initial attempt plus maxRetries recomputes, two bumps each.
+	if got, want := book.Version(), versionBefore+2*(maxRetries+1); got != want {
+		t.Errorf("version = %d, want %d", got, want)
+	}
+	for _, r := range book.List() {
+		if r.Start != 1_000_000 {
+			t.Errorf("gave-up commit leaked reservation %+v", r)
+		}
+	}
+	if err := book.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after exhaustion: %v", err)
+	}
+}
