@@ -15,14 +15,14 @@ BENCH_PKGS ?= ./internal/cpa ./internal/profile ./internal/server ./internal/res
 # default; override either variable to target another file, e.g.
 #   make bench BENCH_PR=PR4
 #   make bench BENCH_OUT=/tmp/scratch.json
-BENCH_PR ?= PR3
+BENCH_PR ?= PR4
 BENCH_OUT ?= BENCH_$(BENCH_PR).json
 BENCH_LABEL ?= optimized
 
 # How long each fuzz target runs in fuzz-smoke.
 FUZZTIME ?= 10s
 
-.PHONY: ci fmt vet lint test race build bench bench-smoke fuzz-smoke vuln
+.PHONY: ci fmt vet lint test race race-all build bench bench-smoke fuzz-smoke vuln
 
 ci: fmt vet lint race bench-smoke fuzz-smoke vuln
 
@@ -39,15 +39,25 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the domain-aware reschedvet analyzers (see
-# internal/analysis) over the whole module. Any diagnostic fails the
-# target — and therefore ci — with a file:line message.
+# internal/analysis) over the whole module with the cross-package
+# facts dump enabled, so CI logs show which flow facts (may-block,
+# returns-alias, mutates, fire-and-forget) each conclusion rests on.
+# Any diagnostic fails the target — and therefore ci — with a
+# file:line message.
 lint:
-	$(GO) run ./cmd/reschedvet ./...
+	$(GO) run ./cmd/reschedvet -facts ./...
 
 test:
 	$(GO) test ./...
 
+# race runs the packages where the serving concurrency lives — the
+# reservation book's optimistic Transact loop and the HTTP worker pool
+# — under the race detector on every ci run. race-all is the full-tree
+# sweep for slower, occasional use.
 race:
+	$(GO) test -race ./internal/resbook/... ./internal/server/...
+
+race-all:
 	$(GO) test -race ./...
 
 # bench runs the trajectory benchmarks with -benchmem and folds the

@@ -1,0 +1,136 @@
+package main
+
+// End-to-end tests for the reschedvet binary: build it once, then run
+// it from inside tiny fixture modules under testdata/ (each its own
+// `module resched`, so the serving-package paths match the real
+// tree's) and assert on output and exit codes:
+//
+//	0 — clean (directive-suppressed finding)
+//	1 — findings survive
+//	2 — the packages could not be loaded at all
+//
+// Exercising the process boundary is the point; the analyzers
+// themselves are unit-tested in their own packages.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var buildOnce struct {
+	sync.Once
+	bin string
+	err error
+}
+
+// vetBinary builds the reschedvet binary once per test run.
+func vetBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "reschedvet-e2e")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "reschedvet")
+		out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+		if err != nil {
+			buildOnce.err = err
+			os.RemoveAll(dir)
+			return
+		}
+		_ = out
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatalf("building reschedvet: %v", buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+// runVet executes the built binary with its working directory inside
+// the named fixture module, returning combined output and exit code.
+func runVet(t *testing.T, fixture string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(vetBinary(t), args...)
+	cmd.Dir = filepath.Join("testdata", fixture)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running reschedvet in %s: %v\n%s", fixture, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestE2EFindingsExitOne(t *testing.T) {
+	out, code := runVet(t, "findings")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "(errdrop)") {
+		t.Errorf("output does not name the errdrop finding:\n%s", out)
+	}
+	if !strings.Contains(out, "internal/server/server.go:") {
+		t.Errorf("output does not point at the offending file:\n%s", out)
+	}
+}
+
+func TestE2EIgnoreDirectiveSuppresses(t *testing.T) {
+	out, code := runVet(t, "ignored")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (directive should suppress)\n%s", code, out)
+	}
+	if strings.Contains(out, "errdrop") {
+		t.Errorf("suppressed finding still reported:\n%s", out)
+	}
+}
+
+func TestE2EBrokenImportExitTwo(t *testing.T) {
+	out, code := runVet(t, "broken")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (load failure)\n%s", code, out)
+	}
+	if !strings.Contains(out, "reschedvet:") {
+		t.Errorf("load failure not reported on stderr:\n%s", out)
+	}
+}
+
+func TestE2ENoPackagesMatchedExitTwo(t *testing.T) {
+	out, code := runVet(t, "findings", "./nosuchdir/...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (no packages matched)\n%s", code, out)
+	}
+}
+
+func TestE2EListExitsClean(t *testing.T) {
+	out, code := runVet(t, "findings", "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	for _, name := range []string{"snapshotmut", "lockhold", "errdrop", "wgleak"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestE2EFactsDump(t *testing.T) {
+	out, code := runVet(t, "ignored", "-facts")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	// persist() carries no flow facts, but the fixture must at least
+	// not crash the encoder; a fact line, if any, is JSON per package.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line != "" && !strings.HasPrefix(line, "facts[") {
+			t.Errorf("unexpected non-fact output line: %q", line)
+		}
+	}
+}

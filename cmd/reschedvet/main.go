@@ -1,13 +1,16 @@
 // Command reschedvet is the repo's domain-aware multichecker: it runs
 // the internal/analysis analyzers — refguard, poolescape,
-// checkedentry, ctxflow, modeexhaustive — over the given packages
+// checkedentry, ctxflow, modeexhaustive, plus the flow-aware quartet
+// snapshotmut, lockhold, errdrop, wgleak — over the given packages
 // (default ./...) and exits non-zero if any finding survives. Each
 // finding prints as
 //
 //	path/to/file.go:line:col: message (analyzer)
 //
-// `make lint` runs it as part of `make ci`. Suppress a finding with a
-// //reschedvet:ignore comment; see internal/analysis.
+// Exit codes: 0 clean, 1 findings, 2 the packages could not be loaded
+// or analysis itself failed. `make lint` runs it as part of `make ci`.
+// Suppress a finding with a //reschedvet:ignore comment; see
+// internal/analysis.
 package main
 
 import (
@@ -15,27 +18,37 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"resched/internal/analysis"
 	"resched/internal/analysis/checkedentry"
 	"resched/internal/analysis/ctxflow"
+	"resched/internal/analysis/errdrop"
+	"resched/internal/analysis/lockhold"
 	"resched/internal/analysis/modeexhaustive"
 	"resched/internal/analysis/poolescape"
 	"resched/internal/analysis/refguard"
+	"resched/internal/analysis/snapshotmut"
+	"resched/internal/analysis/wgleak"
 )
 
 var analyzers = []*analysis.Analyzer{
 	checkedentry.Analyzer,
 	ctxflow.Analyzer,
+	errdrop.Analyzer,
+	lockhold.Analyzer,
 	modeexhaustive.Analyzer,
 	poolescape.Analyzer,
 	refguard.Analyzer,
+	snapshotmut.Analyzer,
+	wgleak.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "print the analyzers and exit")
+	facts := flag.Bool("facts", false, "also print each analyzer's exported facts, JSON-encoded per package")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: reschedvet [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: reschedvet [-list] [-facts] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the resched domain analyzers over the packages (default ./...).\n")
 		flag.PrintDefaults()
 	}
@@ -57,7 +70,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "reschedvet:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	diags, allFacts, err := analysis.RunAnalyzersFacts(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reschedvet:", err)
 		os.Exit(2)
@@ -72,8 +85,34 @@ func main() {
 		}
 		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 	}
+	if *facts {
+		printFacts(allFacts)
+	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "reschedvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// printFacts dumps the per-analyzer fact sets in a stable order, one
+// line per analyzer: `facts[name]: {...json...}`. Empty sets are
+// skipped so a clean run with no flow facts prints nothing extra.
+func printFacts(allFacts map[string]*analysis.FactSet) {
+	names := make([]string, 0, len(allFacts))
+	for name := range allFacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fs := allFacts[name]
+		if fs == nil || len(fs.All()) == 0 {
+			continue
+		}
+		data, err := fs.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reschedvet: encoding %s facts: %v\n", name, err)
+			os.Exit(2)
+		}
+		fmt.Printf("facts[%s]: %s\n", name, data)
 	}
 }

@@ -1,0 +1,3 @@
+module resched
+
+go 1.22

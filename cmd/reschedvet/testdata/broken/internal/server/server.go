@@ -1,0 +1,8 @@
+// Package server is an e2e fixture whose import cannot resolve:
+// reschedvet must fail the load and exit 2 rather than report a
+// partial (and therefore misleading) clean run.
+package server
+
+import "resched/internal/doesnotexist"
+
+var _ = doesnotexist.Missing

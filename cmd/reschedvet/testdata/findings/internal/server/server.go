@@ -1,0 +1,11 @@
+// Package server is an e2e fixture: a serving package with one
+// dropped error, which reschedvet must report with exit code 1.
+package server
+
+import "errors"
+
+func persist() error { return errors.New("disk full") }
+
+func flush() {
+	_ = persist()
+}

@@ -1,0 +1,12 @@
+// Package server is an e2e fixture: the same dropped error as the
+// findings fixture, but suppressed with a directive, so reschedvet
+// must exit 0.
+package server
+
+import "errors"
+
+func persist() error { return errors.New("disk full") }
+
+func flush() {
+	_ = persist() //reschedvet:ignore errdrop best-effort flush, failure handled by the next cycle
+}

@@ -64,6 +64,33 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	// facts is this analyzer's cross-package fact set for the whole
+	// run. RunAnalyzers analyzes packages in import order, so by the
+	// time a package runs, every module dependency's facts are here.
+	facts *FactSet
+}
+
+// ExportObjectFact records a fact about obj for importing packages to
+// consume. Only objects of the package under analysis may be annotated
+// — facts flow from dependency to importer, never sideways.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("%s: ExportObjectFact of object not from %s", p.Analyzer.Name, p.Pkg.Path()))
+	}
+	if p.facts == nil {
+		p.facts = NewFactSet()
+	}
+	p.facts.Export(obj, f)
+}
+
+// ImportObjectFact copies the fact of f's concrete type recorded for
+// obj (by this analyzer, on any package analyzed so far) into f and
+// reports whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if p.facts == nil {
+		return false
+	}
+	return p.facts.Import(obj, f)
 }
 
 // Diagnostic is one finding.

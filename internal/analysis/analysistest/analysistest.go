@@ -41,7 +41,10 @@ import (
 )
 
 // Run loads each fixture package and applies the analyzer, comparing
-// findings against the fixtures' want comments.
+// findings against the fixtures' want comments. Fixture packages that
+// are only imported by the listed ones are analyzed for facts but do
+// not report diagnostics; list a package explicitly to check findings
+// in it.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	fset := token.NewFileSet()
@@ -140,6 +143,11 @@ func (ld *fixtureLoader) load(path string) (*analysis.Package, error) {
 		Syntax:    files,
 		Types:     tpkg,
 		TypesInfo: info,
+	}
+	for _, imp := range tpkg.Imports() {
+		if dep, ok := ld.checked[imp.Path()]; ok {
+			pkg.Imports = append(pkg.Imports, dep)
+		}
 	}
 	ld.checked[path] = pkg
 	return pkg, nil

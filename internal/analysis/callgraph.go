@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file approximates the call graph: only statically resolvable
+// callees (direct calls, method calls on concrete receivers) appear;
+// calls through interfaces or function values do not. That
+// under-approximation is the right polarity for the fact producers
+// built on it — a missed edge can hide a property, never invent one —
+// and the serving code the analyzers guard dispatches statically on
+// its hot paths.
+
+// FuncDecls returns the package's function and method declarations
+// with bodies, in source order, plus the map back from type-checker
+// objects.
+func FuncDecls(files []*ast.File, info *types.Info) ([]*ast.FuncDecl, map[*types.Func]*ast.FuncDecl) {
+	var decls []*ast.FuncDecl
+	byObj := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, fd)
+			byObj[fn] = fd
+		}
+	}
+	return decls, byObj
+}
+
+// PackageCallGraph returns each declared function's statically
+// resolved callees. Calls inside function literals are attributed to
+// the enclosing declaration (the literal runs on the caller's
+// activation unless launched as a goroutine). With skipGoLaunches,
+// everything inside a `go` statement is ignored: a goroutine's work
+// happens on another activation, which matters to callers asking
+// "does calling this block me?".
+func PackageCallGraph(files []*ast.File, info *types.Info, skipGoLaunches bool) map[*types.Func][]*types.Func {
+	decls, _ := FuncDecls(files, info)
+	graph := map[*types.Func][]*types.Func{}
+	for _, fd := range decls {
+		fn := info.Defs[fd.Name].(*types.Func)
+		seen := map[*types.Func]bool{}
+		var callees []*types.Func
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok && skipGoLaunches {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := Callee(info, call); callee != nil && !seen[callee] {
+					seen[callee] = true
+					callees = append(callees, callee)
+				}
+			}
+			return true
+		})
+		graph[fn] = callees
+	}
+	return graph
+}
+
+// Propagate computes the least fixed point of a monotone property
+// over the call graph: a function has the property if direct reports
+// it (syntactically, or via an imported fact for callees declared
+// elsewhere) or any of its static callees has it. This is the shape
+// of "may block", "mutates its argument", and friends.
+func Propagate(graph map[*types.Func][]*types.Func, direct func(*types.Func) bool) map[*types.Func]bool {
+	res := map[*types.Func]bool{}
+	has := func(fn *types.Func) bool {
+		if res[fn] {
+			return true
+		}
+		return direct(fn)
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range graph {
+			if res[fn] {
+				continue
+			}
+			v := direct(fn)
+			for _, c := range callees {
+				if v {
+					break
+				}
+				v = has(c)
+			}
+			if v {
+				res[fn] = true
+				changed = true
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkPackage type-checks src and returns its syntax, info, and
+// package.
+func checkPackage(t *testing.T, src string) (*ast.File, *types.Info, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cg_test.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	return file, info, pkg
+}
+
+const callgraphFixture = `package p
+type T struct{}
+func (T) M() {}
+func leaf() {}
+func viaLit() {
+	f := func() { leaf() }
+	f()
+}
+func launcher() {
+	go leaf()
+}
+func chain() {
+	viaLit()
+	var t T
+	t.M()
+}
+`
+
+func TestPackageCallGraph(t *testing.T) {
+	file, info, pkg := checkPackage(t, callgraphFixture)
+	fn := func(name string) *types.Func { return pkg.Scope().Lookup(name).(*types.Func) }
+	method := func(typeName, m string) *types.Func {
+		named := pkg.Scope().Lookup(typeName).(*types.TypeName).Type().(*types.Named)
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == m {
+				return named.Method(i)
+			}
+		}
+		t.Fatalf("no method %s.%s", typeName, m)
+		return nil
+	}
+	calls := func(graph map[*types.Func][]*types.Func, caller, callee *types.Func) bool {
+		for _, c := range graph[caller] {
+			if c == callee {
+				return true
+			}
+		}
+		return false
+	}
+
+	graph := PackageCallGraph([]*ast.File{file}, info, false)
+	if !calls(graph, fn("viaLit"), fn("leaf")) {
+		t.Errorf("call inside a function literal not attributed to the enclosing declaration")
+	}
+	if !calls(graph, fn("chain"), fn("viaLit")) || !calls(graph, fn("chain"), method("T", "M")) {
+		t.Errorf("direct function and method calls missing: %v", graph[fn("chain")])
+	}
+	if !calls(graph, fn("launcher"), fn("leaf")) {
+		t.Errorf("goroutine launch missing with skipGoLaunches=false")
+	}
+
+	skipped := PackageCallGraph([]*ast.File{file}, info, true)
+	if calls(skipped, fn("launcher"), fn("leaf")) {
+		t.Errorf("goroutine launch present with skipGoLaunches=true")
+	}
+}
+
+func TestPropagate(t *testing.T) {
+	file, info, pkg := checkPackage(t, `package p
+func blockDirect() {}
+func middle() { blockDirect() }
+func top() { middle() }
+func clean() {}
+func cleanCaller() { clean() }
+`)
+	fn := func(name string) *types.Func { return pkg.Scope().Lookup(name).(*types.Func) }
+	graph := PackageCallGraph([]*ast.File{file}, info, false)
+	res := Propagate(graph, func(f *types.Func) bool { return f == fn("blockDirect") })
+	for _, name := range []string{"blockDirect", "middle", "top"} {
+		if !res[fn(name)] {
+			t.Errorf("%s should have the property", name)
+		}
+	}
+	for _, name := range []string{"clean", "cleanCaller"} {
+		if res[fn(name)] {
+			t.Errorf("%s should not have the property", name)
+		}
+	}
+}
+
+func TestPropagateCycle(t *testing.T) {
+	file, info, pkg := checkPackage(t, `package p
+func a(n int) {
+	if n > 0 {
+		b(n - 1)
+	}
+	src()
+}
+func b(n int) { a(n) }
+func src() {}
+`)
+	fn := func(name string) *types.Func { return pkg.Scope().Lookup(name).(*types.Func) }
+	graph := PackageCallGraph([]*ast.File{file}, info, false)
+	res := Propagate(graph, func(f *types.Func) bool { return f == fn("src") })
+	if !res[fn("a")] || !res[fn("b")] {
+		t.Errorf("property lost on a call cycle: a=%v b=%v", res[fn("a")], res[fn("b")])
+	}
+}

@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of a function and returns its CFG.
+// Marker statements are calls to single-letter functions (a(), b(),
+// ...); markerBlocks maps each marker name to the block holding it.
+func parseBody(t *testing.T, body string) (*CFG, map[string]*Block) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	cfg := NewCFG(fd.Body)
+	marks := map[string]*Block{}
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			WalkBlockNode(n, func(child ast.Node) bool {
+				call, ok := child.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && len(id.Name) <= 2 {
+					if prev, dup := marks[id.Name]; dup && prev != b {
+						t.Fatalf("marker %s appears in blocks %d and %d", id.Name, prev.Index, b.Index)
+					}
+					marks[id.Name] = b
+				}
+				return true
+			})
+		}
+	}
+	return cfg, marks
+}
+
+// reaches reports whether to is reachable from from along successor
+// edges (including trivially, from == to).
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	_, m := parseBody(t, "a()\nb()")
+	if m["a"] != m["b"] {
+		t.Errorf("straight-line statements split across blocks %d and %d", m["a"].Index, m["b"].Index)
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	cfg, m := parseBody(t, `
+if c() {
+	a()
+} else {
+	b()
+}
+j()`)
+	entry := cfg.Blocks[0]
+	for _, mark := range []string{"a", "b", "j"} {
+		if !reaches(entry, m[mark]) {
+			t.Errorf("%s unreachable from entry", mark)
+		}
+	}
+	if m["a"] == m["b"] {
+		t.Errorf("then and else share a block")
+	}
+	if !reaches(m["a"], m["j"]) || !reaches(m["b"], m["j"]) {
+		t.Errorf("branches do not rejoin")
+	}
+	if reaches(m["a"], m["b"]) || reaches(m["b"], m["a"]) {
+		t.Errorf("then and else reach each other")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	cfg, m := parseBody(t, `
+for i := 0; c(); i++ {
+	a()
+}
+d()`)
+	if !reaches(m["a"], m["a"]) {
+		t.Errorf("loop body has no back edge to itself")
+	}
+	if !reaches(m["a"], m["d"]) {
+		t.Errorf("loop exit unreachable from body")
+	}
+	if !reaches(cfg.Blocks[0], m["d"]) {
+		t.Errorf("statement after loop unreachable")
+	}
+}
+
+func TestCFGRangeHeader(t *testing.T) {
+	cfg, m := parseBody(t, `
+for _, v := range xs() {
+	a()
+	_ = v
+}
+d()`)
+	// The range statement is a header node; its body must not be
+	// inside the header's block nodes.
+	var header *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				header = b
+			}
+		}
+	}
+	if header == nil {
+		t.Fatalf("no block holds the range header")
+	}
+	if header == m["a"] {
+		t.Errorf("range body statement in the header block")
+	}
+	if !reaches(m["a"], header) {
+		t.Errorf("range body has no back edge")
+	}
+	if !reaches(header, m["d"]) {
+		t.Errorf("range exit unreachable")
+	}
+}
+
+func TestCFGReturnEndsBlock(t *testing.T) {
+	cfg, m := parseBody(t, `
+if c() {
+	a()
+	return
+}
+b()`)
+	if reaches(m["a"], m["b"]) {
+		t.Errorf("statement after return reachable from returning branch")
+	}
+	if !reaches(cfg.Blocks[0], m["b"]) {
+		t.Errorf("fallthrough path lost")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	_, m := parseBody(t, `
+switch tag() {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	d()
+}
+j()`)
+	if !reaches(m["a"], m["b"]) {
+		t.Errorf("fallthrough edge missing")
+	}
+	if reaches(m["b"], m["d"]) {
+		t.Errorf("case 2 reaches default without fallthrough")
+	}
+	for _, mark := range []string{"a", "b", "d"} {
+		if !reaches(m[mark], m["j"]) {
+			t.Errorf("case %s does not rejoin after switch", mark)
+		}
+	}
+}
+
+func TestCFGSwitchNoDefaultSkips(t *testing.T) {
+	cfg, m := parseBody(t, `
+switch tag() {
+case 1:
+	a()
+}
+j()`)
+	// Without a default, control may skip every case.
+	entry := cfg.Blocks[0]
+	direct := false
+	for _, s := range entry.Succs {
+		if s == m["j"] || (len(s.Nodes) == 0 && reaches(s, m["j"])) {
+			direct = true
+		}
+	}
+	if !direct && !reaches(entry, m["j"]) {
+		t.Errorf("switch without default cannot be skipped")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	cfg, m := parseBody(t, `
+select {
+case v := <-ch():
+	a()
+	_ = v
+case ch2() <- 1:
+	b()
+}
+j()`)
+	var sel *Block
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				sel = blk
+			}
+		}
+	}
+	if sel == nil {
+		t.Fatalf("no select marker node")
+	}
+	if m["a"] == m["b"] {
+		t.Errorf("select clauses share a block")
+	}
+	// Each clause block must lead with its comm statement.
+	for _, mark := range []string{"a", "b"} {
+		blk := m[mark]
+		if len(blk.Nodes) == 0 {
+			t.Fatalf("clause block empty")
+		}
+		switch blk.Nodes[0].(type) {
+		case *ast.AssignStmt, *ast.SendStmt, *ast.ExprStmt:
+		default:
+			t.Errorf("clause %s block does not start with its comm statement: %T", mark, blk.Nodes[0])
+		}
+		if !reaches(blk, m["j"]) {
+			t.Errorf("clause %s does not rejoin", mark)
+		}
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	_, m := parseBody(t, `
+outer:
+for c() {
+	for c2() {
+		a()
+		break outer
+	}
+	b()
+}
+j()`)
+	if reaches(m["a"], m["b"]) {
+		t.Errorf("labeled break falls back into the outer loop body")
+	}
+	if !reaches(m["a"], m["j"]) {
+		t.Errorf("labeled break does not exit the outer loop")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	_, m := parseBody(t, `
+	a()
+	goto done
+	b()
+done:
+	j()`)
+	if !reaches(m["a"], m["j"]) {
+		t.Errorf("goto target unreachable")
+	}
+	if reaches(m["a"], m["b"]) {
+		t.Errorf("statement after goto reachable")
+	}
+}
+
+func TestWalkBlockNodeSkipsFuncLitBody(t *testing.T) {
+	src := "package p\nfunc f() { g(func() { inner() }) }\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "w.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := file.Decls[0].(*ast.FuncDecl).Body.List[0]
+	var names []string
+	WalkBlockNode(stmt, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			names = append(names, id.Name)
+		}
+		return true
+	})
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "g") {
+		t.Errorf("outer call not visited: %q", joined)
+	}
+	if strings.Contains(joined, "inner") {
+		t.Errorf("function literal body was entered: %q", joined)
+	}
+}
+
+func TestCFGEveryStatementAppears(t *testing.T) {
+	// Unreachable code is still built so analyses see every node.
+	cfg, m := parseBody(t, `
+return
+a()`)
+	if m["a"] == nil {
+		t.Fatalf("unreachable statement missing from CFG")
+	}
+	if reaches(cfg.Blocks[0], m["a"]) {
+		t.Errorf("unreachable statement reachable from entry")
+	}
+}
+
+func TestCFGBlockIndexes(t *testing.T) {
+	cfg, _ := parseBody(t, "if c() { a() }\nb()")
+	for i, b := range cfg.Blocks {
+		if b.Index != i {
+			t.Fatalf("block %d has Index %d", i, b.Index)
+		}
+		for _, s := range b.Succs {
+			if cfg.Blocks[s.Index] != s {
+				t.Fatalf("successor of block %d not in Blocks", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkFunc type-checks src (a complete package) and returns the named
+// function's declaration plus the type info.
+func checkFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "df_test.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd, info, fset
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil, nil, nil
+}
+
+// maskAtReturn runs the taint analysis and returns the mask of the
+// value returned by each return statement, in source order.
+func maskAtReturn(fd *ast.FuncDecl, spec *TaintSpec) []Mask {
+	cfg := NewCFG(fd.Body)
+	var out []Mask
+	RunTaint(cfg, spec, func(n ast.Node, st *TaintState) {
+		if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+			out = append(out, st.ExprMask(ret.Results[0]))
+		}
+	})
+	return out
+}
+
+// paramTaint marks every pointer-typed parameter of the function with
+// bit 1.
+func paramTaint(info *types.Info, fd *ast.FuncDecl) *TaintSpec {
+	params := map[*types.Var]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					params[v] = true
+				}
+			}
+		}
+	}
+	return &TaintSpec{
+		Info: info,
+		InitMask: func(v *types.Var) Mask {
+			if params[v] {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+func TestTaintDirectFlow(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func f(p *int) *int {
+	x := p
+	return x
+}`, "f")
+	masks := maskAtReturn(fd, paramTaint(info, fd))
+	if len(masks) != 1 || masks[0] != 1 {
+		t.Errorf("direct alias not tainted: %v", masks)
+	}
+}
+
+func TestTaintFreshAllocationClean(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func f(p *int) *int {
+	x := new(int)
+	return x
+}`, "f")
+	masks := maskAtReturn(fd, paramTaint(info, fd))
+	if len(masks) != 1 || masks[0] != 0 {
+		t.Errorf("fresh allocation tainted: %v", masks)
+	}
+}
+
+func TestTaintBranchUnion(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func f(p *int, c bool) *int {
+	y := new(int)
+	if c {
+		y = p
+	}
+	return y
+}`, "f")
+	masks := maskAtReturn(fd, paramTaint(info, fd))
+	if len(masks) != 1 || masks[0] != 1 {
+		t.Errorf("one-path taint lost at merge: %v", masks)
+	}
+}
+
+func TestTaintRebindClears(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func f(p *int) *int {
+	p = new(int)
+	return p
+}`, "f")
+	masks := maskAtReturn(fd, paramTaint(info, fd))
+	if len(masks) != 1 || masks[0] != 0 {
+		t.Errorf("re-bound parameter still tainted (bottom/init lattice bug): %v", masks)
+	}
+}
+
+func TestTaintLoopFixpoint(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func f(p *int, n int) *int {
+	y := new(int)
+	for i := 0; i < n; i++ {
+		z := y
+		y = p
+		_ = z
+	}
+	return y
+}`, "f")
+	masks := maskAtReturn(fd, paramTaint(info, fd))
+	if len(masks) != 1 || masks[0] != 1 {
+		t.Errorf("loop-carried taint lost: %v", masks)
+	}
+}
+
+func TestTaintDerivedForms(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func f(p []int) []int {
+	a := p[1:3]
+	b := append(a, 4)
+	return b
+}`, "f")
+	masks := maskAtReturn(fd, paramTaint(info, fd))
+	if len(masks) != 1 || masks[0] != 1 {
+		t.Errorf("slice/append derivation lost taint: %v", masks)
+	}
+}
+
+func TestTaintValueCopyClamped(t *testing.T) {
+	// An int loaded from a tainted slice cannot alias the backing
+	// array; the type clamp must drop the mask.
+	fd, info, _ := checkFunc(t, `package p
+func f(p []int) int {
+	x := p[0]
+	return x
+}`, "f")
+	masks := maskAtReturn(fd, paramTaint(info, fd))
+	if len(masks) != 1 || masks[0] != 0 {
+		t.Errorf("non-reference value kept taint: %v", masks)
+	}
+}
+
+func TestTaintCallMaskHook(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func mk() *int { return new(int) }
+func f() *int {
+	x := mk()
+	return x
+}`, "f")
+	spec := &TaintSpec{
+		Info: info,
+		CallMask: func(call *ast.CallExpr, st *TaintState) Mask {
+			if fn := Callee(info, call); fn != nil && fn.Name() == "mk" {
+				return 2
+			}
+			return 0
+		},
+	}
+	masks := maskAtReturn(fd, spec)
+	if len(masks) != 1 || masks[0] != 2 {
+		t.Errorf("CallMask result lost: %v", masks)
+	}
+}
+
+func TestTaintTupleAssign(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func two(p *int) (*int, error) { return p, nil }
+func f(p *int) *int {
+	x, err := two(p)
+	_ = err
+	return x
+}`, "f")
+	spec := &TaintSpec{
+		Info: info,
+		CallMask: func(call *ast.CallExpr, st *TaintState) Mask {
+			var m Mask
+			for _, a := range call.Args {
+				m |= st.ExprMask(a)
+			}
+			return m
+		},
+		InitMask: paramTaint(info, fd).InitMask,
+	}
+	masks := maskAtReturn(fd, spec)
+	if len(masks) != 1 || masks[0] != 1 {
+		t.Errorf("tuple assignment lost taint: %v", masks)
+	}
+}
+
+func TestRefBearing(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+type flat struct{ a, b int }
+type holder struct{ p *int }
+func f(x flat, y holder, s string, sl []int) {}
+`, "f")
+	wants := []struct {
+		name string
+		want bool
+	}{{"x", false}, {"y", true}, {"s", false}, {"sl", true}}
+	byName := map[string]*types.Var{}
+	for _, field := range fd.Type.Params.List {
+		for _, n := range field.Names {
+			byName[n.Name] = info.Defs[n].(*types.Var)
+		}
+	}
+	for _, w := range wants {
+		if got := RefBearing(byName[w.name].Type()); got != w.want {
+			t.Errorf("RefBearing(%s) = %v, want %v", w.name, got, w.want)
+		}
+	}
+}
+
+// trackAll makes DeadDefs consider every variable.
+func trackAll(*types.Var) bool { return true }
+
+func deadNames(fd *ast.FuncDecl, info *types.Info) []string {
+	cfg := NewCFG(fd.Body)
+	var names []string
+	for _, d := range DeadDefs(cfg, info, trackAll) {
+		names = append(names, d.Ident.Name)
+	}
+	return names
+}
+
+func TestDeadDefNeverRead(t *testing.T) {
+	// The type-checker itself rejects variables with no reads at all,
+	// so the dead defs left for flow analysis are definitions whose
+	// reads all happen on other paths — here, before the assignment.
+	fd, info, _ := checkFunc(t, `package p
+func work() error { return nil }
+func sink(error) {}
+func f(c bool) {
+	var e2 error
+	if c {
+		sink(e2)
+	}
+	e2 = work()
+}`, "f")
+	got := deadNames(fd, info)
+	if len(got) != 1 || got[0] != "e2" {
+		t.Errorf("dead defs = %v, want [e2]", got)
+	}
+}
+
+func TestDeadDefOverwrittenBeforeRead(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func work() error { return nil }
+func sink(error) {}
+func f() {
+	err := work()
+	err = work()
+	sink(err)
+}`, "f")
+	got := deadNames(fd, info)
+	if len(got) != 1 || got[0] != "err" {
+		t.Errorf("dead defs = %v, want the first err definition", got)
+	}
+}
+
+func TestDeadDefLiveOnOnePath(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func work() error { return nil }
+func sink(error) {}
+func f(c bool) {
+	err := work()
+	if c {
+		sink(err)
+	}
+}`, "f")
+	if got := deadNames(fd, info); len(got) != 0 {
+		t.Errorf("definition live on one path reported dead: %v", got)
+	}
+}
+
+func TestDeadDefClosureCaptureExcluded(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func work() error { return nil }
+func sink(error) {}
+func f() {
+	err := work()
+	defer func() { sink(err) }()
+	err = work()
+}`, "f")
+	if got := deadNames(fd, info); len(got) != 0 {
+		t.Errorf("captured variable reported dead: %v", got)
+	}
+}
+
+func TestDeadDefLoopCarried(t *testing.T) {
+	fd, info, _ := checkFunc(t, `package p
+func work() error { return nil }
+func sink(error) {}
+func f(n int) {
+	var err error
+	for i := 0; i < n; i++ {
+		sink(err)
+		err = work()
+	}
+}`, "f")
+	if got := deadNames(fd, info); len(got) != 0 {
+		t.Errorf("loop-carried definition reported dead: %v", got)
+	}
+}

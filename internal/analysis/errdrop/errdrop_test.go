@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"resched/internal/analysis/analysistest"
+	"resched/internal/analysis/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "resched/internal/server")
+}

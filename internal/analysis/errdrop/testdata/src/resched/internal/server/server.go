@@ -1,0 +1,100 @@
+package server
+
+import "errors"
+
+func work() error { return errors.New("x") }
+
+func workTwo() (int, error) { return 0, nil }
+
+func cleanup() error { return nil }
+
+func sink(error) {}
+
+// Positive cases.
+
+func blankDiscard() {
+	_ = work() // want "error discarded with _"
+}
+
+func tupleBlank() {
+	n, _ := workTwo() // want "error result of workTwo discarded"
+	_ = n
+}
+
+func bareCall() {
+	work() // want "result of work includes an error that is not checked"
+}
+
+func bareTupleCall() {
+	workTwo() // want "result of workTwo includes an error that is not checked"
+}
+
+func deadOverwrite() (int, error) {
+	var err error
+	err = work() // want "error assigned to err is never checked on any path"
+	err = work()
+	return 0, err
+}
+
+func deadAfterUse(c bool) {
+	var err error
+	if c {
+		sink(err)
+	}
+	err = work() // want "error assigned to err is never checked on any path"
+}
+
+// Negative cases.
+
+func checked() error {
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func returned() error {
+	err := work()
+	return err
+}
+
+func usedOnOnePath(c bool) {
+	err := work()
+	if c {
+		sink(err)
+	}
+}
+
+func deferred() {
+	// Deferred cleanup has no caller to hand the error to.
+	defer cleanup()
+}
+
+func ignored() {
+	_ = work() //reschedvet:ignore errdrop best-effort notification
+}
+
+func launched() {
+	go cleanup()
+}
+
+func capturedByClosure() {
+	var err error
+	defer func() { sink(err) }()
+	err = work()
+}
+
+func resetNotDropped() error {
+	err := work()
+	if err != nil {
+		sink(err)
+	}
+	err = nil // plain copy, not a produced error
+	return err
+}
+
+func blankNonError() {
+	_ = nonErrorResult()
+}
+
+func nonErrorResult() int { return 0 }

@@ -1,0 +1,9 @@
+package server
+
+// Test files may drop errors: assertions care about other properties,
+// and forced error paths are set up exactly by ignoring results.
+
+func helperForTests() {
+	_ = work()
+	work()
+}

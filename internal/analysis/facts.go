@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// A Fact is a conclusion an analyzer draws about a package-level
+// object (a function, method, type, or variable) that importers of the
+// package can consume: "this function may block", "this method returns
+// an aliased snapshot slice", "this function is fire-and-forget".
+// Facts are how the analyzers become cross-package: a package is
+// analyzed once, its facts are recorded against its objects, and when
+// an importing package is analyzed the same analyzer reads them back
+// through ImportObjectFact.
+//
+// Fact values must be pointers to struct types registered with
+// RegisterFact, and their fields must survive a JSON round trip — the
+// encoded form is the long-term contract (see FactSet.Encode).
+type Fact interface {
+	// AFact is a marker method so arbitrary types cannot be exported
+	// as facts by accident.
+	AFact()
+}
+
+// factTypes maps registered fact names to their concrete struct types
+// (and back), for encoding. Registration happens in analyzer init
+// functions, so the maps are write-once before any concurrency.
+var (
+	factTypes     = map[string]reflect.Type{}
+	factTypeNames = map[reflect.Type]string{}
+)
+
+// RegisterFact associates a stable name with the concrete type of the
+// example fact, enabling FactSet.Encode/DecodeFacts to serialize it.
+// The example must be a non-nil pointer to a struct. Registering the
+// same name twice panics unless the type matches.
+func RegisterFact(name string, example Fact) {
+	t := reflect.TypeOf(example)
+	if t == nil || t.Kind() != reflect.Pointer || t.Elem().Kind() != reflect.Struct {
+		panic(fmt.Sprintf("analysis: RegisterFact(%q): fact must be a pointer to struct, got %T", name, example))
+	}
+	if prev, ok := factTypes[name]; ok && prev != t {
+		panic(fmt.Sprintf("analysis: RegisterFact(%q): already registered as %v", name, prev))
+	}
+	factTypes[name] = t
+	factTypeNames[t] = name
+}
+
+// FactSet stores the facts one analyzer has exported across an entire
+// run, keyed by the object they describe. Object identity is shared
+// across packages because every module package of a run is
+// type-checked from source by one loader.
+type FactSet struct {
+	m map[types.Object][]Fact
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{m: map[types.Object][]Fact{}}
+}
+
+// Export records a fact about obj, replacing any existing fact of the
+// same concrete type.
+func (s *FactSet) Export(obj types.Object, f Fact) {
+	if obj == nil || f == nil {
+		panic("analysis: Export with nil object or fact")
+	}
+	t := reflect.TypeOf(f)
+	for i, old := range s.m[obj] {
+		if reflect.TypeOf(old) == t {
+			s.m[obj][i] = f
+			return
+		}
+	}
+	s.m[obj] = append(s.m[obj], f)
+}
+
+// Import copies the fact of f's concrete type recorded for obj into f
+// and reports whether one was found. f must be a non-nil pointer.
+func (s *FactSet) Import(obj types.Object, f Fact) bool {
+	if obj == nil {
+		return false
+	}
+	t := reflect.TypeOf(f)
+	for _, stored := range s.m[obj] {
+		if reflect.TypeOf(stored) == t {
+			reflect.ValueOf(f).Elem().Set(reflect.ValueOf(stored).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// ObjectFact is one (object, fact) pair, the unit of enumeration and
+// encoding.
+type ObjectFact struct {
+	Object types.Object
+	Fact   Fact
+}
+
+// All returns every stored fact sorted by object key then fact type
+// name, a deterministic order for dumps and encoding.
+func (s *FactSet) All() []ObjectFact {
+	var out []ObjectFact
+	for obj, facts := range s.m {
+		for _, f := range facts {
+			out = append(out, ObjectFact{Object: obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := ObjectKey(out[i].Object), ObjectKey(out[j].Object)
+		if ki != kj {
+			return ki < kj
+		}
+		return factTypeNames[reflect.TypeOf(out[i].Fact)] < factTypeNames[reflect.TypeOf(out[j].Fact)]
+	})
+	return out
+}
+
+// ObjectKey renders a package-level object or method as a stable
+// string key: "path/pkg.Name" for package-level objects and
+// "path/pkg.(Type).Name" for methods (pointer receivers are not
+// distinguished — Go allows one namespace per named type).
+func ObjectKey(obj types.Object) string {
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if named := ReceiverNamed(fn); named != nil {
+			return fmt.Sprintf("%s.(%s).%s", pkg, named.Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + "." + obj.Name()
+}
+
+// LookupObjectKey resolves a key produced by ObjectKey against the
+// given package, or nil if the object no longer exists. Only keys
+// whose package path matches pkg.Path() resolve.
+func LookupObjectKey(pkg *types.Package, key string) types.Object {
+	prefix := pkg.Path() + "."
+	if !strings.HasPrefix(key, prefix) {
+		return nil
+	}
+	name := strings.TrimPrefix(key, prefix)
+	if strings.HasPrefix(name, "(") {
+		close := strings.Index(name, ").")
+		if close < 0 {
+			return nil
+		}
+		typeName, method := name[1:close], name[close+2:]
+		tn, ok := pkg.Scope().Lookup(typeName).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		named, ok := types.Unalias(tn.Type()).(*types.Named)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == method {
+				return m
+			}
+		}
+		return nil
+	}
+	return pkg.Scope().Lookup(name)
+}
+
+// encodedFact is the wire form of one (object, fact) pair.
+type encodedFact struct {
+	Object string          `json:"object"`
+	Type   string          `json:"type"`
+	Value  json.RawMessage `json:"value"`
+}
+
+// Encode serializes the fact set as JSON, sorted deterministically.
+// Every stored fact's type must have been registered.
+func (s *FactSet) Encode() ([]byte, error) {
+	var encoded []encodedFact
+	for _, of := range s.All() {
+		name, ok := factTypeNames[reflect.TypeOf(of.Fact)]
+		if !ok {
+			return nil, fmt.Errorf("analysis: fact type %T not registered", of.Fact)
+		}
+		val, err := json.Marshal(of.Fact)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: encoding fact %s for %s: %v", name, ObjectKey(of.Object), err)
+		}
+		encoded = append(encoded, encodedFact{Object: ObjectKey(of.Object), Type: name, Value: val})
+	}
+	return json.MarshalIndent(encoded, "", "  ")
+}
+
+// DecodeFacts parses data produced by Encode, resolving object keys
+// through lookup (typically a closure over LookupObjectKey for the
+// packages at hand). Keys lookup cannot resolve are an error: a fact
+// about a vanished object means the encoded facts are stale.
+func DecodeFacts(data []byte, lookup func(key string) types.Object) (*FactSet, error) {
+	var encoded []encodedFact
+	if err := json.Unmarshal(data, &encoded); err != nil {
+		return nil, fmt.Errorf("analysis: decoding facts: %v", err)
+	}
+	s := NewFactSet()
+	for _, ef := range encoded {
+		t, ok := factTypes[ef.Type]
+		if !ok {
+			return nil, fmt.Errorf("analysis: decoding facts: unregistered fact type %q", ef.Type)
+		}
+		obj := lookup(ef.Object)
+		if obj == nil {
+			return nil, fmt.Errorf("analysis: decoding facts: object %q not found", ef.Object)
+		}
+		f := reflect.New(t.Elem()).Interface().(Fact)
+		if err := json.Unmarshal(ef.Value, f); err != nil {
+			return nil, fmt.Errorf("analysis: decoding fact %s for %s: %v", ef.Type, ef.Object, err)
+		}
+		s.Export(obj, f)
+	}
+	return s, nil
+}

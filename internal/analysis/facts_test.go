@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// testFact is a registered fact type for round-trip tests.
+type testFact struct {
+	Level int    `json:"level"`
+	Note  string `json:"note,omitempty"`
+}
+
+func (*testFact) AFact() {}
+
+// otherFact shares objects with testFact but is a distinct type.
+type otherFact struct {
+	On bool `json:"on"`
+}
+
+func (*otherFact) AFact() {}
+
+func init() {
+	RegisterFact("test", (*testFact)(nil))
+	RegisterFact("other", (*otherFact)(nil))
+}
+
+const factsFixture = `package p
+type Book struct{}
+func (b *Book) Snapshot() int { return 0 }
+func (b Book) Len() int { return 0 }
+func Blocking() {}
+var Global int
+`
+
+func factsPackage(t *testing.T) (*types.Package, *types.Func, *types.Func, types.Object) {
+	t.Helper()
+	_, info, _ := checkFunc(t, factsFixture+"func f() {}\n", "f")
+	var pkg *types.Package
+	for _, obj := range info.Defs {
+		if obj != nil && obj.Pkg() != nil {
+			pkg = obj.Pkg()
+			break
+		}
+	}
+	if pkg == nil {
+		t.Fatal("no package")
+	}
+	book := pkg.Scope().Lookup("Book").(*types.TypeName)
+	named := book.Type().(*types.Named)
+	var snapshot, lenm *types.Func
+	for i := 0; i < named.NumMethods(); i++ {
+		switch m := named.Method(i); m.Name() {
+		case "Snapshot":
+			snapshot = m
+		case "Len":
+			lenm = m
+		}
+	}
+	return pkg, snapshot, lenm, pkg.Scope().Lookup("Blocking")
+}
+
+func TestFactExportImport(t *testing.T) {
+	_, snapshot, _, blocking := factsPackage(t)
+	s := NewFactSet()
+	s.Export(snapshot, &testFact{Level: 3, Note: "aliases"})
+	s.Export(blocking, &otherFact{On: true})
+
+	var got testFact
+	if !s.Import(snapshot, &got) || got.Level != 3 || got.Note != "aliases" {
+		t.Errorf("Import = %v, %+v", true, got)
+	}
+	if s.Import(blocking, &got) {
+		t.Errorf("testFact found on object holding only otherFact")
+	}
+	var other otherFact
+	if !s.Import(blocking, &other) || !other.On {
+		t.Errorf("otherFact lost")
+	}
+
+	// Re-exporting the same fact type replaces, not accumulates.
+	s.Export(snapshot, &testFact{Level: 7})
+	if !s.Import(snapshot, &got) || got.Level != 7 {
+		t.Errorf("re-export did not replace: %+v", got)
+	}
+	if n := len(s.All()); n != 2 {
+		t.Errorf("All() = %d facts, want 2", n)
+	}
+}
+
+func TestObjectKeyForms(t *testing.T) {
+	pkg, snapshot, lenm, blocking := factsPackage(t)
+	cases := []struct {
+		obj  types.Object
+		want string
+	}{
+		{snapshot, "p.(Book).Snapshot"},
+		{lenm, "p.(Book).Len"}, // value receiver: same namespace
+		{blocking, "p.Blocking"},
+		{pkg.Scope().Lookup("Global"), "p.Global"},
+	}
+	for _, c := range cases {
+		if got := ObjectKey(c.obj); got != c.want {
+			t.Errorf("ObjectKey(%s) = %q, want %q", c.obj.Name(), got, c.want)
+		}
+		if back := LookupObjectKey(pkg, c.want); back != c.obj {
+			t.Errorf("LookupObjectKey(%q) = %v, want %v", c.want, back, c.obj)
+		}
+	}
+	if LookupObjectKey(pkg, "q.Blocking") != nil {
+		t.Errorf("key with foreign package path resolved")
+	}
+	if LookupObjectKey(pkg, "p.(Missing).M") != nil {
+		t.Errorf("key with unknown receiver type resolved")
+	}
+	if LookupObjectKey(pkg, "p.Missing") != nil {
+		t.Errorf("key with unknown name resolved")
+	}
+}
+
+func TestFactRoundTrip(t *testing.T) {
+	pkg, snapshot, _, blocking := factsPackage(t)
+	s := NewFactSet()
+	s.Export(snapshot, &testFact{Level: 2, Note: "snapshot slice"})
+	s.Export(blocking, &testFact{Level: 1})
+	s.Export(blocking, &otherFact{On: true})
+
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if !strings.Contains(string(data), `"p.(Book).Snapshot"`) {
+		t.Errorf("encoded form missing method key:\n%s", data)
+	}
+
+	back, err := DecodeFacts(data, func(key string) types.Object {
+		return LookupObjectKey(pkg, key)
+	})
+	if err != nil {
+		t.Fatalf("DecodeFacts: %v", err)
+	}
+	var tf testFact
+	if !back.Import(snapshot, &tf) || tf.Level != 2 || tf.Note != "snapshot slice" {
+		t.Errorf("decoded testFact = %+v", tf)
+	}
+	var of otherFact
+	if !back.Import(blocking, &of) || !of.On {
+		t.Errorf("decoded otherFact = %+v", of)
+	}
+	if len(back.All()) != len(s.All()) {
+		t.Errorf("round trip changed fact count: %d != %d", len(back.All()), len(s.All()))
+	}
+
+	// Deterministic: encoding twice gives identical bytes.
+	data2, err := back.Encode()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("encoding not deterministic:\n%s\n---\n%s", data, data2)
+	}
+}
+
+func TestDecodeFactsErrors(t *testing.T) {
+	pkg, snapshot, _, _ := factsPackage(t)
+	s := NewFactSet()
+	s.Export(snapshot, &testFact{Level: 1})
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeFacts([]byte("not json"), nil); err == nil {
+		t.Errorf("malformed JSON decoded")
+	}
+	if _, err := DecodeFacts(data, func(string) types.Object { return nil }); err == nil {
+		t.Errorf("unresolvable object key decoded")
+	}
+	bad := strings.Replace(string(data), `"test"`, `"unregistered"`, 1)
+	if _, err := DecodeFacts([]byte(bad), func(key string) types.Object {
+		return LookupObjectKey(pkg, key)
+	}); err == nil {
+		t.Errorf("unregistered fact type decoded")
+	}
+}
+
+func TestRegisterFactValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("conflicting re-registration", func() {
+		RegisterFact("test", (*otherFact)(nil))
+	})
+	// Same name, same type is fine (package re-init in tests).
+	RegisterFact("test", (*testFact)(nil))
+}

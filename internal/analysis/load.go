@@ -28,6 +28,12 @@ type Package struct {
 	Types *types.Package
 	// TypesInfo holds the type-checker's results for Syntax.
 	TypesInfo *types.Info
+	// Imports holds the directly imported packages that were themselves
+	// type-checked from source (module-internal dependencies). Imports
+	// resolved from export data — the standard library — are not here:
+	// facts flow along these edges, and facts are only inferred from
+	// source.
+	Imports []*Package
 }
 
 // listedPackage is the subset of `go list -json` output the loader
@@ -131,6 +137,12 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		}
 		out = append(out, pkg)
 	}
+	if len(out) == 0 {
+		// `go list` exits zero for a pattern that matches directories
+		// without Go files, which would otherwise make the vet run
+		// silently analyze nothing and report success.
+		return nil, fmt.Errorf("analysis: no Go packages matched %v", patterns)
+	}
 	return out, nil
 }
 
@@ -202,6 +214,11 @@ func (ld *loader) load(path string) (*Package, error) {
 		Syntax:    files,
 		Types:     tpkg,
 		TypesInfo: info,
+	}
+	for _, imp := range tpkg.Imports() {
+		if dep, ok := ld.checked[imp.Path()]; ok {
+			pkg.Imports = append(pkg.Imports, dep)
+		}
 	}
 	ld.checked[path] = pkg
 	return pkg, nil

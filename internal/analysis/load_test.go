@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a temporary module from path→contents pairs and
+// returns its root directory.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for path, content := range files {
+		full := filepath.Join(dir, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const loadGoMod = "module resched\n\ngo 1.22\n"
+
+func TestLoadSuccessAndImports(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": loadGoMod,
+		"internal/a/a.go": `package a
+func A() int { return 1 }
+`,
+		"internal/b/b.go": `package b
+import (
+	"fmt"
+	"resched/internal/a"
+)
+func B() string { return fmt.Sprint(a.A()) }
+`,
+	})
+	pkgs, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	b := byPath["resched/internal/b"]
+	if b == nil {
+		t.Fatalf("package b not loaded: %v", pkgs)
+	}
+	// Imports must hold the source-checked module dependency and not
+	// the export-data stdlib ones.
+	if len(b.Imports) != 1 || b.Imports[0] != byPath["resched/internal/a"] {
+		t.Errorf("b.Imports = %v, want exactly the source-checked a", b.Imports)
+	}
+	if len(byPath["resched/internal/a"].Imports) != 0 {
+		t.Errorf("leaf package has Imports: %v", byPath["resched/internal/a"].Imports)
+	}
+}
+
+func TestLoadMissingPackage(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  loadGoMod,
+		"a/a.go":  "package a\n",
+		"go.work": "", // ignored; just another non-Go file
+	})
+	if _, err := Load(dir, []string{"./nosuchdir"}); err == nil {
+		t.Errorf("Load of a missing package succeeded")
+	}
+}
+
+func TestLoadNoPackagesMatched(t *testing.T) {
+	// `go list` exits zero for an existing directory that contains no
+	// Go files; Load must not silently return an empty analysis set.
+	dir := writeModule(t, map[string]string{
+		"go.mod":            loadGoMod,
+		"empty/placeholder": "not go\n",
+	})
+	_, err := Load(dir, []string{"./empty/..."})
+	if err == nil {
+		t.Fatalf("Load with zero matching packages succeeded")
+	}
+	if !strings.Contains(err.Error(), "no Go packages matched") {
+		t.Errorf("error does not name the zero-match condition: %v", err)
+	}
+}
+
+func TestLoadBrokenImport(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": loadGoMod,
+		"a/a.go": `package a
+import "resched/nonexistent"
+var _ = nonexistent.X
+`,
+	})
+	if _, err := Load(dir, []string{"./..."}); err == nil {
+		t.Errorf("Load of a package with a broken import succeeded")
+	}
+}
+
+func TestLoadTypeError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": loadGoMod,
+		"a/a.go": `package a
+func A() int { return "not an int" }
+`,
+	})
+	_, err := Load(dir, []string{"./..."})
+	if err == nil {
+		t.Fatalf("Load of an ill-typed package succeeded")
+	}
+	// The error may surface from `go list -export` (which compiles) or
+	// from our own type-check; either way it must carry the position.
+	if !strings.Contains(err.Error(), "a.go:2") {
+		t.Errorf("error does not point at the ill-typed line: %v", err)
+	}
+}
+
+func TestLoadOutsideModule(t *testing.T) {
+	// A directory with no go.mod: `go list ./...` fails outright.
+	dir := t.TempDir()
+	if _, err := Load(dir, []string{"./..."}); err == nil {
+		t.Errorf("Load outside any module succeeded")
+	}
+}

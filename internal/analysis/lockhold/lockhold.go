@@ -1,0 +1,432 @@
+// Package lockhold enforces the book's locking contract from PR 1:
+// the reservation book's RWMutex (and every other lock in the serving
+// path) is only ever held across straight-line bookkeeping — never
+// across an operation that can wait. A blocking call under b.mu turns
+// the book's readers-writer lock into a convoy and, in the worst case
+// (re-entering a locking method of the same receiver), a deadlock the
+// race detector cannot see.
+//
+// The analyzer computes, per function, a forward may-held analysis
+// over the CFG: a lock is held at a node if any path from an acquire
+// reaches it without the matching release. Deferred unlocks keep the
+// lock held to the end of the function, which is exactly their
+// semantics. At every node where some lock is held, these operations
+// are flagged:
+//
+//   - channel sends, receives, and ranges; selects without a default;
+//   - time.Sleep, sync.WaitGroup.Wait, sync.Cond.Wait;
+//   - acquiring any mutex (same key: re-entry deadlock; different
+//     key: nested locking under the serving lock);
+//   - calls into net and net/http;
+//   - calls to any function whose MayBlock fact says it (or anything
+//     it statically calls) does one of the above. Facts cross package
+//     boundaries, so resbook.(*Book).Transact — which re-enters the
+//     lock — is flagged when called under a lock in internal/server.
+//
+// Goroutine launches are not blocking at the launch site and their
+// bodies run on their own stacks, so `go` statements are ignored both
+// here and in fact inference.
+package lockhold
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"resched/internal/analysis"
+)
+
+// CheckedPackages get the critical-section check. MayBlock facts are
+// inferred module-wide regardless, so serving packages see the
+// blocking behavior of everything they import.
+var CheckedPackages = map[string]bool{
+	"resched/internal/resbook": true,
+	"resched/internal/server":  true,
+}
+
+// MayBlock marks a function that can wait: it performs a blocking
+// operation directly or statically calls something that does.
+type MayBlock struct{}
+
+func (*MayBlock) AFact() {}
+
+func init() {
+	analysis.RegisterFact("lockhold.MayBlock", (*MayBlock)(nil))
+}
+
+// Analyzer flags blocking operations performed while a lock is held.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc: "no blocking operation (channel op, sleep, Wait, nested lock, net I/O, or a call " +
+		"that may block) while a sync lock is held in the serving path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	mayBlock := inferMayBlock(pass)
+	if !CheckedPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	decls, _ := analysis.FuncDecls(pass.Files, pass.TypesInfo)
+	for _, fd := range decls {
+		if pass.InTestFile(fd.Pos()) {
+			continue
+		}
+		checkSections(pass, fd, mayBlock)
+	}
+	return nil
+}
+
+// inferMayBlock computes which declared functions may block and
+// exports the result as facts; the returned set also covers this
+// package's own declarations for intra-package calls.
+func inferMayBlock(pass *analysis.Pass) map[*types.Func]bool {
+	info := pass.TypesInfo
+	_, byObj := analysis.FuncDecls(pass.Files, info)
+	graph := analysis.PackageCallGraph(pass.Files, info, true)
+	direct := func(fn *types.Func) bool {
+		if fd, ok := byObj[fn]; ok {
+			return directBlocking(info, fd.Body)
+		}
+		// Declared elsewhere: stdlib blocking entry points, or an
+		// imported MayBlock fact from an already-analyzed module
+		// package.
+		if stdlibBlocking(fn) {
+			return true
+		}
+		return pass.ImportObjectFact(fn, &MayBlock{})
+	}
+	res := analysis.Propagate(graph, direct)
+	if analysis.InModule(pass.Pkg.Path()) {
+		for fn, blocks := range res {
+			if blocks {
+				pass.ExportObjectFact(fn, &MayBlock{})
+			}
+		}
+	}
+	return res
+}
+
+// stdlibBlocking reports whether a function outside the module is a
+// known blocking entry point: everything in net and net/http, plus the
+// canonical waiters in time and sync. Acquiring a lock counts — that
+// is the whole point of the nested-lock rule.
+func stdlibBlocking(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "net", "net/http":
+		return true
+	case "time":
+		return fn.Name() == "Sleep"
+	case "sync":
+		switch fn.Name() {
+		case "Wait", "Lock", "RLock":
+			return true
+		}
+	}
+	return false
+}
+
+// lockMethod classifies a call as a mutex acquire or release and
+// resolves the lock it names to a stable key (the mutex variable or
+// field). Unresolvable receivers return a nil key and are ignored.
+func lockMethod(info *types.Info, call *ast.CallExpr) (key *types.Var, acquire, release bool) {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	named := analysis.ReceiverNamed(fn)
+	if named == nil {
+		return nil, false, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return nil, false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		release = true
+	default:
+		return nil, false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	return lockVar(info, sel.X), acquire, release
+}
+
+// lockVar resolves `mu` or `b.mu` (through any selector chain) to the
+// variable or field naming the lock.
+func lockVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lockVar(info, e.X)
+		}
+	}
+	return nil
+}
+
+// directBlocking reports whether body performs a blocking operation
+// itself (not through calls to module functions — the call graph
+// handles those). Goroutine bodies are skipped.
+func directBlocking(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			// The select is the blocking point, not its comm
+			// statements: with a default it cannot block at all, so
+			// only the clause bodies are scanned further.
+			if !selectHasDefault(n) {
+				found = true
+				return false
+			}
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						if directBlocking(info, s) {
+							found = true
+						}
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if fn := analysis.Callee(info, n); fn != nil && stdlibBlocking(fn) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSections runs the may-held analysis over fd and reports
+// blocking operations under a lock.
+func checkSections(pass *analysis.Pass, fd *ast.FuncDecl, mayBlock map[*types.Func]bool) {
+	info := pass.TypesInfo
+	cfg := analysis.NewCFG(fd.Body)
+	n := len(cfg.Blocks)
+	if n == 0 {
+		return
+	}
+
+	// Comm statements of selects live in their clause blocks, but the
+	// select marker is where blocking is judged (a select with a
+	// default cannot block); exempt them from individual send/receive
+	// reports.
+	comms := map[ast.Node]bool{}
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		if sel, ok := nd.(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					comms[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// heldIn[i] is the set of locks that may be held entering block i;
+	// nil means the block is not yet reached (bottom).
+	heldIn := make([]map[*types.Var]bool, n)
+	heldIn[0] = map[*types.Var]bool{}
+	clone := func(s map[*types.Var]bool) map[*types.Var]bool {
+		c := make(map[*types.Var]bool, len(s))
+		for k, v := range s {
+			if v {
+				c[k] = true
+			}
+		}
+		return c
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			if heldIn[b.Index] == nil {
+				continue
+			}
+			out := clone(heldIn[b.Index])
+			for _, node := range b.Nodes {
+				transferHeld(info, node, out)
+			}
+			for _, succ := range b.Succs {
+				if heldIn[succ.Index] == nil {
+					heldIn[succ.Index] = clone(out)
+					changed = true
+					continue
+				}
+				for k := range out {
+					if !heldIn[succ.Index][k] {
+						heldIn[succ.Index][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, b := range cfg.Blocks {
+		held := clone(heldIn[b.Index]) // nil clones to empty: unreachable blocks hold nothing
+		for _, node := range b.Nodes {
+			if !comms[node] {
+				visitHeld(pass, node, held, mayBlock)
+			}
+			transferHeld(info, node, held)
+		}
+	}
+}
+
+// transferHeld applies a node's lock acquisitions and releases to the
+// held set. Deferred statements are skipped: a deferred unlock keeps
+// the lock held through the function body, which is its meaning.
+func transferHeld(info *types.Info, node ast.Node, held map[*types.Var]bool) {
+	analysis.WalkBlockNode(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, acquire, release := lockMethod(info, call); key != nil {
+			if acquire {
+				held[key] = true
+			}
+			if release {
+				delete(held, key)
+			}
+		}
+		return true
+	})
+}
+
+// heldName renders the held set for diagnostics (any one lock).
+func heldName(held map[*types.Var]bool) string {
+	for k := range held {
+		return k.Name()
+	}
+	return "lock"
+}
+
+// visitHeld reports blocking operations in node while held is
+// non-empty.
+func visitHeld(pass *analysis.Pass, node ast.Node, held map[*types.Var]bool, mayBlock map[*types.Func]bool) {
+	info := pass.TypesInfo
+	// Track acquisitions/releases inside the node so a Lock directly
+	// followed by a blocking call in the same statement list block is
+	// still caught, and the acquiring call itself is not.
+	local := make(map[*types.Var]bool, len(held))
+	for k := range held {
+		local[k] = true
+	}
+	analysis.WalkBlockNode(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			if len(local) > 0 {
+				pass.Reportf(n.Pos(), "channel send may block while %s is held", heldName(local))
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(local) > 0 {
+				pass.Reportf(n.Pos(), "channel receive may block while %s is held", heldName(local))
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil && len(local) > 0 {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(n.Pos(), "ranging over a channel may block while %s is held", heldName(local))
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) && len(local) > 0 {
+				pass.Reportf(n.Pos(), "select without default may block while %s is held", heldName(local))
+			}
+		case *ast.CallExpr:
+			key, acquire, release := lockMethod(info, n)
+			if key != nil {
+				if acquire {
+					if local[key] {
+						pass.Reportf(n.Pos(), "re-entrant acquisition of %s deadlocks", key.Name())
+					} else if len(local) > 0 {
+						pass.Reportf(n.Pos(), "acquiring %s while %s is held nests locks in the serving path", key.Name(), heldName(local))
+					}
+					local[key] = true
+				}
+				if release {
+					delete(local, key)
+				}
+				return true
+			}
+			if len(local) == 0 {
+				return true
+			}
+			fn := analysis.Callee(info, n)
+			if fn == nil {
+				return true
+			}
+			if stdlibBlocking(fn) {
+				pass.Reportf(n.Pos(), "call to %s.%s may block while %s is held",
+					fn.Pkg().Name(), fn.Name(), heldName(local))
+				return true
+			}
+			if mayBlock[fn] {
+				pass.Reportf(n.Pos(), "call to %s may block while %s is held", fn.Name(), heldName(local))
+				return true
+			}
+			var mb MayBlock
+			if pass.ImportObjectFact(fn, &mb) {
+				pass.Reportf(n.Pos(), "call to %s may block while %s is held (fact from %s)",
+					fn.Name(), heldName(local), fn.Pkg().Path())
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,16 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"resched/internal/analysis/analysistest"
+	"resched/internal/analysis/lockhold"
+)
+
+func TestLockHold(t *testing.T) {
+	// resbook is listed first so its MayBlock facts are exported
+	// before the server fixture (its importer) is analyzed; the
+	// framework orders by imports either way.
+	analysistest.Run(t, "testdata", lockhold.Analyzer,
+		"resched/internal/resbook", "resched/internal/server")
+}

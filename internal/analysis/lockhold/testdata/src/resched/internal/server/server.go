@@ -1,0 +1,93 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"resched/internal/resbook"
+)
+
+type metrics struct {
+	mu    sync.Mutex
+	ring  []float64
+	extra sync.Mutex
+}
+
+// Negative: copy-only critical section, the serving pattern.
+func (m *metrics) observe(v float64) {
+	m.mu.Lock()
+	m.ring = append(m.ring, v)
+	m.mu.Unlock()
+}
+
+// Positive: sleeping under the lock.
+func (m *metrics) flushSlowly() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep may block while mu is held"
+}
+
+// Positive: nested lock acquisition in the serving path.
+func (m *metrics) nested() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.extra.Lock() // want "acquiring extra while mu is held nests locks"
+	m.extra.Unlock()
+}
+
+// Positive: re-entering the same mutex deadlocks outright.
+func (m *metrics) reentry() {
+	m.mu.Lock()
+	m.mu.Lock() // want "re-entrant acquisition of mu deadlocks"
+	m.mu.Unlock()
+	m.mu.Unlock()
+}
+
+// Positive: a select without default waits under the lock.
+func (m *metrics) waitForSignal(ch chan struct{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select { // want "select without default may block while mu is held"
+	case <-ch:
+	}
+}
+
+// Negative: a select with a default cannot block.
+func (m *metrics) pollSignal(ch chan struct{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// Positive, cross-package: Transact re-enters the book's lock; the
+// MayBlock fact was exported while analyzing resbook.
+func commitUnderLock(m *metrics, b *resbook.Book) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return b.Transact(func() error { return nil }) // want "call to Transact may block while mu is held"
+}
+
+// Negative, cross-package: Len is pure, no fact.
+func lenUnderLock(m *metrics, b *resbook.Book) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return b.Len()
+}
+
+// Negative: the blocking call happens before the lock is taken.
+func blockThenLock(m *metrics, b *resbook.Book) int {
+	v := b.Version()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return v
+}
+
+// Negative: suppressed with a directive.
+func ignoredSleep(m *metrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	time.Sleep(time.Microsecond) //reschedvet:ignore lockhold calibration needs the pause
+}

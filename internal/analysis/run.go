@@ -67,24 +67,76 @@ func (s ignoreSet) suppresses(d Diagnostic) bool {
 // analyzer aborts the run: it indicates a broken analyzer, not a
 // finding.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersFacts(pkgs, analyzers)
+	return diags, err
+}
+
+// importOrder returns pkgs plus their transitive source-checked
+// dependencies, dependencies first, so facts exported by a package are
+// in place before any importer is analyzed.
+func importOrder(pkgs []*Package) []*Package {
+	var order []*Package
+	seen := map[*Package]bool{}
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		for _, dep := range p.Imports {
+			visit(dep)
+		}
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return order
+}
+
+// RunAnalyzersFacts is RunAnalyzers, also returning each analyzer's
+// exported facts (keyed by analyzer name) for inspection — the
+// reschedvet -facts flag prints them.
+//
+// Each analyzer runs over the requested packages AND their transitive
+// source-checked dependencies in import order, sharing one fact set,
+// so conclusions about a dependency's API (may-block, returns-alias,
+// ...) are available when its importers are analyzed. Diagnostics are
+// only reported for the requested packages; dependencies are analyzed
+// for their facts.
+func RunAnalyzersFacts(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, map[string]*FactSet, error) {
+	requested := make(map[*Package]bool, len(pkgs))
+	for _, p := range pkgs {
+		requested[p] = true
+	}
+	order := importOrder(pkgs)
+	ignores := make(map[*Package]ignoreSet, len(order))
+	for _, pkg := range order {
+		ignores[pkg] = collectIgnores(pkg)
+	}
+
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ignores := collectIgnores(pkg)
-		for _, a := range analyzers {
+	allFacts := make(map[string]*FactSet, len(analyzers))
+	for _, a := range analyzers {
+		facts := NewFactSet()
+		allFacts[a.Name] = facts
+		for _, pkg := range order {
+			pkg := pkg
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				facts:     facts,
 			}
 			pass.report = func(d Diagnostic) {
-				if !ignores.suppresses(d) {
+				if requested[pkg] && !ignores[pkg].suppresses(d) {
 					diags = append(diags, d)
 				}
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
@@ -104,5 +156,5 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 		}
 		return a.Message < b.Message
 	})
-	return diags, nil
+	return diags, allFacts, nil
 }

@@ -1,0 +1,466 @@
+// Package snapshotmut enforces the book's copy-on-read contract from
+// the other side: a value that aliases the reservation book's or a
+// profile's internal memory is a read-only view, and serving code must
+// not write through it. The book hands out clones exactly so that
+// schedulers can mutate freely; the moment an accessor returns aliased
+// internals instead (an optimization this analyzer exists to keep
+// honest), any write through the result corrupts shared scheduling
+// state behind the lock's back.
+//
+// The analysis is built on the taint engine. Two facts are inferred
+// for every module function by running the dataflow with parameter and
+// receiver provenance bits:
+//
+//   - ReturnsAlias: some result carries memory reachable from the
+//     receiver or from a parameter (per-position). Value copies do not
+//     count: masks are clamped by type (an int result cannot alias),
+//     and append's ellipsis form contributes element copies, so
+//     Clone-style deep copies stay clean. Returning a pointer to a
+//     lock-guarded object (a struct carrying a sync.Mutex/RWMutex,
+//     like *resbook.Book itself) is a synchronization boundary, not an
+//     alias leak, and is suppressed.
+//   - Mutates: the function stores through memory reached from the
+//     receiver or a parameter (element stores, field stores, deref
+//     stores, copy into it), directly or via a callee's Mutates fact.
+//
+// In the serving packages, a second taint run marks results of
+// ReturnsAlias-via-receiver calls on resbook/profile types with an
+// alias bit and reports every write through an alias-tainted base:
+// direct stores, ++/--, copy into it, append reuse of its backing
+// array, and passing it to a callee whose Mutates fact names that
+// position.
+package snapshotmut
+
+import (
+	"go/ast"
+	"go/types"
+
+	"resched/internal/analysis"
+)
+
+// CheckedPackages is where writes through snapshot aliases are
+// reported. Fact inference runs module-wide.
+var CheckedPackages = map[string]bool{
+	"resched/internal/server":  true,
+	"resched/internal/api":     true,
+	"resched/internal/resbook": true,
+}
+
+// sharedStatePackages declare the types whose aliased internals count
+// as shared scheduling state.
+var sharedStatePackages = map[string]bool{
+	"resched/internal/resbook": true,
+	"resched/internal/profile": true,
+}
+
+// Provenance bits: parameters 0..15, then the receiver, then two bits
+// used only by the reporting run. aliasBit marks memory obtained from
+// a ReturnsAlias accessor on a shared-state type; sharedBit marks
+// values of unknown, possibly shared provenance (parameters, struct
+// fields, globals). A fresh Clone has neither, so accessors called on
+// it do not re-introduce the alias taint.
+const (
+	maxParams = 16
+	recvBit   = analysis.Mask(1) << 16
+	aliasBit  = analysis.Mask(1) << 17
+	sharedBit = analysis.Mask(1) << 18
+)
+
+func paramBit(i int) analysis.Mask {
+	if i < 0 || i >= maxParams {
+		return 0
+	}
+	return analysis.Mask(1) << i
+}
+
+// ReturnsAlias records that a function's results alias its receiver's
+// or parameters' memory.
+type ReturnsAlias struct {
+	Receiver bool  `json:"receiver,omitempty"`
+	Params   []int `json:"params,omitempty"`
+}
+
+func (*ReturnsAlias) AFact() {}
+
+// Mutates records that a function writes through its receiver's or
+// parameters' memory.
+type Mutates struct {
+	Receiver bool  `json:"receiver,omitempty"`
+	Params   []int `json:"params,omitempty"`
+}
+
+func (*Mutates) AFact() {}
+
+func init() {
+	analysis.RegisterFact("snapshotmut.ReturnsAlias", (*ReturnsAlias)(nil))
+	analysis.RegisterFact("snapshotmut.Mutates", (*Mutates)(nil))
+}
+
+// Analyzer flags writes through values aliasing book/profile
+// internals in the serving packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotmut",
+	Doc: "a value aliasing resbook/profile internals is a read-only view: no element or " +
+		"field stores, no copy/append into it, no passing it to a mutating callee",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	inferFacts(pass)
+	if !CheckedPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	decls, _ := analysis.FuncDecls(pass.Files, pass.TypesInfo)
+	for _, fd := range decls {
+		if pass.InTestFile(fd.Pos()) {
+			continue
+		}
+		checkWrites(pass, fd)
+	}
+	return nil
+}
+
+// sigBits maps a declaration's receiver and parameters to their
+// provenance bits.
+func sigBits(info *types.Info, fd *ast.FuncDecl) map[*types.Var]analysis.Mask {
+	bits := map[*types.Var]analysis.Mask{}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					bits[v] = recvBit
+				}
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		i := 0
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				i++ // unnamed parameter still occupies a position
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					bits[v] = paramBit(i)
+				}
+				i++
+			}
+		}
+	}
+	return bits
+}
+
+// factCallMask propagates alias provenance through calls using
+// already-known ReturnsAlias facts (this package's so far included).
+func factCallMask(pass *analysis.Pass, withAlias bool) func(*ast.CallExpr, *analysis.TaintState) analysis.Mask {
+	return func(call *ast.CallExpr, st *analysis.TaintState) analysis.Mask {
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return 0
+		}
+		var ra ReturnsAlias
+		if !pass.ImportObjectFact(fn, &ra) {
+			return 0
+		}
+		var m analysis.Mask
+		if ra.Receiver {
+			if recv := receiverExpr(call); recv != nil {
+				rm := st.ExprMask(recv)
+				m |= rm
+				// Only a receiver that itself refers to shared memory
+				// leaks an alias; an accessor on a fresh clone is fine.
+				if withAlias && sharedStateReceiver(fn) && rm&(sharedBit|aliasBit) != 0 {
+					m |= aliasBit
+				}
+			}
+		}
+		for _, p := range ra.Params {
+			if p >= 0 && p < len(call.Args) {
+				m |= st.ExprMask(call.Args[p])
+			}
+		}
+		return m
+	}
+}
+
+// receiverExpr returns the receiver operand of a method call, nil for
+// plain function calls.
+func receiverExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// sharedStateReceiver reports whether fn is a method on a type from
+// the shared scheduling-state packages.
+func sharedStateReceiver(fn *types.Func) bool {
+	named := analysis.ReceiverNamed(fn)
+	return named != nil && named.Obj().Pkg() != nil && sharedStatePackages[named.Obj().Pkg().Path()]
+}
+
+// lockGuarded reports whether t (or its pointee) is a struct carrying
+// a sync.Mutex/RWMutex field: a pointer to such an object is a
+// synchronization boundary, not an alias leak.
+func lockGuarded(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if named, ok := types.Unalias(ft).(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inferFacts runs the provenance analysis over every declared function
+// until the package's fact set stops changing (facts feed back into
+// callers through factCallMask).
+func inferFacts(pass *analysis.Pass) {
+	if !analysis.InModule(pass.Pkg.Path()) {
+		return
+	}
+	info := pass.TypesInfo
+	decls, _ := analysis.FuncDecls(pass.Files, info)
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ra, mut := inferOne(pass, fd)
+			if mergeReturnsAlias(pass, fn, ra) {
+				changed = true
+			}
+			if mergeMutates(pass, fn, mut) {
+				changed = true
+			}
+		}
+	}
+}
+
+// inferOne computes the alias and mutation bits one declaration
+// exhibits with respect to its own signature.
+func inferOne(pass *analysis.Pass, fd *ast.FuncDecl) (retBits, mutBits analysis.Mask) {
+	info := pass.TypesInfo
+	bits := sigBits(info, fd)
+	spec := &analysis.TaintSpec{
+		Info:     info,
+		CallMask: factCallMask(pass, false),
+		InitMask: func(v *types.Var) analysis.Mask { return bits[v] },
+	}
+	cfg := analysis.NewCFG(fd.Body)
+	analysis.RunTaint(cfg, spec, func(n ast.Node, st *analysis.TaintState) {
+		analysis.WalkBlockNode(n, func(child ast.Node) bool {
+			switch c := child.(type) {
+			case *ast.ReturnStmt:
+				for _, res := range c.Results {
+					m := st.ExprMask(res)
+					if m&recvBit != 0 && lockGuarded(info.TypeOf(res)) {
+						m &^= recvBit
+					}
+					retBits |= m
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range c.Lhs {
+					mutBits |= storeBase(st, lhs)
+				}
+			case *ast.IncDecStmt:
+				mutBits |= storeBase(st, c.X)
+			case *ast.CallExpr:
+				mutBits |= callMutates(pass, st, c)
+			}
+			return true
+		})
+	})
+	return retBits &^ (aliasBit | sharedBit), mutBits &^ (aliasBit | sharedBit)
+}
+
+// storeBase returns the provenance of the memory a store target
+// writes, or 0 when the target is a plain variable binding.
+func storeBase(st *analysis.TaintState, lhs ast.Expr) analysis.Mask {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr, *ast.StarExpr, *ast.SelectorExpr:
+		return st.BaseMask(lhs)
+	}
+	return 0
+}
+
+// callMutates returns the provenance bits a call writes through:
+// copy(dst, ...) writes dst, and a callee with a Mutates fact writes
+// its flagged receiver/parameters.
+func callMutates(pass *analysis.Pass, st *analysis.TaintState, call *ast.CallExpr) analysis.Mask {
+	info := pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "copy" && len(call.Args) == 2 {
+				return st.BaseMask(call.Args[0])
+			}
+			return 0
+		}
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return 0
+	}
+	var mut Mutates
+	if !pass.ImportObjectFact(fn, &mut) {
+		return 0
+	}
+	var m analysis.Mask
+	if mut.Receiver {
+		if recv := receiverExpr(call); recv != nil {
+			m |= st.BaseMask(recv)
+		}
+	}
+	for _, p := range mut.Params {
+		if p >= 0 && p < len(call.Args) {
+			m |= st.BaseMask(call.Args[p])
+		}
+	}
+	return m
+}
+
+// mergeReturnsAlias unions bits into fn's exported ReturnsAlias fact,
+// reporting whether it changed. A zero fact is never exported.
+func mergeReturnsAlias(pass *analysis.Pass, fn *types.Func, bits analysis.Mask) bool {
+	var prev ReturnsAlias
+	pass.ImportObjectFact(fn, &prev)
+	next := prev
+	if bits&recvBit != 0 {
+		next.Receiver = true
+	}
+	next.Params = unionParams(prev.Params, bits)
+	if next.Receiver == prev.Receiver && len(next.Params) == len(prev.Params) {
+		return false
+	}
+	pass.ExportObjectFact(fn, &next)
+	return true
+}
+
+func mergeMutates(pass *analysis.Pass, fn *types.Func, bits analysis.Mask) bool {
+	var prev Mutates
+	pass.ImportObjectFact(fn, &prev)
+	next := prev
+	if bits&recvBit != 0 {
+		next.Receiver = true
+	}
+	next.Params = unionParams(prev.Params, bits)
+	if next.Receiver == prev.Receiver && len(next.Params) == len(prev.Params) {
+		return false
+	}
+	pass.ExportObjectFact(fn, &next)
+	return true
+}
+
+// unionParams merges the parameter indices already recorded with the
+// ones set in bits, sorted ascending.
+func unionParams(prev []int, bits analysis.Mask) []int {
+	seen := map[int]bool{}
+	for _, p := range prev {
+		seen[p] = true
+	}
+	for i := 0; i < maxParams; i++ {
+		if bits&paramBit(i) != 0 {
+			seen[i] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for i := 0; i < maxParams; i++ {
+		if seen[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// checkWrites runs the alias-marking taint over fd and reports writes
+// through alias-tainted bases.
+func checkWrites(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	spec := &analysis.TaintSpec{
+		Info:     info,
+		CallMask: factCallMask(pass, true),
+		// Anything not locally bound — parameters, receivers, struct
+		// fields reached through them, globals — may refer to shared
+		// memory; fresh locals (clones, makes, literals) do not.
+		InitMask: func(v *types.Var) analysis.Mask { return sharedBit },
+	}
+	cfg := analysis.NewCFG(fd.Body)
+	analysis.RunTaint(cfg, spec, func(n ast.Node, st *analysis.TaintState) {
+		analysis.WalkBlockNode(n, func(child ast.Node) bool {
+			switch c := child.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range c.Lhs {
+					if storeBase(st, lhs)&aliasBit != 0 {
+						pass.Reportf(lhs.Pos(),
+							"write through a value aliasing book/profile internals; the snapshot view is read-only, clone it first")
+					}
+				}
+			case *ast.IncDecStmt:
+				if storeBase(st, c.X)&aliasBit != 0 {
+					pass.Reportf(c.Pos(),
+						"write through a value aliasing book/profile internals; the snapshot view is read-only, clone it first")
+				}
+			case *ast.CallExpr:
+				checkCallWrites(pass, st, c)
+			}
+			return true
+		})
+	})
+}
+
+// checkCallWrites reports calls that hand an alias-tainted value to
+// something that writes it: copy, append reuse, or a Mutates callee.
+func checkCallWrites(pass *analysis.Pass, st *analysis.TaintState, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "copy":
+				if len(call.Args) == 2 && st.BaseMask(call.Args[0])&aliasBit != 0 {
+					pass.Reportf(call.Pos(),
+						"copy into a value aliasing book/profile internals; the snapshot view is read-only")
+				}
+			case "append":
+				if len(call.Args) > 1 && st.ExprMask(call.Args[0])&aliasBit != 0 {
+					pass.Reportf(call.Pos(),
+						"append may write into the aliased backing array of a book/profile view; clone it first")
+				}
+			}
+			return
+		}
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	var mut Mutates
+	if !pass.ImportObjectFact(fn, &mut) {
+		return
+	}
+	if mut.Receiver {
+		if recv := receiverExpr(call); recv != nil && st.BaseMask(recv)&aliasBit != 0 {
+			pass.Reportf(call.Pos(),
+				"%s mutates its receiver, which aliases book/profile internals here", fn.Name())
+		}
+	}
+	for _, p := range mut.Params {
+		if p >= 0 && p < len(call.Args) && st.ExprMask(call.Args[p])&aliasBit != 0 {
+			pass.Reportf(call.Pos(),
+				"%s mutates argument %d, which aliases book/profile internals here", fn.Name(), p)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package snapshotmut_test
+
+import (
+	"testing"
+
+	"resched/internal/analysis/analysistest"
+	"resched/internal/analysis/snapshotmut"
+)
+
+func TestSnapshotMut(t *testing.T) {
+	// The profile fixture is pulled in through the server fixture's
+	// import and analyzed facts-only; diagnostics are expected (and
+	// checked) only in the server package.
+	analysistest.Run(t, "testdata", snapshotmut.Analyzer, "resched/internal/server")
+}

@@ -1,0 +1,72 @@
+// Package profile is a fixture mirror of the availability profile: a
+// shared-state type whose accessors must yield ReturnsAlias/Mutates
+// facts for the server fixture to consume. No diagnostics are expected
+// here; the package exists to be imported.
+package profile
+
+import "sync"
+
+type Segment struct {
+	Start, End int
+	Free       int
+}
+
+type Profile struct {
+	times []int
+	free  []int
+}
+
+// Times returns the internal break array directly: the aliasing
+// accessor this analyzer exists for. Fact: ReturnsAlias{Receiver}.
+func (p *Profile) Times() []int { return p.times }
+
+// Segments builds fresh values on every call: no fact.
+func (p *Profile) Segments() []Segment {
+	out := make([]Segment, len(p.times))
+	for i := range p.times {
+		out[i] = Segment{Start: p.times[i], Free: p.free[i]}
+	}
+	return out
+}
+
+// Clone deep-copies via the ellipsis-append idiom; the element copies
+// carry no references, so no fact.
+func (p *Profile) Clone() *Profile {
+	return &Profile{
+		times: append([]int(nil), p.times...),
+		free:  append([]int(nil), p.free...),
+	}
+}
+
+// CloneInto overwrites dst, reusing its arrays. Fact: Mutates{Params: [0]}.
+func (p *Profile) CloneInto(dst *Profile) {
+	dst.times = append(dst.times[:0], p.times...)
+	dst.free = append(dst.free[:0], p.free...)
+}
+
+// Reserve writes the receiver's arrays. Fact: Mutates{Receiver}.
+func (p *Profile) Reserve(procs int) {
+	for i := range p.free {
+		p.free[i] -= procs
+	}
+}
+
+// Registry pairs a profile with the lock that guards it.
+type Registry struct {
+	mu   sync.Mutex
+	prof Profile
+}
+
+// Self returns a pointer to a lock-guarded object: a synchronization
+// boundary, not an alias leak, so ReturnsAlias is suppressed.
+func (r *Registry) Self() *Registry { return r }
+
+// Inner leaks the guarded profile itself: ReturnsAlias{Receiver}.
+func (r *Registry) Inner() *Profile { return &r.prof }
+
+// Bump mutates through the guarded profile. Fact: Mutates{Receiver}.
+func (r *Registry) Bump() {
+	r.mu.Lock()
+	r.prof.Reserve(1)
+	r.mu.Unlock()
+}

@@ -1,0 +1,92 @@
+package server
+
+import "resched/internal/profile"
+
+// Positive: element store through the aliased break array.
+func zeroFirst(p *profile.Profile) {
+	ts := p.Times()
+	ts[0] = 0 // want "write through a value aliasing book/profile internals"
+}
+
+// Positive: increment is a store too.
+func bumpFirst(p *profile.Profile) {
+	ts := p.Times()
+	ts[0]++ // want "write through a value aliasing book/profile internals"
+}
+
+// Positive: copy overwrites the aliased memory wholesale.
+func overwrite(p *profile.Profile, src []int) {
+	copy(p.Times(), src) // want "copy into a value aliasing book/profile internals"
+}
+
+// Positive: append may write into the alias's backing array.
+func extend(p *profile.Profile) []int {
+	return append(p.Times(), 99) // want "append may write into the aliased backing array"
+}
+
+// Positive: handing the alias to a same-package mutating helper; the
+// Mutates fact for halve is inferred in this very package.
+func scale(p *profile.Profile) {
+	halve(p.Times()) // want "halve mutates argument 0, which aliases book/profile internals"
+}
+
+func halve(xs []int) {
+	for i := range xs {
+		xs[i] /= 2
+	}
+}
+
+// Positive: a mutating method invoked on an aliased profile obtained
+// through the registry; both facts cross the package boundary.
+func reserveThrough(reg *profile.Registry) {
+	reg.Inner().Reserve(2) // want "Reserve mutates its receiver, which aliases book/profile internals"
+}
+
+// Negative: an accessor on a fresh clone aliases private memory.
+func zeroFirstClone(p *profile.Profile) {
+	ts := p.Clone().Times()
+	ts[0] = 0
+}
+
+// Negative: Segments builds fresh values, so writing them is fine.
+func zeroSegments(p *profile.Profile) {
+	segs := p.Segments()
+	segs[0].Free = 0
+}
+
+// Negative: the ellipsis append detaches element copies, after which
+// the rebound slice is private.
+func detach(p *profile.Profile) []int {
+	ts := p.Times()
+	ts = append([]int(nil), ts...)
+	ts[0] = 0
+	return ts
+}
+
+// Negative: reading through the alias is the whole point of handing
+// out a view.
+func sum(p *profile.Profile) int {
+	total := 0
+	for _, t := range p.Times() {
+		total += t
+	}
+	return total
+}
+
+// Negative: CloneInto writes its argument, but the argument is a
+// private scratch profile, not the alias.
+func refresh(p *profile.Profile, scratch *profile.Profile) {
+	p.CloneInto(scratch)
+}
+
+// Negative: Self is lock-guarded, so Bump's receiver is not treated as
+// an alias leak.
+func bumpRegistry(reg *profile.Registry) {
+	reg.Self().Bump()
+}
+
+// Negative: suppressed with a directive.
+func zeroIgnored(p *profile.Profile) {
+	ts := p.Times()
+	ts[0] = 0 //reschedvet:ignore snapshotmut scratch reuse is deliberate here
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"resched/internal/workerlib"
+)
+
+func work() error { return nil }
+
+// Positive cases.
+
+func orphanLiteral() {
+	go func() { // want "goroutine is never joined"
+		for {
+		}
+	}()
+}
+
+func orphanNamed() {
+	go workerlib.Orphan() // want "goroutine running Orphan is never joined"
+}
+
+func sendNobodyReads(done chan struct{}) {
+	// The launcher never receives from done, so the send is not a join.
+	go func() { // want "goroutine is never joined"
+		done <- struct{}{}
+	}()
+	_ = done
+}
+
+// Negative cases.
+
+func waitGroupJoin() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work()
+	}()
+	wg.Wait()
+}
+
+func contextJoin(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+func channelJoin() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	return <-errc
+}
+
+func selectChannelJoin() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	}
+}
+
+func crossPackageWaitGroup(jobs chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go workerlib.PoolWorker(&wg, jobs)
+	wg.Wait()
+}
+
+func crossPackageCtx(ctx context.Context) {
+	go workerlib.Bounded(ctx)
+}
+
+func crossPackageFireAndForget() {
+	go workerlib.FlushMetrics()
+}
+
+func literalCallingJoined(ctx context.Context) {
+	go func() {
+		workerlib.Bounded(ctx)
+	}()
+}
+
+func ignoredLaunch() {
+	go func() { //reschedvet:ignore wgleak intentionally leaked in fixture
+		for {
+		}
+	}()
+}

@@ -1,0 +1,40 @@
+// Package workerlib is a fixture dependency: its join-discipline
+// facts are exported here and consumed by the server fixture, which
+// launches these functions as goroutines.
+package workerlib
+
+import (
+	"context"
+	"sync"
+)
+
+// PoolWorker drains jobs and signals a WaitGroup.
+func PoolWorker(wg *sync.WaitGroup, jobs chan int) {
+	defer wg.Done()
+	for range jobs {
+	}
+}
+
+// Bounded runs until its context is cancelled.
+func Bounded(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+//reschedvet:fireandforget metrics flush may outlive any request
+func FlushMetrics() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}
+
+// Orphan loops forever with no join discipline at all.
+func Orphan() {
+	for {
+	}
+}

@@ -53,7 +53,7 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 		sched, deadline, err := compute(env)
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) {
-				writeJSON(w, http.StatusUnprocessableEntity, api.Error{Error: err.Error()})
+				s.writeJSON(w, http.StatusUnprocessableEntity, api.Error{Error: err.Error()})
 				return
 			}
 			s.writeSchedulingError(w, r, err)
@@ -75,7 +75,7 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 			resp.Tasks = append(resp.Tasks, api.Placement{Task: t, Procs: pl.Procs, Start: pl.Start, End: pl.End})
 		}
 		if !commit {
-			writeJSON(w, http.StatusOK, resp)
+			s.writeJSON(w, http.StatusOK, resp)
 			return
 		}
 
@@ -96,7 +96,7 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 			for _, b := range booked {
 				resp.ReservationIDs = append(resp.ReservationIDs, b.ID)
 			}
-			writeJSON(w, http.StatusOK, resp)
+			s.writeJSON(w, http.StatusOK, resp)
 			return
 		}
 		if errors.Is(err, resbook.ErrStale) {
@@ -104,7 +104,7 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 			s.metrics.retries.Add(1)
 			if retries > s.cfg.MaxRetries {
 				s.metrics.conflicts.Add(1)
-				writeJSON(w, http.StatusConflict,
+				s.writeJSON(w, http.StatusConflict,
 					api.Error{Error: fmt.Sprintf("gave up after %d version-conflict retries", retries-1)})
 				return
 			}
@@ -112,7 +112,7 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 		}
 		// A schedule computed against its own snapshot cannot fail to
 		// commit at that version; anything else is an internal fault.
-		writeJSON(w, http.StatusInternalServerError, api.Error{Error: "commit failed: " + err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, api.Error{Error: "commit failed: " + err.Error()})
 		return
 	}
 }
@@ -124,31 +124,31 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	g, err := dagio.Read(bytes.NewReader(req.DAG))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 		return
 	}
 	bl := core.BLCPAR
 	if req.BL != "" {
 		if bl, err = core.ParseBL(req.BL); err != nil {
-			writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+			s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 			return
 		}
 	}
 	bd := core.BDCPAR
 	if req.BD != "" {
 		if bd, err = core.ParseBD(req.BD); err != nil {
-			writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+			s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 			return
 		}
 	}
 	now, err := s.resolveNow(req.Now)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 		return
 	}
 	sch, err := core.NewScheduler(g)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 		return
 	}
 	if !s.acquireWorker(w, r) {
@@ -170,28 +170,28 @@ func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
 	}
 	g, err := dagio.Read(bytes.NewReader(req.DAG))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 		return
 	}
 	algo := core.DLRCCPARLambda
 	if req.Algo != "" {
 		if algo, err = core.ParseDL(req.Algo); err != nil {
-			writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+			s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 			return
 		}
 	}
 	if !req.Tightest && req.Deadline <= 0 {
-		writeJSON(w, http.StatusBadRequest, api.Error{Error: "deadline (seconds after now) required unless tightest is set"})
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: "deadline (seconds after now) required unless tightest is set"})
 		return
 	}
 	now, err := s.resolveNow(req.Now)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 		return
 	}
 	sch, err := core.NewScheduler(g)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 		return
 	}
 	if !s.acquireWorker(w, r) {
@@ -231,10 +231,10 @@ func (s *Server) handleReservationCreate(w http.ResponseWriter, r *http.Request)
 	if err != nil {
 		// Either malformed (empty interval, bad procs) or a genuine
 		// capacity conflict; both leave the book untouched.
-		writeJSON(w, http.StatusConflict, api.Error{Error: err.Error()})
+		s.writeJSON(w, http.StatusConflict, api.Error{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusCreated, toAPIReservation(res, s.book.Version()))
+	s.writeJSON(w, http.StatusCreated, toAPIReservation(res, s.book.Version()))
 }
 
 func (s *Server) handleReservationList(w http.ResponseWriter, r *http.Request) {
@@ -243,48 +243,48 @@ func (s *Server) handleReservationList(w http.ResponseWriter, r *http.Request) {
 	for _, res := range list {
 		out = append(out, toAPIReservation(res, 0))
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleReservationGet(w http.ResponseWriter, r *http.Request) {
 	res, ok := s.book.Get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, api.Error{Error: "no such reservation"})
+		s.writeJSON(w, http.StatusNotFound, api.Error{Error: "no such reservation"})
 		return
 	}
-	writeJSON(w, http.StatusOK, toAPIReservation(res, 0))
+	s.writeJSON(w, http.StatusOK, toAPIReservation(res, 0))
 }
 
 // writeLifecycleError maps book lifecycle failures to status codes.
-func writeLifecycleError(w http.ResponseWriter, err error) {
+func (s *Server) writeLifecycleError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, resbook.ErrNotFound):
-		writeJSON(w, http.StatusNotFound, api.Error{Error: err.Error()})
+		s.writeJSON(w, http.StatusNotFound, api.Error{Error: err.Error()})
 	case errors.Is(err, resbook.ErrReleased):
-		writeJSON(w, http.StatusConflict, api.Error{Error: err.Error()})
+		s.writeJSON(w, http.StatusConflict, api.Error{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusInternalServerError, api.Error{Error: err.Error()})
+		s.writeJSON(w, http.StatusInternalServerError, api.Error{Error: err.Error()})
 	}
 }
 
 func (s *Server) handleReservationActivate(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.book.Activate(id); err != nil {
-		writeLifecycleError(w, err)
+		s.writeLifecycleError(w, err)
 		return
 	}
 	res, _ := s.book.Get(id)
-	writeJSON(w, http.StatusOK, toAPIReservation(res, s.book.Version()))
+	s.writeJSON(w, http.StatusOK, toAPIReservation(res, s.book.Version()))
 }
 
 func (s *Server) handleReservationDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.book.Release(id); err != nil {
-		writeLifecycleError(w, err)
+		s.writeLifecycleError(w, err)
 		return
 	}
 	res, _ := s.book.Get(id)
-	writeJSON(w, http.StatusOK, toAPIReservation(res, s.book.Version()))
+	s.writeJSON(w, http.StatusOK, toAPIReservation(res, s.book.Version()))
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
@@ -300,9 +300,9 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	for _, res := range s.book.List() {
 		resp.Reservations = append(resp.Reservations, toAPIReservation(res, 0))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.book.Version()))
+	s.writeJSON(w, http.StatusOK, s.metrics.snapshot(s.book.Version()))
 }

@@ -111,10 +111,10 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/profile", s.handleProfile)
 	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusNotFound, api.Error{Error: "no such endpoint"})
+		s.writeJSON(w, http.StatusNotFound, api.Error{Error: "no such endpoint"})
 	})
 	s.mux = mux
 	return s, nil
@@ -179,7 +179,7 @@ func (s *Server) acquireWorker(w http.ResponseWriter, r *http.Request) bool {
 		return true
 	case <-r.Context().Done():
 		s.metrics.overload.Add(1)
-		writeJSON(w, http.StatusServiceUnavailable, api.Error{Error: "scheduling workers saturated"})
+		s.writeJSON(w, http.StatusServiceUnavailable, api.Error{Error: "scheduling workers saturated"})
 		return false
 	}
 }
@@ -194,21 +194,26 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 	if err := dec.Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
+			s.writeJSON(w, http.StatusRequestEntityTooLarge,
 				api.Error{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
 			return false
 		}
-		writeJSON(w, http.StatusBadRequest, api.Error{Error: "malformed JSON: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: "malformed JSON: " + err.Error()})
 		return false
 	}
 	return true
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes v as the JSON response body. Encoding can still
+// fail after the header is out — a closed connection, or an
+// unencodable value — and that is worth a log line even though the
+// status code can no longer change.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Warn("encoding response", "status", code, "err", err)
+	}
 }
 
 // writeSchedulingError maps a scheduling/commit failure to a status
@@ -218,8 +223,8 @@ func (s *Server) writeSchedulingError(w http.ResponseWriter, r *http.Request, er
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		s.metrics.timeouts.Add(1)
-		writeJSON(w, http.StatusGatewayTimeout, api.Error{Error: "scheduling timed out: " + err.Error()})
+		s.writeJSON(w, http.StatusGatewayTimeout, api.Error{Error: "scheduling timed out: " + err.Error()})
 	default:
-		writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 	}
 }
