@@ -15,14 +15,21 @@ BENCH_PKGS ?= ./internal/cpa ./internal/profile ./internal/server ./internal/res
 # default; override either variable to target another file, e.g.
 #   make bench BENCH_PR=PR4
 #   make bench BENCH_OUT=/tmp/scratch.json
-BENCH_PR ?= PR4
+BENCH_PR ?= PR5
 BENCH_OUT ?= BENCH_$(BENCH_PR).json
 BENCH_LABEL ?= optimized
+
+# bench-compare gates the serving hot path against this committed
+# baseline: the named benchmark prefixes may not regress ns/op by more
+# than BENCH_THRESHOLD percent.
+BENCH_BASE ?= BENCH_PR4.json
+BENCH_THRESHOLD ?= 15
+BENCH_GATE ?= internal/cpa.BenchmarkAllocate,internal/profile.BenchmarkProfileScaling,internal/profile.BenchmarkFitsBatch,internal/resbook.BenchmarkSnapshot,internal/server.BenchmarkSchedulePost
 
 # How long each fuzz target runs in fuzz-smoke.
 FUZZTIME ?= 10s
 
-.PHONY: ci fmt vet lint test race race-all build bench bench-smoke fuzz-smoke vuln
+.PHONY: ci fmt vet lint test race race-all build bench bench-compare bench-smoke fuzz-smoke vuln
 
 ci: fmt vet lint race bench-smoke fuzz-smoke vuln
 
@@ -67,6 +74,17 @@ race-all:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out $(BENCH_OUT)
 
+# bench-compare re-runs the trajectory benchmarks into a scratch file
+# and diffs them against the committed $(BENCH_BASE): per-benchmark
+# ns/op and allocs/op deltas are printed, and a gated benchmark
+# regressing ns/op beyond $(BENCH_THRESHOLD)% fails the target (see
+# cmd/benchjson). Three repetitions are run and benchjson keeps the
+# fastest — the minimum is the noise-robust estimator, without which a
+# 15% gate flakes on a busy or single-core machine.
+bench-compare:
+	$(GO) test -run='^$$' -bench=. -benchmem -count=3 $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out /tmp/resched-bench-compare.json
+	$(GO) run ./cmd/benchjson compare -label $(BENCH_LABEL) -threshold $(BENCH_THRESHOLD) -gate '$(BENCH_GATE)' $(BENCH_BASE) /tmp/resched-bench-compare.json
+
 # bench-smoke executes every benchmark in the repo exactly once so CI
 # catches benchmarks that no longer compile or crash. No timing is
 # recorded.
@@ -79,6 +97,7 @@ bench-smoke:
 # per target.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzProfileReserveUnreserve$$' -fuzztime=$(FUZZTIME) ./internal/profile
+	$(GO) test -run='^$$' -fuzz='^FuzzTreeProfileVsFlat$$' -fuzztime=$(FUZZTIME) ./internal/profile
 	$(GO) test -run='^$$' -fuzz='^FuzzScheduleParseRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/core
 
 # vuln is advisory: it reports known-vulnerable dependencies when

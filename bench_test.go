@@ -319,7 +319,7 @@ func BenchmarkProfileOps(b *testing.B) {
 	})
 	b.Run("Reserve", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			c := prof.Clone()
+			c := prof.CloneIntervals()
 			if err := c.Reserve(env.Now+1000, env.Now+1000+model.Hour, 1); err != nil {
 				b.Fatal(err)
 			}

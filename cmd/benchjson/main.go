@@ -1,10 +1,21 @@
 // Command benchjson converts `go test -bench` output into the
 // machine-readable BENCH_*.json trajectory format committed at the
-// repo root.
+// repo root, and compares two trajectory files to gate regressions.
 //
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem ./... | benchjson -label optimized -out BENCH_PR2.json
+//	benchjson compare -threshold 15 -gate internal/cpa.,internal/profile. BENCH_PR4.json BENCH_PR5.json
+//
+// compare prints the per-benchmark ns/op and allocs/op deltas for
+// every benchmark present in both files (and lists the ones only in
+// one of them), then exits non-zero if any gated benchmark — one
+// whose name starts with a -gate prefix; all common benchmarks when
+// -gate is empty — regressed ns/op by more than -threshold percent.
+// allocs/op deltas are reported but never gate: measured allocations
+// are exact, so the print is the review signal, while wall-clock
+// gating keeps the hot path honest without failing on alloc-count
+// changes a PR argues for explicitly.
 //
 // Each invocation parses the benchmark lines on stdin and stores them
 // under the given label in the output file, merging with any labels
@@ -30,6 +41,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -54,7 +66,11 @@ var benchLine = regexp.MustCompile(`^Benchmark\S+`)
 
 // parse consumes `go test -bench` output. Package headers ("pkg:
 // resched/internal/cpa") qualify the benchmark names that follow, so
-// same-named benchmarks in different packages cannot collide.
+// same-named benchmarks in different packages cannot collide. With
+// `-count` repetitions the fastest ns/op line wins: the minimum is
+// the noise-robust estimator for a CPU-bound benchmark (everything
+// that perturbs a run makes it slower, never faster), which is what
+// lets the compare gate hold a tight threshold on a shared machine.
 func parse(r *bufio.Scanner) (map[string]Result, error) {
 	out := make(map[string]Result)
 	pkg := ""
@@ -110,6 +126,9 @@ func parse(r *bufio.Scanner) (map[string]Result, error) {
 				res.Metrics[fields[i+1]] = v
 			}
 		}
+		if prev, ok := out[name]; ok && prev.NsOp > 0 && prev.NsOp <= res.NsOp {
+			continue // keep the fastest repetition
+		}
 		out[name] = res
 	}
 	return out, r.Err()
@@ -158,8 +177,131 @@ func run() error {
 	return nil
 }
 
+// loadRun reads one label's results out of a trajectory file.
+func loadRun(path, label string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s is not valid bench JSON: %w", path, err)
+	}
+	run, ok := f.Runs[label]
+	if !ok {
+		labels := make([]string, 0, len(f.Runs))
+		for l := range f.Runs {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		return nil, fmt.Errorf("%s holds no run labelled %q (has %s)", path, label, strings.Join(labels, ", "))
+	}
+	return run, nil
+}
+
+// pctDelta is the relative change from old to new in percent;
+// positive means new is larger (slower / more allocations).
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// runCompare implements the compare subcommand.
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	label := fs.String("label", "optimized", "run label to compare in both files")
+	threshold := fs.Float64("threshold", 15, "max tolerated ns/op regression on gated benchmarks, in percent")
+	gate := fs.String("gate", "", "comma-separated benchmark-name prefixes to gate; empty gates every common benchmark")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchjson compare [-label L] [-threshold N] [-gate prefixes] old.json new.json")
+	}
+	oldRun, err := loadRun(fs.Arg(0), *label)
+	if err != nil {
+		return err
+	}
+	newRun, err := loadRun(fs.Arg(1), *label)
+	if err != nil {
+		return err
+	}
+	var gates []string
+	for _, g := range strings.Split(*gate, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gates = append(gates, g)
+		}
+	}
+	gated := func(name string) bool {
+		if len(gates) == 0 {
+			return true
+		}
+		for _, g := range gates {
+			if strings.HasPrefix(name, g) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var common, added, removed []string
+	for name := range newRun {
+		if _, ok := oldRun[name]; ok {
+			common = append(common, name)
+		} else {
+			added = append(added, name)
+		}
+	}
+	for name := range oldRun {
+		if _, ok := newRun[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(common)
+	sort.Strings(added)
+	sort.Strings(removed)
+	if len(common) == 0 {
+		return fmt.Errorf("no benchmark appears in both %s and %s under label %q", fs.Arg(0), fs.Arg(1), *label)
+	}
+
+	var failed []string
+	for _, name := range common {
+		o, n := oldRun[name], newRun[name]
+		dNs := pctDelta(o.NsOp, n.NsOp)
+		dAlloc := pctDelta(o.AllocsOp, n.AllocsOp)
+		mark := " "
+		if gated(name) && dNs > *threshold {
+			mark = "!"
+			failed = append(failed, name)
+		}
+		fmt.Printf("%s %-62s ns/op %12.1f -> %12.1f (%+6.1f%%)  allocs/op %7.0f -> %7.0f (%+6.1f%%)\n",
+			mark, name, o.NsOp, n.NsOp, dNs, o.AllocsOp, n.AllocsOp, dAlloc)
+	}
+	for _, name := range added {
+		fmt.Printf("+ %-62s new benchmark, no baseline\n", name)
+	}
+	for _, name := range removed {
+		fmt.Printf("- %-62s removed, was %12.1f ns/op\n", name, oldRun[name].NsOp)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d gated benchmark(s) regressed ns/op by more than %.0f%%: %s",
+			len(failed), *threshold, strings.Join(failed, ", "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: compared %d benchmarks, no gated ns/op regression beyond %.0f%%\n",
+		len(common), *threshold)
+	return nil
+}
+
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		err = runCompare(os.Args[2:])
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

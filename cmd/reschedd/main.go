@@ -9,10 +9,16 @@
 // resv" (-resv; its processor count and observation time override
 // -procs and -origin).
 //
+// With -shards N (and an -epoch length) the book is partitioned into
+// N time epochs with independent locks and commit stamps, so commits
+// into disjoint epochs proceed concurrently.
+//
 // Examples:
 //
 //	reschedd -addr :8080 -procs 128
 //	reschedd -addr :8080 -resv resv.json -workers 8 -log json
+//	reschedd -addr :8080 -shards 8 -epoch 86400
+//	reschedd -addr :8080 -pprof-addr localhost:6060
 //
 // The daemon drains in-flight requests on SIGINT/SIGTERM before
 // exiting.
@@ -25,6 +31,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +60,9 @@ func run() error {
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit in bytes")
 	retries := flag.Int("retries", 8, "max version-conflict retries per commit")
 	logFormat := flag.String("log", "text", "log format: text or json")
+	shards := flag.Int("shards", 1, "number of time-epoch shards in the reservation book")
+	epoch := flag.Int64("epoch", int64(model.Day), "shard epoch length in seconds (used with -shards > 1)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (off when empty)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -66,7 +76,7 @@ func run() error {
 	}
 	log := slog.New(handler)
 
-	book, err := buildBook(*resv, *procs, model.Time(*origin))
+	book, err := buildBook(*resv, *procs, model.Time(*origin), *shards, model.Duration(*epoch))
 	if err != nil {
 		return err
 	}
@@ -91,18 +101,44 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() {
 		log.Info("listening",
 			"addr", *addr,
 			"procs", book.Capacity(),
 			"origin", int64(book.Origin()),
+			"shards", book.NumShards(),
 			"reservations", len(book.List()),
 		)
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
 	}()
+
+	// The profiling listener is deliberately separate from the API
+	// listener: pprof endpoints are never exposed on the serving
+	// address, and leaving -pprof-addr empty (the default) keeps them
+	// out of the process entirely.
+	var ps *http.Server
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pm,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Info("pprof listening", "addr", *pprofAddr)
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("pprof: %w", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -115,16 +151,22 @@ func run() error {
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	if ps != nil {
+		if err := ps.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("pprof shutdown: %w", err)
+		}
+	}
 	log.Info("bye", "final_version", book.Version())
 	return nil
 }
 
 // buildBook seeds the reservation book: empty with the given capacity
 // and origin, or from a reservation-schedule file whose own processor
-// count and observation time take precedence.
-func buildBook(resvPath string, procs int, origin model.Time) (*resbook.Book, error) {
+// count and observation time take precedence. With shards > 1 the
+// book is partitioned into time epochs of the given length.
+func buildBook(resvPath string, procs int, origin model.Time, shards int, epoch model.Duration) (*resbook.Book, error) {
 	if resvPath == "" {
-		return resbook.New(procs, origin), nil
+		return resbook.NewSharded(procs, origin, shards, epoch)
 	}
 	f, err := os.Open(resvPath)
 	if err != nil {
@@ -135,5 +177,12 @@ func buildBook(resvPath string, procs int, origin model.Time) (*resbook.Book, er
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", resvPath, err)
 	}
-	return resbook.FromReservations(p, now, rs)
+	b, err := resbook.NewSharded(p, now, shards, epoch)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Seed(rs); err != nil {
+		return nil, err
+	}
+	return b, nil
 }

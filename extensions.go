@@ -50,7 +50,7 @@ type (
 )
 
 // NewSimulatedBatch wraps a clone of the profile as a BatchSystem.
-func NewSimulatedBatch(avail *Profile, now Time) *SimulatedBatch {
+func NewSimulatedBatch(avail Intervals, now Time) *SimulatedBatch {
 	return probe.NewSimulatedBatch(avail, now)
 }
 

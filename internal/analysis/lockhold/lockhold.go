@@ -26,15 +26,40 @@
 // Goroutine launches are not blocking at the launch site and their
 // bodies run on their own stacks, so `go` statements are ignored both
 // here and in fact inference.
+//
+// # The lockorder directive
+//
+// The sharded reservation book acquires several locks of the same
+// field — b.shards[i].mu for ascending i — which the nested-lock rule
+// would otherwise flag as a same-key re-entrant deadlock. A function
+// whose doc comment carries
+//
+//	//reschedvet:lockorder
+//
+// declares that it participates in the book's global lock order:
+// every multi-lock acquisition walks shard indices strictly upward,
+// so overlapping spans cannot deadlock. Under the directive,
+// re-entrant and nested reports are suppressed only for lock
+// operations whose receiver is indexed (contains an IndexExpr);
+// acquiring a plain, non-indexed lock still gets the full check,
+// because the directive documents an indexed protocol, not a blanket
+// waiver. A directive on a function with no indexed lock operation is
+// itself reported — stale declarations must not linger. Declaring
+// functions export a LockOrdered fact, visible in -facts dumps.
 package lockhold
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"resched/internal/analysis"
 )
+
+// lockOrderDirective declares that a function acquires same-field
+// locks through ascending indices — the book's global lock order.
+const lockOrderDirective = "//reschedvet:lockorder"
 
 // CheckedPackages get the critical-section check. MayBlock facts are
 // inferred module-wide regardless, so serving packages see the
@@ -50,20 +75,30 @@ type MayBlock struct{}
 
 func (*MayBlock) AFact() {}
 
+// LockOrdered marks a function declared //reschedvet:lockorder: it
+// acquires same-field locks in ascending index order, the global lock
+// order that makes multi-shard spans deadlock-free.
+type LockOrdered struct{}
+
+func (*LockOrdered) AFact() {}
+
 func init() {
 	analysis.RegisterFact("lockhold.MayBlock", (*MayBlock)(nil))
+	analysis.RegisterFact("lockhold.LockOrdered", (*LockOrdered)(nil))
 }
 
 // Analyzer flags blocking operations performed while a lock is held.
 var Analyzer = &analysis.Analyzer{
 	Name: "lockhold",
 	Doc: "no blocking operation (channel op, sleep, Wait, nested lock, net I/O, or a call " +
-		"that may block) while a sync lock is held in the serving path",
+		"that may block) while a sync lock is held in the serving path; indexed same-field " +
+		"acquisitions are allowed under a //reschedvet:lockorder directive",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
 	mayBlock := inferMayBlock(pass)
+	ordered := lockOrderedDecls(pass)
 	if !CheckedPackages[pass.Pkg.Path()] {
 		return nil
 	}
@@ -72,9 +107,82 @@ func run(pass *analysis.Pass) error {
 		if pass.InTestFile(fd.Pos()) {
 			continue
 		}
-		checkSections(pass, fd, mayBlock)
+		checkSections(pass, fd, mayBlock, ordered[fd])
 	}
 	return nil
+}
+
+// lockOrderedDecls collects the functions declaring the lockorder
+// directive, exports their LockOrdered facts, and enforces the
+// directive's own hygiene: a declaration must be backed by at least
+// one indexed lock operation, or it is stale documentation.
+func lockOrderedDecls(pass *analysis.Pass) map[*ast.FuncDecl]bool {
+	ordered := map[*ast.FuncDecl]bool{}
+	decls, _ := analysis.FuncDecls(pass.Files, pass.TypesInfo)
+	for _, fd := range decls {
+		if !hasDirective(fd.Doc, lockOrderDirective) {
+			continue
+		}
+		ordered[fd] = true
+		if !hasIndexedLockOp(pass.TypesInfo, fd.Body) {
+			pass.Reportf(fd.Pos(), "lockorder directive on %s but no indexed lock operation in its body",
+				fd.Name.Name)
+		}
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && analysis.InModule(pass.Pkg.Path()) {
+			pass.ExportObjectFact(fn, &LockOrdered{})
+		}
+	}
+	return ordered
+}
+
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// indexedLockOp reports whether call is a mutex Lock/RLock/
+// Unlock/RUnlock whose receiver expression is indexed — the
+// `shards[i].mu` shape the lockorder directive blesses.
+func indexedLockOp(info *types.Info, call *ast.CallExpr) bool {
+	if key, acquire, release := lockMethod(info, call); key == nil || (!acquire && !release) {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	indexed := false
+	ast.Inspect(sel.X, func(n ast.Node) bool {
+		if _, ok := n.(*ast.IndexExpr); ok {
+			indexed = true
+			return false
+		}
+		return true
+	})
+	return indexed
+}
+
+// hasIndexedLockOp reports whether body performs any indexed lock
+// operation.
+func hasIndexedLockOp(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && indexedLockOp(info, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // inferMayBlock computes which declared functions may block and
@@ -246,8 +354,10 @@ func selectHasDefault(s *ast.SelectStmt) bool {
 }
 
 // checkSections runs the may-held analysis over fd and reports
-// blocking operations under a lock.
-func checkSections(pass *analysis.Pass, fd *ast.FuncDecl, mayBlock map[*types.Func]bool) {
+// blocking operations under a lock. ordered indicates a lockorder
+// directive on fd: indexed same-field acquisitions are then exempt
+// from the re-entrant and nested-lock reports.
+func checkSections(pass *analysis.Pass, fd *ast.FuncDecl, mayBlock map[*types.Func]bool, ordered bool) {
 	info := pass.TypesInfo
 	cfg := analysis.NewCFG(fd.Body)
 	n := len(cfg.Blocks)
@@ -314,7 +424,7 @@ func checkSections(pass *analysis.Pass, fd *ast.FuncDecl, mayBlock map[*types.Fu
 		held := clone(heldIn[b.Index]) // nil clones to empty: unreachable blocks hold nothing
 		for _, node := range b.Nodes {
 			if !comms[node] {
-				visitHeld(pass, node, held, mayBlock)
+				visitHeld(pass, node, held, mayBlock, ordered)
 			}
 			transferHeld(info, node, held)
 		}
@@ -357,8 +467,9 @@ func heldName(held map[*types.Var]bool) string {
 }
 
 // visitHeld reports blocking operations in node while held is
-// non-empty.
-func visitHeld(pass *analysis.Pass, node ast.Node, held map[*types.Var]bool, mayBlock map[*types.Func]bool) {
+// non-empty. ordered exempts indexed acquisitions from the re-entrant
+// and nested-lock reports (lockorder directive).
+func visitHeld(pass *analysis.Pass, node ast.Node, held map[*types.Var]bool, mayBlock map[*types.Func]bool, ordered bool) {
 	info := pass.TypesInfo
 	// Track acquisitions/releases inside the node so a Lock directly
 	// followed by a blocking call in the same statement list block is
@@ -393,7 +504,11 @@ func visitHeld(pass *analysis.Pass, node ast.Node, held map[*types.Var]bool, may
 			key, acquire, release := lockMethod(info, n)
 			if key != nil {
 				if acquire {
-					if local[key] {
+					if ordered && indexedLockOp(info, n) {
+						// Declared lock-ordered and acquiring through
+						// an index: the ascending-order protocol, not
+						// a deadlock.
+					} else if local[key] {
 						pass.Reportf(n.Pos(), "re-entrant acquisition of %s deadlocks", key.Name())
 					} else if len(local) > 0 {
 						pass.Reportf(n.Pos(), "acquiring %s while %s is held nests locks in the serving path", key.Name(), heldName(local))

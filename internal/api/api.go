@@ -83,6 +83,26 @@ type ScheduleResponse struct {
 	Retries        int      `json:"retries"`
 }
 
+// BatchScheduleRequest schedules several applications against one
+// book snapshot: job i+1 sees job i's placements, and with Commit all
+// jobs book atomically through a single optimistic commit. Per-job
+// Commit flags are ignored; the batch-level flag decides.
+type BatchScheduleRequest struct {
+	Jobs   []ScheduleRequest `json:"jobs"`
+	Commit bool              `json:"commit,omitempty"`
+}
+
+// BatchScheduleResponse reports the per-job schedules plus the shared
+// commit outcome. Version, Committed, and Retries describe the batch
+// commit; the per-job responses carry their own placements and
+// reservation IDs.
+type BatchScheduleResponse struct {
+	Version   uint64             `json:"version"`
+	Committed bool               `json:"committed"`
+	Retries   int                `json:"retries"`
+	Jobs      []ScheduleResponse `json:"jobs"`
+}
+
 // ReservationRequest books one direct advance reservation.
 type ReservationRequest struct {
 	Start model.Time `json:"start"`

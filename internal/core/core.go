@@ -162,9 +162,11 @@ type Env struct {
 	// reservation starts at or after Now.
 	Now model.Time
 	// Avail is the availability profile holding all competing
-	// reservations. Its origin must not be after Now. Schedulers clone
-	// it; the caller's profile is never modified.
-	Avail *profile.Profile
+	// reservations, on either backend (flat *profile.Profile or
+	// *profile.TreeProfile; see profile.Auto). Its origin must not be
+	// after Now. Schedulers clone it; the caller's profile is never
+	// modified.
+	Avail profile.Intervals
 	// Q is the historical average number of available processors
 	// (Section 4.2). If zero, it defaults to P.
 	Q int
@@ -254,7 +256,7 @@ type Scheduler struct {
 	scratchReqs   []profile.FitRequest
 	scratchStarts []model.Time
 	scratchOK     []bool
-	scratchAvail  profile.Profile
+	scratchAvail  profile.Intervals
 }
 
 // NewScheduler returns a Scheduler for the given application using the
@@ -331,10 +333,12 @@ func (s *Scheduler) fitRequests(seq model.Duration, alpha float64, bound int) []
 // workingAvail copies the environment's availability profile into the
 // scheduler's scratch profile, the mutable working copy a scheduling
 // call commits task reservations into. The caller's profile is never
-// modified; reusing the scratch avoids a full Clone per call.
-func (s *Scheduler) workingAvail(env *Env) *profile.Profile {
-	env.Avail.CloneInto(&s.scratchAvail)
-	return &s.scratchAvail
+// modified; reusing the scratch avoids a full Clone per call. The copy
+// stays on the environment's backend, so a tree-backed Env keeps its
+// O(log n) probes through the whole computation.
+func (s *Scheduler) workingAvail(env *Env) profile.Intervals {
+	s.scratchAvail = profile.CopyIntervals(env.Avail, s.scratchAvail)
+	return s.scratchAvail
 }
 
 // bounds returns the per-task allocation bounds under the given

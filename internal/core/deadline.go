@@ -89,7 +89,7 @@ func taskDeadline(sched *Schedule, succs []int, deadline model.Time) model.Time 
 // time among allocations 1..bound, the aggressive choice of Section
 // 5.2.1. Ties favor fewer processors. The candidate probes run as one
 // batch LatestFits sweep of the profile.
-func (s *Scheduler) latestPair(avail *profile.Profile, task taskParams, bound int, now, dl model.Time) (int, model.Time, bool) {
+func (s *Scheduler) latestPair(avail profile.Intervals, task taskParams, bound int, now, dl model.Time) (int, model.Time, bool) {
 	reqs := s.fitRequests(task.seq, task.alpha, bound)
 	s.scratchStarts, s.scratchOK = avail.LatestFits(reqs, now, dl, s.scratchStarts, s.scratchOK)
 	bestM, bestStart, found := 0, model.Time(0), false
@@ -260,7 +260,7 @@ func (s *Scheduler) deadlineLambda(ctx context.Context, env Env, q int, deadline
 }
 
 // commit reserves the chosen placement and records it.
-func (s *Scheduler) commit(avail *profile.Profile, sched *Schedule, t, m int, st model.Time) error {
+func (s *Scheduler) commit(avail profile.Intervals, sched *Schedule, t, m int, st model.Time) error {
 	d := model.ExecTime(s.g.Task(t).Seq, s.g.Task(t).Alpha, m)
 	if d > 0 {
 		if err := avail.Reserve(st, st+d, m); err != nil {

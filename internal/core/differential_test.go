@@ -36,7 +36,7 @@ func naiveTurnaround(s *Scheduler, env Env, bl BLMethod, bd BDMethod) (*Schedule
 	if err != nil {
 		return nil, err
 	}
-	avail := env.Avail.Clone()
+	avail := env.Avail.CloneIntervals()
 	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
 	for _, t := range order {
 		ready := env.Now
@@ -73,7 +73,7 @@ func naiveTurnaround(s *Scheduler, env Env, bl BLMethod, bd BDMethod) (*Schedule
 
 // naiveLatestPair is the pre-optimization aggressive pick: one solo
 // LatestFit per candidate allocation.
-func naiveLatestPair(avail *profile.Profile, task taskParams, bound int, now, dl model.Time) (int, model.Time, bool) {
+func naiveLatestPair(avail profile.Intervals, task taskParams, bound int, now, dl model.Time) (int, model.Time, bool) {
 	bestM, bestStart, found := 0, model.Time(0), false
 	for _, m := range allocCandidates(task.seq, task.alpha, bound) {
 		d := model.ExecTime(task.seq, task.alpha, m)
@@ -125,7 +125,7 @@ func naiveDeadline(s *Scheduler, env Env, algo DLAlgorithm, deadline model.Time)
 	if err != nil {
 		return nil, err
 	}
-	avail := env.Avail.Clone()
+	avail := env.Avail.CloneIntervals()
 	sched := &Schedule{Now: env.Now, Tasks: make([]Placement, s.g.NumTasks())}
 	unscheduled := make([]bool, s.g.NumTasks())
 	for i := range unscheduled {

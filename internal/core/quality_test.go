@@ -52,7 +52,7 @@ func fixedAllocCompletion(g *dag.Graph, env Env, alloc []int) (model.Time, bool)
 	if err != nil {
 		return 0, false
 	}
-	avail := env.Avail.Clone()
+	avail := env.Avail.CloneIntervals()
 	finish := make([]model.Time, g.NumTasks())
 	completion := env.Now
 	for _, t := range order {

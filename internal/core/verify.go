@@ -23,7 +23,7 @@ func (s *Scheduler) Verify(env Env, sched *Schedule) error {
 	if len(sched.Tasks) != s.g.NumTasks() {
 		return fmt.Errorf("core: schedule has %d placements for %d tasks", len(sched.Tasks), s.g.NumTasks())
 	}
-	avail := env.Avail.Clone()
+	avail := env.Avail.CloneIntervals()
 	for t, pl := range sched.Tasks {
 		task := s.g.Task(t)
 		if pl.Procs < 1 || pl.Procs > env.P {

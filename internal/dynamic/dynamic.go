@@ -155,7 +155,7 @@ func Run(g *dag.Graph, env core.Env, comp Competitor, strategy Strategy, rng *ra
 	}
 	res := &Result{PlannedTurnaround: plan.Turnaround()}
 
-	live := env.Avail.Clone()
+	live := env.Avail.Flat()
 	exec := func(t, m int) model.Duration {
 		task := g.Task(t)
 		return model.ExecTime(task.Seq, task.Alpha, m)

@@ -73,7 +73,7 @@ func Render(w io.Writer, g *dag.Graph, env core.Env, s *core.Schedule, width int
 
 	// Cluster load band: competing reservations plus the application's
 	// own, sampled per column.
-	app := env.Avail.Clone()
+	app := env.Avail.Flat()
 	for _, pl := range s.Tasks {
 		if pl.End > pl.Start {
 			if err := app.Reserve(pl.Start, pl.End, pl.Procs); err != nil {

@@ -135,7 +135,7 @@ func mapWithAllocs(g *dag.Graph, env core.Env, alloc []int) (*core.Schedule, err
 	if err != nil {
 		return nil, err
 	}
-	avail := env.Avail.Clone()
+	avail := env.Avail.Flat()
 	sched := &core.Schedule{Now: env.Now, Tasks: make([]core.Placement, g.NumTasks())}
 	for _, t := range order {
 		ready := env.Now

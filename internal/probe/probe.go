@@ -44,7 +44,7 @@ type BatchSystem interface {
 // the stand-in for a production batch scheduler in simulations. It
 // counts probes so experiments can report the cost of blindness.
 type SimulatedBatch struct {
-	avail  *profile.Profile
+	avail  profile.Intervals
 	now    model.Time
 	probes int
 	books  int
@@ -52,8 +52,8 @@ type SimulatedBatch struct {
 
 // NewSimulatedBatch wraps a clone of the given profile; the caller's
 // profile is never modified.
-func NewSimulatedBatch(avail *profile.Profile, now model.Time) *SimulatedBatch {
-	return &SimulatedBatch{avail: avail.Clone(), now: now}
+func NewSimulatedBatch(avail profile.Intervals, now model.Time) *SimulatedBatch {
+	return &SimulatedBatch{avail: avail.CloneIntervals(), now: now}
 }
 
 // Capacity implements BatchSystem.

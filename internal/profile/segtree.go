@@ -1,0 +1,950 @@
+package profile
+
+// TreeProfile is the O(log n) availability-profile backend: the same
+// step function as the flat Profile, indexed by a treap (randomized
+// balanced BST) over the segment-start breakpoints. Each node carries
+// its segment's free-processor count plus subtree min/max aggregates
+// and a lazy range-add tag, so
+//
+//   - FreeAt / MinFree            are tree descents,          O(log n)
+//   - Reserve / Unreserve         are two breakpoint inserts,
+//                                 one lazy range-add, and up to
+//                                 two coalescing deletes,     O(log n)
+//   - EarliestFit / LatestFit     probe blocking segments via
+//                                 aggregate-pruned descents,  O((b+1) log n)
+//                                 where b is the number of blocking
+//                                 segments the probe must skip,
+//
+// versus the flat backend's O(n) scans. AvgFree and the rendering
+// queries traverse the queried window, O(k + log n) for k segments.
+//
+// The tree lives in an index-based node arena (nodes[0] is the nil
+// sentinel), so cloning is a slice copy and a pooled TreeProfile can
+// be reloaded in place (LoadProfile) without churning the allocator.
+// Node priorities come from a splitmix64 stream seeded by the
+// insertion counter: fully deterministic, so differential runs against
+// the flat oracle are reproducible.
+//
+// Every query and mutation is semantically bit-identical to the flat
+// backend — same results, same error messages, same panics on
+// programming errors. The differential tests and
+// FuzzTreeProfileVsFlat enforce this.
+
+import (
+	"fmt"
+	"math"
+
+	"resched/internal/model"
+)
+
+// tnode is one treap node: the segment starting at key holds val free
+// processors until the next breakpoint. mn/mx aggregate val over the
+// node's subtree; add is the pending lazy increment for both child
+// subtrees (the node's own val/mn/mx are always current).
+type tnode struct {
+	l, r int32
+	prio uint64
+	key  model.Time
+	val  int
+	mn   int
+	mx   int
+	add  int
+}
+
+const (
+	freeCeil  = int(1) << 30    // above any processor count: range-min identity
+	freeFloor = -(int(1) << 30) // below any processor count: range-max identity
+	keyFloor  = model.Time(math.MinInt64 / 2)
+	keyCeil   = model.Time(math.MaxInt64 / 2)
+)
+
+// TreeProfile is a step function of free processors over
+// [origin, +inf) answering queries in O(log n). The zero value is not
+// usable; construct with NewTree, NewTreeFromProfile, or LoadProfile.
+type TreeProfile struct {
+	capacity int
+	origin   model.Time
+	nodes    []tnode // arena; nodes[0] is the nil sentinel
+	root     int32
+	free     int32 // head of the recycled-slot list, linked through l
+	n        int   // live segment count
+	seed     uint64
+	spine    []int32 // scratch for the O(n) sorted build
+}
+
+// splitmix64 is the deterministic priority stream for treap nodes.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewTree returns an empty tree-backed profile: capacity processors
+// free from origin onward.
+func NewTree(capacity int, origin model.Time) *TreeProfile {
+	t := &TreeProfile{}
+	t.reset(capacity, origin)
+	t.root = t.alloc(origin, capacity)
+	t.n = 1
+	return t
+}
+
+// NewTreeFromProfile returns a tree-backed copy of the flat profile p,
+// built in O(n). p is not retained.
+func NewTreeFromProfile(p *Profile) *TreeProfile {
+	t := &TreeProfile{}
+	t.LoadProfile(p)
+	return t
+}
+
+// LoadProfile rebuilds t in place as a copy of the flat profile p,
+// reusing t's node arena. It is CloneInto across backends: the serving
+// layer pools TreeProfiles and reloads them per request.
+func (t *TreeProfile) LoadProfile(p *Profile) {
+	t.reset(p.capacity, p.times[0])
+	t.buildSorted(p.times, p.free)
+}
+
+// reset reinitializes the arena to just the nil sentinel.
+func (t *TreeProfile) reset(capacity int, origin model.Time) {
+	t.capacity = capacity
+	t.origin = origin
+	if t.nodes == nil {
+		t.nodes = make([]tnode, 1, 64)
+	} else {
+		t.nodes = t.nodes[:1]
+	}
+	t.nodes[0] = tnode{mn: freeCeil, mx: freeFloor}
+	t.root = 0
+	t.free = 0
+	t.n = 0
+}
+
+// buildSorted builds a proper random treap from the sorted step
+// function in O(n), pushing each new rightmost node onto the right
+// spine and rotating by priority, then recomputing aggregates bottom-up.
+func (t *TreeProfile) buildSorted(times []model.Time, free []int) {
+	spine := t.spine[:0]
+	for i := range times {
+		ni := t.alloc(times[i], free[i])
+		prio := t.nodes[ni].prio
+		var last int32
+		for len(spine) > 0 && t.nodes[spine[len(spine)-1]].prio < prio {
+			last = spine[len(spine)-1]
+			spine = spine[:len(spine)-1]
+		}
+		t.nodes[ni].l = last
+		if len(spine) > 0 {
+			t.nodes[spine[len(spine)-1]].r = ni
+		} else {
+			t.root = ni
+		}
+		spine = append(spine, ni)
+	}
+	t.spine = spine[:0]
+	t.n = len(times)
+	t.pullAll(t.root)
+}
+
+func (t *TreeProfile) pullAll(i int32) {
+	if i == 0 {
+		return
+	}
+	t.pullAll(t.nodes[i].l)
+	t.pullAll(t.nodes[i].r)
+	t.pull(i)
+}
+
+// Clone returns an independent copy: one slice copy of the arena.
+func (t *TreeProfile) Clone() *TreeProfile {
+	c := *t
+	c.nodes = append([]tnode(nil), t.nodes...)
+	c.spine = nil
+	return &c
+}
+
+// CloneInto overwrites dst with a copy of t, reusing dst's arena when
+// large enough — the tree counterpart of (*Profile).CloneInto.
+func (t *TreeProfile) CloneInto(dst *TreeProfile) {
+	dst.capacity = t.capacity
+	dst.origin = t.origin
+	dst.nodes = append(dst.nodes[:0], t.nodes...)
+	dst.root = t.root
+	dst.free = t.free
+	dst.n = t.n
+	dst.seed = t.seed
+}
+
+// CloneIntervals implements Intervals.
+func (t *TreeProfile) CloneIntervals() Intervals { return t.Clone() }
+
+// Flat returns an independent flat-backend copy of the step function.
+func (t *TreeProfile) Flat() *Profile {
+	p := &Profile{
+		capacity: t.capacity,
+		times:    make([]model.Time, 0, t.n),
+		free:     make([]int, 0, t.n),
+	}
+	t.visit(t.root, 0, func(k model.Time, v int) bool {
+		p.times = append(p.times, k)
+		p.free = append(p.free, v)
+		return true
+	})
+	return p
+}
+
+// Capacity returns the cluster size.
+func (t *TreeProfile) Capacity() int { return t.capacity }
+
+// Origin returns the start of the profile's horizon.
+func (t *TreeProfile) Origin() model.Time { return t.origin }
+
+// NumSegments returns the number of segments of the step function.
+func (t *TreeProfile) NumSegments() int { return t.n }
+
+// ---- arena plumbing ----
+
+func (t *TreeProfile) alloc(key model.Time, val int) int32 {
+	var i int32
+	if t.free != 0 {
+		i = t.free
+		t.free = t.nodes[i].l
+	} else {
+		t.nodes = append(t.nodes, tnode{})
+		i = int32(len(t.nodes) - 1)
+	}
+	t.seed++
+	t.nodes[i] = tnode{key: key, val: val, mn: val, mx: val, prio: splitmix64(t.seed)}
+	return i
+}
+
+func (t *TreeProfile) freeNode(i int32) {
+	t.nodes[i] = tnode{l: t.free}
+	t.free = i
+}
+
+// apply adds d to every segment in i's subtree (lazily for children).
+func (t *TreeProfile) apply(i int32, d int) {
+	if i == 0 {
+		return
+	}
+	n := &t.nodes[i]
+	n.val += d
+	n.mn += d
+	n.mx += d
+	n.add += d
+}
+
+func (t *TreeProfile) pushdown(i int32) {
+	n := &t.nodes[i]
+	if n.add != 0 {
+		t.apply(n.l, n.add)
+		t.apply(n.r, n.add)
+		n.add = 0
+	}
+}
+
+// pull recomputes i's aggregates from its (up-to-date) children; i's
+// own lazy tag must be clear.
+func (t *TreeProfile) pull(i int32) {
+	n := &t.nodes[i]
+	mn, mx := n.val, n.val
+	if l := n.l; l != 0 {
+		if v := t.nodes[l].mn; v < mn {
+			mn = v
+		}
+		if v := t.nodes[l].mx; v > mx {
+			mx = v
+		}
+	}
+	if r := n.r; r != 0 {
+		if v := t.nodes[r].mn; v < mn {
+			mn = v
+		}
+		if v := t.nodes[r].mx; v > mx {
+			mx = v
+		}
+	}
+	n.mn, n.mx = mn, mx
+}
+
+func (t *TreeProfile) rotRight(i int32) int32 {
+	l := t.nodes[i].l
+	t.nodes[i].l = t.nodes[l].r
+	t.nodes[l].r = i
+	t.pull(i)
+	t.pull(l)
+	return l
+}
+
+func (t *TreeProfile) rotLeft(i int32) int32 {
+	r := t.nodes[i].r
+	t.nodes[i].r = t.nodes[r].l
+	t.nodes[r].l = i
+	t.pull(i)
+	t.pull(r)
+	return r
+}
+
+// insert adds a new breakpoint; the key must not be present.
+func (t *TreeProfile) insert(i int32, key model.Time, val int) int32 {
+	if i == 0 {
+		return t.alloc(key, val)
+	}
+	t.pushdown(i)
+	if key < t.nodes[i].key {
+		l := t.insert(t.nodes[i].l, key, val)
+		t.nodes[i].l = l
+		if t.nodes[l].prio > t.nodes[i].prio {
+			i = t.rotRight(i)
+			t.pull(i)
+			return i
+		}
+	} else {
+		r := t.insert(t.nodes[i].r, key, val)
+		t.nodes[i].r = r
+		if t.nodes[r].prio > t.nodes[i].prio {
+			i = t.rotLeft(i)
+			t.pull(i)
+			return i
+		}
+	}
+	t.pull(i)
+	return i
+}
+
+// erase removes the breakpoint at key; the key must be present.
+func (t *TreeProfile) erase(i int32, key model.Time) int32 {
+	if i == 0 {
+		return 0
+	}
+	t.pushdown(i)
+	switch {
+	case key < t.nodes[i].key:
+		t.nodes[i].l = t.erase(t.nodes[i].l, key)
+	case key > t.nodes[i].key:
+		t.nodes[i].r = t.erase(t.nodes[i].r, key)
+	default:
+		j := t.merge(t.nodes[i].l, t.nodes[i].r)
+		t.freeNode(i)
+		return j
+	}
+	t.pull(i)
+	return i
+}
+
+// merge joins two treaps where every key of a precedes every key of b.
+func (t *TreeProfile) merge(a, b int32) int32 {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	if t.nodes[a].prio > t.nodes[b].prio {
+		t.pushdown(a)
+		t.nodes[a].r = t.merge(t.nodes[a].r, b)
+		t.pull(a)
+		return a
+	}
+	t.pushdown(b)
+	t.nodes[b].l = t.merge(a, t.nodes[b].l)
+	t.pull(b)
+	return b
+}
+
+// rangeAdd adds d to every segment with key in [lo, hi). (lb, ub) are
+// the inclusive key bounds of i's subtree implied by the descent path,
+// which is what lets a fully covered subtree absorb the add lazily.
+func (t *TreeProfile) rangeAdd(i int32, lb, ub, lo, hi model.Time, d int) {
+	if i == 0 || ub < lo || lb >= hi {
+		return
+	}
+	if lo <= lb && ub < hi {
+		t.apply(i, d)
+		return
+	}
+	t.pushdown(i)
+	k := t.nodes[i].key
+	if lo <= k && k < hi {
+		t.nodes[i].val += d
+	}
+	t.rangeAdd(t.nodes[i].l, lb, k-1, lo, hi, d)
+	t.rangeAdd(t.nodes[i].r, k+1, ub, lo, hi, d)
+	t.pull(i)
+}
+
+// ---- read-only descents ----
+//
+// Queries never push lazy tags down: they accumulate the pending adds
+// of strict ancestors in acc instead, so every query method leaves the
+// tree untouched (a shared snapshot can be probed without copying).
+
+// floor returns the key and value of the segment containing x — the
+// greatest breakpoint <= x. ok is false when x precedes the origin.
+func (t *TreeProfile) floor(x model.Time) (key model.Time, val int, ok bool) {
+	i, acc := t.root, 0
+	for i != 0 {
+		n := &t.nodes[i]
+		if x < n.key {
+			acc += n.add
+			i = n.l
+		} else {
+			key, val, ok = n.key, n.val+acc, true
+			acc += n.add
+			i = n.r
+		}
+	}
+	return key, val, ok
+}
+
+// succKey returns the smallest breakpoint > x, or model.Infinity — the
+// exclusive end of the segment whose key is the floor of x.
+func (t *TreeProfile) succKey(x model.Time) model.Time {
+	i := t.root
+	s := model.Infinity
+	for i != 0 {
+		n := &t.nodes[i]
+		if n.key > x {
+			s = n.key
+			i = n.l
+		} else {
+			i = n.r
+		}
+	}
+	return s
+}
+
+// rangeMin returns the minimum free count over segments with key in
+// [lo, hi), or freeCeil when none exist.
+func (t *TreeProfile) rangeMin(i int32, acc int, lb, ub, lo, hi model.Time) int {
+	if i == 0 || ub < lo || lb >= hi {
+		return freeCeil
+	}
+	n := &t.nodes[i]
+	if lo <= lb && ub < hi {
+		return n.mn + acc
+	}
+	m := freeCeil
+	if lo <= n.key && n.key < hi {
+		m = n.val + acc
+	}
+	acc += n.add
+	if v := t.rangeMin(n.l, acc, lb, n.key-1, lo, hi); v < m {
+		m = v
+	}
+	if v := t.rangeMin(n.r, acc, n.key+1, ub, lo, hi); v < m {
+		m = v
+	}
+	return m
+}
+
+// firstBelow returns the leftmost segment with key >= from and fewer
+// than procs free — the first blocking segment an EarliestFit probe
+// starting there must clear. Subtrees whose min already satisfies
+// procs are pruned via the aggregates.
+func (t *TreeProfile) firstBelow(i int32, acc int, procs int, from model.Time) (model.Time, bool) {
+	if i == 0 {
+		return 0, false
+	}
+	n := &t.nodes[i]
+	if n.mn+acc >= procs {
+		return 0, false
+	}
+	if n.key < from {
+		return t.firstBelow(n.r, acc+n.add, procs, from)
+	}
+	if k, ok := t.firstBelow(n.l, acc+n.add, procs, from); ok {
+		return k, ok
+	}
+	if n.val+acc < procs {
+		return n.key, true
+	}
+	return t.firstBelow(n.r, acc+n.add, procs, from)
+}
+
+// firstAbove returns the leftmost segment with key in [from, to) and
+// more than limit free — the first over-released segment an Unreserve
+// validation must report. The value returned is that segment's free
+// count.
+func (t *TreeProfile) firstAbove(i int32, acc int, limit int, from, to model.Time) (int, bool) {
+	if i == 0 {
+		return 0, false
+	}
+	n := &t.nodes[i]
+	if n.mx+acc <= limit {
+		return 0, false
+	}
+	if n.key >= to {
+		return t.firstAbove(n.l, acc+n.add, limit, from, to)
+	}
+	if n.key < from {
+		return t.firstAbove(n.r, acc+n.add, limit, from, to)
+	}
+	if v, ok := t.firstAbove(n.l, acc+n.add, limit, from, to); ok {
+		return v, ok
+	}
+	if n.val+acc > limit {
+		return n.val + acc, true
+	}
+	return t.firstAbove(n.r, acc+n.add, limit, from, to)
+}
+
+// lastFeasibleUpTo returns the rightmost segment with key <= upto and
+// at least procs free — the top of the latest feasible run.
+func (t *TreeProfile) lastFeasibleUpTo(i int32, acc int, procs int, upto model.Time) (model.Time, bool) {
+	if i == 0 {
+		return 0, false
+	}
+	n := &t.nodes[i]
+	if n.mx+acc < procs {
+		return 0, false
+	}
+	if n.key > upto {
+		return t.lastFeasibleUpTo(n.l, acc+n.add, procs, upto)
+	}
+	if k, ok := t.lastFeasibleUpTo(n.r, acc+n.add, procs, upto); ok {
+		return k, ok
+	}
+	if n.val+acc >= procs {
+		return n.key, true
+	}
+	return t.lastFeasibleUpTo(n.l, acc+n.add, procs, upto)
+}
+
+// lastBlockingUpTo returns the rightmost segment with key <= upto and
+// fewer than procs free — the blocking segment bounding a feasible
+// run from below.
+func (t *TreeProfile) lastBlockingUpTo(i int32, acc int, procs int, upto model.Time) (model.Time, bool) {
+	if i == 0 {
+		return 0, false
+	}
+	n := &t.nodes[i]
+	if n.mn+acc >= procs {
+		return 0, false
+	}
+	if n.key > upto {
+		return t.lastBlockingUpTo(n.l, acc+n.add, procs, upto)
+	}
+	if k, ok := t.lastBlockingUpTo(n.r, acc+n.add, procs, upto); ok {
+		return k, ok
+	}
+	if n.val+acc < procs {
+		return n.key, true
+	}
+	return t.lastBlockingUpTo(n.l, acc+n.add, procs, upto)
+}
+
+// visit walks the tree in key order calling fn(key, free); fn returns
+// false to stop early.
+func (t *TreeProfile) visit(i int32, acc int, fn func(model.Time, int) bool) bool {
+	if i == 0 {
+		return true
+	}
+	n := &t.nodes[i]
+	if !t.visit(n.l, acc+n.add, fn) {
+		return false
+	}
+	if !fn(n.key, n.val+acc) {
+		return false
+	}
+	return t.visit(n.r, acc+n.add, fn)
+}
+
+// visitFrom is visit restricted to keys >= from.
+func (t *TreeProfile) visitFrom(i int32, acc int, from model.Time, fn func(model.Time, int) bool) bool {
+	if i == 0 {
+		return true
+	}
+	n := &t.nodes[i]
+	if n.key < from {
+		return t.visitFrom(n.r, acc+n.add, from, fn)
+	}
+	if !t.visitFrom(n.l, acc+n.add, from, fn) {
+		return false
+	}
+	if !fn(n.key, n.val+acc) {
+		return false
+	}
+	return t.visit(n.r, acc+n.add, fn)
+}
+
+// ---- queries (semantics identical to the flat backend) ----
+
+// FreeAt returns the number of free processors at time t. Times before
+// the origin report the origin's availability.
+func (t *TreeProfile) FreeAt(at model.Time) int {
+	if at < t.origin {
+		at = t.origin
+	}
+	_, v, _ := t.floor(at)
+	return v
+}
+
+// ReservedAt returns capacity - FreeAt(t).
+func (t *TreeProfile) ReservedAt(at model.Time) int { return t.capacity - t.FreeAt(at) }
+
+// MinFree returns the minimum number of free processors over
+// [start, end). It panics if end <= start.
+func (t *TreeProfile) MinFree(start, end model.Time) int {
+	if end <= start {
+		panic(fmt.Sprintf("profile: MinFree over empty interval [%d,%d)", start, end))
+	}
+	if start < t.origin {
+		start = t.origin
+	}
+	fk, _, _ := t.floor(start)
+	m := t.rangeMin(t.root, 0, keyFloor, keyCeil, fk, end)
+	if m > t.capacity {
+		m = t.capacity
+	}
+	return m
+}
+
+// AvgFree returns the time-weighted average number of free processors
+// over [start, end).
+func (t *TreeProfile) AvgFree(start, end model.Time) float64 {
+	if end <= start {
+		panic(fmt.Sprintf("profile: AvgFree over empty interval [%d,%d)", start, end))
+	}
+	if start < t.origin {
+		start = t.origin
+	}
+	if end <= start {
+		return float64(t.capacity)
+	}
+	fk, _, _ := t.floor(start)
+	var acc float64
+	var prevKey model.Time
+	var prevVal int
+	started := false
+	emit := func(segStart, segEnd model.Time, free int) {
+		lo, hi := segStart, segEnd
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		if hi > lo {
+			acc += float64(free) * float64(hi-lo)
+		}
+	}
+	t.visitFrom(t.root, 0, fk, func(k model.Time, v int) bool {
+		if started {
+			emit(prevKey, k, prevVal)
+		}
+		prevKey, prevVal = k, v
+		started = true
+		return k < end
+	})
+	if started && prevKey < end {
+		emit(prevKey, model.Infinity, prevVal)
+	}
+	return acc / float64(end-start)
+}
+
+// EarliestFit returns the earliest start time s >= notBefore such that
+// procs processors are free during [s, s+dur); see the flat backend
+// for the full contract. Instead of scanning left to right it hops
+// from blocking segment to blocking segment, each located by an
+// aggregate-pruned descent.
+func (t *TreeProfile) EarliestFit(procs int, dur model.Duration, notBefore model.Time) model.Time {
+	if procs < 1 || procs > t.capacity {
+		panic(fmt.Sprintf("profile: EarliestFit for %d processors on a %d-processor cluster", procs, t.capacity))
+	}
+	if dur < 0 {
+		panic(fmt.Sprintf("profile: negative duration %d", dur))
+	}
+	s := notBefore
+	if s < t.origin {
+		s = t.origin
+	}
+	if dur == 0 {
+		return s
+	}
+	for {
+		fk, _, _ := t.floor(s)
+		bk, ok := t.firstBelow(t.root, 0, procs, fk)
+		if !ok || bk >= s+dur {
+			// No blocking segment intersects [s, s+dur).
+			return s
+		}
+		e := t.succKey(bk)
+		if e == model.Infinity {
+			// Matches the flat backend's defensive check: the horizon
+			// segment is fully free in any valid profile.
+			panic("profile: horizon segment not fully free")
+		}
+		s = e
+	}
+}
+
+// LatestFit returns the latest start time s with s >= notBefore,
+// s+dur <= finishBy, and procs processors free during [s, s+dur); see
+// the flat backend for the full contract. It walks maximal feasible
+// runs latest-first, each bounded by aggregate-pruned descents.
+func (t *TreeProfile) LatestFit(procs int, dur model.Duration, notBefore, finishBy model.Time) (model.Time, bool) {
+	if procs < 1 || procs > t.capacity {
+		panic(fmt.Sprintf("profile: LatestFit for %d processors on a %d-processor cluster", procs, t.capacity))
+	}
+	if dur < 0 {
+		panic(fmt.Sprintf("profile: negative duration %d", dur))
+	}
+	lo := notBefore
+	if lo < t.origin {
+		lo = t.origin
+	}
+	if finishBy-dur < lo {
+		return 0, false
+	}
+	if dur == 0 {
+		return finishBy, true
+	}
+	cur, _, _ := t.floor(finishBy)
+	for {
+		fk, ok := t.lastFeasibleUpTo(t.root, 0, procs, cur)
+		if !ok {
+			return 0, false
+		}
+		runEnd := t.succKey(fk)
+		if runEnd > finishBy {
+			runEnd = finishBy
+		}
+		bk, bok := t.lastBlockingUpTo(t.root, 0, procs, fk)
+		runStart := t.origin
+		if bok {
+			runStart = t.succKey(bk)
+		}
+		if runStart < lo {
+			runStart = lo
+		}
+		if runEnd-dur >= runStart {
+			return runEnd - dur, true
+		}
+		if !bok {
+			return 0, false
+		}
+		cur = bk
+	}
+}
+
+// EarliestFits answers EarliestFit for every request. On the tree
+// backend each probe is an independent O((b+1) log n) descent, so the
+// batch is a plain loop; results are probe-for-probe identical to the
+// flat backend's shared sweep.
+func (t *TreeProfile) EarliestFits(reqs []FitRequest, notBefore model.Time, out []model.Time) []model.Time {
+	if cap(out) < len(reqs) {
+		out = make([]model.Time, len(reqs))
+	}
+	out = out[:len(reqs)]
+	for j, r := range reqs {
+		if r.Procs < 1 || r.Procs > t.capacity {
+			panic(fmt.Sprintf("profile: EarliestFits for %d processors on a %d-processor cluster", r.Procs, t.capacity))
+		}
+		out[j] = t.EarliestFit(r.Procs, r.Dur, notBefore)
+	}
+	return out
+}
+
+// LatestFits answers LatestFit for every request; see EarliestFits.
+func (t *TreeProfile) LatestFits(reqs []FitRequest, notBefore, finishBy model.Time, out []model.Time, ok []bool) ([]model.Time, []bool) {
+	if cap(out) < len(reqs) {
+		out = make([]model.Time, len(reqs))
+	}
+	out = out[:len(reqs)]
+	if cap(ok) < len(reqs) {
+		ok = make([]bool, len(reqs))
+	}
+	ok = ok[:len(reqs)]
+	for j, r := range reqs {
+		if r.Procs < 1 || r.Procs > t.capacity {
+			panic(fmt.Sprintf("profile: LatestFits for %d processors on a %d-processor cluster", r.Procs, t.capacity))
+		}
+		out[j], ok[j] = t.LatestFit(r.Procs, r.Dur, notBefore, finishBy)
+	}
+	return out, ok
+}
+
+// ---- mutations ----
+
+// ensureBreak inserts a breakpoint at time tm (>= origin), reusing an
+// existing one.
+func (t *TreeProfile) ensureBreak(tm model.Time) {
+	fk, fv, _ := t.floor(tm)
+	if fk == tm {
+		return
+	}
+	t.root = t.insert(t.root, tm, fv)
+	t.n++
+}
+
+// coalesceBoundary removes the breakpoint at tm when its segment has
+// the same availability as its predecessor.
+func (t *TreeProfile) coalesceBoundary(tm model.Time) {
+	if tm <= t.origin {
+		return
+	}
+	fk, fv, ok := t.floor(tm)
+	if !ok || fk != tm {
+		return
+	}
+	_, pv, pok := t.floor(tm - 1)
+	if pok && pv == fv {
+		t.root = t.erase(t.root, tm)
+		t.n--
+	}
+}
+
+// reserveChecks mirrors the flat backend's validation, same messages.
+func (t *TreeProfile) reserveChecks(start, end model.Time, procs int) error {
+	if procs < 1 || procs > t.capacity {
+		return fmt.Errorf("cannot reserve %d processors on a %d-processor cluster", procs, t.capacity)
+	}
+	if start < t.origin {
+		return fmt.Errorf("reservation start %d before profile origin %d", start, t.origin)
+	}
+	if end <= start {
+		return fmt.Errorf("reservation interval [%d,%d) is empty", start, end)
+	}
+	if end >= model.Infinity {
+		return fmt.Errorf("reservation end %d beyond the scheduling horizon", end)
+	}
+	if m := t.MinFree(start, end); m < procs {
+		return fmt.Errorf("only %d of %d requested processors free during [%d,%d)", m, procs, start, end)
+	}
+	return nil
+}
+
+// unreserveChecks mirrors the flat backend's validation, same messages.
+func (t *TreeProfile) unreserveChecks(start, end model.Time, procs int) error {
+	if procs < 1 || procs > t.capacity {
+		return fmt.Errorf("cannot release %d processors on a %d-processor cluster", procs, t.capacity)
+	}
+	if start < t.origin {
+		return fmt.Errorf("release start %d before profile origin %d", start, t.origin)
+	}
+	if end <= start {
+		return fmt.Errorf("release interval [%d,%d) is empty", start, end)
+	}
+	if end >= model.Infinity {
+		return fmt.Errorf("release end %d beyond the scheduling horizon", end)
+	}
+	fk, _, _ := t.floor(start)
+	if v, over := t.firstAbove(t.root, 0, t.capacity-procs, fk, end); over {
+		return fmt.Errorf("only %d of %d released processors reserved during [%d,%d)", t.capacity-v, procs, start, end)
+	}
+	return nil
+}
+
+// Reserve commits a reservation of procs processors during
+// [start, end); same contract and failure modes as the flat backend.
+func (t *TreeProfile) Reserve(start, end model.Time, procs int) error {
+	if err := t.reserveChecks(start, end, procs); err != nil {
+		return err
+	}
+	t.ensureBreak(start)
+	t.ensureBreak(end)
+	t.rangeAdd(t.root, keyFloor, keyCeil, start, end, -procs)
+	t.coalesceBoundary(end)
+	t.coalesceBoundary(start)
+	return nil
+}
+
+// Unreserve returns procs processors to the profile during
+// [start, end); same contract and failure modes as the flat backend.
+func (t *TreeProfile) Unreserve(start, end model.Time, procs int) error {
+	if err := t.unreserveChecks(start, end, procs); err != nil {
+		return err
+	}
+	t.ensureBreak(start)
+	t.ensureBreak(end)
+	t.rangeAdd(t.root, keyFloor, keyCeil, start, end, procs)
+	t.coalesceBoundary(end)
+	t.coalesceBoundary(start)
+	return nil
+}
+
+// ---- rendering and invariants ----
+
+// Segments returns the step function as a list of segments.
+func (t *TreeProfile) Segments() []Segment {
+	out := make([]Segment, 0, t.n)
+	t.visit(t.root, 0, func(k model.Time, v int) bool {
+		out = append(out, Segment{Start: k, Free: v})
+		return true
+	})
+	return out
+}
+
+// Check verifies the representation invariants, reporting the same
+// violations (same messages) as the flat backend plus tree-specific
+// bookkeeping (segment count, heap order).
+func (t *TreeProfile) Check() error {
+	if t.n < 1 {
+		return fmt.Errorf("profile: %d times, %d free values", t.n, t.n)
+	}
+	var err error
+	i := 0
+	var prevKey model.Time
+	var prevVal int
+	last := 0
+	t.visit(t.root, 0, func(k model.Time, v int) bool {
+		if i > 0 && k <= prevKey {
+			err = fmt.Errorf("profile: breakpoints not increasing at %d", i)
+			return false
+		}
+		if i > 0 && v == prevVal {
+			err = fmt.Errorf("profile: uncoalesced segments at %d", i)
+			return false
+		}
+		if v < 0 || v > t.capacity {
+			err = fmt.Errorf("profile: free %d outside [0,%d]", v, t.capacity)
+			return false
+		}
+		prevKey, prevVal = k, v
+		last = v
+		i++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if i != t.n {
+		return fmt.Errorf("profile: tree holds %d segments, count says %d", i, t.n)
+	}
+	if last != t.capacity {
+		return fmt.Errorf("profile: final segment not fully free")
+	}
+	return t.checkHeap(t.root)
+}
+
+// checkHeap verifies the treap's priority heap order.
+func (t *TreeProfile) checkHeap(i int32) error {
+	if i == 0 {
+		return nil
+	}
+	n := &t.nodes[i]
+	if l := n.l; l != 0 && t.nodes[l].prio > n.prio {
+		return fmt.Errorf("profile: treap heap order violated at key %d", t.nodes[l].key)
+	}
+	if r := n.r; r != 0 && t.nodes[r].prio > n.prio {
+		return fmt.Errorf("profile: treap heap order violated at key %d", t.nodes[r].key)
+	}
+	if err := t.checkHeap(n.l); err != nil {
+		return err
+	}
+	return t.checkHeap(n.r)
+}
+
+// String renders the profile compactly, identically to the flat
+// backend — the differential tests compare the two byte for byte.
+func (t *TreeProfile) String() string {
+	s := fmt.Sprintf("profile{cap %d:", t.capacity)
+	t.visit(t.root, 0, func(k model.Time, v int) bool {
+		s += fmt.Sprintf(" [%d:%d free]", k, v)
+		return true
+	})
+	return s + "}"
+}

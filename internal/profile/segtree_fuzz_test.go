@@ -1,0 +1,92 @@
+package profile
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// decodeTreeOp unpacks one fuzzed operation for the tree-vs-flat
+// differential: an op selector plus raw (unclamped) time and processor
+// operands, so rejection paths are fuzzed as hard as the commit paths.
+func decodeTreeOp(b []byte) (op uint8, start model.Time, end model.Time, procs int) {
+	op = b[0] % 5
+	start = model.Time(binary.LittleEndian.Uint16(b[1:3]))
+	end = start + model.Duration(binary.LittleEndian.Uint16(b[3:5]))
+	procs = int(b[5])
+	return
+}
+
+// FuzzTreeProfileVsFlat feeds random op sequences — Reserve,
+// Unreserve, EarliestFit, LatestFit, MinFree — to a TreeProfile and
+// the flat reference, requiring bit-identical outcomes after every
+// operation: the same accept/reject decision on mutations, the same
+// query answers, the same rendered step function, and valid invariants
+// in both representations. This is the adversarial-input extension of
+// TestTreeMatchesFlat*.
+func FuzzTreeProfileVsFlat(f *testing.F) {
+	f.Add(uint8(7), []byte{0, 10, 0, 20, 0, 3, 2, 15, 0, 10, 0, 2})
+	f.Add(uint8(0), []byte{0, 0, 0, 0, 0, 0})
+	f.Add(uint8(31), []byte{0, 1, 0, 1, 0, 255, 3, 1, 0, 1, 0, 255, 4, 9, 0, 9, 0, 9})
+	f.Fuzz(func(t *testing.T, capRaw uint8, ops []byte) {
+		capacity := int(capRaw%32) + 1
+		// The per-step String() comparison is O(segments); bound the
+		// sequence length as the flat differential fuzzer does.
+		if len(ops) > 64*6 {
+			ops = ops[:64*6]
+		}
+		flat := New(capacity, 0)
+		tree := NewTree(capacity, 0)
+		for step := 0; len(ops) >= 6; step++ {
+			op, start, end, procs := decodeTreeOp(ops)
+			ops = ops[6:]
+
+			switch op {
+			case 0: // Reserve
+				errF := flat.Reserve(start, end, procs)
+				errT := tree.Reserve(start, end, procs)
+				if (errF == nil) != (errT == nil) {
+					t.Fatalf("step %d: Reserve flat err=%v, tree err=%v", step, errF, errT)
+				}
+				if errF != nil && errF.Error() != errT.Error() {
+					t.Fatalf("step %d: Reserve errors diverged\nflat: %v\ntree: %v", step, errF, errT)
+				}
+			case 1: // Unreserve
+				errF := flat.Unreserve(start, end, procs)
+				errT := tree.Unreserve(start, end, procs)
+				if (errF == nil) != (errT == nil) {
+					t.Fatalf("step %d: Unreserve flat err=%v, tree err=%v", step, errF, errT)
+				}
+				if errF != nil && errF.Error() != errT.Error() {
+					t.Fatalf("step %d: Unreserve errors diverged\nflat: %v\ntree: %v", step, errF, errT)
+				}
+			case 2: // EarliestFit (via Checked so bad args reject, not panic)
+				sF, errF := flat.EarliestFitChecked(procs, end-start, start)
+				sT, errT := tree.EarliestFitChecked(procs, end-start, start)
+				if (errF == nil) != (errT == nil) || sF != sT {
+					t.Fatalf("step %d: EarliestFitChecked flat (%d,%v), tree (%d,%v)", step, sF, errF, sT, errT)
+				}
+			case 3: // LatestFit over a window derived from the operands
+				sF, okF, errF := flat.LatestFitChecked(procs, model.Duration(procs), start, end)
+				sT, okT, errT := tree.LatestFitChecked(procs, model.Duration(procs), start, end)
+				if (errF == nil) != (errT == nil) || okF != okT || (okF && sF != sT) {
+					t.Fatalf("step %d: LatestFitChecked flat (%d,%v,%v), tree (%d,%v,%v)",
+						step, sF, okF, errF, sT, okT, errT)
+				}
+			case 4: // MinFree
+				vF, errF := flat.MinFreeChecked(start, end)
+				vT, errT := tree.MinFreeChecked(start, end)
+				if (errF == nil) != (errT == nil) || vF != vT {
+					t.Fatalf("step %d: MinFreeChecked flat (%d,%v), tree (%d,%v)", step, vF, errF, vT, errT)
+				}
+			}
+			if err := tree.Check(); err != nil {
+				t.Fatalf("step %d: tree invariants: %v", step, err)
+			}
+			if tree.String() != flat.String() {
+				t.Fatalf("step %d: divergence\n  tree %s\n  flat %s", step, tree, flat)
+			}
+		}
+	})
+}

@@ -1,0 +1,369 @@
+package profile
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// These tests are the differential guarantee behind the TreeProfile
+// backend: every query and mutation must be bit-identical to the flat
+// oracle — same results, same error strings, same rendered step
+// function — across random op mixes, with both representations passing
+// their invariant checks after every step.
+
+// treePair returns a flat profile and an initially identical tree.
+func treePair(capacity int, origin model.Time) (*Profile, *TreeProfile) {
+	return New(capacity, origin), NewTree(capacity, origin)
+}
+
+// sameErr requires errors to agree in presence and message.
+func sameErr(t *testing.T, ctx string, flat, tree error) {
+	t.Helper()
+	if (flat == nil) != (tree == nil) {
+		t.Fatalf("%s: flat err %v, tree err %v", ctx, flat, tree)
+	}
+	if flat != nil && flat.Error() != tree.Error() {
+		t.Fatalf("%s: error strings diverged\nflat: %s\ntree: %s", ctx, flat, tree)
+	}
+}
+
+// checkBoth verifies the invariants and the rendered step function of
+// both backends agree.
+func checkBoth(t *testing.T, ctx string, flat *Profile, tree *TreeProfile) {
+	t.Helper()
+	if got, want := tree.String(), flat.String(); got != want {
+		t.Fatalf("%s: profiles diverged\ntree: %s\nflat: %s", ctx, got, want)
+	}
+	if tree.NumSegments() != flat.NumSegments() {
+		t.Fatalf("%s: tree has %d segments, flat %d", ctx, tree.NumSegments(), flat.NumSegments())
+	}
+	if err := flat.Check(); err != nil {
+		t.Fatalf("%s: flat invariants: %v", ctx, err)
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatalf("%s: tree invariants: %v", ctx, err)
+	}
+}
+
+// TestTreeMatchesFlatMutators applies identical random Reserve and
+// Unreserve sequences to both backends and requires identical outcomes
+// after every operation.
+func TestTreeMatchesFlatMutators(t *testing.T) {
+	const seeds, opsPerSeed = 12, 40
+	cases := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		flat, tree := treePair(96, 0)
+		var booked []Reservation
+		for op := 0; op < opsPerSeed; op++ {
+			var errFlat, errTree error
+			if len(booked) > 0 && rng.Intn(4) == 0 {
+				if rng.Intn(3) > 0 {
+					k := rng.Intn(len(booked))
+					r := booked[k]
+					booked = append(booked[:k], booked[k+1:]...)
+					errFlat = flat.Unreserve(r.Start, r.End, r.Procs)
+					errTree = tree.Unreserve(r.Start, r.End, r.Procs)
+				} else {
+					start, end := randomWindow(rng, flat)
+					procs := rng.Intn(96) + 1
+					errFlat = flat.Unreserve(start, end, procs)
+					errTree = tree.Unreserve(start, end, procs)
+				}
+			} else {
+				start, end := randomWindow(rng, flat)
+				procs := rng.Intn(110) + 1 // sometimes > capacity
+				errFlat = flat.Reserve(start, end, procs)
+				errTree = tree.Reserve(start, end, procs)
+				if errFlat == nil {
+					booked = append(booked, Reservation{Start: start, End: end, Procs: procs})
+				}
+			}
+			ctx := "seed " + itoa(seed) + " op " + itoa(int64(op))
+			sameErr(t, ctx, errFlat, errTree)
+			checkBoth(t, ctx, flat, tree)
+			cases++
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("only %d mutation cases; the corpus should cover at least 200", cases)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// TestTreeMatchesFlatQueries probes identical randomly booked profiles
+// with every read query and requires identical answers, including the
+// float64 AvgFree (both backends sum segment contributions in the same
+// order, so even the floats are bit-identical).
+func TestTreeMatchesFlatQueries(t *testing.T) {
+	cases := 0
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		flat := fuzzedProfile(rng, 128, 60)
+		tree := NewTreeFromProfile(flat)
+		checkBoth(t, "seed "+itoa(seed), flat, tree)
+		for trial := 0; trial < 30; trial++ {
+			at := model.Time(rng.Int63n(int64(25*model.Day))) - model.Time(model.Day)
+			if got, want := tree.FreeAt(at), flat.FreeAt(at); got != want {
+				t.Fatalf("seed %d: FreeAt(%d) tree %d, flat %d", seed, at, got, want)
+			}
+			if got, want := tree.ReservedAt(at), flat.ReservedAt(at); got != want {
+				t.Fatalf("seed %d: ReservedAt(%d) tree %d, flat %d", seed, at, got, want)
+			}
+			start := model.Time(rng.Int63n(int64(22 * model.Day)))
+			end := start + model.Time(rng.Int63n(int64(3*model.Day))+1)
+			if got, want := tree.MinFree(start, end), flat.MinFree(start, end); got != want {
+				t.Fatalf("seed %d: MinFree(%d,%d) tree %d, flat %d", seed, start, end, got, want)
+			}
+			if got, want := tree.AvgFree(start, end), flat.AvgFree(start, end); got != want {
+				t.Fatalf("seed %d: AvgFree(%d,%d) tree %v, flat %v", seed, start, end, got, want)
+			}
+			procs := rng.Intn(128) + 1
+			dur := model.Duration(rng.Int63n(int64(4 * model.Hour)))
+			notBefore := model.Time(rng.Int63n(int64(22 * model.Day)))
+			if got, want := tree.EarliestFit(procs, dur, notBefore), flat.EarliestFit(procs, dur, notBefore); got != want {
+				t.Fatalf("seed %d: EarliestFit(%d,%d,%d) tree %d, flat %d", seed, procs, dur, notBefore, got, want)
+			}
+			finishBy := notBefore + model.Time(rng.Int63n(int64(12*model.Day)))
+			ldur := model.Duration(rng.Int63n(int64(16 * model.Day)))
+			gs, gok := tree.LatestFit(procs, ldur, notBefore, finishBy)
+			ws, wok := flat.LatestFit(procs, ldur, notBefore, finishBy)
+			if gok != wok || (wok && gs != ws) {
+				t.Fatalf("seed %d: LatestFit(%d,%d,%d,%d) tree (%d,%v), flat (%d,%v)",
+					seed, procs, ldur, notBefore, finishBy, gs, gok, ws, wok)
+			}
+			cases += 6
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("only %d query probes; the corpus should cover at least 200", cases)
+	}
+}
+
+// TestTreeMatchesFlatBatch requires the tree's batch fits to be
+// probe-for-probe identical to the flat batch sweeps.
+func TestTreeMatchesFlatBatch(t *testing.T) {
+	cases := 0
+	var outF, outT []model.Time
+	var okF, okT []bool
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		flat := fuzzedProfile(rng, 128, 60)
+		tree := NewTreeFromProfile(flat)
+		for trial := 0; trial < 6; trial++ {
+			notBefore := model.Time(rng.Int63n(int64(10 * model.Day)))
+			finishBy := notBefore + model.Time(rng.Int63n(int64(12*model.Day)))
+			reqs := make([]FitRequest, rng.Intn(24)+1)
+			for j := range reqs {
+				reqs[j] = FitRequest{Procs: rng.Intn(128) + 1, Dur: model.Duration(rng.Int63n(int64(16 * model.Day)))}
+			}
+			outF = flat.EarliestFits(reqs, notBefore, outF)
+			outT = tree.EarliestFits(reqs, notBefore, outT)
+			for j := range reqs {
+				if outF[j] != outT[j] {
+					t.Fatalf("seed %d trial %d req %d: EarliestFits tree %d, flat %d", seed, trial, j, outT[j], outF[j])
+				}
+			}
+			outF, okF = flat.LatestFits(reqs, notBefore, finishBy, outF, okF)
+			outT, okT = tree.LatestFits(reqs, notBefore, finishBy, outT, okT)
+			for j := range reqs {
+				if okF[j] != okT[j] || (okF[j] && outF[j] != outT[j]) {
+					t.Fatalf("seed %d trial %d req %d: LatestFits tree (%d,%v), flat (%d,%v)",
+						seed, trial, j, outT[j], okT[j], outF[j], okF[j])
+				}
+			}
+			cases += 2 * len(reqs)
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("only %d batch probes; the corpus should cover at least 200", cases)
+	}
+}
+
+// TestTreeConversionsRoundTrip pins the conversion paths: flat → tree
+// → flat reproduces the step function, Clone/CloneInto are independent
+// copies, and LoadProfile reuses an arena without leaking prior state.
+func TestTreeConversionsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	flat := fuzzedProfile(rng, 64, 40)
+	tree := NewTreeFromProfile(flat)
+	if got, want := tree.Flat().String(), flat.String(); got != want {
+		t.Fatalf("flat→tree→flat round trip diverged\ngot:  %s\nwant: %s", got, want)
+	}
+
+	clone := tree.Clone()
+	if err := tree.Reserve(100, 200, 8); err != nil {
+		t.Fatal(err)
+	}
+	if clone.String() != flat.String() {
+		t.Fatalf("clone mutated by Reserve on the original")
+	}
+
+	var reused TreeProfile
+	clone.CloneInto(&reused)
+	if reused.String() != flat.String() {
+		t.Fatalf("CloneInto diverged:\ngot:  %s\nwant: %s", reused.String(), flat.String())
+	}
+
+	// LoadProfile into a dirty tree must fully replace its contents.
+	other := fuzzedProfile(rng, 32, 25)
+	tree.LoadProfile(other)
+	if got, want := tree.String(), other.String(); got != want {
+		t.Fatalf("LoadProfile diverged\ngot:  %s\nwant: %s", got, want)
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatalf("reloaded tree invariants: %v", err)
+	}
+}
+
+// TestAutoSelection pins the backend choice of Auto, NewAuto, and the
+// scratch reuse of CopyIntervals.
+func TestAutoSelection(t *testing.T) {
+	small := New(16, 0)
+	if _, ok := Auto(small).(*Profile); !ok {
+		t.Fatalf("Auto on a %d-segment profile should stay flat", small.NumSegments())
+	}
+	big := New(16, 0)
+	for i := 0; big.NumSegments() < AutoTreeThreshold; i++ {
+		s := model.Time(1000 * (2*i + 1))
+		if err := big.Reserve(s, s+500, (i%15)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, ok := Auto(big).(*TreeProfile)
+	if !ok {
+		t.Fatalf("Auto on a %d-segment profile should pick the tree", big.NumSegments())
+	}
+	if tr.String() != big.String() {
+		t.Fatalf("Auto tree diverged from source")
+	}
+
+	if _, ok := NewAuto(8, 0, AutoTreeThreshold-1).(*Profile); !ok {
+		t.Fatal("NewAuto below the threshold should be flat")
+	}
+	if _, ok := NewAuto(8, 0, AutoTreeThreshold).(*TreeProfile); !ok {
+		t.Fatal("NewAuto at the threshold should be a tree")
+	}
+
+	// CopyIntervals reuses matching scratch and switches backends when
+	// the source backend changed.
+	scratch := CopyIntervals(big, nil)
+	if _, ok := scratch.(*Profile); !ok {
+		t.Fatal("CopyIntervals of a flat source should be flat")
+	}
+	scratch = CopyIntervals(tr, scratch)
+	tt, ok := scratch.(*TreeProfile)
+	if !ok {
+		t.Fatal("CopyIntervals of a tree source should be a tree")
+	}
+	if tt.String() != big.String() {
+		t.Fatal("CopyIntervals tree copy diverged")
+	}
+	if got := CopyIntervals(big, scratch); got.String() != big.String() {
+		t.Fatal("CopyIntervals flat copy diverged")
+	}
+}
+
+// TestCheckedOriginEdgeCases is the regression table for the silent
+// pre-origin clamp: the Checked variants on both backends must reject
+// windows starting before the origin with ErrBeforeOrigin, accept the
+// origin itself, and keep rejecting the malformed-argument cases.
+func TestCheckedOriginEdgeCases(t *testing.T) {
+	const origin = 1000
+	flat := New(8, origin)
+	if err := flat.Reserve(2000, 3000, 8); err != nil {
+		t.Fatal(err)
+	}
+	backends := []struct {
+		name string
+		p    Intervals
+	}{
+		{"flat", flat},
+		{"tree", NewTreeFromProfile(flat)},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			// EarliestFit: pre-origin notBefore is rejected, not clamped.
+			if _, err := b.p.EarliestFitChecked(4, 10, origin-1); !errors.Is(err, ErrBeforeOrigin) {
+				t.Fatalf("EarliestFitChecked(notBefore=origin-1) err = %v, want ErrBeforeOrigin", err)
+			}
+			s, err := b.p.EarliestFitChecked(4, 10, origin)
+			if err != nil || s != origin {
+				t.Fatalf("EarliestFitChecked at origin = (%d, %v), want (%d, nil)", s, err, origin)
+			}
+			if _, err := b.p.EarliestFitChecked(0, 10, origin); err == nil || errors.Is(err, ErrBeforeOrigin) {
+				t.Fatalf("EarliestFitChecked(procs=0) err = %v, want a non-origin validation error", err)
+			}
+			if _, err := b.p.EarliestFitChecked(4, -1, origin); err == nil {
+				t.Fatal("EarliestFitChecked(dur=-1) should fail")
+			}
+
+			// LatestFit: same origin contract.
+			if _, _, err := b.p.LatestFitChecked(4, 10, origin-1, 5000); !errors.Is(err, ErrBeforeOrigin) {
+				t.Fatalf("LatestFitChecked(notBefore=origin-1) err = %v, want ErrBeforeOrigin", err)
+			}
+			if _, ok, err := b.p.LatestFitChecked(4, 10, origin, 5000); err != nil || !ok {
+				t.Fatalf("LatestFitChecked at origin = (ok=%v, err=%v), want feasible", ok, err)
+			}
+			// An infeasible window is reported via ok, not an error.
+			if _, ok, err := b.p.LatestFitChecked(8, 1, 2000, 3000); err != nil || ok {
+				t.Fatalf("LatestFitChecked in a saturated window = (ok=%v, err=%v), want (false, nil)", ok, err)
+			}
+
+			// Window queries: pre-origin start rejected, origin accepted,
+			// empty window still the malformed-arguments error.
+			if _, err := b.p.MinFreeChecked(origin-1, origin+10); !errors.Is(err, ErrBeforeOrigin) {
+				t.Fatalf("MinFreeChecked(start=origin-1) err = %v, want ErrBeforeOrigin", err)
+			}
+			if v, err := b.p.MinFreeChecked(origin, origin+10); err != nil || v != 8 {
+				t.Fatalf("MinFreeChecked at origin = (%d, %v), want (8, nil)", v, err)
+			}
+			if _, err := b.p.MinFreeChecked(2000, 2000); err == nil || errors.Is(err, ErrBeforeOrigin) {
+				t.Fatalf("MinFreeChecked(empty) err = %v, want a non-origin validation error", err)
+			}
+			if _, err := b.p.AvgFreeChecked(origin-1, origin+10); !errors.Is(err, ErrBeforeOrigin) {
+				t.Fatalf("AvgFreeChecked(start=origin-1) err = %v, want ErrBeforeOrigin", err)
+			}
+			if v, err := b.p.AvgFreeChecked(2000, 3000); err != nil || v != 0 {
+				t.Fatalf("AvgFreeChecked over the saturated hour = (%v, %v), want (0, nil)", v, err)
+			}
+
+			// Horizon edge cases: fits exist arbitrarily late, and the
+			// mutation guards reject windows beyond the horizon sentinel.
+			late := model.Time(model.Infinity - 10)
+			if s, err := b.p.EarliestFitChecked(8, 5, late); err != nil || s != late {
+				t.Fatalf("EarliestFitChecked near the horizon = (%d, %v), want (%d, nil)", s, err, late)
+			}
+			if err := b.p.CloneIntervals().Reserve(origin, model.Infinity, 1); err == nil {
+				t.Fatal("Reserve ending at Infinity should fail")
+			}
+			if err := b.p.CloneIntervals().Unreserve(origin, model.Infinity, 1); err == nil {
+				t.Fatal("Unreserve ending at Infinity should fail")
+			}
+		})
+	}
+}

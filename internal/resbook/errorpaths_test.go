@@ -140,7 +140,7 @@ func TestSnapshotOutlivesReleasedBook(t *testing.T) {
 
 	// A commit computed against the defunct snapshot fails stale and
 	// books nothing.
-	if _, err := b.Commit(snap.Version, []Request{{Start: 0, End: 5, Procs: 1}}); !errors.Is(err, ErrStale) {
+	if _, err := b.Commit(snap, []Request{{Start: 0, End: 5, Procs: 1}}); !errors.Is(err, ErrStale) {
 		t.Fatalf("Commit at stale version: %v, want ErrStale", err)
 	}
 	if err := b.CheckInvariants(); err != nil {
@@ -162,10 +162,10 @@ func TestSnapshotIntoReusesDirtyProfile(t *testing.T) {
 	if err := dirty.Reserve(200, 300, 7); err != nil {
 		t.Fatalf("dirtying profile: %v", err)
 	}
-	version := b.SnapshotInto(dirty)
+	into := b.SnapshotInto(dirty)
 	snap := b.Snapshot()
-	if version != snap.Version {
-		t.Errorf("SnapshotInto version %d, Snapshot version %d", version, snap.Version)
+	if into.Version != snap.Version {
+		t.Errorf("SnapshotInto version %d, Snapshot version %d", into.Version, snap.Version)
 	}
 	if dirty.String() != snap.Profile.String() {
 		t.Errorf("SnapshotInto left stale state:\n  into %s\n  want %s", dirty, snap.Profile)

@@ -4,14 +4,22 @@
 // (the paper's §2 RESSCHED setting, where a batch scheduler owns the
 // reservation schedule and applications book against it).
 //
-// Concurrency model. The book guards a profile.Profile with an
-// RWMutex and hands out copy-on-read snapshots: a scheduler clones
-// the profile at version v, computes a schedule against the clone
-// without holding any lock (list scheduling is the expensive part),
-// and then commits the resulting reservations with a version check.
-// If any other mutation landed in between, the commit fails with
-// ErrStale and the caller recomputes against a fresh snapshot — an
-// optimistic-concurrency loop packaged as Transact.
+// Concurrency model. The book is split into time-epoch shards, each
+// guarding its window of the schedule with its own RWMutex and a
+// monotonically increasing mutation stamp. A scheduler takes a
+// snapshot — the assembled global profile plus the per-shard stamps it
+// was read at — computes a schedule against the copy without holding
+// any lock (list scheduling is the expensive part), and then commits
+// the resulting reservations: the commit locks only the shards the
+// reservations touch, in ascending index order, and revalidates their
+// stamps. If any of those shards moved in between, the commit fails
+// with ErrStale and the caller recomputes against a fresh snapshot —
+// an optimistic-concurrency loop packaged as Transact. Commits landing
+// in disjoint epochs lock disjoint shards and proceed in parallel.
+//
+// New returns a single-shard book, which behaves exactly like a book
+// with one global lock and version; NewSharded opts into partitioned
+// serving for heavy concurrent traffic.
 //
 // Lifecycle. Reservations move Pending → Active → Released. A commit
 // books Pending reservations (capacity held, job not yet confirmed);
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"resched/internal/model"
 	"resched/internal/profile"
@@ -88,32 +97,88 @@ type Reservation struct {
 	Status Status
 }
 
-// Snapshot is a consistent copy of the book's schedule at a version.
-// The profile is the caller's to mutate (schedulers reserve task slots
-// in it while searching); committing requires the version to still be
-// current.
+// Snapshot is a consistent copy of the book's schedule. The profile is
+// the caller's to mutate (schedulers reserve task slots in it while
+// searching); committing requires the stamps of every shard the commit
+// touches to still match Epochs. Version is the global mutation
+// counter the snapshot was taken at, reported in the API and in
+// ErrStale messages.
 type Snapshot struct {
 	Version uint64
+	Epochs  []uint64
 	Profile *profile.Profile
 }
 
-// Book is a concurrent, versioned reservation book. The zero value is
-// not usable; construct with New or FromReservations.
-type Book struct {
-	mu      sync.RWMutex
-	version uint64
-	prof    *profile.Profile
-	res     map[string]*Reservation
-	nextID  uint64
+// bookShard is one time-epoch partition of the schedule: the window
+// [start, end) of the global horizon, with a profile holding the
+// clipped pieces of the reservations that overlap the window and the
+// ledger rows of the reservations that start in it. stamp counts the
+// mutations that touched the shard; prof, res, and stamp are guarded
+// by mu.
+type bookShard struct {
+	start model.Time
+	end   model.Time
+
+	mu    sync.RWMutex
+	stamp uint64
+	prof  *profile.Profile
+	res   map[string]*Reservation
 }
 
-// New returns an empty book for a cluster of the given capacity whose
-// schedule starts at origin.
+// Book is a concurrent, versioned reservation book. The zero value is
+// not usable; construct with New, NewSharded, or FromReservations.
+type Book struct {
+	capacity int
+	origin   model.Time
+	epoch    model.Duration
+	shards   []bookShard
+
+	version atomic.Uint64
+	nextID  atomic.Uint64
+}
+
+// New returns an empty single-shard book for a cluster of the given
+// capacity whose schedule starts at origin. A single-shard book
+// serializes all mutations, and its per-shard stamp coincides with the
+// global version — the exact semantics of the pre-sharding book.
 func New(capacity int, origin model.Time) *Book {
-	return &Book{
-		prof: profile.New(capacity, origin),
-		res:  make(map[string]*Reservation),
+	b, err := NewSharded(capacity, origin, 1, 0)
+	if err != nil {
+		panic(err) // one shard with no epoch is always valid
 	}
+	return b
+}
+
+// NewSharded returns an empty book partitioned into nshards time
+// epochs of the given length: shard i owns [origin + i·epoch,
+// origin + (i+1)·epoch), and the last shard extends to the horizon.
+// Commits into disjoint epochs lock disjoint shards and run in
+// parallel; reservations spanning epochs lock the covered shards in
+// ascending order.
+func NewSharded(capacity int, origin model.Time, nshards int, epoch model.Duration) (*Book, error) {
+	if nshards < 1 {
+		return nil, fmt.Errorf("resbook: shard count %d < 1", nshards)
+	}
+	if nshards > 1 && epoch <= 0 {
+		return nil, fmt.Errorf("resbook: epoch %d must be positive with %d shards", epoch, nshards)
+	}
+	b := &Book{
+		capacity: capacity,
+		origin:   origin,
+		epoch:    epoch,
+		shards:   make([]bookShard, nshards),
+	}
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.start = origin + model.Time(i)*model.Time(epoch)
+		sh.end = origin + model.Time(i+1)*model.Time(epoch)
+		if i == len(b.shards)-1 {
+			sh.end = model.Infinity
+		}
+		sh.prof = profile.New(capacity, origin)
+		sh.res = make(map[string]*Reservation)
+	}
+	return b, nil
 }
 
 // FromReservations returns a book pre-loaded with the given competing
@@ -123,151 +188,325 @@ func New(capacity int, origin model.Time) *Book {
 // are clipped to the horizon.
 func FromReservations(capacity int, origin model.Time, rs []profile.Reservation) (*Book, error) {
 	b := New(capacity, origin)
+	if err := b.Seed(rs); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Seed commits the given competing reservations as Active, clipping
+// to the horizon as FromReservations does. It lets callers seed a
+// book they constructed themselves — in particular a sharded one.
+func (b *Book) Seed(rs []profile.Reservation) error {
 	for i, r := range rs {
 		start, end := r.Start, r.End
-		if start < origin {
-			start = origin
+		if start < b.origin {
+			start = b.origin
 		}
 		if end <= start {
 			continue
 		}
 		res, err := b.Reserve(start, end, r.Procs)
 		if err != nil {
-			return nil, fmt.Errorf("resbook: seeding reservation %d: %w", i, err)
+			return fmt.Errorf("resbook: seeding reservation %d: %w", i, err)
 		}
 		if err := b.Activate(res.ID); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return b, nil
+	return nil
 }
 
 // Capacity returns the cluster size.
-func (b *Book) Capacity() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.prof.Capacity()
-}
+func (b *Book) Capacity() int { return b.capacity }
 
 // Origin returns the start of the book's horizon.
-func (b *Book) Origin() model.Time {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.prof.Origin()
-}
+func (b *Book) Origin() model.Time { return b.origin }
+
+// NumShards returns the number of time-epoch shards.
+func (b *Book) NumShards() int { return len(b.shards) }
 
 // Version returns the current schedule version. It increases by one
 // on every successful mutation.
-func (b *Book) Version() uint64 {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.version
+func (b *Book) Version() uint64 { return b.version.Load() }
+
+// shardFor returns the index of the shard owning time t.
+func (b *Book) shardFor(t model.Time) int {
+	if len(b.shards) == 1 {
+		return 0
+	}
+	if t <= b.origin {
+		return 0
+	}
+	i := int((t - b.origin) / model.Time(b.epoch))
+	if i >= len(b.shards) {
+		i = len(b.shards) - 1
+	}
+	return i
 }
 
-// Snapshot returns a copy of the current schedule and its version.
-// The copy is independent: the caller may mutate it freely (and
-// scheduling algorithms do).
+// shardSpan returns the inclusive shard index range a reservation
+// window touches.
+func (b *Book) shardSpan(start, end model.Time) (int, int) {
+	return b.shardFor(start), b.shardFor(end - 1)
+}
+
+// lockShards write-locks shards[lo..hi]. Acquisition is strictly in
+// ascending index order — the book's global lock order, which every
+// multi-shard path follows, so overlapping spans cannot deadlock.
+//
+//reschedvet:lockorder
+func (b *Book) lockShards(lo, hi int) {
+	for i := lo; i <= hi; i++ {
+		b.shards[i].mu.Lock()
+	}
+}
+
+// unlockShards releases what lockShards acquired.
+//
+//reschedvet:lockorder
+func (b *Book) unlockShards(lo, hi int) {
+	for i := hi; i >= lo; i-- {
+		b.shards[i].mu.Unlock()
+	}
+}
+
+// Snapshot returns a copy of the current schedule with the stamps it
+// was read at. The copy is independent: the caller may mutate it
+// freely (and scheduling algorithms do).
 func (b *Book) Snapshot() Snapshot {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return Snapshot{Version: b.version, Profile: b.prof.Clone()}
+	return b.SnapshotInto(&profile.Profile{})
 }
 
 // SnapshotInto copies the current schedule into dst — reusing dst's
 // backing arrays when they are large enough — and returns the
-// snapshot's version. It is Snapshot for callers that recycle profile
-// buffers (the serving layer pools them across requests): the copy is
-// just as independent, only the allocation is avoided.
-func (b *Book) SnapshotInto(dst *profile.Profile) uint64 {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	b.prof.CloneInto(dst)
-	return b.version
+// snapshot built around it. It is Snapshot for callers that recycle
+// profile buffers (the serving layer pools them across requests): the
+// copy is just as independent, only the allocation is avoided.
+//
+// Shards are read one at a time in ascending order, so a multi-shard
+// snapshot is not a point-in-time cut of the whole horizon; it does
+// not need to be, because Commit revalidates the stamp of every shard
+// it writes. A commit computed on a torn snapshot either touches only
+// shards whose windows were read consistently (and proceeds safely)
+// or fails with ErrStale.
+func (b *Book) SnapshotInto(dst *profile.Profile) Snapshot {
+	snap := Snapshot{Epochs: make([]uint64, len(b.shards)), Profile: dst}
+	if len(b.shards) == 1 {
+		sh := &b.shards[0]
+		sh.mu.RLock()
+		snap.Version = b.version.Load()
+		snap.Epochs[0] = sh.stamp
+		sh.prof.CloneInto(dst)
+		sh.mu.RUnlock()
+		return snap
+	}
+	dst.Reset(b.capacity, b.origin)
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		if i == 0 {
+			snap.Version = b.version.Load()
+		}
+		snap.Epochs[i] = sh.stamp
+		dst.AppendWindow(sh.prof, sh.start, sh.end)
+		sh.mu.RUnlock()
+	}
+	return snap
 }
 
-// newLocked books one validated reservation; the write lock must be
-// held. It does not bump the version — callers do, once per mutation.
-func (b *Book) newLocked(req Request) (*Reservation, error) {
-	if err := b.prof.Reserve(req.Start, req.End, req.Procs); err != nil {
-		return nil, err
+// reserveChecks validates a reservation request against the book's
+// horizon before any shard is locked, with the same messages the
+// profile's own checks produce. Capacity conflicts are detected later,
+// inside the clipped per-shard reserves.
+func (b *Book) reserveChecks(start, end model.Time, procs int) error {
+	if procs < 1 || procs > b.capacity {
+		return fmt.Errorf("cannot reserve %d processors on a %d-processor cluster", procs, b.capacity)
 	}
-	b.nextID++
+	if start < b.origin {
+		return fmt.Errorf("reservation start %d before profile origin %d", start, b.origin)
+	}
+	if end <= start {
+		return fmt.Errorf("reservation interval [%d,%d) is empty", start, end)
+	}
+	if end >= model.Infinity {
+		return fmt.Errorf("reservation end %d beyond the scheduling horizon", end)
+	}
+	return nil
+}
+
+// appliedPiece records one clipped per-shard reserve for rollback.
+type appliedPiece struct {
+	shard      int
+	start, end model.Time
+	procs      int
+}
+
+// applyLocked reserves req into every shard its window overlaps,
+// clipped to the shard windows, appending the applied pieces to
+// applied (for the caller's rollback). The touched shards' locks must
+// be held. On failure the pieces applied for THIS request are already
+// rolled back; previously applied requests are the caller's to undo.
+func (b *Book) applyLocked(req Request, applied []appliedPiece) ([]appliedPiece, error) {
+	first := len(applied)
+	lo, hi := b.shardSpan(req.Start, req.End)
+	for i := lo; i <= hi; i++ {
+		sh := &b.shards[i]
+		start, end := req.Start, req.End
+		if start < sh.start {
+			start = sh.start
+		}
+		if end > sh.end {
+			end = sh.end
+		}
+		if end <= start {
+			continue
+		}
+		if err := sh.prof.Reserve(start, end, req.Procs); err != nil {
+			b.rollbackLocked(applied[first:])
+			return applied, err
+		}
+		applied = append(applied, appliedPiece{shard: i, start: start, end: end, procs: req.Procs})
+	}
+	return applied, nil
+}
+
+// rollbackLocked undoes applied pieces; the shards' locks must be
+// held. A failure to undo a reserve we just made is an invariant
+// violation.
+func (b *Book) rollbackLocked(applied []appliedPiece) {
+	for k := len(applied) - 1; k >= 0; k-- {
+		p := applied[k]
+		if err := b.shards[p.shard].prof.Unreserve(p.start, p.end, p.procs); err != nil {
+			panic(fmt.Sprintf("resbook: rollback failed: %v", err))
+		}
+	}
+}
+
+// newRowLocked files the ledger row for a booked request in the shard
+// owning its start; the shard's lock must be held.
+func (b *Book) newRowLocked(req Request) *Reservation {
 	r := &Reservation{
-		ID:     fmt.Sprintf("r%06d", b.nextID),
+		ID:     fmt.Sprintf("r%06d", b.nextID.Add(1)),
 		Start:  req.Start,
 		End:    req.End,
 		Procs:  req.Procs,
 		Status: Pending,
 	}
-	b.res[r.ID] = r
-	return r, nil
+	b.shards[b.shardFor(req.Start)].res[r.ID] = r
+	return r
+}
+
+// bumpLocked marks shards[lo..hi] mutated and advances the global
+// version; the shards' locks must be held.
+func (b *Book) bumpLocked(lo, hi int) {
+	for i := lo; i <= hi; i++ {
+		b.shards[i].stamp++
+	}
+	b.version.Add(1)
 }
 
 // Reserve books a single Pending reservation at the current version.
 // Unlike Commit it needs no snapshot: the capacity check happens under
-// the lock, so it fails only if the processors genuinely are not free.
+// the shard locks, so it fails only if the processors genuinely are
+// not free.
 func (b *Book) Reserve(start, end model.Time, procs int) (Reservation, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	r, err := b.newLocked(Request{Start: start, End: end, Procs: procs})
-	if err != nil {
+	if err := b.reserveChecks(start, end, procs); err != nil {
 		return Reservation{}, err
 	}
-	b.version++
+	lo, hi := b.shardSpan(start, end)
+	b.lockShards(lo, hi)
+	defer b.unlockShards(lo, hi)
+	req := Request{Start: start, End: end, Procs: procs}
+	if _, err := b.applyLocked(req, nil); err != nil {
+		return Reservation{}, err
+	}
+	r := b.newRowLocked(req)
+	b.bumpLocked(lo, hi)
 	return *r, nil
 }
 
-// Commit atomically books all requests, provided the book is still at
-// the version the requests were computed against. On a version
-// mismatch it returns ErrStale (wrapped) and books nothing; the
+// Commit atomically books all requests, provided every shard the
+// requests touch is still at the stamp the snapshot recorded. On a
+// stamp mismatch it returns ErrStale (wrapped) and books nothing; the
 // caller should take a fresh Snapshot, recompute, and retry. On any
 // other error (e.g. a request that does not fit the profile it was
 // computed from, which indicates a caller bug) it also books nothing.
-func (b *Book) Commit(version uint64, reqs []Request) ([]Reservation, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.version != version {
-		return nil, fmt.Errorf("%w: computed at version %d, book at %d", ErrStale, version, b.version)
-	}
-	out := make([]Reservation, 0, len(reqs))
+// Committing no requests validates every shard — the global fence the
+// single-lock book provided.
+func (b *Book) Commit(snap Snapshot, reqs []Request) ([]Reservation, error) {
 	for i, req := range reqs {
-		r, err := b.newLocked(req)
-		if err != nil {
-			// Roll back the already-booked prefix; a failure to undo a
-			// reservation we just made is an invariant violation.
-			for _, prev := range out {
-				if uerr := b.prof.Unreserve(prev.Start, prev.End, prev.Procs); uerr != nil {
-					panic(fmt.Sprintf("resbook: rollback failed: %v", uerr))
-				}
-				delete(b.res, prev.ID)
-			}
+		if err := b.reserveChecks(req.Start, req.End, req.Procs); err != nil {
 			return nil, fmt.Errorf("resbook: request %d: %w", i, err)
 		}
-		out = append(out, *r)
 	}
-	b.version++
+	lo, hi := 0, len(b.shards)-1
+	if len(reqs) > 0 {
+		lo, hi = len(b.shards), -1
+		for _, req := range reqs {
+			l, h := b.shardSpan(req.Start, req.End)
+			if l < lo {
+				lo = l
+			}
+			if h > hi {
+				hi = h
+			}
+		}
+	}
+	b.lockShards(lo, hi)
+	defer b.unlockShards(lo, hi)
+	if len(snap.Epochs) != len(b.shards) {
+		return nil, fmt.Errorf("%w: snapshot of %d shards, book has %d", ErrStale, len(snap.Epochs), len(b.shards))
+	}
+	for i := lo; i <= hi; i++ {
+		if b.shards[i].stamp != snap.Epochs[i] {
+			return nil, fmt.Errorf("%w: computed at version %d, book at %d", ErrStale, snap.Version, b.version.Load())
+		}
+	}
+	var applied []appliedPiece
+	for i, req := range reqs {
+		var err error
+		applied, err = b.applyLocked(req, applied)
+		if err != nil {
+			b.rollbackLocked(applied)
+			return nil, fmt.Errorf("resbook: request %d: %w", i, err)
+		}
+	}
+	out := make([]Reservation, 0, len(reqs))
+	for _, req := range reqs {
+		out = append(out, *b.newRowLocked(req))
+	}
+	b.bumpLocked(lo, hi)
 	return out, nil
 }
 
 // Get returns a copy of the reservation with the given ID.
 func (b *Book) Get(id string) (Reservation, bool) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	r, ok := b.res[id]
-	if !ok {
-		return Reservation{}, false
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		r, ok := sh.res[id]
+		if ok {
+			out := *r
+			sh.mu.RUnlock()
+			return out, true
+		}
+		sh.mu.RUnlock()
 	}
-	return *r, true
+	return Reservation{}, false
 }
 
 // List returns copies of all reservations (including released ones),
 // ordered by ID.
 func (b *Book) List() []Reservation {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	out := make([]Reservation, 0, len(b.res))
-	for _, r := range b.res {
-		out = append(out, *r)
+	var out []Reservation
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for _, r := range sh.res {
+			out = append(out, *r)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -276,41 +515,70 @@ func (b *Book) List() []Reservation {
 // Activate confirms a Pending reservation. Activating an Active
 // reservation is a no-op; a Released one is an error.
 func (b *Book) Activate(id string) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	r, ok := b.res[id]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		r, ok := sh.res[id]
+		if !ok {
+			sh.mu.Unlock()
+			continue
+		}
+		if r.Status == Released {
+			sh.mu.Unlock()
+			return fmt.Errorf("%w: %s", ErrReleased, id)
+		}
+		if r.Status == Pending {
+			r.Status = Active
+			sh.stamp++
+			b.version.Add(1)
+		}
+		sh.mu.Unlock()
+		return nil
 	}
-	if r.Status == Released {
-		return fmt.Errorf("%w: %s", ErrReleased, id)
-	}
-	if r.Status == Pending {
-		r.Status = Active
-		b.version++
-	}
-	return nil
+	return fmt.Errorf("%w: %s", ErrNotFound, id)
 }
 
 // Release cancels a Pending or Active reservation, returning its
 // processors to the profile. Releasing twice is an error.
 func (b *Book) Release(id string) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	r, ok := b.res[id]
+	// Find the row's window first (rows never change theirs), then take
+	// the shard locks the release touches and re-check the status under
+	// them.
+	r, ok := b.Get(id)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	if r.Status == Released {
+	lo, hi := b.shardSpan(r.Start, r.End)
+	home := b.shardFor(r.Start)
+	b.lockShards(lo, hi)
+	defer b.unlockShards(lo, hi)
+	row, ok := b.shards[home].res[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if row.Status == Released {
 		return fmt.Errorf("%w: %s", ErrReleased, id)
 	}
-	if err := b.prof.Unreserve(r.Start, r.End, r.Procs); err != nil {
-		// The profile holds every non-released reservation, so undoing
-		// one can only fail if the ledger and profile disagree.
-		panic(fmt.Sprintf("resbook: release %s failed: %v", id, err))
+	for i := lo; i <= hi; i++ {
+		sh := &b.shards[i]
+		start, end := row.Start, row.End
+		if start < sh.start {
+			start = sh.start
+		}
+		if end > sh.end {
+			end = sh.end
+		}
+		if end <= start {
+			continue
+		}
+		if err := sh.prof.Unreserve(start, end, row.Procs); err != nil {
+			// The shard profiles hold every non-released reservation, so
+			// undoing one can only fail if the ledger and profile disagree.
+			panic(fmt.Sprintf("resbook: release %s failed: %v", id, err))
+		}
 	}
-	r.Status = Released
-	b.version++
+	row.Status = Released
+	b.bumpLocked(lo, hi)
 	return nil
 }
 
@@ -318,7 +586,7 @@ func (b *Book) Release(id string) error {
 // commit, retrying on ErrStale up to maxAttempts times. fn receives a
 // private snapshot and returns the reservation requests to commit
 // (returning an empty slice commits nothing but still validates the
-// version). It reports the booked reservations and how many
+// snapshot). It reports the booked reservations and how many
 // version-conflict retries occurred. Any error from fn, from ctx, or
 // a non-stale commit failure aborts the loop.
 func (b *Book) Transact(ctx context.Context, maxAttempts int, fn func(Snapshot) ([]Request, error)) ([]Reservation, int, error) {
@@ -335,7 +603,7 @@ func (b *Book) Transact(ctx context.Context, maxAttempts int, fn func(Snapshot) 
 		if err != nil {
 			return nil, retries, err
 		}
-		out, err := b.Commit(snap.Version, reqs)
+		out, err := b.Commit(snap, reqs)
 		if err == nil {
 			return out, retries, nil
 		}
@@ -347,27 +615,37 @@ func (b *Book) Transact(ctx context.Context, maxAttempts int, fn func(Snapshot) 
 	return nil, retries, fmt.Errorf("%w: gave up after %d attempts", ErrStale, maxAttempts)
 }
 
-// CheckInvariants validates the book: the profile satisfies its
-// representation invariants, and replaying the ledger's non-released
-// reservations onto an empty profile reproduces the live profile
-// exactly (no lost and no double-booked capacity).
+// CheckInvariants validates the book: every shard profile satisfies
+// its representation invariants, and replaying the ledger's
+// non-released reservations onto an empty profile reproduces the
+// assembled global profile exactly (no lost and no double-booked
+// capacity).
 func (b *Book) CheckInvariants() error {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	if err := b.prof.Check(); err != nil {
-		return err
-	}
-	want := profile.New(b.prof.Capacity(), b.prof.Origin())
-	for _, r := range b.res {
-		if r.Status == Released {
-			continue
+	lo, hi := 0, len(b.shards)-1
+	b.lockShards(lo, hi)
+	defer b.unlockShards(lo, hi)
+	assembled := &profile.Profile{}
+	assembled.Reset(b.capacity, b.origin)
+	for i := range b.shards {
+		sh := &b.shards[i]
+		if err := sh.prof.Check(); err != nil {
+			return fmt.Errorf("resbook: shard %d: %w", i, err)
 		}
-		if err := want.Reserve(r.Start, r.End, r.Procs); err != nil {
-			return fmt.Errorf("resbook: ledger replay of %s: %w", r.ID, err)
+		assembled.AppendWindow(sh.prof, sh.start, sh.end)
+	}
+	want := profile.New(b.capacity, b.origin)
+	for i := range b.shards {
+		for _, r := range b.shards[i].res {
+			if r.Status == Released {
+				continue
+			}
+			if err := want.Reserve(r.Start, r.End, r.Procs); err != nil {
+				return fmt.Errorf("resbook: ledger replay of %s: %w", r.ID, err)
+			}
 		}
 	}
-	if want.String() != b.prof.String() {
-		return fmt.Errorf("resbook: ledger %s != profile %s", want, b.prof)
+	if want.String() != assembled.String() {
+		return fmt.Errorf("resbook: ledger %s != profile %s", want, assembled)
 	}
 	return nil
 }

@@ -47,7 +47,7 @@ func BenchmarkSnapshotCommit1k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		snap := book.Snapshot()
-		out, err := book.Commit(snap.Version, []Request{{Start: 100, End: 200, Procs: 1}})
+		out, err := book.Commit(snap, []Request{{Start: 100, End: 200, Procs: 1}})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -86,14 +86,14 @@ func TestCommitVersionCheck(t *testing.T) {
 	if _, err := b.Reserve(0, 10, 1); err != nil {
 		t.Fatal(err)
 	}
-	_, err := b.Commit(snap.Version, []Request{{Start: 20, End: 30, Procs: 2}})
+	_, err := b.Commit(snap, []Request{{Start: 20, End: 30, Procs: 2}})
 	if !errors.Is(err, ErrStale) {
 		t.Fatalf("commit on stale snapshot: %v, want ErrStale", err)
 	}
 
 	// A fresh snapshot commits fine, atomically booking both requests.
 	snap = b.Snapshot()
-	out, err := b.Commit(snap.Version, []Request{
+	out, err := b.Commit(snap, []Request{
 		{Start: 20, End: 30, Procs: 2},
 		{Start: 25, End: 40, Procs: 3},
 	})
@@ -118,7 +118,7 @@ func TestCommitRollsBackOnFailure(t *testing.T) {
 
 	// Second request oversubscribes the cluster: the whole commit must
 	// fail and leave no trace of the first.
-	_, err := b.Commit(snap.Version, []Request{
+	_, err := b.Commit(snap, []Request{
 		{Start: 0, End: 10, Procs: 2},
 		{Start: 5, End: 15, Procs: 3},
 	})

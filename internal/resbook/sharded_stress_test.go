@@ -1,0 +1,148 @@
+package resbook
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// TestShardedDisjointEpochs is the sharded book's headline guarantee:
+// concurrent committers working in disjoint time epochs never
+// invalidate each other. Eight workers each own one epoch-aligned day
+// and commit into it repeatedly from fresh snapshots; because a
+// commit revalidates only the stamps of the shards it writes, not one
+// of these commits may come back ErrStale. Invariants are checked
+// after every commit.
+func TestShardedDisjointEpochs(t *testing.T) {
+	const (
+		workers  = 8
+		iters    = 20
+		capacity = 64
+	)
+	book, err := NewSharded(capacity, 0, workers, model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := model.Time(w) * model.Day
+			for i := 0; i < iters; i++ {
+				snap := book.Snapshot()
+				// Stay strictly inside the worker's own day so the
+				// commit touches exactly one shard.
+				off := model.Time((i * 4001) % int(model.Day-model.Hour))
+				reqs := []Request{{Start: base + off, End: base + off + model.Hour, Procs: 1}}
+				out, err := book.Commit(snap, reqs)
+				if err != nil {
+					t.Errorf("worker %d iter %d: disjoint-epoch commit: %v", w, i, err)
+					return
+				}
+				committed.Add(int64(len(out)))
+				if err := book.CheckInvariants(); err != nil {
+					t.Errorf("worker %d iter %d: invariants: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := committed.Load(), int64(workers*iters); got != want {
+		t.Errorf("committed %d reservations, want %d", got, want)
+	}
+	if got, want := int64(len(book.List())), committed.Load(); got != want {
+		t.Errorf("ledger holds %d reservations, want %d", got, want)
+	}
+	// Every commit bumped the global version exactly once.
+	if got, want := book.Version(), uint64(workers*iters); got != want {
+		t.Errorf("version %d, want %d", got, want)
+	}
+	if err := book.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedOverlappingEpochs drives all eight workers into the same
+// epoch — and across epoch boundaries — so their commits contend on
+// shared shards. Each round hands every worker a snapshot at the same
+// stamps, so all but the round's first committer must observe
+// ErrStale and retry; the retry loop must converge, the ledger must
+// account for every booking exactly once, and invariants must hold
+// after every successful commit.
+func TestShardedOverlappingEpochs(t *testing.T) {
+	const (
+		workers  = 8
+		rounds   = 5
+		capacity = 64
+	)
+	book, err := NewSharded(capacity, 0, 4, model.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var committed, stale atomic.Int64
+	for round := 0; round < rounds; round++ {
+		snaps := make([]Snapshot, workers)
+		for w := range snaps {
+			snaps[w] = book.Snapshot()
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int, snap Snapshot) {
+				defer wg.Done()
+				// Half the workers book inside the shared first epoch;
+				// the rest span the boundary into the second, so the
+				// two groups still collide on shard 0.
+				start := model.Time(round) * model.Hour
+				end := start + model.Hour
+				if w%2 == 1 {
+					end = model.Day + model.Time(w)*model.Hour
+				}
+				for {
+					out, err := book.Commit(snap, []Request{{Start: start, End: end, Procs: 1}})
+					if err == nil {
+						committed.Add(int64(len(out)))
+						break
+					}
+					if !errors.Is(err, ErrStale) {
+						t.Errorf("worker %d: commit: %v", w, err)
+						return
+					}
+					stale.Add(1)
+					snap = book.Snapshot()
+				}
+				if err := book.CheckInvariants(); err != nil {
+					t.Errorf("worker %d: invariants: %v", w, err)
+				}
+			}(w, snaps[w])
+		}
+		wg.Wait()
+
+		// Within a round every worker started from the same stamps, so
+		// only one commit could land without a conflict.
+		if got := stale.Load(); got < int64((round+1)*(workers-1)) {
+			t.Errorf("round %d: %d stale commits so far, want >= %d", round, got, (round+1)*(workers-1))
+		}
+	}
+
+	if got, want := committed.Load(), int64(workers*rounds); got != want {
+		t.Errorf("committed %d reservations, want %d", got, want)
+	}
+	if got, want := int64(len(book.List())), committed.Load(); got != want {
+		t.Errorf("ledger holds %d reservations, want %d", got, want)
+	}
+	if err := book.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("overlap stress: %d commits, %d stale retries, final version %d",
+		committed.Load(), stale.Load(), book.Version())
+}

@@ -107,7 +107,7 @@ func TestConcurrentBooking(t *testing.T) {
 						t.Errorf("worker %d: compute: %v", w, err)
 						return
 					}
-					out, err := book.Commit(snap.Version, reqs)
+					out, err := book.Commit(snap, reqs)
 					if err == nil {
 						committed.Add(int64(len(out)))
 						break

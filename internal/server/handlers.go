@@ -31,9 +31,27 @@ func (s *Server) resolveNow(reqNow model.Time) (model.Time, error) {
 	return reqNow, nil
 }
 
+// withAvail picks the scheduling backend for a snapshot profile and
+// lends it to fn: the flat profile itself for small horizons, a
+// pooled tree-backed reload for horizons of profile.AutoTreeThreshold
+// segments or more (where the O(log n) probes pay for the rebuild).
+// The borrow ends when fn returns — the schedulers work on their own
+// copy, so nothing may retain the backend afterwards (the poolescape
+// discipline: pooled scratch never outlives the lending scope).
+func (s *Server) withAvail(prof *profile.Profile, fn func(profile.Intervals)) {
+	if prof.NumSegments() < profile.AutoTreeThreshold {
+		fn(prof)
+		return
+	}
+	tree := s.treePool.Get().(*profile.TreeProfile)
+	tree.LoadProfile(prof)
+	fn(tree)
+	s.treePool.Put(tree)
+}
+
 // runCommitLoop is the shared serving path of /v1/schedule and
 // /v1/deadline: snapshot the book, compute, and — when the request
-// asks to commit — book the reservations with a version check,
+// asks to commit — book the reservations with a stamp check,
 // recomputing on conflict up to the configured retry budget.
 func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo string, now model.Time, q int, commit bool, compute computeFn) {
 	ctx := r.Context()
@@ -48,9 +66,14 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 			s.writeSchedulingError(w, r, err)
 			return
 		}
-		version := s.book.SnapshotInto(prof)
-		env := core.Env{P: prof.Capacity(), Now: now, Avail: prof, Q: q}
-		sched, deadline, err := compute(env)
+		snap := s.book.SnapshotInto(prof)
+		var sched *core.Schedule
+		var deadline model.Time
+		var err error
+		s.withAvail(prof, func(avail profile.Intervals) {
+			env := core.Env{P: prof.Capacity(), Now: now, Avail: avail, Q: q}
+			sched, deadline, err = compute(env)
+		})
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) {
 				s.writeJSON(w, http.StatusUnprocessableEntity, api.Error{Error: err.Error()})
@@ -62,7 +85,7 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 
 		resp := api.ScheduleResponse{
 			Algorithm:  algo,
-			Version:    version,
+			Version:    snap.Version,
 			Now:        sched.Now,
 			Completion: sched.Completion(),
 			Turnaround: sched.Turnaround(),
@@ -88,9 +111,9 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 		if s.beforeCommit != nil {
 			s.beforeCommit()
 		}
-		booked, err := s.book.Commit(version, reqs)
+		booked, err := s.book.Commit(snap, reqs)
 		if err == nil {
-			resp.Version = version + 1
+			resp.Version = s.book.Version()
 			resp.Committed = true
 			resp.Retries = retries
 			for _, b := range booked {
@@ -161,6 +184,183 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			sched, err := sch.TurnaroundCtx(r.Context(), env, bl, bd)
 			return sched, 0, err
 		})
+}
+
+// batchJob is one parsed and validated job of a batch request.
+type batchJob struct {
+	sch  *core.Scheduler
+	bl   core.BLMethod
+	bd   core.BDMethod
+	now  model.Time
+	q    int
+	algo string
+}
+
+// parseBatchJob validates one job of a batch request up front, so a
+// malformed job fails the whole batch with 400 before any scheduling
+// work happens.
+func (s *Server) parseBatchJob(req api.ScheduleRequest) (batchJob, error) {
+	g, err := dagio.Read(bytes.NewReader(req.DAG))
+	if err != nil {
+		return batchJob{}, err
+	}
+	bl := core.BLCPAR
+	if req.BL != "" {
+		if bl, err = core.ParseBL(req.BL); err != nil {
+			return batchJob{}, err
+		}
+	}
+	bd := core.BDCPAR
+	if req.BD != "" {
+		if bd, err = core.ParseBD(req.BD); err != nil {
+			return batchJob{}, err
+		}
+	}
+	now, err := s.resolveNow(req.Now)
+	if err != nil {
+		return batchJob{}, err
+	}
+	sch, err := core.NewScheduler(g)
+	if err != nil {
+		return batchJob{}, err
+	}
+	return batchJob{sch: sch, bl: bl, bd: bd, now: now, q: req.Q,
+		algo: fmt.Sprintf("%s_%s", bl, bd)}, nil
+}
+
+// handleScheduleBatch serves POST /v1/schedule/batch: N applications
+// scheduled against one snapshot, where job i+1 sees job i's
+// placements, committed (when requested) through a single optimistic
+// commit — one snapshot, one stamp check, one version bump, instead of
+// N commit loops contending with each other.
+func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchScheduleRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: "batch contains no jobs"})
+		return
+	}
+	jobs := make([]batchJob, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		job, err := s.parseBatchJob(jr)
+		if err != nil {
+			s.writeJSON(w, http.StatusBadRequest, api.Error{Error: fmt.Sprintf("job %d: %s", i, err)})
+			return
+		}
+		jobs[i] = job
+	}
+	if !s.acquireWorker(w, r) {
+		return
+	}
+	defer s.releaseWorker()
+
+	ctx := r.Context()
+	retries := 0
+	prof := s.profPool.Get().(*profile.Profile)
+	defer s.profPool.Put(prof)
+	for {
+		if err := ctx.Err(); err != nil {
+			s.writeSchedulingError(w, r, err)
+			return
+		}
+		snap := s.book.SnapshotInto(prof)
+		resp := api.BatchScheduleResponse{
+			Version: snap.Version,
+			Retries: retries,
+			Jobs:    make([]api.ScheduleResponse, 0, len(jobs)),
+		}
+		var reqs []resbook.Request
+		perJob := make([]int, len(jobs)) // reservation count per job, for ID fan-out
+		failed := false
+		s.withAvail(prof, func(avail profile.Intervals) {
+			for i, job := range jobs {
+				env := core.Env{P: prof.Capacity(), Now: job.now, Avail: avail, Q: job.q}
+				sched, err := job.sch.TurnaroundCtx(ctx, env, job.bl, job.bd)
+				if err != nil {
+					if errors.Is(err, core.ErrInfeasible) {
+						s.writeJSON(w, http.StatusUnprocessableEntity,
+							api.Error{Error: fmt.Sprintf("job %d: %s", i, err)})
+					} else {
+						s.writeSchedulingError(w, r, fmt.Errorf("job %d: %w", i, err))
+					}
+					failed = true
+					return
+				}
+				jr := api.ScheduleResponse{
+					Algorithm:  job.algo,
+					Version:    snap.Version,
+					Now:        sched.Now,
+					Completion: sched.Completion(),
+					Turnaround: sched.Turnaround(),
+					CPUHours:   sched.CPUHours(),
+					Tasks:      make([]api.Placement, 0, len(sched.Tasks)),
+				}
+				for t, pl := range sched.Tasks {
+					jr.Tasks = append(jr.Tasks, api.Placement{Task: t, Procs: pl.Procs, Start: pl.Start, End: pl.End})
+				}
+				// Later jobs must see this job's placements: reserve
+				// them into the working snapshot before moving on.
+				for _, pl := range sched.Tasks {
+					if pl.End <= pl.Start {
+						continue
+					}
+					if err := avail.Reserve(pl.Start, pl.End, pl.Procs); err != nil {
+						// A schedule that does not fit the snapshot it
+						// was computed from is an internal fault.
+						s.writeJSON(w, http.StatusInternalServerError,
+							api.Error{Error: fmt.Sprintf("job %d: staging placements: %s", i, err)})
+						failed = true
+						return
+					}
+					reqs = append(reqs, resbook.Request{Start: pl.Start, End: pl.End, Procs: pl.Procs})
+					perJob[i]++
+				}
+				resp.Jobs = append(resp.Jobs, jr)
+			}
+		})
+		if failed {
+			return
+		}
+		if !req.Commit {
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if s.beforeCommit != nil {
+			s.beforeCommit()
+		}
+		booked, err := s.book.Commit(snap, reqs)
+		if err == nil {
+			resp.Version = s.book.Version()
+			resp.Committed = true
+			resp.Retries = retries
+			k := 0
+			for i := range resp.Jobs {
+				resp.Jobs[i].Version = resp.Version
+				resp.Jobs[i].Committed = true
+				for n := 0; n < perJob[i]; n++ {
+					resp.Jobs[i].ReservationIDs = append(resp.Jobs[i].ReservationIDs, booked[k].ID)
+					k++
+				}
+			}
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if errors.Is(err, resbook.ErrStale) {
+			retries++
+			s.metrics.retries.Add(1)
+			if retries > s.cfg.MaxRetries {
+				s.metrics.conflicts.Add(1)
+				s.writeJSON(w, http.StatusConflict,
+					api.Error{Error: fmt.Sprintf("gave up after %d version-conflict retries", retries-1)})
+				return
+			}
+			continue
+		}
+		s.writeJSON(w, http.StatusInternalServerError, api.Error{Error: "commit failed: " + err.Error()})
+		return
+	}
 }
 
 func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {

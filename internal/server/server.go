@@ -65,6 +65,12 @@ type Server struct {
 	// second clone-into against per-Scheduler scratch.
 	profPool sync.Pool
 
+	// treePool recycles the tree-backed profiles the commit loop
+	// reloads from large snapshots (profile.AutoTreeThreshold segments
+	// or more), keeping the O(log n) backend's node arenas across
+	// requests the same way profPool keeps the flat arrays.
+	treePool sync.Pool
+
 	// beforeCommit, when non-nil, runs between computing a schedule
 	// and committing it. Tests use it to force version conflicts
 	// deterministically; production servers leave it nil.
@@ -100,8 +106,10 @@ func New(cfg Config) (*Server, error) {
 		log:     log,
 	}
 	s.profPool.New = func() any { return &profile.Profile{} }
+	s.treePool.New = func() any { return &profile.TreeProfile{} }
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("POST /v1/schedule/batch", s.handleScheduleBatch)
 	mux.HandleFunc("POST /v1/deadline", s.handleDeadline)
 	mux.HandleFunc("POST /v1/reservations", s.handleReservationCreate)
 	mux.HandleFunc("GET /v1/reservations", s.handleReservationList)
