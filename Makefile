@@ -10,28 +10,28 @@ GO ?= go
 
 # Benchmarks that feed the BENCH_*.json trajectory: the CPA allocation
 # hot path, the profile primitives, and the serving path.
-BENCH_PKGS ?= ./internal/cpa ./internal/profile ./internal/server ./internal/resbook
+BENCH_PKGS ?= ./internal/cpa ./internal/profile ./internal/server ./internal/resbook ./internal/lifecycle
 # BENCH_PR names the PR whose trajectory file `make bench` writes by
 # default; override either variable to target another file, e.g.
 #   make bench BENCH_PR=PR4
 #   make bench BENCH_OUT=/tmp/scratch.json
-BENCH_PR ?= PR5
+BENCH_PR ?= PR6
 BENCH_OUT ?= BENCH_$(BENCH_PR).json
 BENCH_LABEL ?= optimized
 
 # bench-compare gates the serving hot path against this committed
 # baseline: the named benchmark prefixes may not regress ns/op by more
 # than BENCH_THRESHOLD percent.
-BENCH_BASE ?= BENCH_PR4.json
+BENCH_BASE ?= BENCH_PR5.json
 BENCH_THRESHOLD ?= 15
 BENCH_GATE ?= internal/cpa.BenchmarkAllocate,internal/profile.BenchmarkProfileScaling,internal/profile.BenchmarkFitsBatch,internal/resbook.BenchmarkSnapshot,internal/server.BenchmarkSchedulePost
 
 # How long each fuzz target runs in fuzz-smoke.
 FUZZTIME ?= 10s
 
-.PHONY: ci fmt vet lint test race race-all build bench bench-compare bench-smoke fuzz-smoke vuln
+.PHONY: ci fmt vet lint test race race-all build bench bench-compare bench-smoke fuzz-smoke replay-smoke vuln
 
-ci: fmt vet lint race bench-smoke fuzz-smoke vuln
+ci: fmt vet lint race replay-smoke bench-smoke fuzz-smoke vuln
 
 build:
 	$(GO) build ./...
@@ -62,7 +62,15 @@ test:
 # — under the race detector on every ci run. race-all is the full-tree
 # sweep for slower, occasional use.
 race:
-	$(GO) test -race ./internal/resbook/... ./internal/server/...
+	$(GO) test -race ./internal/resbook/... ./internal/server/... ./internal/lifecycle/...
+
+# replay-smoke drives a short canned trace through the online
+# lifecycle engine under the race detector: a capacity-constrained
+# day of CTC_SP2 arrivals, which exercises placement, backfill under
+# the activation guardrail, starvation reservations, and the
+# activation/completion event path end to end.
+replay-smoke:
+	$(GO) run -race ./cmd/resreplay -arch CTC_SP2 -days 1 -seed 7 -procs 64 -starve-attempts 4
 
 race-all:
 	$(GO) test -race ./...

@@ -13,12 +13,23 @@
 // N time epochs with independent locks and commit stamps, so commits
 // into disjoint epochs proceed concurrently.
 //
+// With -online the daemon additionally runs the lifecycle engine
+// (internal/lifecycle): jobs submitted via POST /v1/jobs queue, place,
+// backfill under the activation guardrail, and receive
+// starvation-triggered advance reservations; GET /v1/jobs/{id}/forecast
+// reports per-job feasibility. The engine flags (-tick, -backfill,
+// -starve-attempts, -starve-age) require -online — combining them
+// without it is an error, not a silent no-op — and -online rejects
+// -resv, because seeded reservations have no owning jobs for the
+// engine to activate or release.
+//
 // Examples:
 //
 //	reschedd -addr :8080 -procs 128
 //	reschedd -addr :8080 -resv resv.json -workers 8 -log json
 //	reschedd -addr :8080 -shards 8 -epoch 86400
 //	reschedd -addr :8080 -pprof-addr localhost:6060
+//	reschedd -addr :8080 -online -backfill=true -starve-attempts 8
 //
 // The daemon drains in-flight requests on SIGINT/SIGTERM before
 // exiting.
@@ -37,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"resched/internal/lifecycle"
 	"resched/internal/model"
 	"resched/internal/resbook"
 	"resched/internal/schedio"
@@ -63,7 +75,16 @@ func run() error {
 	shards := flag.Int("shards", 1, "number of time-epoch shards in the reservation book")
 	epoch := flag.Int64("epoch", int64(model.Day), "shard epoch length in seconds (used with -shards > 1)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (off when empty)")
+	online := flag.Bool("online", false, "run the online job lifecycle engine (enables the /v1/jobs API)")
+	tick := flag.Duration("tick", time.Second, "online engine scheduling period (requires -online)")
+	backfill := flag.Bool("backfill", true, "online engine: backfill queued jobs under the activation guardrail (requires -online)")
+	starveAttempts := flag.Int("starve-attempts", 8, "online engine: failed placement passes before a queued job gets an advance reservation, <=0 disables (requires -online)")
+	starveAge := flag.Int64("starve-age", int64(15*model.Minute), "online engine: queue age in seconds before a queued job gets an advance reservation, <=0 disables (requires -online)")
 	flag.Parse()
+
+	if err := validateOnlineFlags(flag.CommandLine, *online); err != nil {
+		return err
+	}
 
 	var handler slog.Handler
 	switch *logFormat {
@@ -80,6 +101,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	var eng *lifecycle.Engine
+	if *online {
+		sa := *starveAttempts
+		if sa <= 0 {
+			sa = -1
+		}
+		sg := model.Duration(*starveAge)
+		if sg <= 0 {
+			sg = -1
+		}
+		eng, err = lifecycle.New(lifecycle.Config{
+			Book:           book,
+			Backfill:       *backfill,
+			StarveAttempts: sa,
+			StarveAge:      sg,
+			MaxRetries:     *retries,
+			Tick:           *tick,
+			Logger:         log,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	srv, err := server.New(server.Config{
 		Book:       book,
 		Workers:    *workers,
@@ -87,6 +133,7 @@ func run() error {
 		MaxBody:    *maxBody,
 		MaxRetries: *retries,
 		Logger:     log,
+		Engine:     eng,
 	})
 	if err != nil {
 		return err
@@ -100,6 +147,13 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if eng != nil {
+		if err := eng.Start(ctx); err != nil {
+			return err
+		}
+		defer eng.Close()
+	}
 
 	errc := make(chan error, 2)
 	go func() {
@@ -158,6 +212,32 @@ func run() error {
 	}
 	log.Info("bye", "final_version", book.Version())
 	return nil
+}
+
+// validateOnlineFlags fails fast on flag combinations the daemon
+// would otherwise silently misinterpret: engine flags without
+// -online, and -online with a seeded schedule (-resv), whose
+// reservations have no owning jobs for the engine to drive.
+func validateOnlineFlags(fs *flag.FlagSet, online bool) error {
+	engineFlags := map[string]bool{
+		"tick":            true,
+		"backfill":        true,
+		"starve-attempts": true,
+		"starve-age":      true,
+	}
+	var bad error
+	fs.Visit(func(f *flag.Flag) {
+		if bad != nil {
+			return
+		}
+		if !online && engineFlags[f.Name] {
+			bad = fmt.Errorf("-%s requires -online", f.Name)
+		}
+		if online && f.Name == "resv" {
+			bad = errors.New("-online is incompatible with -resv: seeded reservations have no owning jobs for the lifecycle engine")
+		}
+	})
+	return bad
 }
 
 // buildBook seeds the reservation book: empty with the given capacity

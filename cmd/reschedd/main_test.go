@@ -1,0 +1,59 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseFlags builds a throwaway flag set with the daemon's engine
+// flags and parses args against it.
+func parseFlags(t *testing.T, args ...string) (*flag.FlagSet, bool) {
+	t.Helper()
+	fs := flag.NewFlagSet("reschedd", flag.ContinueOnError)
+	online := fs.Bool("online", false, "")
+	fs.Duration("tick", time.Second, "")
+	fs.Bool("backfill", true, "")
+	fs.Int("starve-attempts", 8, "")
+	fs.Int64("starve-age", 900, "")
+	fs.String("resv", "", "")
+	fs.Int("procs", 64, "")
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("Parse(%v): %v", args, err)
+	}
+	return fs, *online
+}
+
+func TestValidateOnlineFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"defaults", nil, ""},
+		{"online alone", []string{"-online"}, ""},
+		{"online with engine flags", []string{"-online", "-tick", "5s", "-backfill=false", "-starve-attempts", "3", "-starve-age", "60"}, ""},
+		{"offline with other flags", []string{"-procs", "16", "-resv", "x.json"}, ""},
+		{"tick without online", []string{"-tick", "5s"}, "-tick requires -online"},
+		{"backfill without online", []string{"-backfill=false"}, "-backfill requires -online"},
+		{"starve-attempts without online", []string{"-starve-attempts", "3"}, "-starve-attempts requires -online"},
+		{"starve-age without online", []string{"-starve-age", "60"}, "-starve-age requires -online"},
+		{"online with resv", []string{"-online", "-resv", "x.json"}, "incompatible with -resv"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, online := parseFlags(t, tc.args...)
+			err := validateOnlineFlags(fs, online)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateOnlineFlags(%v) = %v, want nil", tc.args, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateOnlineFlags(%v) = %v, want error containing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}

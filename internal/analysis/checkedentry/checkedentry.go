@@ -19,9 +19,10 @@ import (
 // batch schedulers (internal/core and below) legitimately keep the
 // panicking fast path.
 var ServingPackages = map[string]bool{
-	"resched/internal/server":  true,
-	"resched/internal/api":     true,
-	"resched/internal/resbook": true,
+	"resched/internal/server":    true,
+	"resched/internal/api":       true,
+	"resched/internal/resbook":   true,
+	"resched/internal/lifecycle": true,
 }
 
 // profilePackage is where the panicking fast paths and their *Checked

@@ -65,8 +65,9 @@ const lockOrderDirective = "//reschedvet:lockorder"
 // inferred module-wide regardless, so serving packages see the
 // blocking behavior of everything they import.
 var CheckedPackages = map[string]bool{
-	"resched/internal/resbook": true,
-	"resched/internal/server":  true,
+	"resched/internal/resbook":   true,
+	"resched/internal/server":    true,
+	"resched/internal/lifecycle": true,
 }
 
 // MayBlock marks a function that can wait: it performs a blocking

@@ -9,8 +9,8 @@ import (
 
 func TestLockHold(t *testing.T) {
 	// resbook is listed first so its MayBlock facts are exported
-	// before the server fixture (its importer) is analyzed; the
-	// framework orders by imports either way.
+	// before the lifecycle and server fixtures (its importers) are
+	// analyzed; the framework orders by imports either way.
 	analysistest.Run(t, "testdata", lockhold.Analyzer,
-		"resched/internal/resbook", "resched/internal/server")
+		"resched/internal/resbook", "resched/internal/lifecycle", "resched/internal/server")
 }

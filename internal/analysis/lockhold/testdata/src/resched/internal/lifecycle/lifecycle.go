@@ -1,0 +1,77 @@
+// Package lifecycle is a fixture mirror of the online engine: a
+// mutex-guarded job table next to a reservation book whose Transact
+// blocks. The engine discipline under test: the engine mutex is never
+// held across a book operation, and Tick — the engine's advance —
+// exports a MayBlock fact its callers see cross-package.
+package lifecycle
+
+import (
+	"sync"
+
+	"resched/internal/resbook"
+)
+
+type Engine struct {
+	mu    sync.Mutex
+	book  *resbook.Book
+	queue []string
+	now   int
+}
+
+// Tick advances the engine: it transacts against the book, so the
+// MayBlock fact must propagate to everything that calls Tick.
+func (e *Engine) Tick() error {
+	return e.book.Transact(func() error { return nil })
+}
+
+// Positive: transacting while the engine mutex is held — the
+// cross-package MayBlock fact from the resbook fixture fires.
+func (e *Engine) placeUnderLock() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.book.Transact(func() error { return nil }) // want "call to Transact may block while mu is held"
+}
+
+// Positive: the engine's own advance is just as blocking as the book
+// call it wraps; in-package calls see the inferred fact too.
+func (e *Engine) tickUnderLock() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Tick() // want "call to Tick may block while mu is held"
+}
+
+// Positive: waiting for a wake-up signal inside the critical section.
+func (e *Engine) waitForWake(wake chan struct{}) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	<-wake // want "channel receive may block while mu is held"
+}
+
+// Negative: the real scheduling-pass discipline — copy the queue under
+// the lock, release it, then transact.
+func (e *Engine) schedulePass() error {
+	e.mu.Lock()
+	ids := append([]string(nil), e.queue...)
+	e.mu.Unlock()
+	_ = ids
+	return e.book.Transact(func() error { return nil })
+}
+
+// Negative: a non-blocking wake under the lock — select with default
+// cannot wait.
+func (e *Engine) wakeNonBlocking(wake chan struct{}) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.now++
+	select {
+	case wake <- struct{}{}:
+	default:
+	}
+}
+
+// Negative: pure bookkeeping under the lock.
+func (e *Engine) enqueue(id string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queue = append(e.queue, id)
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"resched/internal/lifecycle"
 	"resched/internal/resbook"
 )
 
@@ -90,4 +91,14 @@ func ignoredSleep(m *metrics) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	time.Sleep(time.Microsecond) //reschedvet:ignore lockhold calibration needs the pause
+}
+
+// Positive, cross-package: the lifecycle engine's Tick transacts
+// against the book; its MayBlock fact was exported while analyzing
+// the lifecycle fixture, so driving the engine under a server lock is
+// flagged.
+func tickEngineUnderLock(m *metrics, e *lifecycle.Engine) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return e.Tick() // want "call to Tick may block while mu is held"
 }

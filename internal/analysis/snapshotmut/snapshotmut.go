@@ -41,9 +41,10 @@ import (
 // CheckedPackages is where writes through snapshot aliases are
 // reported. Fact inference runs module-wide.
 var CheckedPackages = map[string]bool{
-	"resched/internal/server":  true,
-	"resched/internal/api":     true,
-	"resched/internal/resbook": true,
+	"resched/internal/server":    true,
+	"resched/internal/api":       true,
+	"resched/internal/resbook":   true,
+	"resched/internal/lifecycle": true,
 }
 
 // sharedStatePackages declare the types whose aliased internals count

@@ -1,0 +1,87 @@
+// Package lifecycle is a fixture mirror of the online engine: a
+// long-lived event loop launched by Start must be context-bounded and
+// joined (the real engine's run goroutine), and anything else the
+// engine spawns needs a join discipline or an explicit
+// fireandforget declaration.
+package lifecycle
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type Engine struct {
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+}
+
+// run is the driving loop: ctx-bounded, WaitGroup-joined.
+func (e *Engine) run(ctx context.Context) {
+	defer e.wg.Done()
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// Negative: the real engine's Start/Close shape — the loop goroutine
+// is joined through the WaitGroup and bounded by the context.
+func (e *Engine) Start(ctx context.Context) {
+	ctx, e.cancel = context.WithCancel(ctx)
+	e.wg.Add(1)
+	go e.run(ctx)
+}
+
+func (e *Engine) Close() {
+	e.cancel()
+	e.wg.Wait()
+}
+
+// unboundedLoop has no ctx select and no WaitGroup: launching it
+// leaks the driving goroutine past Close.
+func (e *Engine) unboundedLoop() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// Positive: an engine loop nothing can stop or join.
+func (e *Engine) startLeaky() {
+	go e.unboundedLoop() // want "goroutine running unboundedLoop is never joined"
+}
+
+// Positive: a completion-notifier literal whose channel nobody in the
+// launcher reads is not a join.
+func (e *Engine) notifyNobody(done chan string) {
+	go func() { // want "goroutine is never joined"
+		done <- "job-1"
+	}()
+	_ = done
+}
+
+//reschedvet:fireandforget a forecast warm-up may outlive any caller
+func warmForecastCache() {
+	for i := 0; i < 64; i++ {
+		_ = i
+	}
+}
+
+// Negative: declared fire-and-forget.
+func (e *Engine) startWarmup() {
+	go warmForecastCache()
+}
+
+// Negative: a per-replay worker joined through a result channel.
+func (e *Engine) replayWorker() int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return <-out
+}

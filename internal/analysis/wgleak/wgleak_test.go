@@ -9,7 +9,8 @@ import (
 
 func TestWgLeak(t *testing.T) {
 	// workerlib is pulled in as an import of the server fixture and
-	// analyzed for facts only; the launch sites under test are all in
-	// the server package.
-	analysistest.Run(t, "testdata", wgleak.Analyzer, "resched/internal/server")
+	// analyzed for facts only; the launch sites under test are in the
+	// server and lifecycle packages.
+	analysistest.Run(t, "testdata", wgleak.Analyzer,
+		"resched/internal/server", "resched/internal/lifecycle")
 }

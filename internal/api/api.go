@@ -138,6 +138,66 @@ type ProfileResponse struct {
 	Reservations []Reservation `json:"reservations"`
 }
 
+// JobSubmitRequest submits one rigid job (procs processors for
+// duration seconds) to the online lifecycle engine.
+type JobSubmitRequest struct {
+	Procs    int            `json:"procs"`
+	Duration model.Duration `json:"duration"`
+}
+
+// Job is one online job's lifecycle view ("queued", "reserved",
+// "running", or "done"). The placement fields are zero until the job
+// leaves the queue.
+type Job struct {
+	ID        string         `json:"id"`
+	Procs     int            `json:"procs"`
+	Duration  model.Duration `json:"duration"`
+	Submitted model.Time     `json:"submitted"`
+	State     string         `json:"state"`
+	Attempts  int            `json:"attempts"`
+	Start     model.Time     `json:"start,omitempty"`
+	End       model.Time     `json:"end,omitempty"`
+	// ReservationID is the book reservation backing the placement.
+	ReservationID string `json:"reservation_id,omitempty"`
+	// Backfilled marks an out-of-order placement admitted under the
+	// finish-before-activation guardrail.
+	Backfilled bool `json:"backfilled,omitempty"`
+	// Starved marks a job that received a starvation-triggered advance
+	// reservation.
+	Starved bool `json:"starved,omitempty"`
+}
+
+// Forecast is the feasibility report for one job: the earliest start
+// the current book admits, the processor deficit blocking an
+// immediate start, and actionable remedies.
+type Forecast struct {
+	JobID         string         `json:"job_id"`
+	State         string         `json:"state"`
+	Now           model.Time     `json:"now"`
+	EarliestStart model.Time     `json:"earliest_start"`
+	Wait          model.Duration `json:"wait"`
+	Deficit       int            `json:"deficit"`
+	FreeNow       int            `json:"free_now"`
+	Remedies      []string       `json:"remedies,omitempty"`
+	Version       uint64         `json:"version"`
+}
+
+// EngineStats are the lifecycle engine's counters, embedded in
+// GET /debug/metrics when the daemon runs online.
+type EngineStats struct {
+	Now                    model.Time `json:"now"`
+	QueueDepth             int        `json:"queue_depth"`
+	Arrivals               uint64     `json:"arrivals"`
+	Placements             uint64     `json:"placements"`
+	Backfills              uint64     `json:"backfills"`
+	StarvationReservations uint64     `json:"starvation_reservations"`
+	Activations            uint64     `json:"activations"`
+	Completions            uint64     `json:"completions"`
+	Ticks                  uint64     `json:"ticks"`
+	Forecasts              uint64     `json:"forecasts"`
+	ForecastAvgMicros      float64    `json:"forecast_avg_micros"`
+}
+
 // Error is the uniform error envelope for non-2xx responses.
 type Error struct {
 	Error string `json:"error"`

@@ -1,0 +1,76 @@
+package lifecycle
+
+// Wall-clock mode: Start launches the engine's single driving
+// goroutine, which advances the clock every Tick (and immediately on
+// Submit via the wake channel) until the context is cancelled or
+// Close is called. The goroutine is context-bounded and joined by
+// Close through the engine's WaitGroup — the shape reschedvet's
+// wgleak analyzer verifies for this package.
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"resched/internal/model"
+)
+
+// Start launches the wall-clock loop. The engine clock maps wall time
+// onto book time: the instant Start is called corresponds to the
+// book's origin, and one elapsed wall second advances the clock one
+// model second. Start may be called once; the loop stops when ctx is
+// cancelled or Close is called.
+func (e *Engine) Start(ctx context.Context) error {
+	if e.closed.Load() {
+		return ErrStopped
+	}
+	if !e.started.CompareAndSwap(false, true) {
+		return errors.New("lifecycle: engine already started")
+	}
+	ctx, e.cancel = context.WithCancel(ctx)
+	e.epoch = time.Now()
+	e.wg.Add(1)
+	go e.run(ctx)
+	e.log.Info("lifecycle engine started", "origin", e.book.Origin(), "tick", e.cfg.Tick, "backfill", e.cfg.Backfill)
+	return nil
+}
+
+// run is the engine's driving goroutine: tick, advance, repeat.
+func (e *Engine) run(ctx context.Context) {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		case <-e.wake:
+		}
+		if err := e.AdvanceTo(ctx, e.wallNow()); err != nil {
+			if ctx.Err() != nil {
+				return // shutdown race, not a scheduling failure
+			}
+			e.log.Warn("lifecycle advance failed", "err", err)
+		}
+	}
+}
+
+// wallNow maps the current wall clock onto the book timeline.
+func (e *Engine) wallNow() model.Time {
+	return e.book.Origin() + model.Time(time.Since(e.epoch)/time.Second)
+}
+
+// Close stops the wall-clock loop and waits for the driving goroutine
+// to exit. Safe to call multiple times; safe to call on an engine
+// that was never started. After Close, Submit returns ErrStopped.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if e.cancel != nil {
+		e.cancel()
+	}
+	e.wg.Wait()
+	e.log.Info("lifecycle engine stopped")
+}

@@ -1,0 +1,201 @@
+package lifecycle
+
+// Replay mode: drive the engine through a recorded arrival trace in
+// simulated time, stepping the clock exactly to each arrival and each
+// engine event, and report the online metrics the paper's evaluation
+// family uses — makespan, utilization, wait, and bounded slowdown.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"resched/internal/model"
+)
+
+// Arrival is one trace entry: a rigid job submitted at At.
+type Arrival struct {
+	At    model.Time
+	Procs int
+	Dur   model.Duration
+}
+
+// bsldTau is the bounded-slowdown runtime floor (Feitelson's
+// convention, 10 seconds): BSLD = max(1, (wait+run)/max(run, tau)),
+// which keeps very short jobs from dominating the mean.
+const bsldTau = 10
+
+// Report aggregates one replay's outcome.
+type Report struct {
+	Jobs      int     `json:"jobs"`
+	Completed int     `json:"completed"`
+	Capacity  int     `json:"capacity"`
+	Backfills uint64  `json:"backfills"`
+	Starved   uint64  `json:"starvation_reservations"`
+	Makespan  int64   `json:"makespan_s"`
+	Util      float64 `json:"utilization"`
+	MeanWait  float64 `json:"mean_wait_s"`
+	MaxWait   int64   `json:"max_wait_s"`
+	MeanBSLD  float64 `json:"mean_bounded_slowdown"`
+	MaxBSLD   float64 `json:"max_bounded_slowdown"`
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("jobs=%d completed=%d makespan=%ds util=%.3f mean_wait=%.1fs max_wait=%ds mean_bsld=%.2f max_bsld=%.2f backfills=%d starvation_reservations=%d",
+		r.Jobs, r.Completed, r.Makespan, r.Util, r.MeanWait, r.MaxWait, r.MeanBSLD, r.MaxBSLD, r.Backfills, r.Starved)
+}
+
+// drainGrace bounds how many same-time passes the drain loop tolerates
+// without any state change before giving up. Starvation triggers fire
+// on attempts (each pass) or age (each time jump), so a healthy engine
+// converges well inside this.
+const drainGrace = 1024
+
+// Replay runs the engine over the trace in simulated time until every
+// job completes, then reports. The engine must be dedicated to the
+// replay (not started in wall-clock mode).
+func (e *Engine) Replay(ctx context.Context, trace []Arrival) (Report, error) {
+	if e.started.Load() {
+		return Report{}, fmt.Errorf("lifecycle: replay on a started engine")
+	}
+	arr := append([]Arrival(nil), trace...)
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].At < arr[j].At })
+
+	i := 0
+	for i < len(arr) {
+		// Step to the next timestamp with something to do: the next
+		// arrival, or an engine event before it.
+		t := arr[i].At
+		if et, ok := e.NextEvent(); ok && et < t {
+			t = et
+		}
+		if now := e.Now(); t < now {
+			t = now
+		}
+		if err := e.AdvanceTo(ctx, t); err != nil {
+			return Report{}, err
+		}
+		submitted := false
+		for i < len(arr) && arr[i].At <= t {
+			if _, err := e.Submit(arr[i].Procs, arr[i].Dur); err != nil {
+				return Report{}, fmt.Errorf("lifecycle: replay arrival %d: %w", i, err)
+			}
+			submitted = true
+			i++
+		}
+		if submitted {
+			// A second pass at the same instant serves the new arrivals.
+			if err := e.AdvanceTo(ctx, t); err != nil {
+				return Report{}, err
+			}
+		}
+	}
+
+	// Drain: fire remaining events; queued leftovers accumulate
+	// attempts (and age, when the clock jumps to the next event) until
+	// the starvation trigger books them a reservation.
+	idle := 0
+	for {
+		done, total := e.progress()
+		if done == total {
+			break
+		}
+		t := e.Now()
+		if et, ok := e.NextEvent(); ok {
+			t = et
+		}
+		if err := e.AdvanceTo(ctx, t); err != nil {
+			return Report{}, err
+		}
+		if d2, _ := e.progress(); d2 > done {
+			idle = 0
+			continue
+		}
+		idle++
+		if idle > drainGrace {
+			return Report{}, fmt.Errorf("lifecycle: replay stalled with %d/%d jobs done at t=%d", done, total, e.Now())
+		}
+		if _, ok := e.NextEvent(); !ok {
+			// Nothing scheduled: age the queue past the starvation
+			// threshold so the next pass books reservations.
+			age := e.cfg.StarveAge
+			if age <= 0 {
+				age = 1
+			}
+			if err := e.AdvanceTo(ctx, e.Now()+age); err != nil {
+				return Report{}, err
+			}
+		}
+	}
+	return e.report(), nil
+}
+
+// progress counts terminal jobs.
+func (e *Engine) progress() (done, total int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, j := range e.jobs {
+		if j.State == Done {
+			done++
+		}
+	}
+	return done, len(e.jobs)
+}
+
+// report computes the replay metrics from the terminal job table.
+func (e *Engine) report() Report {
+	jobs := e.Jobs()
+	r := Report{
+		Jobs:      len(jobs),
+		Capacity:  e.book.Capacity(),
+		Backfills: e.stats.backfills.Load(),
+		Starved:   e.stats.starved.Load(),
+	}
+	if len(jobs) == 0 {
+		return r
+	}
+	first := model.Infinity
+	last := model.Time(0)
+	var area, waitSum, bsldSum float64
+	for _, j := range jobs {
+		if j.State != Done {
+			continue
+		}
+		r.Completed++
+		if j.Submitted < first {
+			first = j.Submitted
+		}
+		if j.End > last {
+			last = j.End
+		}
+		area += float64(j.Procs) * float64(j.End-j.Start)
+		wait := float64(j.Wait())
+		waitSum += wait
+		if w := int64(j.Wait()); w > r.MaxWait {
+			r.MaxWait = w
+		}
+		run := j.End - j.Start
+		den := run
+		if den < bsldTau {
+			den = bsldTau
+		}
+		bsld := (wait + float64(run)) / float64(den)
+		if bsld < 1 {
+			bsld = 1
+		}
+		bsldSum += bsld
+		if bsld > r.MaxBSLD {
+			r.MaxBSLD = bsld
+		}
+	}
+	if r.Completed == 0 {
+		return r
+	}
+	r.Makespan = int64(last - first)
+	if r.Makespan > 0 {
+		r.Util = area / (float64(r.Capacity) * float64(r.Makespan))
+	}
+	r.MeanWait = waitSum / float64(r.Completed)
+	r.MeanBSLD = bsldSum / float64(r.Completed)
+	return r
+}

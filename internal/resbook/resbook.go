@@ -512,6 +512,37 @@ func (b *Book) List() []Reservation {
 	return out
 }
 
+// EarliestPendingActivation returns the earliest time at or after
+// `after` that a Pending reservation activates. A Pending window whose
+// start has already passed is overdue and clamps to `after` itself.
+// ok is false when no reservation is Pending. Backfill schedulers use
+// this as the hard bound opportunistic placements must finish by.
+func (b *Book) EarliestPendingActivation(after model.Time) (at model.Time, ok bool) {
+	at = model.Infinity
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for _, r := range sh.res {
+			if r.Status != Pending {
+				continue
+			}
+			cand := r.Start
+			if cand < after {
+				cand = after
+			}
+			if cand < at {
+				at = cand
+				ok = true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if !ok {
+		return 0, false
+	}
+	return at, true
+}
+
 // Activate confirms a Pending reservation. Activating an Active
 // reservation is a no-op; a Released one is an error.
 func (b *Book) Activate(id string) error {

@@ -504,5 +504,22 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.snapshot(s.book.Version()))
+	resp := s.metrics.snapshot(s.book.Version())
+	if s.engine != nil {
+		es := s.engine.Stats()
+		resp.Engine = &api.EngineStats{
+			Now:                    es.Now,
+			QueueDepth:             es.QueueDepth,
+			Arrivals:               es.Arrivals,
+			Placements:             es.Placements,
+			Backfills:              es.Backfills,
+			StarvationReservations: es.StarvationReservations,
+			Activations:            es.Activations,
+			Completions:            es.Completions,
+			Ticks:                  es.Ticks,
+			Forecasts:              es.Forecasts,
+			ForecastAvgMicros:      es.ForecastAvgMicros,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }

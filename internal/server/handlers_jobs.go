@@ -1,0 +1,122 @@
+package server
+
+// The /v1/jobs surface: submission, inspection, and feasibility
+// forecasts against the online lifecycle engine. These handlers are
+// thin — all scheduling state lives in lifecycle.Engine — so they do
+// not take worker-pool slots; the engine's own mutex bounds their
+// cost.
+
+import (
+	"errors"
+	"net/http"
+
+	"resched/internal/api"
+	"resched/internal/lifecycle"
+)
+
+// requireEngine rejects the request with 503 when the daemon is not
+// running the online engine. It reports whether serving may continue.
+func (s *Server) requireEngine(w http.ResponseWriter) bool {
+	if s.engine == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable,
+			api.Error{Error: "online lifecycle engine disabled; start reschedd with -online"})
+		return false
+	}
+	return true
+}
+
+// toAPIJob converts an engine job to its wire shape.
+func toAPIJob(j lifecycle.Job) api.Job {
+	return api.Job{
+		ID:            j.ID,
+		Procs:         j.Procs,
+		Duration:      j.Dur,
+		Submitted:     j.Submitted,
+		State:         j.State.String(),
+		Attempts:      j.Attempts,
+		Start:         j.Start,
+		End:           j.End,
+		ReservationID: j.ReservationID,
+		Backfilled:    j.Backfilled,
+		Starved:       j.Starved,
+	}
+}
+
+// handleJobSubmit serves POST /v1/jobs.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w) {
+		return
+	}
+	var req api.JobSubmitRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	j, err := s.engine.Submit(req.Procs, req.Duration)
+	if err != nil {
+		if errors.Is(err, lifecycle.ErrStopped) {
+			s.writeJSON(w, http.StatusServiceUnavailable, api.Error{Error: err.Error()})
+			return
+		}
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, toAPIJob(j))
+}
+
+// handleJobList serves GET /v1/jobs.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w) {
+		return
+	}
+	jobs := s.engine.Jobs()
+	out := make([]api.Job, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, toAPIJob(j))
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleJobGet serves GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w) {
+		return
+	}
+	id := r.PathValue("id")
+	j, ok := s.engine.Job(id)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, api.Error{Error: "no such job: " + id})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toAPIJob(j))
+}
+
+// handleJobForecast serves GET /v1/jobs/{id}/forecast: the earliest
+// feasible start, the processor deficit blocking an immediate start,
+// and the remedies, computed by replaying the job's fit against a
+// book snapshot.
+func (s *Server) handleJobForecast(w http.ResponseWriter, r *http.Request) {
+	if !s.requireEngine(w) {
+		return
+	}
+	id := r.PathValue("id")
+	f, err := s.engine.ForecastJob(id)
+	if err != nil {
+		if errors.Is(err, lifecycle.ErrNoJob) {
+			s.writeJSON(w, http.StatusNotFound, api.Error{Error: err.Error()})
+			return
+		}
+		s.writeJSON(w, http.StatusInternalServerError, api.Error{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, api.Forecast{
+		JobID:         f.JobID,
+		State:         f.State.String(),
+		Now:           f.Now,
+		EarliestStart: f.EarliestStart,
+		Wait:          f.Wait,
+		Deficit:       f.Deficit,
+		FreeNow:       f.FreeNow,
+		Remedies:      f.Remedies,
+		Version:       f.Version,
+	})
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"resched/internal/api"
 )
 
 // latWindow is the number of recent request latencies kept for the
@@ -86,6 +88,10 @@ type metricsResponse struct {
 	LatencyP50Ms       float64 `json:"latency_p50_ms"`
 	LatencyP99Ms       float64 `json:"latency_p99_ms"`
 	BookVersion        uint64  `json:"book_version"`
+	// Engine carries the online lifecycle engine's counters
+	// (queue depth, activations, backfills, ...); absent when the
+	// daemon is not running -online.
+	Engine *api.EngineStats `json:"engine,omitempty"`
 }
 
 func (m *metrics) snapshot(bookVersion uint64) metricsResponse {

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"resched/internal/api"
+	"resched/internal/lifecycle"
 	"resched/internal/profile"
 	"resched/internal/resbook"
 )
@@ -47,12 +48,17 @@ type Config struct {
 	MaxRetries int
 	// Logger receives one structured line per request. Nil discards.
 	Logger *slog.Logger
+	// Engine is the online lifecycle engine behind the /v1/jobs
+	// surface. Nil (the default, daemons not started with -online)
+	// serves those routes as 503.
+	Engine *lifecycle.Engine
 }
 
 // Server serves the reschedd API. Construct with New.
 type Server struct {
 	cfg     Config
 	book    *resbook.Book
+	engine  *lifecycle.Engine
 	sem     chan struct{}
 	metrics *metrics
 	mux     *http.ServeMux
@@ -101,6 +107,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		book:    cfg.Book,
+		engine:  cfg.Engine,
 		sem:     make(chan struct{}, cfg.Workers),
 		metrics: &metrics{},
 		log:     log,
@@ -116,6 +123,10 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/reservations/{id}", s.handleReservationGet)
 	mux.HandleFunc("POST /v1/reservations/{id}/activate", s.handleReservationActivate)
 	mux.HandleFunc("DELETE /v1/reservations/{id}", s.handleReservationDelete)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/forecast", s.handleJobForecast)
 	mux.HandleFunc("GET /v1/profile", s.handleProfile)
 	mux.HandleFunc("GET /debug/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
