@@ -68,6 +68,7 @@ var CheckedPackages = map[string]bool{
 	"resched/internal/resbook":   true,
 	"resched/internal/server":    true,
 	"resched/internal/lifecycle": true,
+	"resched/internal/coalesce":  true,
 }
 
 // MayBlock marks a function that can wait: it performs a blocking

@@ -8,5 +8,5 @@ import (
 )
 
 func TestPoolEscape(t *testing.T) {
-	analysistest.Run(t, "testdata", poolescape.Analyzer, "pooluse")
+	analysistest.Run(t, "testdata", poolescape.Analyzer, "pooluse", "encpool")
 }

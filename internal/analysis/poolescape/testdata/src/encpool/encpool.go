@@ -1,0 +1,61 @@
+// Package encpool mirrors the serving codec's pooled-buffer borrows:
+// responses staged in pooled encoder buffers and binary payloads
+// appended into pooled byte slices.
+package encpool
+
+import (
+	"bytes"
+	"sync"
+)
+
+type encBuf struct{ buf bytes.Buffer }
+
+type server struct {
+	encPool sync.Pool
+	binPool sync.Pool
+	last    *encBuf
+}
+
+func write(b []byte) {}
+
+// Negative: the writeJSON shape — get, defer put, stage, write.
+func (s *server) writeStagedOK(v []byte) {
+	e := s.encPool.Get().(*encBuf)
+	defer s.encPool.Put(e)
+	e.buf.Reset()
+	e.buf.Write(v)
+	write(e.buf.Bytes())
+}
+
+// Negative: the binary-response shape — borrow the slice pointer,
+// append into it, keep the regrown backing array pooled.
+func (s *server) appendBinaryOK(payload []byte) {
+	bp := s.binPool.Get().(*[]byte)
+	defer s.binPool.Put(bp)
+	b := append((*bp)[:0], payload...)
+	*bp = b[:0]
+	write(b)
+}
+
+// Positive: caching the staging buffer retains the borrow past the
+// request.
+func (s *server) cacheResponse() {
+	e := s.encPool.Get().(*encBuf)
+	s.last = e // want "stored in struct field last"
+	s.encPool.Put(e)
+}
+
+// Positive: an async write hands the borrow to a goroutine that may
+// outlive it.
+func (s *server) asyncWrite() {
+	e := s.encPool.Get().(*encBuf)
+	go func() { write(e.buf.Bytes()) }() // want "captured by goroutine"
+	s.encPool.Put(e)
+}
+
+// Positive: touching the buffer after Put races the next borrower.
+func (s *server) writeAfterPut() {
+	e := s.encPool.Get().(*encBuf)
+	s.encPool.Put(e)
+	write(e.buf.Bytes()) // want "used after Put"
+}

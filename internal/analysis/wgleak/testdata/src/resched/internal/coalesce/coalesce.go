@@ -1,0 +1,79 @@
+// Package coalesce mirrors the request coalescer's goroutine
+// discipline: every group gets a leader goroutine launched under the
+// coalescer's WaitGroup (joined by Close), and the group-context
+// watcher is bounded by both the waiters' and the group's contexts.
+package coalesce
+
+import (
+	"context"
+	"sync"
+)
+
+type group struct{ waiters []int }
+
+type coalescer struct {
+	mu   sync.Mutex
+	wg   sync.WaitGroup
+	open *group
+}
+
+// lead drives one group; its deferred Done joins it to any launch
+// under a matching Add/Wait.
+func (c *coalescer) lead(g *group) {
+	defer c.wg.Done()
+	_ = g.waiters
+}
+
+// Negative: the enqueue shape — Add before launch, Wait in close.
+func (c *coalescer) openGroup() *group {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := &group{}
+	c.wg.Add(1)
+	go c.lead(g)
+	c.open = g
+	return g
+}
+
+// Negative: the group-context watcher observes every waiter's Done
+// and bails out when the group itself finishes first.
+func (c *coalescer) watch(ctx context.Context, cancel context.CancelFunc, waiters []context.Context) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for _, w := range waiters {
+			select {
+			case <-w.Done():
+			case <-ctx.Done():
+				return
+			}
+		}
+		cancel()
+	}()
+}
+
+// Positive: a leader variant spun up with no WaitGroup, context
+// bound, or channel join — the group would outlive Close.
+func (c *coalescer) leakyLead(g *group) {
+	go func() { // want "goroutine is never joined"
+		for range g.waiters {
+		}
+	}()
+}
+
+// Positive: a named leader without a Done is no better.
+func orphanLeader() {
+	for {
+	}
+}
+
+func (c *coalescer) leakyNamedLead() {
+	go orphanLeader() // want "goroutine running orphanLeader is never joined"
+}
+
+func (c *coalescer) close() {
+	c.mu.Lock()
+	c.open = nil
+	c.mu.Unlock()
+	c.wg.Wait()
+}

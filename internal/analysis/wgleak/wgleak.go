@@ -33,6 +33,7 @@ var CheckedPackages = map[string]bool{
 	"resched/internal/resbook":   true,
 	"resched/internal/sim":       true,
 	"resched/internal/lifecycle": true,
+	"resched/internal/coalesce":  true,
 	"resched/cmd/reschedd":       true,
 }
 

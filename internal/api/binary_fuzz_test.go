@@ -1,0 +1,102 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzBinaryCodecRoundTrip cross-checks the binary codec against the
+// JSON path. The fuzz input is a JSON document: whatever the JSON
+// decoder accepts for a message must survive binary encode → decode
+// with a bit-identical JSON re-encoding (the oracle). The raw input is
+// also thrown at the binary decoders directly — anything they accept
+// must itself round-trip — so the strict-decode error paths stay
+// honest on adversarial bytes.
+func FuzzBinaryCodecRoundTrip(f *testing.F) {
+	reqJSON, err := json.Marshal(ScheduleRequest{
+		DAG: json.RawMessage(`{"tasks":[{"work":10}],"edges":[]}`),
+		BL:  "BL_CPAR", BD: "BD_CPAR", Now: 7, Q: 16, Commit: true,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	respJSON, err := json.Marshal(ScheduleResponse{
+		Algorithm: "BL_CPAR+BD_CPAR", Version: 42, Now: 7,
+		Tasks:      []Placement{{Task: 0, Procs: 2, Start: 7, End: 19}},
+		Completion: 19, Turnaround: 12, CPUHours: 0.0066,
+		Committed: true, ReservationIDs: []string{"r-9"}, Retries: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(reqJSON)
+	f.Add(respJSON)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"tasks":[],"reservation_ids":[]}`))
+	f.Add((&ScheduleRequest{BL: "x"}).AppendBinary(nil))
+	f.Add((&ScheduleResponse{Retries: -1}).AppendBinary(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req ScheduleRequest
+		if json.Unmarshal(data, &req) == nil {
+			checkJSONOracle(t, "request", &req)
+		}
+		var resp ScheduleResponse
+		if json.Unmarshal(data, &resp) == nil {
+			checkJSONOracle(t, "response", &resp)
+		}
+
+		// Adversarial direction: feed raw bytes to the strict decoders.
+		var br ScheduleRequest
+		if br.UnmarshalBinary(data) == nil {
+			reenc := br.AppendBinary(nil)
+			var again ScheduleRequest
+			if err := again.UnmarshalBinary(reenc); err != nil {
+				t.Fatalf("accepted request does not re-decode: %v", err)
+			}
+		}
+		var bresp ScheduleResponse
+		if bresp.UnmarshalBinary(data) == nil {
+			reenc := bresp.AppendBinary(nil)
+			var again ScheduleResponse
+			if err := again.UnmarshalBinary(reenc); err != nil {
+				t.Fatalf("accepted response does not re-decode: %v", err)
+			}
+		}
+	})
+}
+
+// binaryRoundTripper is implemented by both hot-path messages.
+type binaryRoundTripper interface {
+	AppendBinary([]byte) []byte
+	UnmarshalBinary([]byte) error
+}
+
+func checkJSONOracle(t *testing.T, what string, in binaryRoundTripper) {
+	t.Helper()
+	wantJSON, err := json.Marshal(in)
+	if err != nil {
+		// A RawMessage holding invalid JSON cannot re-marshal; the
+		// binary codec has no opinion on DAG contents, so skip.
+		return
+	}
+	enc := in.AppendBinary(nil)
+	var out binaryRoundTripper
+	switch in.(type) {
+	case *ScheduleRequest:
+		out = new(ScheduleRequest)
+	default:
+		out = new(ScheduleResponse)
+	}
+	if err := out.UnmarshalBinary(enc); err != nil {
+		t.Fatalf("%s: binary decode of own encoding failed: %v", what, err)
+	}
+	gotJSON, err := json.Marshal(out)
+	if err != nil {
+		t.Fatalf("%s: re-marshal: %v", what, err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("%s: JSON oracle mismatch after binary round trip:\n want %s\n got  %s", what, wantJSON, gotJSON)
+	}
+}

@@ -1,0 +1,223 @@
+// Package coalesce batches concurrent requests arriving within a
+// short window into groups served by a single runner invocation. The
+// serving use (internal/server) coalesces POST /v1/schedule calls onto
+// one reservation-book snapshot epoch: one snapshot, N fits, one
+// multi-job optimistic commit — turning N conflicting commit loops
+// into one, the way batch schedulers amortize decisions across
+// concurrent arrivals.
+//
+// The package is payload-agnostic. A caller's Do(ctx, payload) joins
+// the currently open group (opening one if needed) and blocks until
+// the group's runner delivers its individual result or its own context
+// ends. Each group is driven by one leader goroutine that waits out
+// the coalescing window — cut short when the group fills — and then
+// invokes Config.Run with the sealed group. Isolation guarantees:
+//
+//   - results are per-waiter: the runner answers each waiter
+//     individually, so one bad request fails alone;
+//   - cancellation is per-waiter: a waiter that gives up stops
+//     waiting immediately, and the runner observes it through
+//     Waiter.Context without the groupmates noticing;
+//   - the group's own context ends only when every waiter's has,
+//     bounding the leader when all callers are gone.
+//
+// Close drains: it fails future Do calls with ErrClosed and joins
+// every leader, so pooled resources the runner borrows cannot be
+// touched after shutdown.
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Do after Close; callers fall back to their
+// unbatched path or shed load.
+var ErrClosed = errors.New("coalesce: coalescer closed")
+
+// Config parameterizes a Coalescer.
+type Config struct {
+	// Window is how long a newly opened group stays open for more
+	// arrivals. Required.
+	Window time.Duration
+	// MaxBatch seals a group early when it reaches this many waiters
+	// (default 16).
+	MaxBatch int
+	// Run serves one sealed group on the group's leader goroutine. It
+	// must deliver a result to every non-canceled waiter. Required.
+	Run func(*Group)
+	// OnGroup, when set, observes each sealed group's size before Run
+	// (the server's batch-size histogram).
+	OnGroup func(size int)
+}
+
+// Coalescer groups concurrent Do calls. The zero value is not usable;
+// see New.
+type Coalescer struct {
+	cfg Config
+
+	mu     sync.Mutex
+	open   *Group // group still accepting waiters, if any
+	closed bool
+	wg     sync.WaitGroup // leaders and context watchers
+}
+
+// New validates cfg and returns a ready Coalescer.
+func New(cfg Config) (*Coalescer, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("coalesce: window %v <= 0", cfg.Window)
+	}
+	if cfg.Run == nil {
+		return nil, errors.New("coalesce: Config.Run is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 16
+	}
+	return &Coalescer{cfg: cfg}, nil
+}
+
+// Waiter is one caller's seat in a group: its payload, its own
+// context, and a one-shot result slot.
+type Waiter struct {
+	payload any
+	ctx     context.Context
+	out     chan any // buffered 1; only the leader sends
+}
+
+// Payload returns the value the caller passed to Do.
+func (w *Waiter) Payload() any { return w.payload }
+
+// Context returns the caller's context. Runners use it to scope this
+// waiter's share of the group work, so one caller's cancellation
+// cannot abort its groupmates.
+func (w *Waiter) Context() context.Context { return w.ctx }
+
+// Canceled reports whether the caller is already gone; runners skip
+// such waiters.
+func (w *Waiter) Canceled() bool { return w.ctx.Err() != nil }
+
+// Deliver hands the waiter its result. Only the first delivery counts;
+// a second is dropped rather than blocking the leader.
+func (w *Waiter) Deliver(v any) {
+	select {
+	case w.out <- v:
+	default:
+	}
+}
+
+// Group is one sealed batch of waiters, passed to Config.Run.
+type Group struct {
+	waiters []*Waiter
+	full    chan struct{} // closed when MaxBatch is reached
+	ctx     context.Context
+}
+
+// Waiters returns the group's seats in arrival order. Runners must
+// check each waiter's Canceled before spending work on it.
+func (g *Group) Waiters() []*Waiter { return g.waiters }
+
+// Context ends when every waiter's context has ended — the point past
+// which any remaining group work is unobservable.
+func (g *Group) Context() context.Context { return g.ctx }
+
+// Do joins the open group (opening one if needed) and blocks until
+// the group runner delivers this call's result or ctx ends. The
+// result is exactly the value the runner passed to Deliver.
+func (c *Coalescer) Do(ctx context.Context, payload any) (any, error) {
+	w := &Waiter{payload: payload, ctx: ctx, out: make(chan any, 1)}
+	if err := c.enqueue(w); err != nil {
+		return nil, err
+	}
+	select {
+	case v := <-w.out:
+		return v, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Coalescer) enqueue(w *Waiter) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	g := c.open
+	if g == nil {
+		g = &Group{full: make(chan struct{})}
+		c.open = g
+		c.wg.Add(1)
+		go c.lead(g)
+	}
+	g.waiters = append(g.waiters, w)
+	if len(g.waiters) >= c.cfg.MaxBatch {
+		c.open = nil // seal: the next arrival opens a fresh group
+		close(g.full)
+	}
+	return nil
+}
+
+// lead drives one group: wait out the window (cut short when the batch
+// fills), seal, then run. Joined by Close through the WaitGroup.
+func (c *Coalescer) lead(g *Group) {
+	defer c.wg.Done()
+	t := time.NewTimer(c.cfg.Window)
+	select {
+	case <-t.C:
+	case <-g.full:
+		t.Stop()
+	}
+	c.mu.Lock()
+	if c.open == g {
+		c.open = nil
+	}
+	ws := g.waiters // stable: no appends after sealing
+	c.mu.Unlock()
+
+	ctx, cancel := c.groupContext(ws)
+	defer cancel()
+	g.ctx = ctx
+	if c.cfg.OnGroup != nil {
+		c.cfg.OnGroup(len(ws))
+	}
+	c.cfg.Run(g)
+}
+
+// groupContext derives a context that ends when every waiter's has.
+// The watcher goroutine walks the waiters sequentially — each Done it
+// blocks on either fires or the whole group has already finished (the
+// cancel below) — so it needs no per-waiter goroutines and is bounded
+// by the leader's deferred cancel.
+func (c *Coalescer) groupContext(ws []*Waiter) (context.Context, context.CancelFunc) {
+	// WithoutCancel keeps the first caller's values (trace IDs) while
+	// detaching its cancellation: waiter 0 giving up must not look like
+	// the whole group giving up.
+	ctx, cancel := context.WithCancel(context.WithoutCancel(ws[0].ctx))
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for _, w := range ws {
+			select {
+			case <-w.ctx.Done():
+			case <-ctx.Done():
+				return // group finished first; stop watching
+			}
+		}
+		cancel() // every caller is gone
+	}()
+	return ctx, cancel
+}
+
+// Close seals the coalescer: subsequent Do calls fail with ErrClosed,
+// and Close blocks until every leader (including one still waiting out
+// its window) has run its group and returned.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.open = nil // the leader's timer still fires and serves the group
+	c.mu.Unlock()
+	c.wg.Wait()
+}

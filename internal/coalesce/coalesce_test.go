@@ -1,0 +1,268 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoRunner answers every live waiter with its own payload and
+// records group sizes.
+func echoRunner(sizes *[]int, mu *sync.Mutex) func(*Group) {
+	return func(g *Group) {
+		mu.Lock()
+		*sizes = append(*sizes, len(g.Waiters()))
+		mu.Unlock()
+		for _, w := range g.Waiters() {
+			if !w.Canceled() {
+				w.Deliver(w.Payload())
+			}
+		}
+	}
+}
+
+func TestDoCoalescesConcurrentCalls(t *testing.T) {
+	var mu sync.Mutex
+	var sizes []int
+	c, err := New(Config{Window: 50 * time.Millisecond, MaxBatch: 64, Run: echoRunner(&sizes, &mu)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(context.Background(), i)
+			if err == nil && v.(int) != i {
+				err = errors.New("wrong payload echoed")
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != n {
+		t.Fatalf("groups served %d waiters, want %d (sizes %v)", total, n, sizes)
+	}
+	// All callers launched together against a generous window: they
+	// must not have been served one per group.
+	if len(sizes) == n {
+		t.Fatalf("no coalescing happened: %d groups for %d concurrent calls", len(sizes), n)
+	}
+}
+
+func TestMaxBatchSealsEarly(t *testing.T) {
+	var mu sync.Mutex
+	var sizes []int
+	// A window long enough that only the MaxBatch seal can explain a
+	// timely group.
+	c, err := New(Config{Window: time.Hour, MaxBatch: 4, Run: echoRunner(&sizes, &mu)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Do(context.Background(), "x"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("full group was not served before the window expired")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) != 1 || sizes[0] != 4 {
+		t.Fatalf("group sizes %v, want [4]", sizes)
+	}
+}
+
+// TestCancellationIsPerWaiter: one caller abandoning the group must
+// neither receive groupmates' work nor prevent their answers.
+func TestCancellationIsPerWaiter(t *testing.T) {
+	gate := make(chan struct{})
+	c, err := New(Config{Window: 10 * time.Millisecond, MaxBatch: 8, Run: func(g *Group) {
+		<-gate // hold the group until the canceled waiter is gone
+		for _, w := range g.Waiters() {
+			if !w.Canceled() {
+				w.Deliver("ok")
+			}
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	canceledErr := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, "doomed")
+		canceledErr <- err
+	}()
+	okErr := make(chan error, 1)
+	go func() {
+		_, err := c.Do(context.Background(), "fine")
+		okErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // both enqueued; runner blocked on gate
+	cancel()
+	if err := <-canceledErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v, want context.Canceled", err)
+	}
+	close(gate)
+	if err := <-okErr; err != nil {
+		t.Fatalf("surviving waiter got %v", err)
+	}
+}
+
+// TestGroupContextEndsWhenAllWaitersGone: the group context must
+// outlive any single cancellation but end once every caller is gone.
+func TestGroupContextEndsWhenAllWaitersGone(t *testing.T) {
+	groupCtx := make(chan context.Context, 1)
+	block := make(chan struct{})
+	c, err := New(Config{Window: 10 * time.Millisecond, MaxBatch: 8, Run: func(g *Group) {
+		groupCtx <- g.Context()
+		<-block // simulate a long-running group
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for _, ctx := range []context.Context{ctx1, ctx2} {
+		wg.Add(1)
+		go func(ctx context.Context) {
+			defer wg.Done()
+			_, err := c.Do(ctx, nil)
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("Do: %v, want context.Canceled", err)
+			}
+		}(ctx)
+	}
+	gctx := <-groupCtx
+	cancel1()
+	select {
+	case <-gctx.Done():
+		t.Fatal("group context ended after a single waiter canceled")
+	case <-time.After(30 * time.Millisecond):
+	}
+	cancel2()
+	select {
+	case <-gctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("group context did not end after every waiter canceled")
+	}
+	wg.Wait()
+	close(block)
+	c.Close()
+}
+
+func TestCloseDrainsAndRejects(t *testing.T) {
+	var served atomic.Int64
+	c, err := New(Config{Window: 30 * time.Millisecond, MaxBatch: 8, Run: func(g *Group) {
+		for _, w := range g.Waiters() {
+			served.Add(1)
+			w.Deliver("ok")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := make(chan error, 1)
+	go func() {
+		_, err := c.Do(context.Background(), "pre-close")
+		res <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // the waiter is in the open group
+	c.Close()                        // must serve it, then drain
+	if err := <-res; err != nil {
+		t.Fatalf("pre-close waiter: %v", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("served %d waiters through Close, want 1", served.Load())
+	}
+	if _, err := c.Do(context.Background(), "post-close"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Do: %v, want ErrClosed", err)
+	}
+}
+
+func TestOnGroupObservesSizes(t *testing.T) {
+	var got atomic.Int64
+	c, err := New(Config{
+		Window:   5 * time.Millisecond,
+		MaxBatch: 8,
+		Run: func(g *Group) {
+			for _, w := range g.Waiters() {
+				w.Deliver(nil)
+			}
+		},
+		OnGroup: func(size int) { got.Add(int64(size)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Do(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 1 {
+		t.Fatalf("OnGroup observed %d total waiters, want 1", got.Load())
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Config{Window: 0, Run: func(*Group) {}}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := New(Config{Window: time.Millisecond}); err == nil {
+		t.Fatal("nil Run accepted")
+	}
+}
+
+// TestSecondDeliverDropped: a buggy runner delivering twice must not
+// deadlock the leader or corrupt a later group.
+func TestSecondDeliverDropped(t *testing.T) {
+	c, err := New(Config{Window: 5 * time.Millisecond, MaxBatch: 8, Run: func(g *Group) {
+		for _, w := range g.Waiters() {
+			w.Deliver("first")
+			w.Deliver("second") // must not block
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, err := c.Do(context.Background(), nil)
+	if err != nil || v.(string) != "first" {
+		t.Fatalf("got (%v, %v), want (first, nil)", v, err)
+	}
+}

@@ -96,7 +96,7 @@ func Allocate(g *dag.Graph, p int, rule StopRule) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := newAllocState(g, topo, p, rule)
+	st := newAllocStatePool(g, topo, p, rule, nil)
 	for {
 		cp := st.criticalPath()
 		if !(cp > st.area/float64(p)) {
@@ -136,13 +136,32 @@ type allocState struct {
 	// bucket — descending for bottom levels, ascending for top levels —
 	// recomputes each task exactly once, after everything it depends on
 	// is final, without any priority queue.
-	depth   []int32
-	buckets [][]int32 // dirty tasks grouped by depth
-	inDirty []bool
-	pending int // total tasks currently marked dirty
+	//
+	// The buckets live in one flat scratch buffer segmented by depth
+	// (CSR layout, like the adjacency): depth d's dirty tasks are
+	// bucketBuf[depthOff[d] : depthOff[d]+bucketCnt[d]]. The per-depth
+	// capacity is exact — a task is marked at most once — and the flat
+	// form keeps mark, the hottest bookkeeping op, to two int32 stores
+	// instead of an append with its slice-header write-back. Draining
+	// depth d never races its own window: repairBL marks only strictly
+	// shallower tasks (an edge increases depth) and drainTL only
+	// strictly deeper ones.
+	depth     []int32
+	depthOff  []int32 // tasks-per-depth CSR offsets, len maxDepth+2
+	bucketBuf []int32 // flat dirty-task storage, len n
+	bucketCnt []int32 // live entries per depth, len maxDepth+1
+	inDirty   []bool
+	pending   int // total tasks currently marked dirty
+
+	// Parallel-scan state (nil pool means serial; see parallel.go).
+	pool     *parPool
+	byDepth  [][]int32 // all tasks grouped by depth, for the level sweeps
+	partCP   []float64 // per-chunk T_CP partials
+	partIdx  []int     // per-chunk candidate partials
+	partGain []float64
 }
 
-func newAllocState(g *dag.Graph, topo []int, p int, rule StopRule) *allocState {
+func newAllocStatePool(g *dag.Graph, topo []int, p int, rule StopRule, pool *parPool) *allocState {
 	n := g.NumTasks()
 	st := &allocState{
 		g:       g,
@@ -153,36 +172,35 @@ func newAllocState(g *dag.Graph, topo []int, p int, rule StopRule) *allocState {
 		tl:      make([]float64, n),
 		maxSucc: make([]float64, n),
 		gain:    make([]float64, n),
+		pool:    pool,
 	}
+	if pool != nil {
+		pool.run(n, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				task := g.Task(i)
+				st.exec[i] = model.ExecSeconds(task.Seq, task.Alpha, 1)
+				st.gain[i] = model.Gain(task.Seq, task.Alpha, 1)
+				st.caps[i] = p
+				if rule == StopStringent {
+					st.caps[i] = allocCap(task.Alpha, p)
+				}
+			}
+		})
+	} else {
+		for i := 0; i < n; i++ {
+			task := g.Task(i)
+			st.exec[i] = model.ExecSeconds(task.Seq, task.Alpha, 1)
+			st.gain[i] = model.Gain(task.Seq, task.Alpha, 1)
+			st.caps[i] = p
+			if rule == StopStringent {
+				st.caps[i] = allocCap(task.Alpha, p)
+			}
+		}
+	}
+	// The area sum stays serial in index order: float addition is not
+	// associative, and the serial order is the reference.
 	for i := 0; i < n; i++ {
-		task := g.Task(i)
-		st.exec[i] = model.ExecSeconds(task.Seq, task.Alpha, 1)
-		st.gain[i] = model.Gain(task.Seq, task.Alpha, 1)
-		st.caps[i] = p
-		if rule == StopStringent {
-			st.caps[i] = allocCap(task.Alpha, p)
-		}
 		st.area += st.exec[i] // alloc is uniformly 1
-	}
-	// Full initial level sweeps; every later iteration only repairs
-	// the sub-DAG reachable from the one task that changed.
-	for i := n - 1; i >= 0; i-- {
-		t := topo[i]
-		var best float64
-		for _, s := range g.Successors(t) {
-			if st.bl[s] > best {
-				best = st.bl[s]
-			}
-		}
-		st.maxSucc[t] = best
-		st.bl[t] = st.exec[t] + best
-	}
-	for _, t := range topo {
-		for _, p := range g.Predecessors(t) {
-			if v := st.tl[p] + st.exec[p]; v > st.tl[t] {
-				st.tl[t] = v
-			}
-		}
 	}
 
 	// CSR adjacency.
@@ -218,8 +236,48 @@ func newAllocState(g *dag.Graph, topo []int, p int, rule StopRule) *allocState {
 			maxDepth = d
 		}
 	}
-	st.buckets = make([][]int32, maxDepth+1)
+	st.depthOff = make([]int32, maxDepth+2)
+	for i := 0; i < n; i++ {
+		st.depthOff[st.depth[i]+1]++
+	}
+	for d := int32(0); d <= maxDepth; d++ {
+		st.depthOff[d+1] += st.depthOff[d]
+	}
+	st.bucketBuf = make([]int32, n)
+	st.bucketCnt = make([]int32, maxDepth+1)
 	st.inDirty = make([]bool, n)
+
+	// Full initial level sweeps; every later iteration only repairs
+	// the sub-DAG reachable from the one task that changed.
+	if pool != nil {
+		st.byDepth = make([][]int32, maxDepth+1)
+		for _, t := range topo {
+			st.byDepth[st.depth[t]] = append(st.byDepth[st.depth[t]], int32(t))
+		}
+		st.partCP = make([]float64, pool.workers)
+		st.partIdx = make([]int, pool.workers)
+		st.partGain = make([]float64, pool.workers)
+		st.parallelInitSweeps()
+		return st
+	}
+	for i := n - 1; i >= 0; i-- {
+		t := topo[i]
+		var best float64
+		for _, s := range g.Successors(t) {
+			if st.bl[s] > best {
+				best = st.bl[s]
+			}
+		}
+		st.maxSucc[t] = best
+		st.bl[t] = st.exec[t] + best
+	}
+	for _, t := range topo {
+		for _, p := range g.Predecessors(t) {
+			if v := st.tl[p] + st.exec[p]; v > st.tl[t] {
+				st.tl[t] = v
+			}
+		}
+	}
 	return st
 }
 
@@ -229,11 +287,16 @@ func (st *allocState) mark(t int32) {
 		return
 	}
 	st.inDirty[t] = true
-	st.buckets[st.depth[t]] = append(st.buckets[st.depth[t]], t)
+	d := st.depth[t]
+	st.bucketBuf[st.depthOff[d]+st.bucketCnt[d]] = t
+	st.bucketCnt[d]++
 	st.pending++
 }
 
-// criticalPath returns T_CP, the largest bottom level.
+// criticalPath returns T_CP, the largest bottom level. It must stay a
+// leaf loop: it runs once per refinement iteration and the inliner
+// keeps it inside Allocate's loop (the parallel path dispatches to
+// parallelCriticalPath in AllocateWorkers' own loop instead).
 func (st *allocState) criticalPath() float64 {
 	var cp float64
 	for _, v := range st.bl {
@@ -246,7 +309,8 @@ func (st *allocState) criticalPath() float64 {
 
 // bestCandidate returns the critical-path task with the largest
 // per-processor gain whose allocation can still grow within its cap,
-// or -1. Gains are read from the cache, never recomputed here.
+// or -1. Gains are read from the cache, never recomputed here. Like
+// criticalPath it must stay a leaf loop so it inlines into Allocate.
 func (st *allocState) bestCandidate(cp float64) int {
 	best := -1
 	var bestGain float64
@@ -295,10 +359,14 @@ func (st *allocState) repairBL(t int) {
 	st.mark(int32(t))
 	bl, maxSucc := st.bl, st.maxSucc
 	for d := st.depth[t]; st.pending > 0; d-- {
-		b := st.buckets[d]
-		st.buckets[d] = b[:0]
-		st.pending -= len(b)
-		for _, u := range b {
+		c := st.bucketCnt[d]
+		if c == 0 {
+			continue
+		}
+		st.bucketCnt[d] = 0
+		st.pending -= int(c)
+		off := st.depthOff[d]
+		for _, u := range st.bucketBuf[off : off+c] {
 			st.inDirty[u] = false
 			var best float64
 			for _, s := range st.succ[st.succOff[u]:st.succOff[u+1]] {
@@ -331,10 +399,14 @@ func (st *allocState) repairBL(t int) {
 func (st *allocState) drainTL(from int32) {
 	tl, exec := st.tl, st.exec
 	for d := from; st.pending > 0; d++ {
-		b := st.buckets[d]
-		st.buckets[d] = b[:0]
-		st.pending -= len(b)
-		for _, u := range b {
+		c := st.bucketCnt[d]
+		if c == 0 {
+			continue
+		}
+		st.bucketCnt[d] = 0
+		st.pending -= int(c)
+		off := st.depthOff[d]
+		for _, u := range st.bucketBuf[off : off+c] {
 			st.inDirty[u] = false
 			var nt float64
 			for _, p := range st.pred[st.predOff[u]:st.predOff[u+1]] {

@@ -1,0 +1,258 @@
+// Parallel allocation-phase scans. The CPA refinement loop is
+// inherently sequential — each grant depends on the previous one — but
+// its per-iteration work is three data-parallel passes over all tasks
+// (the T_CP max, the candidate argmax, and at setup the per-level
+// sweeps), which dominate on wide DAGs. AllocateWorkers fans exactly
+// those passes across a bounded worker set and keeps everything else
+// byte-for-byte the serial code path.
+//
+// Bit-identity with Allocate (enforced by the differential suite in
+// parallel_test.go) rests on three observations:
+//
+//   - float64 max is order-independent, so a chunked T_CP scan merged
+//     in any order equals the serial scan;
+//   - the candidate argmax breaks ties toward the lowest task index
+//     (strict > comparison); merging per-chunk winners in ascending
+//     chunk order with the same strict rule preserves that;
+//   - within one depth level no two tasks share an edge, so the
+//     initial bottom/top-level sweeps can compute a whole level in
+//     parallel from the finished neighboring levels, performing the
+//     identical float operations per task in the identical successor /
+//     predecessor order. The area term is summed serially in index
+//     order because float addition is NOT associative.
+//
+// The incremental repairs (repairBL/drainTL) stay serial: their dirty
+// frontier is a handful of tasks on the argmax chains, far below any
+// profitable fan-out size — see DESIGN.md §14.
+package cpa
+
+import (
+	"fmt"
+	"sync"
+
+	"resched/internal/dag"
+)
+
+// parallelThreshold gates the parallel machinery on total task count:
+// a DAG smaller than this never pays for worker spawn or chunk
+// hand-off. Variable so the differential tests can force the parallel
+// path onto tiny DAGs.
+var parallelThreshold = 2048
+
+// minChunk is the smallest per-worker chunk worth a channel hand-off;
+// scans shorter than two chunks run inline on the calling goroutine.
+// Variable for the same testing reason.
+var minChunk = 512
+
+// maxWorkers bounds the worker set regardless of the caller's ask.
+const maxWorkers = 64
+
+// AllocateWorkers is Allocate with the per-iteration scans and the
+// initial level sweeps fanned across up to `workers` goroutines
+// (including the calling one). workers <= 1 — or any DAG smaller than
+// the parallel threshold — takes exactly the serial path. The
+// allocation vector is bit-identical to Allocate's for every worker
+// count.
+func AllocateWorkers(g *dag.Graph, p int, rule StopRule, workers int) ([]int, error) {
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
+	if workers <= 1 || g.NumTasks() < parallelThreshold {
+		// The serial path goes through Allocate itself, whose loop
+		// keeps the per-iteration scans inlined — a dispatch branch
+		// inside criticalPath/bestCandidate would de-inline them and
+		// tax every serial caller for the parallel option.
+		return Allocate(g, p, rule)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("cpa: cluster size %d < 1", p)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	pool := newParPool(workers)
+	defer pool.close()
+	st := newAllocStatePool(g, topo, p, rule, pool)
+	for {
+		cp := st.parallelCriticalPath()
+		if !(cp > st.area/float64(p)) {
+			break // T_CP no longer exceeds T_A
+		}
+		t := st.parallelBestCandidate(cp)
+		if t < 0 {
+			break // every critical-path task is at its allocation cap
+		}
+		st.grow(t)
+	}
+	return st.alloc, nil
+}
+
+// parPool is a bounded worker set that lives for one AllocateWorkers
+// call. Chunks are handed off on a single channel and completions
+// collected on another; result slots are keyed by chunk index, so the
+// merge order — and therefore the result — does not depend on which
+// worker ran which chunk.
+type parPool struct {
+	workers int // including the calling goroutine
+	jobs    chan parJob
+	fin     chan struct{}
+	wg      sync.WaitGroup
+}
+
+type parJob struct {
+	lo, hi, slot int
+	fn           func(lo, hi, slot int)
+}
+
+func newParPool(workers int) *parPool {
+	p := &parPool{
+		workers: workers,
+		jobs:    make(chan parJob, workers),
+		fin:     make(chan struct{}, workers),
+	}
+	p.wg.Add(workers - 1)
+	for i := 0; i < workers-1; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *parPool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		j.fn(j.lo, j.hi, j.slot)
+		p.fin <- struct{}{}
+	}
+}
+
+// close releases the workers and joins them; the pool is unusable
+// afterwards.
+func (p *parPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// run splits [0, n) into at most p.workers contiguous chunks of at
+// least minChunk elements, runs fn(lo, hi, slot) for each — chunk 0 on
+// the calling goroutine, the rest on the pool — and returns the number
+// of chunks after every one has finished. fn must only write state
+// owned by its [lo, hi) range or its slot.
+func (p *parPool) run(n int, fn func(lo, hi, slot int)) int {
+	k := n / minChunk
+	if k > p.workers {
+		k = p.workers
+	}
+	if k <= 1 {
+		fn(0, n, 0)
+		return 1
+	}
+	size := (n + k - 1) / k
+	k = (n + size - 1) / size // rounding can leave fewer non-empty chunks
+	for slot := 1; slot < k; slot++ {
+		lo := slot * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		p.jobs <- parJob{lo: lo, hi: hi, slot: slot, fn: fn}
+	}
+	fn(0, size, 0)
+	for i := 1; i < k; i++ {
+		<-p.fin
+	}
+	return k
+}
+
+// scanCP is the chunked T_CP max; merged in parallelCriticalPath.
+func (st *allocState) scanCP(lo, hi, slot int) {
+	var cp float64
+	for _, v := range st.bl[lo:hi] {
+		if v > cp {
+			cp = v
+		}
+	}
+	st.partCP[slot] = cp
+}
+
+func (st *allocState) parallelCriticalPath() float64 {
+	k := st.pool.run(len(st.bl), st.scanCP)
+	var cp float64
+	for _, v := range st.partCP[:k] {
+		if v > cp {
+			cp = v
+		}
+	}
+	return cp
+}
+
+// parallelBestCandidate chunks the candidate argmax. Each chunk picks
+// its first-best task under the serial rule; the ascending-slot merge
+// with the same strict comparison keeps the global lowest-index
+// tie-break.
+func (st *allocState) parallelBestCandidate(cp float64) int {
+	k := st.pool.run(len(st.bl), func(lo, hi, slot int) {
+		best := -1
+		var bestGain float64
+		for i := lo; i < hi; i++ {
+			if st.tl[i]+st.bl[i] < cp-cpTolerance || st.alloc[i] >= st.caps[i] {
+				continue
+			}
+			if best < 0 || st.gain[i] > bestGain {
+				best, bestGain = i, st.gain[i]
+			}
+		}
+		st.partIdx[slot], st.partGain[slot] = best, bestGain
+	})
+	best := -1
+	var bestGain float64
+	for slot := 0; slot < k; slot++ {
+		if st.partIdx[slot] < 0 {
+			continue
+		}
+		if best < 0 || st.partGain[slot] > bestGain {
+			best, bestGain = st.partIdx[slot], st.partGain[slot]
+		}
+	}
+	return best
+}
+
+// parallelInitSweeps computes the initial bottom and top levels level
+// by level: within a depth bucket no two tasks share an edge, so a
+// bucket's tasks read only finished neighboring buckets. Per task the
+// float operations and their order match the serial topo-order sweep
+// exactly.
+func (st *allocState) parallelInitSweeps() {
+	for d := len(st.byDepth) - 1; d >= 0; d-- {
+		level := st.byDepth[d]
+		st.pool.run(len(level), func(lo, hi, _ int) {
+			for _, t := range level[lo:hi] {
+				var best float64
+				for _, s := range st.succ[st.succOff[t]:st.succOff[t+1]] {
+					if st.bl[s] > best {
+						best = st.bl[s]
+					}
+				}
+				st.maxSucc[t] = best
+				st.bl[t] = st.exec[t] + best
+			}
+		})
+	}
+	for d := 0; d < len(st.byDepth); d++ {
+		level := st.byDepth[d]
+		st.pool.run(len(level), func(lo, hi, _ int) {
+			for _, t := range level[lo:hi] {
+				var nt float64
+				for _, p := range st.pred[st.predOff[t]:st.predOff[t+1]] {
+					if v := st.tl[p] + st.exec[p]; v > nt {
+						nt = v
+					}
+				}
+				st.tl[t] = nt
+			}
+		})
+	}
+}

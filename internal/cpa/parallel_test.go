@@ -1,0 +1,116 @@
+package cpa
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"resched/internal/daggen"
+)
+
+// forceParallel drops the size gates so even tiny grid DAGs exercise
+// the full chunked machinery (pool spawn, level fan-out, partial-merge
+// paths), then restores them.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldThreshold, oldChunk := parallelThreshold, minChunk
+	parallelThreshold, minChunk = 1, 1
+	t.Cleanup(func() { parallelThreshold, minChunk = oldThreshold, oldChunk })
+}
+
+// TestAllocateWorkersMatchesReference is the bit-identity guarantee
+// behind the parallel allocation phase: over the paper's parameter
+// grid (40 specs x 2 seeds x 2 cluster sizes x both stopping rules x 3
+// worker counts = 960 cases, far past the 200-case floor), every
+// chunked scan must reproduce the naive reference exactly. The size
+// gates are forced off so the grid's small DAGs actually take the
+// parallel path.
+func TestAllocateWorkersMatchesReference(t *testing.T) {
+	forceParallel(t)
+	cases := 0
+	for _, spec := range daggen.ParamGrid() {
+		for seed := int64(1); seed <= 2; seed++ {
+			g := daggen.MustGenerate(spec, rand.New(rand.NewSource(seed)))
+			for _, p := range []int{16, 193} {
+				for _, rule := range []StopRule{StopStringent, StopClassic} {
+					want, err := referenceAllocate(g, p, rule)
+					if err != nil {
+						t.Fatalf("referenceAllocate(n=%d, p=%d, %v): %v", spec.N, p, rule, err)
+					}
+					for _, workers := range []int{2, 3, 8} {
+						got, err := AllocateWorkers(g, p, rule, workers)
+						if err != nil {
+							t.Fatalf("AllocateWorkers(n=%d, p=%d, %v, w=%d): %v", spec.N, p, rule, workers, err)
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("n=%d width=%.1f seed=%d p=%d rule=%v workers=%d: task %d allocated %d, reference %d",
+									spec.N, spec.Width, seed, p, rule, workers, i, got[i], want[i])
+							}
+						}
+						cases++
+					}
+				}
+			}
+		}
+	}
+	if cases < 200 {
+		t.Fatalf("only %d differential cases; the corpus should cover at least 200", cases)
+	}
+}
+
+// TestAllocateWorkersWideMatchesSerial covers the regime the pool is
+// actually built for — DAGs past the real parallelThreshold, where the
+// gates stay at their production values — against the serial Allocate
+// (itself differentially tied to the reference).
+func TestAllocateWorkersWideMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide-DAG differential check is slow under -short")
+	}
+	spec := daggen.Default()
+	spec.N = parallelThreshold + 500
+	spec.Width = 0.9
+	g := daggen.MustGenerate(spec, rand.New(rand.NewSource(11)))
+	for _, p := range []int{64, 1152} {
+		for _, workers := range []int{2, 4, 64} {
+			t.Run(fmt.Sprintf("p=%d/w=%d", p, workers), func(t *testing.T) {
+				want, err := Allocate(g, p, StopStringent)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := AllocateWorkers(g, p, StopStringent, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("task %d allocated %d, serial %d", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAllocateWorkersSerialFallbacks: workers<=1 and undersized DAGs
+// must not spawn a pool at all — the state carries no parallel scratch.
+func TestAllocateWorkersSerialFallbacks(t *testing.T) {
+	spec := daggen.Default()
+	spec.N = 50
+	g := daggen.MustGenerate(spec, rand.New(rand.NewSource(1)))
+	want, err := Allocate(g, 16, StopStringent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 8} { // 8 still serial: n=50 < threshold
+		got, err := AllocateWorkers(g, 16, StopStringent, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: task %d allocated %d, serial %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

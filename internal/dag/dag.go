@@ -39,6 +39,56 @@ type Graph struct {
 	succ  [][]int
 	pred  [][]int
 	edges int
+	// arena backs the adjacency lists: AddEdge grows them by carving
+	// capacity out of shared blocks, so building a graph costs a few
+	// allocations per block instead of two per edge. The serving path
+	// parses a fresh DAG per schedule request, where those per-edge
+	// allocations dominated the request's allocation profile.
+	arena []int
+	// topo caches the computed topological order; any mutation clears
+	// it. Validate, Levels, BottomLevels and TopLevels each re-derive
+	// the order, so one schedule request would otherwise run Kahn's
+	// algorithm roughly ten times over an unchanged graph. The cached
+	// slice is only ever replaced, never written in place, which is
+	// what lets Clone and TopoOrder hand it out safely.
+	topo []int
+}
+
+// arenaBlock is the adjacency-arena block size in ints (one block per
+// ~512 edge endpoints; doubling growth abandons at most half a list's
+// previous capacity inside a block).
+const arenaBlock = 512
+
+// carve returns an empty int slice with capacity c backed by the edge
+// arena, starting a fresh block when the current one cannot fit c.
+// The full-slice expression caps the result so appends beyond c can
+// never bleed into a neighbouring list.
+func (g *Graph) carve(c int) []int {
+	if cap(g.arena)-len(g.arena) < c {
+		size := arenaBlock
+		if c > size {
+			size = c
+		}
+		g.arena = make([]int, 0, size)
+	}
+	off := len(g.arena)
+	out := g.arena[off : off : off+c]
+	g.arena = g.arena[:off+c]
+	return out
+}
+
+// appendID appends v to adjacency list l, growing through the arena
+// with doubling capacity.
+func (g *Graph) appendID(l []int, v int) []int {
+	if len(l) == cap(l) {
+		nc := 2 * cap(l)
+		if nc < 4 {
+			nc = 4
+		}
+		nl := g.carve(nc)
+		l = append(nl, l...)
+	}
+	return append(l, v)
 }
 
 // New returns an empty graph with capacity for n tasks.
@@ -61,6 +111,7 @@ func (g *Graph) AddTask(t Task) int {
 	g.tasks = append(g.tasks, t)
 	g.succ = append(g.succ, nil)
 	g.pred = append(g.pred, nil)
+	g.topo = nil
 	return len(g.tasks) - 1
 }
 
@@ -79,9 +130,10 @@ func (g *Graph) AddEdge(from, to int) error {
 			return nil
 		}
 	}
-	g.succ[from] = append(g.succ[from], to)
-	g.pred[to] = append(g.pred[to], from)
+	g.succ[from] = g.appendID(g.succ[from], to)
+	g.pred[to] = g.appendID(g.pred[to], from)
 	g.edges++
+	g.topo = nil
 	return nil
 }
 
@@ -134,8 +186,23 @@ func (g *Graph) Sinks() []int {
 
 // TopoOrder returns a topological ordering of the tasks, or an error if
 // the graph contains a cycle (Kahn's algorithm; ties resolved by task
-// ID so the order is deterministic).
+// ID so the order is deterministic). The result is a fresh slice the
+// caller may modify.
 func (g *Graph) TopoOrder() ([]int, error) {
+	order, err := g.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), order...), nil
+}
+
+// topoOrder computes the topological order once per graph mutation and
+// serves it from the cache afterwards. Callers must not modify the
+// returned slice.
+func (g *Graph) topoOrder() ([]int, error) {
+	if g.topo != nil && len(g.topo) == len(g.tasks) {
+		return g.topo, nil
+	}
 	n := len(g.tasks)
 	indeg := make([]int, n)
 	for i := range g.tasks {
@@ -164,6 +231,7 @@ func (g *Graph) TopoOrder() ([]int, error) {
 	if len(order) != n {
 		return nil, fmt.Errorf("dag: graph contains a cycle (%d of %d tasks ordered)", len(order), n)
 	}
+	g.topo = order
 	return order, nil
 }
 
@@ -172,7 +240,7 @@ func (g *Graph) Validate() error {
 	if len(g.tasks) == 0 {
 		return fmt.Errorf("dag: empty graph")
 	}
-	if _, err := g.TopoOrder(); err != nil {
+	if _, err := g.topoOrder(); err != nil {
 		return err
 	}
 	return nil
@@ -183,7 +251,7 @@ func (g *Graph) Validate() error {
 // the "level" of the paper's DAG-shape parameters. Returns an error on
 // cyclic graphs.
 func (g *Graph) Levels() ([]int, error) {
-	order, err := g.TopoOrder()
+	order, err := g.topoOrder()
 	if err != nil {
 		return nil, err
 	}
@@ -221,7 +289,7 @@ func (g *Graph) BottomLevels(exec []model.Duration) ([]model.Duration, error) {
 	if len(exec) != len(g.tasks) {
 		return nil, fmt.Errorf("dag: exec vector has %d entries for %d tasks", len(exec), len(g.tasks))
 	}
-	order, err := g.TopoOrder()
+	order, err := g.topoOrder()
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +315,7 @@ func (g *Graph) TopLevels(exec []model.Duration) ([]model.Duration, error) {
 	if len(exec) != len(g.tasks) {
 		return nil, fmt.Errorf("dag: exec vector has %d entries for %d tasks", len(exec), len(g.tasks))
 	}
-	order, err := g.TopoOrder()
+	order, err := g.topoOrder()
 	if err != nil {
 		return nil, err
 	}
@@ -319,6 +387,9 @@ func (g *Graph) Clone() *Graph {
 		succ:  make([][]int, len(g.succ)),
 		pred:  make([][]int, len(g.pred)),
 		edges: g.edges,
+		// The cached order is replaced, never written in place, so the
+		// clone can share it until either graph mutates.
+		topo: g.topo,
 	}
 	for i := range g.succ {
 		c.succ[i] = append([]int(nil), g.succ[i]...)

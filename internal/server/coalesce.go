@@ -1,0 +1,221 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"resched/internal/api"
+	"resched/internal/coalesce"
+	"resched/internal/core"
+	"resched/internal/profile"
+	"resched/internal/resbook"
+)
+
+// Coalesced serving path of POST /v1/schedule. Concurrent requests
+// landing within the coalescing window are parsed individually (so a
+// bad job 400s alone before the group even forms) and then served by
+// one group leader: one book snapshot, each job fitted in arrival
+// order against the working profile — job i+1 seeing job i's staged
+// placements, like a batch request — and one multi-job optimistic
+// commit. The group holds a single worker slot, so a group of N costs
+// the pool what one request used to.
+
+// coalescedJob is the payload a /v1/schedule call brings to its group.
+type coalescedJob struct {
+	job    batchJob
+	commit bool
+}
+
+// scheduleOutcome is what the group leader delivers to each waiter:
+// either a schedule response or an error envelope, with the status
+// code either way. The waiter's own handler writes it in the codec it
+// negotiated.
+type scheduleOutcome struct {
+	code int
+	resp *api.ScheduleResponse
+	err  api.Error // set when resp is nil
+}
+
+// scheduleCoalesced joins the open group and writes whatever outcome
+// the leader delivers. Do only fails when this caller's own context
+// ends first or the coalescer is draining.
+func (s *Server) scheduleCoalesced(w http.ResponseWriter, r *http.Request, job batchJob, commit, bin bool) {
+	v, err := s.coal.Do(r.Context(), &coalescedJob{job: job, commit: commit})
+	if err != nil {
+		if errors.Is(err, coalesce.ErrClosed) {
+			s.writeJSON(w, http.StatusServiceUnavailable, api.Error{Error: "server shutting down"})
+			return
+		}
+		s.writeSchedulingError(w, r, err)
+		return
+	}
+	out := v.(*scheduleOutcome)
+	if out.resp != nil {
+		s.writeScheduleResponse(w, bin, out.code, out.resp)
+		return
+	}
+	if out.code == http.StatusGatewayTimeout {
+		// The timeout metric is counted here, on the response path, so a
+		// waiter whose Do call raced its own deadline is counted exactly
+		// once (writeSchedulingError covers the other ordering).
+		s.metrics.timeouts.Add(1)
+	}
+	s.writeJSON(w, out.code, out.err)
+}
+
+// runCoalescedGroup serves one sealed group. It is the coalesced
+// counterpart of runCommitLoop and handleScheduleBatch: compute every
+// live waiter's schedule against one snapshot, deliver dry-run and
+// failed jobs immediately, and commit the rest through one stamp
+// check, recomputing only the still-unanswered waiters on conflict.
+func (s *Server) runCoalescedGroup(g *coalesce.Group) {
+	// One worker slot for the whole group; its computations run
+	// sequentially on this leader goroutine.
+	select {
+	case s.sem <- struct{}{}:
+	case <-g.Context().Done():
+		return // every caller is gone; nothing to serve
+	}
+	defer s.releaseWorker()
+
+	ws := g.Waiters()
+	done := make([]bool, len(ws))
+	retries := 0
+	prof := s.profPool.Get().(*profile.Profile)
+	defer s.profPool.Put(prof)
+
+	deliver := func(i int, out *scheduleOutcome) {
+		ws[i].Deliver(out)
+		done[i] = true
+	}
+	fail := func(i, code int, msg string) {
+		deliver(i, &scheduleOutcome{code: code, err: api.Error{Error: msg}})
+	}
+
+	for {
+		if g.Context().Err() != nil {
+			return // every remaining waiter abandoned the group
+		}
+		snap := s.book.SnapshotInto(prof)
+		var reqs []resbook.Request
+		perJob := make([]int, len(ws))
+		resps := make([]*api.ScheduleResponse, len(ws))
+		s.withAvail(prof, func(avail profile.Intervals) {
+			for i, w := range ws {
+				if done[i] {
+					continue
+				}
+				if w.Canceled() {
+					done[i] = true // Do already returned ctx.Err()
+					continue
+				}
+				cj := w.Payload().(*coalescedJob)
+				job := cj.job
+				env := core.Env{P: prof.Capacity(), Now: job.now, Avail: avail, Q: job.q}
+				sched, err := job.sch.TurnaroundCtx(w.Context(), env, job.bl, job.bd)
+				if err != nil {
+					switch {
+					case errors.Is(err, core.ErrInfeasible):
+						fail(i, http.StatusUnprocessableEntity, err.Error())
+					case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+						fail(i, http.StatusGatewayTimeout, "scheduling timed out: "+err.Error())
+					default:
+						fail(i, http.StatusBadRequest, err.Error())
+					}
+					continue
+				}
+				resp := buildScheduleResponse(job.algo, snap.Version, sched, 0, retries)
+				if !cj.commit {
+					deliver(i, &scheduleOutcome{code: http.StatusOK, resp: &resp})
+					continue
+				}
+				// Groupmates must see this job's placements: stage them
+				// into the working profile. On a staging failure only
+				// this job is unwound and failed.
+				jobStart := len(reqs)
+				var stageErr error
+				for _, pl := range sched.Tasks {
+					if pl.End <= pl.Start {
+						continue
+					}
+					if err := avail.Reserve(pl.Start, pl.End, pl.Procs); err != nil {
+						stageErr = err
+						break
+					}
+					reqs = append(reqs, resbook.Request{Start: pl.Start, End: pl.End, Procs: pl.Procs})
+				}
+				if stageErr != nil {
+					// A schedule that does not fit the snapshot it was
+					// computed from is an internal fault; undo the pieces
+					// already staged so groupmates see a clean profile.
+					for _, q := range reqs[jobStart:] {
+						if uerr := avail.Unreserve(q.Start, q.End, q.Procs); uerr != nil {
+							s.log.Warn("unwinding staged placement", "err", uerr)
+						}
+					}
+					reqs = reqs[:jobStart]
+					fail(i, http.StatusInternalServerError, "staging placements: "+stageErr.Error())
+					continue
+				}
+				perJob[i] = len(reqs) - jobStart
+				resps[i] = &resp
+			}
+		})
+		pending := false
+		for i := range ws {
+			if !done[i] {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			return // all waiters answered (dry-run, error, or gone)
+		}
+		if s.beforeCommit != nil {
+			s.beforeCommit()
+		}
+		booked, err := s.book.Commit(snap, reqs)
+		if err == nil {
+			version := s.book.Version()
+			k := 0
+			for i := range ws {
+				if done[i] {
+					continue
+				}
+				resp := resps[i]
+				resp.Version = version
+				resp.Committed = true
+				resp.Retries = retries
+				for n := 0; n < perJob[i]; n++ {
+					resp.ReservationIDs = append(resp.ReservationIDs, booked[k].ID)
+					k++
+				}
+				deliver(i, &scheduleOutcome{code: http.StatusOK, resp: resp})
+			}
+			return
+		}
+		if errors.Is(err, resbook.ErrStale) {
+			retries++
+			s.metrics.retries.Add(1)
+			if retries > s.cfg.MaxRetries {
+				msg := fmt.Sprintf("gave up after %d version-conflict retries", retries-1)
+				for i := range ws {
+					if !done[i] {
+						s.metrics.conflicts.Add(1)
+						fail(i, http.StatusConflict, msg)
+					}
+				}
+				return
+			}
+			continue
+		}
+		for i := range ws {
+			if !done[i] {
+				fail(i, http.StatusInternalServerError, "commit failed: "+err.Error())
+			}
+		}
+		return
+	}
+}

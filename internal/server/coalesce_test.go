@@ -1,0 +1,307 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"resched/internal/api"
+	"resched/internal/server"
+)
+
+// coalescedConfig turns on request coalescing with a window generous
+// enough that requests fired together land in one group even on a
+// loaded CI machine.
+func coalescedConfig() server.Config {
+	return server.Config{CoalesceWindow: 300 * time.Millisecond, CoalesceMaxBatch: 8}
+}
+
+// TestCoalescedSingleWaiter: a lone request through the coalescer —
+// the common idle-server case — must behave exactly like the direct
+// path: same response shape, same commit effect.
+func TestCoalescedSingleWaiter(t *testing.T) {
+	ts, srv, book := newTestServer(t, 32, coalescedConfig())
+	defer srv.Close()
+	dagJSON := testDAGJSON(t, 3)
+
+	resp, raw := postJSON(t, ts.URL+"/v1/schedule", api.ScheduleRequest{DAG: dagJSON, Q: 16, Commit: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var out api.ScheduleResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Committed || len(out.ReservationIDs) != 5 || out.Retries != 0 {
+		t.Errorf("coalesced single-waiter commit: %+v", out)
+	}
+	if book.Version() != 1 {
+		t.Errorf("book version %d, want 1", book.Version())
+	}
+	if err := book.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parse errors must fail alone, before any group forms.
+	resp, _ = postJSON(t, ts.URL+"/v1/schedule", api.ScheduleRequest{DAG: json.RawMessage(`{"bad":true}`)})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed DAG: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCoalescedMixedCommitDryRun: a commit and a dry run sharing one
+// group must each get their own outcome — one booked, one not — from
+// a single snapshot epoch.
+func TestCoalescedMixedCommitDryRun(t *testing.T) {
+	ts, srv, book := newTestServer(t, 64, coalescedConfig())
+	defer srv.Close()
+	dagJSON := testDAGJSON(t, 3)
+
+	var wg sync.WaitGroup
+	outs := make([]api.ScheduleResponse, 2)
+	codes := make([]int, 2)
+	for i, commit := range []bool{true, false} {
+		wg.Add(1)
+		go func(i int, commit bool) {
+			defer wg.Done()
+			resp, raw := postJSON(t, ts.URL+"/v1/schedule",
+				api.ScheduleRequest{DAG: dagJSON, Q: 16, Commit: commit})
+			codes[i] = resp.StatusCode
+			_ = json.Unmarshal(raw, &outs[i])
+		}(i, commit)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: HTTP %d", i, code)
+		}
+	}
+	if !outs[0].Committed || len(outs[0].ReservationIDs) != 5 {
+		t.Errorf("commit waiter: %+v", outs[0])
+	}
+	if outs[1].Committed || len(outs[1].ReservationIDs) != 0 {
+		t.Errorf("dry-run waiter: %+v", outs[1])
+	}
+	if book.Version() != 1 {
+		t.Errorf("book version %d, want exactly 1 commit", book.Version())
+	}
+	if err := book.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	var m map[string]any
+	getJSON(t, ts.URL+"/debug/metrics", &m)
+	if g, _ := m["coalesced_groups"].(float64); g < 1 {
+		t.Errorf("coalesced_groups %v, want >= 1", m["coalesced_groups"])
+	}
+}
+
+// TestCoalescedCancellationMidGroup: one caller abandoning its request
+// while the group is still open must not disturb its groupmate.
+func TestCoalescedCancellationMidGroup(t *testing.T) {
+	ts, srv, book := newTestServer(t, 64, server.Config{
+		CoalesceWindow:   500 * time.Millisecond,
+		CoalesceMaxBatch: 8,
+	})
+	defer srv.Close()
+	dagJSON := testDAGJSON(t, 3)
+	payload, err := json.Marshal(api.ScheduleRequest{DAG: dagJSON, Q: 16, Commit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	doomed := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+			ts.URL+"/v1/schedule", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		_, err := http.DefaultClient.Do(req)
+		doomed <- err
+	}()
+	ok := make(chan int, 1)
+	go func() {
+		resp, raw := postJSON(t, ts.URL+"/v1/schedule",
+			api.ScheduleRequest{DAG: dagJSON, Q: 16, Commit: true})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("surviving waiter: HTTP %d: %s", resp.StatusCode, raw)
+		}
+		ok <- resp.StatusCode
+	}()
+
+	time.Sleep(100 * time.Millisecond) // both enqueued in the open group
+	cancel()
+	if err := <-doomed; err == nil {
+		t.Error("canceled caller got a response, want a context error")
+	}
+	if code := <-ok; code == http.StatusOK {
+		// The survivor committed; cancellation cost it nothing.
+		if book.Version() < 1 {
+			t.Errorf("book version %d, want >= 1", book.Version())
+		}
+	}
+	if err := book.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalescedConflictRetry: a version bump between snapshot and
+// commit must send the group around the optimistic loop, and the
+// eventual success reports the retry.
+func TestCoalescedConflictRetry(t *testing.T) {
+	ts, srv, book := newTestServer(t, 64, coalescedConfig())
+	defer srv.Close()
+	var fired atomic.Bool
+	srv.SetBeforeCommitHook(func() {
+		if fired.CompareAndSwap(false, true) {
+			if _, err := book.Reserve(0, 60, 1); err != nil {
+				t.Errorf("conflicting reserve: %v", err)
+			}
+		}
+	})
+
+	resp, raw := postJSON(t, ts.URL+"/v1/schedule",
+		api.ScheduleRequest{DAG: testDAGJSON(t, 3), Q: 16, Commit: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var out api.ScheduleResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Committed || out.Retries != 1 {
+		t.Errorf("committed=%v retries=%d, want committed after exactly 1 retry", out.Committed, out.Retries)
+	}
+	if err := book.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// postBinary sends a ScheduleRequest in the binary codec, asking for a
+// binary response.
+func postBinary(t *testing.T, url string, req api.ScheduleRequest) (*http.Response, []byte) {
+	t.Helper()
+	hr, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(req.AppendBinary(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", api.ContentTypeBinary)
+	hr.Header.Set("Accept", api.ContentTypeBinary)
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// TestBinaryCodecNegotiation: the binary request/response path must
+// produce the same schedule as JSON, announce its Content-Type, and
+// count both codecs in the metrics.
+func TestBinaryCodecNegotiation(t *testing.T) {
+	ts, _, _ := newTestServer(t, 32, server.Config{})
+	dagJSON := testDAGJSON(t, 3)
+	req := api.ScheduleRequest{DAG: dagJSON, Q: 16}
+
+	_, jsonRaw := postJSON(t, ts.URL+"/v1/schedule", req)
+	var viaJSON api.ScheduleResponse
+	if err := json.Unmarshal(jsonRaw, &viaJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, binRaw := postBinary(t, ts.URL+"/v1/schedule", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary request: HTTP %d: %s", resp.StatusCode, binRaw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != api.ContentTypeBinary {
+		t.Errorf("response Content-Type %q, want %q", ct, api.ContentTypeBinary)
+	}
+	var viaBin api.ScheduleResponse
+	if err := viaBin.UnmarshalBinary(binRaw); err != nil {
+		t.Fatalf("decoding binary response: %v", err)
+	}
+	jb, _ := json.Marshal(viaJSON)
+	bb, _ := json.Marshal(viaBin)
+	if !bytes.Equal(jb, bb) {
+		t.Errorf("binary and JSON responses diverge:\njson: %s\nbin:  %s", jb, bb)
+	}
+
+	// A JSON request with a binary Accept gets a binary response too.
+	payload, _ := json.Marshal(req)
+	hr, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/schedule", bytes.NewReader(payload))
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set("Accept", api.ContentTypeBinary)
+	mixed, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, mixed.Body)
+	mixed.Body.Close()
+	if ct := mixed.Header.Get("Content-Type"); ct != api.ContentTypeBinary {
+		t.Errorf("mixed request response Content-Type %q, want %q", ct, api.ContentTypeBinary)
+	}
+
+	// A malformed binary body 400s cleanly.
+	hr, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/schedule", bytes.NewReader([]byte{'R', 'B', 9}))
+	hr.Header.Set("Content-Type", api.ContentTypeBinary)
+	bad, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bad.Body)
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed binary body: HTTP %d, want 400", bad.StatusCode)
+	}
+
+	var m map[string]any
+	getJSON(t, ts.URL+"/debug/metrics", &m)
+	if n, _ := m["codec_json_requests"].(float64); n < 2 {
+		t.Errorf("codec_json_requests %v, want >= 2", m["codec_json_requests"])
+	}
+	if n, _ := m["codec_binary_requests"].(float64); n < 1 {
+		t.Errorf("codec_binary_requests %v, want >= 1", m["codec_binary_requests"])
+	}
+}
+
+// TestCoalesceMetricsMove: the batch-size histogram and group counter
+// must reflect served groups.
+func TestCoalesceMetricsMove(t *testing.T) {
+	ts, srv, _ := newTestServer(t, 32, coalescedConfig())
+	defer srv.Close()
+	dagJSON := testDAGJSON(t, 2)
+
+	resp, raw := postJSON(t, ts.URL+"/v1/schedule", api.ScheduleRequest{DAG: dagJSON, Q: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+	}
+
+	var m struct {
+		Groups uint64            `json:"coalesced_groups"`
+		Hist   map[string]uint64 `json:"coalesce_batch_hist"`
+	}
+	getJSON(t, ts.URL+"/debug/metrics", &m)
+	if m.Groups < 1 {
+		t.Errorf("coalesced_groups %d, want >= 1", m.Groups)
+	}
+	total := uint64(0)
+	for _, v := range m.Hist {
+		total += v
+	}
+	if total != m.Groups {
+		t.Errorf("histogram total %d != coalesced_groups %d (hist %v)", total, m.Groups, m.Hist)
+	}
+	if m.Hist["1"] < 1 {
+		t.Errorf("bucket 1 = %d, want >= 1 after a single-waiter group", m.Hist["1"])
+	}
+}

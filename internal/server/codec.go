@@ -1,0 +1,144 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"resched/internal/api"
+)
+
+// Response and request codecs. Every response is staged in a pooled
+// buffer before the status line goes out: a value that fails to encode
+// becomes a clean 500 instead of a half-written 200 (the old
+// stream-encoder bug), the handler can set Content-Length, and neither
+// the JSON encoder nor its buffer is allocated per request.
+//
+// The hot-path messages additionally negotiate the compact binary
+// codec (api.ContentTypeBinary): a request body in that Content-Type
+// is decoded binary, and a request whose Accept names it gets its
+// ScheduleResponse encoded binary. Error envelopes are always JSON —
+// they are off the hot path, and a uniform error shape is worth more
+// than saved bytes there.
+
+// encBuf pairs a reusable staging buffer with a JSON encoder bound to
+// it; pooling the pair keeps the encoder's internal state out of the
+// per-request allocation count.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// maxPooledBuf caps the staging buffers kept by the pools; a rare
+// giant response (a full profile listing) should not pin its buffer
+// forever.
+const maxPooledBuf = 1 << 20
+
+// encodeFailureBody is the fallback 500 envelope, pre-encoded so the
+// failure path cannot itself fail.
+const encodeFailureBody = `{"error":"internal: response encoding failed"}` + "\n"
+
+// writeJSON stages v in a pooled buffer and writes it with an exact
+// Content-Length. Encoding failures are detected before any byte
+// reaches the wire, so they turn into a clean 500; write failures
+// (client gone) can only be logged.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	e := s.encPool.Get().(*encBuf)
+	defer s.putEncBuf(e)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		s.log.Warn("encoding response", "status", code, "err", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(encodeFailureBody)))
+		w.WriteHeader(http.StatusInternalServerError)
+		if _, werr := io.WriteString(w, encodeFailureBody); werr != nil {
+			s.log.Warn("writing error response", "err", werr)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(e.buf.Len()))
+	w.WriteHeader(code)
+	if _, err := w.Write(e.buf.Bytes()); err != nil {
+		s.log.Warn("writing response", "status", code, "err", err)
+	}
+}
+
+// putEncBuf returns a staging pair to the pool unless its buffer has
+// grown past the retention cap.
+func (s *Server) putEncBuf(e *encBuf) {
+	if e.buf.Cap() <= maxPooledBuf {
+		s.encPool.Put(e)
+	}
+}
+
+// wantsBinary reports whether the request negotiated a binary
+// response via Accept.
+func wantsBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), api.ContentTypeBinary)
+}
+
+// hasBinaryBody reports whether the request body is in the binary
+// codec.
+func hasBinaryBody(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == api.ContentTypeBinary || strings.HasPrefix(ct, api.ContentTypeBinary+";")
+}
+
+// writeScheduleResponse writes the hot-path response in the
+// negotiated codec.
+func (s *Server) writeScheduleResponse(w http.ResponseWriter, bin bool, code int, resp *api.ScheduleResponse) {
+	if !bin {
+		s.writeJSON(w, code, resp)
+		return
+	}
+	bp := s.binPool.Get().(*[]byte)
+	defer s.binPool.Put(bp)
+	b := resp.AppendBinary((*bp)[:0])
+	*bp = b[:0] // keep the (possibly regrown) backing array pooled
+	w.Header().Set("Content-Type", api.ContentTypeBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(code)
+	if _, err := w.Write(b); err != nil {
+		s.log.Warn("writing response", "status", code, "err", err)
+	}
+}
+
+// decodeScheduleRequest reads the size-limited body in whichever codec
+// the request declares, counting the codec mix. On failure the error
+// response has been written and false is returned.
+func (s *Server) decodeScheduleRequest(w http.ResponseWriter, r *http.Request, req *api.ScheduleRequest) bool {
+	if !hasBinaryBody(r) {
+		if !s.decodeJSON(w, r, req) {
+			return false
+		}
+		s.metrics.codecJSON.Add(1)
+		return true
+	}
+	e := s.encPool.Get().(*encBuf)
+	defer s.putEncBuf(e)
+	e.buf.Reset()
+	if _, err := e.buf.ReadFrom(r.Body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeJSON(w, http.StatusRequestEntityTooLarge,
+				api.Error{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: "reading body: " + err.Error()})
+		return false
+	}
+	// UnmarshalBinary copies what it keeps (the DAG blob), so the
+	// pooled buffer is free for reuse the moment this returns.
+	if err := req.UnmarshalBinary(e.buf.Bytes()); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+		return false
+	}
+	s.metrics.codecBinary.Add(1)
+	return true
+}

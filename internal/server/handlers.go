@@ -49,11 +49,32 @@ func (s *Server) withAvail(prof *profile.Profile, fn func(profile.Intervals)) {
 	s.treePool.Put(tree)
 }
 
+// buildScheduleResponse assembles the response shared by the solo,
+// batch, and coalesced serving paths.
+func buildScheduleResponse(algo string, version uint64, sched *core.Schedule, deadline model.Time, retries int) api.ScheduleResponse {
+	resp := api.ScheduleResponse{
+		Algorithm:  algo,
+		Version:    version,
+		Now:        sched.Now,
+		Completion: sched.Completion(),
+		Turnaround: sched.Turnaround(),
+		CPUHours:   sched.CPUHours(),
+		Deadline:   deadline,
+		Retries:    retries,
+		Tasks:      make([]api.Placement, 0, len(sched.Tasks)),
+	}
+	for t, pl := range sched.Tasks {
+		resp.Tasks = append(resp.Tasks, api.Placement{Task: t, Procs: pl.Procs, Start: pl.Start, End: pl.End})
+	}
+	return resp
+}
+
 // runCommitLoop is the shared serving path of /v1/schedule and
 // /v1/deadline: snapshot the book, compute, and — when the request
 // asks to commit — book the reservations with a stamp check,
-// recomputing on conflict up to the configured retry budget.
-func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo string, now model.Time, q int, commit bool, compute computeFn) {
+// recomputing on conflict up to the configured retry budget. bin
+// selects the response codec negotiated via Accept.
+func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, bin bool, algo string, now model.Time, q int, commit bool, compute computeFn) {
 	ctx := r.Context()
 	retries := 0
 	// The snapshot profile is pooled: SnapshotInto reuses its backing
@@ -83,22 +104,9 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 			return
 		}
 
-		resp := api.ScheduleResponse{
-			Algorithm:  algo,
-			Version:    snap.Version,
-			Now:        sched.Now,
-			Completion: sched.Completion(),
-			Turnaround: sched.Turnaround(),
-			CPUHours:   sched.CPUHours(),
-			Deadline:   deadline,
-			Retries:    retries,
-			Tasks:      make([]api.Placement, 0, len(sched.Tasks)),
-		}
-		for t, pl := range sched.Tasks {
-			resp.Tasks = append(resp.Tasks, api.Placement{Task: t, Procs: pl.Procs, Start: pl.Start, End: pl.End})
-		}
+		resp := buildScheduleResponse(algo, snap.Version, sched, deadline, retries)
 		if !commit {
-			s.writeJSON(w, http.StatusOK, resp)
+			s.writeScheduleResponse(w, bin, http.StatusOK, &resp)
 			return
 		}
 
@@ -119,7 +127,7 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 			for _, b := range booked {
 				resp.ReservationIDs = append(resp.ReservationIDs, b.ID)
 			}
-			s.writeJSON(w, http.StatusOK, resp)
+			s.writeScheduleResponse(w, bin, http.StatusOK, &resp)
 			return
 		}
 		if errors.Is(err, resbook.ErrStale) {
@@ -140,38 +148,24 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, algo stri
 	}
 }
 
+// handleSchedule serves POST /v1/schedule. Parsing and validation go
+// through parseBatchJob — the same machinery as /v1/schedule/batch —
+// so a coalesced request sees byte-identical parse errors and, because
+// parsing happens before the group forms, a bad job 400s alone without
+// touching its groupmates.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	bin := wantsBinary(r)
 	var req api.ScheduleRequest
-	if !s.decodeJSON(w, r, &req) {
+	if !s.decodeScheduleRequest(w, r, &req) {
 		return
 	}
-	g, err := dagio.Read(bytes.NewReader(req.DAG))
+	job, err := s.parseBatchJob(req)
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 		return
 	}
-	bl := core.BLCPAR
-	if req.BL != "" {
-		if bl, err = core.ParseBL(req.BL); err != nil {
-			s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
-			return
-		}
-	}
-	bd := core.BDCPAR
-	if req.BD != "" {
-		if bd, err = core.ParseBD(req.BD); err != nil {
-			s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
-			return
-		}
-	}
-	now, err := s.resolveNow(req.Now)
-	if err != nil {
-		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
-		return
-	}
-	sch, err := core.NewScheduler(g)
-	if err != nil {
-		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
+	if s.coal != nil {
+		s.scheduleCoalesced(w, r, job, req.Commit, bin)
 		return
 	}
 	if !s.acquireWorker(w, r) {
@@ -179,9 +173,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseWorker()
 
-	s.runCommitLoop(w, r, fmt.Sprintf("%s_%s", bl, bd), now, req.Q, req.Commit,
+	s.runCommitLoop(w, r, bin, job.algo, job.now, job.q, req.Commit,
 		func(env core.Env) (*core.Schedule, model.Time, error) {
-			sched, err := sch.TurnaroundCtx(r.Context(), env, bl, bd)
+			sched, err := job.sch.TurnaroundCtx(r.Context(), env, job.bl, job.bd)
 			return sched, 0, err
 		})
 }
@@ -224,6 +218,7 @@ func (s *Server) parseBatchJob(req api.ScheduleRequest) (batchJob, error) {
 	if err != nil {
 		return batchJob{}, err
 	}
+	sch.SetCPAWorkers(s.cfg.CPAWorkers)
 	return batchJob{sch: sch, bl: bl, bd: bd, now: now, q: req.Q,
 		algo: fmt.Sprintf("%s_%s", bl, bd)}, nil
 }
@@ -394,12 +389,13 @@ func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, api.Error{Error: err.Error()})
 		return
 	}
+	sch.SetCPAWorkers(s.cfg.CPAWorkers)
 	if !s.acquireWorker(w, r) {
 		return
 	}
 	defer s.releaseWorker()
 
-	s.runCommitLoop(w, r, algo.String(), now, req.Q, req.Commit,
+	s.runCommitLoop(w, r, wantsBinary(r), algo.String(), now, req.Q, req.Commit,
 		func(env core.Env) (*core.Schedule, model.Time, error) {
 			if req.Tightest {
 				k, sched, err := sch.TightestDeadlineCtx(r.Context(), env, algo)

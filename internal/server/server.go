@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"resched/internal/api"
+	"resched/internal/coalesce"
 	"resched/internal/lifecycle"
 	"resched/internal/profile"
 	"resched/internal/resbook"
@@ -52,6 +53,20 @@ type Config struct {
 	// surface. Nil (the default, daemons not started with -online)
 	// serves those routes as 503.
 	Engine *lifecycle.Engine
+	// CoalesceWindow enables transparent coalescing of POST
+	// /v1/schedule: concurrent requests arriving within the window are
+	// served from one book snapshot and booked through one multi-job
+	// optimistic commit (see internal/coalesce). Zero — the default —
+	// disables coalescing; every request runs its own commit loop.
+	CoalesceWindow time.Duration
+	// CoalesceMaxBatch seals a coalesced group early at this many
+	// requests (default 16). Ignored unless CoalesceWindow is set.
+	CoalesceMaxBatch int
+	// CPAWorkers fans the CPA allocation phase across up to this many
+	// goroutines per scheduling computation for DAGs wide enough to
+	// profit (default 1, serial). The parallel path is bit-identical
+	// to the serial one.
+	CPAWorkers int
 }
 
 // Server serves the reschedd API. Construct with New.
@@ -76,6 +91,17 @@ type Server struct {
 	// or more), keeping the O(log n) backend's node arenas across
 	// requests the same way profPool keeps the flat arrays.
 	treePool sync.Pool
+
+	// encPool recycles response staging buffers with their bound JSON
+	// encoders; binPool recycles the byte slices the binary codec
+	// appends into. Both follow the borrow discipline poolescape
+	// enforces: get, defer put, never escape.
+	encPool sync.Pool
+	binPool sync.Pool
+
+	// coal batches concurrent /v1/schedule calls onto one snapshot
+	// epoch; nil when Config.CoalesceWindow is zero.
+	coal *coalesce.Coalescer
 
 	// beforeCommit, when non-nil, runs between computing a schedule
 	// and committing it. Tests use it to force version conflicts
@@ -114,6 +140,24 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.profPool.New = func() any { return &profile.Profile{} }
 	s.treePool.New = func() any { return &profile.TreeProfile{} }
+	s.encPool.New = func() any {
+		e := &encBuf{}
+		e.enc = json.NewEncoder(&e.buf)
+		return e
+	}
+	s.binPool.New = func() any { return new([]byte) }
+	if cfg.CoalesceWindow > 0 {
+		coal, err := coalesce.New(coalesce.Config{
+			Window:   cfg.CoalesceWindow,
+			MaxBatch: cfg.CoalesceMaxBatch,
+			Run:      s.runCoalescedGroup,
+			OnGroup:  s.metrics.observeGroup,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.coal = coal
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("POST /v1/schedule/batch", s.handleScheduleBatch)
@@ -142,6 +186,16 @@ func New(cfg Config) (*Server, error) {
 // Book returns the reservation book the server mutates, so embedding
 // processes (and tests) can inspect it.
 func (s *Server) Book() *resbook.Book { return s.book }
+
+// Close drains the request coalescer: in-flight groups are served,
+// future coalesced requests are shed with 503. Call it after the HTTP
+// server has stopped accepting requests; a server without coalescing
+// needs no Close.
+func (s *Server) Close() {
+	if s.coal != nil {
+		s.coal.Close()
+	}
+}
 
 // Handler returns the fully wrapped http.Handler: routing inside
 // request-scoped timeout, metrics, and logging.
@@ -221,18 +275,6 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 		return false
 	}
 	return true
-}
-
-// writeJSON writes v as the JSON response body. Encoding can still
-// fail after the header is out — a closed connection, or an
-// unencodable value — and that is worth a log line even though the
-// status code can no longer change.
-func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		s.log.Warn("encoding response", "status", code, "err", err)
-	}
 }
 
 // writeSchedulingError maps a scheduling/commit failure to a status
