@@ -15,14 +15,14 @@ BENCH_PKGS ?= ./internal/cpa ./internal/profile ./internal/server ./internal/res
 # default; override either variable to target another file, e.g.
 #   make bench BENCH_PR=PR4
 #   make bench BENCH_OUT=/tmp/scratch.json
-BENCH_PR ?= PR7
+BENCH_PR ?= PR8
 BENCH_OUT ?= BENCH_$(BENCH_PR).json
 BENCH_LABEL ?= optimized
 
 # bench-compare gates the serving hot path against this committed
 # baseline: the named benchmark prefixes may not regress ns/op by more
 # than BENCH_THRESHOLD percent.
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR7.json
 BENCH_THRESHOLD ?= 15
 BENCH_GATE ?= internal/cpa.BenchmarkAllocate,internal/profile.BenchmarkProfileScaling,internal/profile.BenchmarkFitsBatch,internal/resbook.BenchmarkSnapshot,internal/server.BenchmarkSchedulePost,internal/server.BenchmarkScheduleThroughput
 
@@ -59,10 +59,13 @@ test:
 
 # race runs the packages where the serving concurrency lives — the
 # reservation book's optimistic Transact loop and the HTTP worker pool
-# — under the race detector on every ci run. race-all is the full-tree
-# sweep for slower, occasional use.
+# — under the race detector on every ci run, plus the analyzer suite
+# (its fixture harness runs real type-checking and the analyzers
+# themselves guard the locking discipline, so they get the same
+# scrutiny). race-all is the full-tree sweep for slower, occasional
+# use.
 race:
-	$(GO) test -race ./internal/resbook/... ./internal/server/... ./internal/lifecycle/... ./internal/coalesce/...
+	$(GO) test -race ./internal/resbook/... ./internal/server/... ./internal/lifecycle/... ./internal/coalesce/... ./internal/analysis/...
 
 # replay-smoke drives a short canned trace through the online
 # lifecycle engine under the race detector: a capacity-constrained

@@ -114,7 +114,7 @@ func TestE2EListExitsClean(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0\n%s", code, out)
 	}
-	for _, name := range []string{"snapshotmut", "lockhold", "errdrop", "wgleak"} {
+	for _, name := range []string{"snapshotmut", "lockhold", "errdrop", "wgleak", "guardedby", "atomicmix", "hotpath"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}

@@ -1,7 +1,8 @@
 // Command reschedvet is the repo's domain-aware multichecker: it runs
 // the internal/analysis analyzers — refguard, poolescape,
-// checkedentry, ctxflow, modeexhaustive, plus the flow-aware quartet
-// snapshotmut, lockhold, errdrop, wgleak — over the given packages
+// checkedentry, ctxflow, modeexhaustive, the flow-aware quartet
+// snapshotmut, lockhold, errdrop, wgleak, plus the field-level trio
+// guardedby, atomicmix, hotpath — over the given packages
 // (default ./...) and exits non-zero if any finding survives. Each
 // finding prints as
 //
@@ -21,9 +22,12 @@ import (
 	"sort"
 
 	"resched/internal/analysis"
+	"resched/internal/analysis/atomicmix"
 	"resched/internal/analysis/checkedentry"
 	"resched/internal/analysis/ctxflow"
 	"resched/internal/analysis/errdrop"
+	"resched/internal/analysis/guardedby"
+	"resched/internal/analysis/hotpath"
 	"resched/internal/analysis/lockhold"
 	"resched/internal/analysis/modeexhaustive"
 	"resched/internal/analysis/poolescape"
@@ -33,9 +37,12 @@ import (
 )
 
 var analyzers = []*analysis.Analyzer{
+	atomicmix.Analyzer,
 	checkedentry.Analyzer,
 	ctxflow.Analyzer,
 	errdrop.Analyzer,
+	guardedby.Analyzer,
+	hotpath.Analyzer,
 	lockhold.Analyzer,
 	modeexhaustive.Analyzer,
 	poolescape.Analyzer,

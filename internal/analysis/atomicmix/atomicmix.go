@@ -1,0 +1,201 @@
+// Package atomicmix flags fields accessed both through sync/atomic
+// and by plain reads or writes. Mixing the two is a data race the
+// race detector only sees under a lucky interleaving: the atomic side
+// establishes no happens-before edge for the plain side, and a plain
+// read concurrent with an atomic store is undefined. A field must
+// commit to one discipline — all-atomic (use the typed atomics, or
+// atomic.* calls on its address everywhere) or all-plain under a lock
+// (see guardedby).
+//
+// An atomic use is an atomic.* call taking the field's address
+// (atomic.AddUint64(&s.n, 1)); a plain use is any other read, write,
+// or address-of of a field whose type could be accessed atomically
+// (the sized integers, uintptr, unsafe.Pointer). Fields of the typed
+// atomic wrappers (atomic.Uint64 and friends) are safe by
+// construction and are ignored — go vet's copylocks already polices
+// copying them.
+//
+// Each side of a mix is exported as an object fact (Atomic, Plain),
+// so a package that accesses an imported field atomically while the
+// declaring package touches it plainly — or vice versa — is caught in
+// import order. Initialization through a provably fresh local (a
+// value this function allocated and has not shared; see
+// analysis.FreshLocals) is exempt: constructors may set fields
+// plainly before the value escapes.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"resched/internal/analysis"
+)
+
+// Atomic is the object fact on a field accessed through sync/atomic
+// calls on its address.
+type Atomic struct{}
+
+func (*Atomic) AFact() {}
+
+// Plain is the object fact on an atomically-accessible field accessed
+// by ordinary reads or writes.
+type Plain struct{}
+
+func (*Plain) AFact() {}
+
+func init() {
+	analysis.RegisterFact("atomicmix.Atomic", (*Atomic)(nil))
+	analysis.RegisterFact("atomicmix.Plain", (*Plain)(nil))
+}
+
+// Analyzer flags fields mixing sync/atomic and plain access.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "a field accessed through sync/atomic is never read or written plainly, and a plainly " +
+		"accessed field is never touched through sync/atomic; mixing the two is a data race",
+	Run: run,
+}
+
+// use records one access site of a field.
+type use struct {
+	pos token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	atomicUses := map[*types.Var][]use{}
+	plainUses := map[*types.Var][]use{}
+	decls, _ := analysis.FuncDecls(pass.Files, info)
+	for _, fd := range decls {
+		if pass.InTestFile(fd.Pos()) || fd.Body == nil {
+			continue
+		}
+		fresh := analysis.FreshLocals(info, fd)
+		// consumed marks selectors that are the operand of an atomic
+		// call's address argument; they are atomic uses, not plain ones.
+		consumed := map[ast.Expr]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(info, call) || len(call.Args) == 0 {
+				return true
+			}
+			if sel, v := addrOfField(info, call.Args[0]); v != nil {
+				consumed[sel] = true
+				atomicUses[v] = append(atomicUses[v], use{pos: sel.Pos()})
+			}
+			return true
+		})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			v := fieldOf(info, sel)
+			if v == nil || !atomicCapable(v.Type()) {
+				return true
+			}
+			if root := analysis.RootIdentVar(info, sel.X); root != nil && fresh[root] {
+				return true
+			}
+			plainUses[v] = append(plainUses[v], use{pos: sel.Sel.Pos()})
+			return true
+		})
+	}
+
+	// Local mixes and fact-known remote halves, reported at every site
+	// of the offending discipline.
+	report := func(uses map[*types.Var][]use, v *types.Var, msg string) {
+		sites := uses[v]
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		for _, u := range sites {
+			pass.Reportf(u.pos, "%s", msg)
+		}
+	}
+	for v := range plainUses {
+		var a Atomic
+		if len(atomicUses[v]) > 0 {
+			report(plainUses, v, fmt.Sprintf(
+				"plain access of %s, which is also accessed through sync/atomic; pick one discipline", v.Name()))
+		} else if pass.ImportObjectFact(v, &a) {
+			report(plainUses, v, fmt.Sprintf(
+				"plain access of %s, which %s accesses through sync/atomic (fact)", v.Name(), v.Pkg().Path()))
+		}
+	}
+	for v := range atomicUses {
+		var p Plain
+		if len(plainUses[v]) == 0 && pass.ImportObjectFact(v, &p) {
+			report(atomicUses, v, fmt.Sprintf(
+				"sync/atomic access of %s, which %s accesses plainly (fact)", v.Name(), v.Pkg().Path()))
+		}
+	}
+
+	if analysis.InModule(pass.Pkg.Path()) {
+		for v := range atomicUses {
+			if v.Pkg() == pass.Pkg {
+				pass.ExportObjectFact(v, &Atomic{})
+			}
+		}
+		for v := range plainUses {
+			if v.Pkg() == pass.Pkg {
+				pass.ExportObjectFact(v, &Plain{})
+			}
+		}
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call is a package-level sync/atomic
+// function (the address-taking forms; typed-atomic methods have a
+// receiver and are safe).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addrOfField matches &x.f and returns the selector and field.
+func addrOfField(info *types.Info, e ast.Expr) (*ast.SelectorExpr, *types.Var) {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	return sel, fieldOf(info, sel)
+}
+
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	if v == nil || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// atomicCapable reports whether t is a type the sync/atomic functions
+// operate on. Plain accesses of anything else cannot be half of a
+// mixed-discipline race with atomic.* calls.
+func atomicCapable(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr, types.UnsafePointer:
+			return true
+		}
+	case *types.Pointer:
+		return false // atomic.Pointer[T] territory; LoadPointer needs unsafe.Pointer
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"resched/internal/analysis/analysistest"
+	"resched/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer,
+		"resched/internal/stats", "resched/internal/server")
+}

@@ -1,0 +1,23 @@
+// Package server is an atomicmix fixture exercising the cross-package
+// facts: the stats fixture's per-field disciplines arrive as Atomic
+// and Plain facts and are enforced here.
+package server
+
+import (
+	"sync/atomic"
+
+	"resched/internal/stats"
+)
+
+func Report(c *stats.Counters) uint64 {
+	return c.Hits // want "plain access of Hits, which resched/internal/stats accesses through sync/atomic"
+}
+
+func Bump(c *stats.Counters) {
+	atomic.AddUint64(&c.Misses, 1) // want "sync/atomic access of Misses, which resched/internal/stats accesses plainly"
+}
+
+func OK(c *stats.Counters) uint64 {
+	atomic.AddUint64(&c.Evicts, 1)
+	return atomic.LoadUint64(&c.Evicts)
+}

@@ -1,0 +1,45 @@
+// Package stats is an atomicmix fixture: one field per discipline,
+// one mixed, and constructor initialization through a fresh local.
+package stats
+
+import "sync/atomic"
+
+type Counters struct {
+	// Hits is all-atomic in this package; Misses is all-plain. frees
+	// mixes the two, which is the local positive case.
+	Hits   uint64
+	Misses uint64
+	Evicts uint64
+	frees  uint64
+	typed  atomic.Uint64
+	label  string
+}
+
+func (c *Counters) Hit() {
+	atomic.AddUint64(&c.Hits, 1)
+	atomic.AddUint64(&c.Evicts, 1)
+}
+
+func (c *Counters) Miss() {
+	c.Misses++
+}
+
+func (c *Counters) BadFree() {
+	atomic.AddUint64(&c.frees, 1)
+	c.frees++ // want "plain access of frees, which is also accessed through sync/atomic"
+}
+
+// Typed atomics are safe by construction; strings cannot be accessed
+// atomically at all. Neither is tracked.
+func (c *Counters) Fine() uint64 {
+	c.label = "x"
+	return c.typed.Add(1)
+}
+
+// New initializes plainly through a fresh local: exempt.
+func New() *Counters {
+	c := &Counters{}
+	c.Hits = 1
+	c.Misses = 1
+	return c
+}

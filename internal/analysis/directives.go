@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Directive handling and lock-expression resolution shared by the
+// concurrency analyzers (lockhold, guardedby, atomicmix). Directives
+// are machine-readable comments of the form
+//
+//	//reschedvet:<name> [args...]
+//
+// attached to a declaration's doc comment (functions) or to a struct
+// field's doc or trailing line comment (fields).
+
+// HasDirective reports whether the comment group carries the directive
+// (exact name; a longer word sharing the prefix does not match).
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	_, ok := DirectiveArgs(doc, directive)
+	return ok
+}
+
+// DirectiveArgs returns the text following the directive in the
+// comment group, trimmed of surrounding space. The directive matches
+// only as a whole word: `//reschedvet:holds` does not match
+// `//reschedvet:holdsnothing`.
+func DirectiveArgs(doc *ast.CommentGroup, directive string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if !strings.HasPrefix(c.Text, directive) {
+			continue
+		}
+		rest := strings.TrimPrefix(c.Text, directive)
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue
+		}
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// FieldDirectiveArgs looks the directive up on a struct field, which
+// may carry it either in a doc comment above or a line comment after
+// the field.
+func FieldDirectiveArgs(f *ast.Field, directive string) (string, bool) {
+	if args, ok := DirectiveArgs(f.Doc, directive); ok {
+		return args, ok
+	}
+	return DirectiveArgs(f.Comment, directive)
+}
+
+// IsMutexType reports whether t is sync.Mutex or sync.RWMutex,
+// through pointers and aliases.
+func IsMutexType(t types.Type) bool {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// LockMethod classifies a call as a sync mutex acquire or release and
+// resolves the lock it names to a stable key (the mutex variable or
+// field). rlock distinguishes the read forms (RLock/RUnlock).
+// Unresolvable receivers return a nil key and are ignored.
+func LockMethod(info *types.Info, call *ast.CallExpr) (key *types.Var, acquire, release, rlock bool) {
+	fn := Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false, false
+	}
+	named := ReceiverNamed(fn)
+	if named == nil {
+		return nil, false, false, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return nil, false, false, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, rlock = true, true
+	case "Unlock":
+		release = true
+	case "RUnlock":
+		release, rlock = true, true
+	default:
+		return nil, false, false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false, false
+	}
+	return LockVar(info, sel.X), acquire, release, rlock
+}
+
+// LockVar resolves `mu` or `b.mu` (through any selector chain) to the
+// variable or field naming the lock.
+func LockVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return LockVar(info, e.X)
+		}
+	}
+	return nil
+}
+
+// RootIdentVar strips selectors, indexes, slices, dereferences,
+// address-ofs, and parens off an expression and resolves the
+// remaining root identifier to its variable, or nil.
+func RootIdentVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			if v == nil {
+				v, _ = info.Defs[x].(*types.Var)
+			}
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// FreshLocals identifies the function's provably fresh locals:
+// variables every one of whose assignments derives from memory the
+// function itself allocated (a composite literal, new, or a
+// projection — field, element, address — of another fresh local).
+// Accesses through a fresh local cannot race, because no other
+// goroutine holds a reference yet; guardedby and atomicmix use this
+// to exempt constructor initialization from locking discipline.
+//
+// The analysis is syntactic and flow-insensitive: a variable
+// reassigned from anything non-fresh is dropped entirely, and
+// freshness propagates through chains (sh := &b.shards[i] is fresh
+// when b is) by iterating to a fixed point.
+func FreshLocals(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
+	if fd.Body == nil {
+		return nil
+	}
+	// sources[v] lists the RHS expressions assigned to v; vars with an
+	// unmatched (multi-value) assignment are poisoned.
+	sources := map[*types.Var][]ast.Expr{}
+	poisoned := map[*types.Var]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return // writes through selectors/indexes don't change the root's freshness
+		}
+		v, _ := info.Defs[id].(*types.Var)
+		if v == nil {
+			v, _ = info.Uses[id].(*types.Var)
+		}
+		if v == nil {
+			return
+		}
+		if rhs == nil {
+			poisoned[v] = true
+			return
+		}
+		sources[v] = append(sources[v], rhs)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			} else {
+				for _, l := range n.Lhs {
+					record(l, nil)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				record(n.Key, nil)
+			}
+			if n.Value != nil {
+				record(n.Value, nil)
+			}
+		}
+		return true
+	})
+
+	fresh := map[*types.Var]bool{}
+	var freshExpr func(e ast.Expr) bool
+	freshExpr = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			return e.Op == token.AND && freshExpr(e.X)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+					return true
+				}
+			}
+			return false
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			v := RootIdentVar(info, e)
+			return v != nil && fresh[v]
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for v, exprs := range sources {
+			if fresh[v] || poisoned[v] {
+				continue
+			}
+			all := true
+			for _, e := range exprs {
+				if !freshExpr(e) {
+					all = false
+					break
+				}
+			}
+			if all {
+				fresh[v] = true
+				changed = true
+			}
+		}
+	}
+	return fresh
+}

@@ -1,0 +1,637 @@
+// Package guardedby enforces field-level locking discipline in the
+// serving tree: a struct field annotated
+//
+//	mu    sync.Mutex
+//	state map[string]int //reschedvet:guardedby mu
+//
+// may only be read or written inside a critical section of its
+// designated mutex. The check is a forward must-held lockset analysis
+// over the PR 4 CFG — the dual of lockhold's may-held pass: where
+// lockhold asks "could a lock be held here" to flag blocking calls,
+// guardedby asks "is the lock certainly held on every path" to admit
+// an access. A write additionally requires the write lock: touching a
+// guarded field under RLock only is reported, which is exactly the
+// read-mostly race the race detector needs a lucky interleaving to
+// see.
+//
+// Guarded fields export a GuardedBy object fact, so accesses from
+// importing packages to an annotated (exported) field are checked in
+// import order with no extra annotation at the use site.
+//
+// # Helper contracts
+//
+// The serving code factors critical sections through helpers —
+// *Locked methods that assume the caller holds the lock, and
+// lock-span wrappers like the sharded book's lockShards/unlockShards
+// that acquire several shard locks behind one call. Three function
+// directives make those contracts checkable instead of invisible:
+//
+//	//reschedvet:holds mu          the caller must hold mu (seeds the
+//	                               entry lockset; every call site is
+//	                               checked for it)
+//	//reschedvet:acquires T.mu     calling this function acquires mu
+//	//reschedvet:releases T.mu     calling this function releases mu
+//
+// A mutex is named by its field name, resolved against the receiver's
+// struct, or by Type.field against a struct type in the function's
+// package — the form lock wrappers need when the mutex lives in an
+// element type (bookShard.mu) rather than the receiver. Contracts
+// export a LockContract fact so cross-package call sites see them.
+//
+// # Freshness
+//
+// Constructors initialize guarded fields before the value is shared,
+// where locking would be noise. Accesses whose base is a provably
+// fresh local — allocated by this function and never overwritten from
+// elsewhere (see analysis.FreshLocals) — are exempt.
+//
+// Accesses inside function literals are not checked: a closure body
+// runs on its own activation, possibly on another goroutine, and the
+// CFG does not enter it (the same soundness trade lockhold makes).
+package guardedby
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"resched/internal/analysis"
+)
+
+const (
+	guardDirective    = "//reschedvet:guardedby"
+	holdsDirective    = "//reschedvet:holds"
+	acquiresDirective = "//reschedvet:acquires"
+	releasesDirective = "//reschedvet:releases"
+)
+
+// GuardedBy is the object fact on a struct field: accesses require
+// the named sibling mutex.
+type GuardedBy struct {
+	Mutex string
+}
+
+func (*GuardedBy) AFact() {}
+
+// LockContract is the object fact on a function carrying holds /
+// acquires / releases directives. Mutex names are as written in the
+// directive (field, or Type.field in the function's package).
+type LockContract struct {
+	Holds    []string `json:",omitempty"`
+	Acquires []string `json:",omitempty"`
+	Releases []string `json:",omitempty"`
+}
+
+func (*LockContract) AFact() {}
+
+func init() {
+	analysis.RegisterFact("guardedby.GuardedBy", (*GuardedBy)(nil))
+	analysis.RegisterFact("guardedby.LockContract", (*LockContract)(nil))
+}
+
+// Analyzer flags accesses to annotated fields outside a critical
+// section of their designated mutex.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc: "a field annotated //reschedvet:guardedby <mu> is only read or written while <mu> is " +
+		"held on every path (writes need the write lock); //reschedvet:holds, :acquires and " +
+		":releases declare helper contracts, checked at every call site",
+	Run: run,
+}
+
+// lockMode distinguishes how strongly a mutex is held on all paths.
+type lockMode int
+
+const (
+	modeRead  lockMode = iota + 1 // at least RLock everywhere
+	modeWrite                     // write lock everywhere
+)
+
+// lockset is the must-held state: mutexes held on every path to the
+// current point, with the weakest mode seen.
+type lockset map[*types.Var]lockMode
+
+func (s lockset) clone() lockset {
+	c := make(lockset, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// meet intersects other into s (must-held join) and reports change.
+func (s lockset) meet(other lockset) bool {
+	changed := false
+	for k, m := range s {
+		om, ok := other[k]
+		if !ok {
+			delete(s, k)
+			changed = true
+			continue
+		}
+		if om < m {
+			s[k] = om
+			changed = true
+		}
+	}
+	return changed
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	contracts := collectContracts(pass)
+	decls, _ := analysis.FuncDecls(pass.Files, pass.TypesInfo)
+	for _, fd := range decls {
+		if pass.InTestFile(fd.Pos()) || fd.Body == nil {
+			continue
+		}
+		c := checker{pass: pass, guards: guards, contracts: contracts}
+		c.checkFunc(fd)
+	}
+	return nil
+}
+
+// collectGuards gathers this package's guardedby field directives,
+// validates them against the declaring struct, and exports the facts.
+// The returned map covers intra-package accesses before export order
+// matters.
+func collectGuards(pass *analysis.Pass) map[*types.Var]string {
+	guards := map[*types.Var]string{}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := analysis.FieldDirectiveArgs(field, guardDirective)
+				if !ok {
+					continue
+				}
+				if mu == "" || strings.ContainsAny(mu, " \t.") {
+					pass.Reportf(field.Pos(), "guardedby directive needs a single sibling mutex field name")
+					continue
+				}
+				muVar := structField(pass.TypesInfo, st, mu)
+				switch {
+				case muVar == nil:
+					pass.Reportf(field.Pos(), "guardedby names %s, which is not a field of this struct", mu)
+					continue
+				case !analysis.IsMutexType(muVar.Type()):
+					pass.Reportf(field.Pos(), "guardedby names %s, which is not a sync.Mutex or sync.RWMutex", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					v, _ := pass.TypesInfo.Defs[name].(*types.Var)
+					if v == nil {
+						continue
+					}
+					if analysis.IsMutexType(v.Type()) {
+						pass.Reportf(field.Pos(), "guardedby on a mutex field guards nothing")
+						continue
+					}
+					guards[v] = mu
+					if analysis.InModule(pass.Pkg.Path()) {
+						pass.ExportObjectFact(v, &GuardedBy{Mutex: mu})
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// collectContracts gathers holds/acquires/releases directives on this
+// package's function declarations, validates that every named mutex
+// resolves, and exports the facts.
+func collectContracts(pass *analysis.Pass) map[*types.Func]*LockContract {
+	contracts := map[*types.Func]*LockContract{}
+	decls, _ := analysis.FuncDecls(pass.Files, pass.TypesInfo)
+	for _, fd := range decls {
+		if pass.InTestFile(fd.Pos()) {
+			continue
+		}
+		var lc LockContract
+		for _, d := range []struct {
+			directive string
+			into      *[]string
+		}{
+			{holdsDirective, &lc.Holds},
+			{acquiresDirective, &lc.Acquires},
+			{releasesDirective, &lc.Releases},
+		} {
+			args, ok := analysis.DirectiveArgs(fd.Doc, d.directive)
+			if !ok {
+				continue
+			}
+			names := strings.Fields(args)
+			if len(names) == 0 {
+				pass.Reportf(fd.Pos(), "%s directive on %s names no mutex",
+					strings.TrimPrefix(d.directive, "//reschedvet:"), fd.Name.Name)
+				continue
+			}
+			*d.into = names
+		}
+		if len(lc.Holds)+len(lc.Acquires)+len(lc.Releases) == 0 {
+			continue
+		}
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		for _, name := range append(append(append([]string{}, lc.Holds...), lc.Acquires...), lc.Releases...) {
+			if resolveMutexSpec(pass.Pkg, fn, name) == nil {
+				pass.Reportf(fd.Pos(), "lock contract on %s names %s, which does not resolve to a mutex field",
+					fd.Name.Name, name)
+			}
+		}
+		contracts[fn] = &lc
+		if analysis.InModule(pass.Pkg.Path()) {
+			pass.ExportObjectFact(fn, &lc)
+		}
+	}
+	return contracts
+}
+
+// structField finds a field by name in a struct type syntax node.
+func structField(info *types.Info, st *ast.StructType, name string) *types.Var {
+	for _, f := range st.Fields.List {
+		for _, id := range f.Names {
+			if id.Name == name {
+				v, _ := info.Defs[id].(*types.Var)
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// resolveMutexSpec resolves a directive's mutex name for fn: a bare
+// field name against fn's receiver struct, or Type.field against a
+// struct type in fn's package.
+func resolveMutexSpec(pkg *types.Package, fn *types.Func, spec string) *types.Var {
+	var st *types.Struct
+	name := spec
+	if t, f, ok := strings.Cut(spec, "."); ok {
+		name = f
+		obj, _ := pkg.Scope().Lookup(t).(*types.TypeName)
+		if obj == nil {
+			return nil
+		}
+		st, _ = obj.Type().Underlying().(*types.Struct)
+	} else if named := analysis.ReceiverNamed(fn); named != nil {
+		st, _ = named.Underlying().(*types.Struct)
+	}
+	if st == nil {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == name && analysis.IsMutexType(f.Type()) {
+			return f
+		}
+	}
+	return nil
+}
+
+// checker carries one function's analysis state.
+type checker struct {
+	pass      *analysis.Pass
+	guards    map[*types.Var]string
+	contracts map[*types.Func]*LockContract
+	fresh     map[*types.Var]bool
+	// writes marks the selector expressions appearing in a write
+	// position (assignment target, ++/--, address-taken).
+	writes map[ast.Expr]bool
+}
+
+// guardOf resolves a field variable's guard: the local directive map
+// first, then the cross-package fact.
+func (c *checker) guardOf(v *types.Var) (string, bool) {
+	if mu, ok := c.guards[v]; ok {
+		return mu, true
+	}
+	var gb GuardedBy
+	if c.pass.ImportObjectFact(v, &gb) {
+		return gb.Mutex, true
+	}
+	return "", false
+}
+
+// contractOf resolves a callee's lock contract, local first.
+func (c *checker) contractOf(fn *types.Func) *LockContract {
+	if lc, ok := c.contracts[fn]; ok {
+		return lc
+	}
+	var lc LockContract
+	if c.pass.ImportObjectFact(fn, &lc) {
+		return &lc
+	}
+	return nil
+}
+
+// interesting reports whether fd touches any guarded field or calls
+// any function with a holds contract; everything else skips the CFG.
+func (c *checker) interesting(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if v := c.fieldOf(n); v != nil {
+				if _, ok := c.guardOf(v); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := analysis.Callee(c.pass.TypesInfo, n); fn != nil {
+				if lc := c.contractOf(fn); lc != nil && len(lc.Holds) > 0 {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// fieldOf resolves a selector to the struct field it reads, or nil.
+func (c *checker) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// mutexForAccess resolves the guarding mutex variable of an annotated
+// field access: the named field of the struct that directly declares
+// the accessed field (following the selection's embedding path).
+func (c *checker) mutexForAccess(sel *ast.SelectorExpr, mu string) *types.Var {
+	s := c.pass.TypesInfo.Selections[sel]
+	t := s.Recv()
+	idx := s.Index()
+	for _, i := range idx[:len(idx)-1] {
+		st := structUnder(t)
+		if st == nil {
+			return nil
+		}
+		t = st.Field(i).Type()
+	}
+	st := structUnder(t)
+	if st == nil {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == mu {
+			return f
+		}
+	}
+	return nil
+}
+
+func structUnder(t types.Type) *types.Struct {
+	t = types.Unalias(t)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	if !c.interesting(fd) {
+		return
+	}
+	info := c.pass.TypesInfo
+	c.fresh = analysis.FreshLocals(info, fd)
+	c.writes = collectWrites(fd.Body)
+
+	cfg := analysis.NewCFG(fd.Body)
+	n := len(cfg.Blocks)
+	if n == 0 {
+		return
+	}
+
+	entry := lockset{}
+	if fn, _ := info.Defs[fd.Name].(*types.Func); fn != nil {
+		if lc := c.contracts[fn]; lc != nil {
+			for _, name := range lc.Holds {
+				if v := resolveMutexSpec(c.pass.Pkg, fn, name); v != nil {
+					entry[v] = modeWrite
+				}
+			}
+		}
+	}
+
+	// heldIn[i] is the must-held set entering block i; nil = unreached.
+	heldIn := make([]lockset, n)
+	heldIn[0] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			if heldIn[b.Index] == nil {
+				continue
+			}
+			out := heldIn[b.Index].clone()
+			for _, node := range b.Nodes {
+				c.transfer(node, out)
+			}
+			for _, succ := range b.Succs {
+				if heldIn[succ.Index] == nil {
+					heldIn[succ.Index] = out.clone()
+					changed = true
+					continue
+				}
+				if heldIn[succ.Index].meet(out) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, b := range cfg.Blocks {
+		held := lockset{}
+		if heldIn[b.Index] != nil {
+			held = heldIn[b.Index].clone()
+		}
+		for _, node := range b.Nodes {
+			c.visit(node, held)
+		}
+	}
+}
+
+// transfer applies a node's lock effects — direct sync calls and
+// contract calls — to the must-held set. Deferred and goroutine
+// statements are skipped: a deferred unlock keeps the lock held
+// through the body.
+func (c *checker) transfer(node ast.Node, held lockset) {
+	info := c.pass.TypesInfo
+	analysis.WalkBlockNode(node, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c.applyCall(info, call, held)
+		return true
+	})
+}
+
+// applyCall folds one call's lock effect into held.
+func (c *checker) applyCall(info *types.Info, call *ast.CallExpr, held lockset) {
+	if key, acquire, release, rlock := analysis.LockMethod(info, call); key != nil {
+		switch {
+		case acquire && rlock:
+			held[key] = modeRead
+		case acquire:
+			held[key] = modeWrite
+		case release:
+			delete(held, key)
+		}
+		return
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	lc := c.contractOf(fn)
+	if lc == nil {
+		return
+	}
+	for _, name := range lc.Acquires {
+		if v := resolveMutexSpec(fn.Pkg(), fn, name); v != nil {
+			held[v] = modeWrite
+		}
+	}
+	for _, name := range lc.Releases {
+		if v := resolveMutexSpec(fn.Pkg(), fn, name); v != nil {
+			delete(held, v)
+		}
+	}
+}
+
+// visit reports guarded accesses and unmet holds contracts in node,
+// threading the lockset through the node's own calls so an access
+// right after an acquire in the same block is admitted.
+func (c *checker) visit(node ast.Node, held lockset) {
+	info := c.pass.TypesInfo
+	analysis.WalkBlockNode(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.SelectorExpr:
+			c.checkAccess(n, held)
+			// Children (the base expression) still need visiting for
+			// nested guarded selectors; returning true handles that.
+		case *ast.CallExpr:
+			if fn := analysis.Callee(info, n); fn != nil {
+				if lc := c.contractOf(fn); lc != nil {
+					for _, name := range lc.Holds {
+						v := resolveMutexSpec(fn.Pkg(), fn, name)
+						if v == nil {
+							continue
+						}
+						if _, ok := held[v]; !ok {
+							c.pass.Reportf(n.Pos(), "call to %s requires holding %s (contract), which is not held on every path",
+								fn.Name(), name)
+						}
+					}
+				}
+			}
+			c.applyCall(info, n, held)
+		}
+		return true
+	})
+}
+
+// checkAccess reports a guarded field access not covered by its mutex.
+func (c *checker) checkAccess(sel *ast.SelectorExpr, held lockset) {
+	v := c.fieldOf(sel)
+	if v == nil {
+		return
+	}
+	mu, ok := c.guardOf(v)
+	if !ok {
+		return
+	}
+	if root := analysis.RootIdentVar(c.pass.TypesInfo, sel.X); root != nil && c.fresh[root] {
+		return
+	}
+	muVar := c.mutexForAccess(sel, mu)
+	if muVar == nil {
+		return // mis-declared guard; reported at the directive
+	}
+	mode, heldNow := held[muVar]
+	write := c.writes[sel]
+	verb := "read"
+	if write {
+		verb = "write"
+	}
+	switch {
+	case !heldNow:
+		c.pass.Reportf(sel.Sel.Pos(), "%s of %s outside critical section of %s (guardedby)", verb, accessName(sel, v), mu)
+	case write && mode == modeRead:
+		c.pass.Reportf(sel.Sel.Pos(), "write to %s while %s is only read-locked", accessName(sel, v), mu)
+	}
+}
+
+// accessName renders a field access for diagnostics.
+func accessName(sel *ast.SelectorExpr, v *types.Var) string {
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		return fmt.Sprintf("%s.%s", id.Name, v.Name())
+	}
+	return v.Name()
+}
+
+// collectWrites marks every selector expression in a write position:
+// an assignment target (through indexes/stars), the operand of ++/--,
+// or an address-taken expression.
+func collectWrites(body ast.Node) map[ast.Expr]bool {
+	writes := map[ast.Expr]bool{}
+	mark := func(e ast.Expr) {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.SelectorExpr:
+				writes[x] = true
+				return
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				mark(l)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return writes
+}

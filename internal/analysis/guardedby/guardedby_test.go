@@ -1,0 +1,13 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"resched/internal/analysis/analysistest"
+	"resched/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer,
+		"resched/internal/resbook", "resched/internal/server")
+}

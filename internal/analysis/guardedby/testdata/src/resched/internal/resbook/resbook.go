@@ -1,0 +1,135 @@
+// Package resbook is a guardedby fixture: annotated fields, helper
+// contracts, and the access shapes the analyzer must admit or flag.
+package resbook
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+	//reschedvet:guardedby mu
+	stamp uint64
+	res   map[string]int //reschedvet:guardedby mu
+}
+
+type Book struct {
+	Mu sync.Mutex
+	//reschedvet:guardedby Mu
+	Count  int
+	shards []shard
+}
+
+// New initializes guarded fields through fresh locals: no lock is
+// needed before the value is shared.
+func New(n int) *Book {
+	b := &Book{shards: make([]shard, n)}
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.res = map[string]int{}
+		sh.stamp = 1
+	}
+	b.Count = n
+	return b
+}
+
+// Get reads under the shard read lock: fine.
+func (b *Book) Get(id string) (int, bool) {
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		v, ok := sh.res[id]
+		sh.mu.RUnlock()
+		if ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Put writes under the write lock with a deferred unlock: fine.
+func (b *Book) Put(id string, v int) {
+	sh := &b.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.res[id] = v
+	sh.stamp++
+}
+
+func (b *Book) BadGet(id string) int {
+	return b.shards[0].res[id] // want "read of res outside critical section of mu"
+}
+
+func (b *Book) BadStampWrite() {
+	sh := &b.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sh.stamp++ // want "write to sh.stamp while mu is only read-locked"
+}
+
+// MaybeLocked holds Mu on only one path, so the access is not covered
+// on every path: must-held analysis flags it.
+func (b *Book) MaybeLocked(cond bool) int {
+	if cond {
+		b.Mu.Lock()
+		defer b.Mu.Unlock()
+	}
+	return b.Count // want "read of b.Count outside critical section of Mu"
+}
+
+// applyLocked assumes the caller holds Mu.
+//
+//reschedvet:holds Mu
+func (b *Book) applyLocked(d int) {
+	b.Count += d
+}
+
+func (b *Book) Apply(d int) {
+	b.Mu.Lock()
+	b.applyLocked(d)
+	b.Mu.Unlock()
+}
+
+func (b *Book) BadApply(d int) {
+	b.applyLocked(d) // want "call to applyLocked requires holding Mu"
+}
+
+// MergeLocked folds src into the count; the caller holds Mu. Exported
+// so the server fixture exercises the cross-package contract fact.
+//
+//reschedvet:holds Mu
+func (b *Book) MergeLocked(src int) {
+	b.Count += src
+}
+
+// lockAll acquires every shard lock in index order.
+//
+//reschedvet:acquires shard.mu
+func (b *Book) lockAll() {
+	for i := range b.shards {
+		b.shards[i].mu.Lock()
+	}
+}
+
+// unlockAll releases every shard lock.
+//
+//reschedvet:releases shard.mu
+func (b *Book) unlockAll() {
+	for i := range b.shards {
+		b.shards[i].mu.Unlock()
+	}
+}
+
+// Bump's accesses are covered by the wrapper contracts.
+func (b *Book) Bump() {
+	b.lockAll()
+	defer b.unlockAll()
+	for i := range b.shards {
+		b.shards[i].stamp++
+	}
+}
+
+// BadBump releases before the access.
+func (b *Book) BadBump() {
+	b.lockAll()
+	b.unlockAll()
+	b.shards[0].stamp++ // want "write of stamp outside critical section of mu"
+}

@@ -1,0 +1,75 @@
+// Package cpa is a hotpath fixture: one clean annotated scan using
+// every sanctioned shape, one annotated function hitting every flagged
+// construct, and an unannotated twin that stays silent.
+package cpa
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type sched struct {
+	buf  []int
+	heap []int
+}
+
+func sink(v any)      {}
+func sinks(vs ...any) {}
+
+// grow is the clean hot function: index arithmetic, parameter append,
+// struct-owned scratch, a preallocated local, and a scratch reset.
+//
+//reschedvet:hotpath
+func (s *sched) grow(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
+		s.buf = append(s.buf, i)
+	}
+	tmp := make([]int, 0, 8)
+	tmp = append(tmp, n)
+	s.heap = s.heap[:0]
+	s.heap = append(s.heap, tmp...)
+	prefix := "cp" + "a" // constant-folded: free
+	_ = prefix
+	return dst
+}
+
+//reschedvet:hotpath
+func bad(n int) {
+	m := map[int]int{} // want "map literal allocates in hot path"
+	_ = m
+	xs := []int{1, 2, 3} // want "slice literal allocates in hot path"
+	_ = xs
+	p := &sched{} // want "escaping composite literal allocates in hot path"
+	_ = p
+	mm := make(map[int]int) // want "make.map. allocates in hot path"
+	_ = mm
+	ch := make(chan int, 1) // want "make.chan. allocates in hot path"
+	_ = ch
+	var out []int
+	out = append(out, n) // want "append to out may grow without preallocation in hot path"
+	_ = out
+	f := func() int { return n } // want "capturing closure allocates its environment in hot path"
+	_ = f
+	g := func(x int) int { return x * 2 } // non-capturing: a static funcval
+	_ = g
+	s := "n=" + strconv.Itoa(n) // want "string concatenation allocates in hot path"
+	s += "!"                    // want "string concatenation allocates in hot path"
+	_ = s
+	fmt.Println(n) // want "fmt.Println allocates in hot path"
+	sink(n)        // want "passing int to interface parameter boxes it in hot path"
+	sinks(n, "x")  // want "passing int to interface parameter boxes it" "passing string to interface parameter boxes it"
+	_ = any(n)     // want "conversion to interface boxes its operand in hot path"
+	sink(nil)      // nil boxes nothing
+}
+
+// cold is bad's unannotated twin: the directive, not the constructs,
+// selects functions for checking.
+func cold(n int) {
+	m := map[int]int{}
+	_ = m
+	var out []int
+	out = append(out, n)
+	_ = out
+	fmt.Println(n)
+}

@@ -10,8 +10,14 @@
 // over the CFG: a lock is held at a node if any path from an acquire
 // reaches it without the matching release. Deferred unlocks keep the
 // lock held to the end of the function, which is exactly their
-// semantics. At every node where some lock is held, these operations
-// are flagged:
+// semantics — and a `defer mu.Unlock()` paired with its acquire in
+// the same statement block is recognized explicitly, so reports
+// under such a section say the lock is held until return rather than
+// leaving the reader to wonder where the release went. An explicit
+// Unlock/Lock pair inside a deferred section models the temporary
+// release exactly: the window between them is lock-free and needs no
+// //reschedvet:ignore. At every node where some lock is held, these
+// operations are flagged:
 //
 //   - channel sends, receives, and ranges; selects without a default;
 //   - time.Sleep, sync.WaitGroup.Wait, sync.Cond.Wait;
@@ -52,7 +58,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"resched/internal/analysis"
 )
@@ -122,7 +127,7 @@ func lockOrderedDecls(pass *analysis.Pass) map[*ast.FuncDecl]bool {
 	ordered := map[*ast.FuncDecl]bool{}
 	decls, _ := analysis.FuncDecls(pass.Files, pass.TypesInfo)
 	for _, fd := range decls {
-		if !hasDirective(fd.Doc, lockOrderDirective) {
+		if !analysis.HasDirective(fd.Doc, lockOrderDirective) {
 			continue
 		}
 		ordered[fd] = true
@@ -137,23 +142,11 @@ func lockOrderedDecls(pass *analysis.Pass) map[*ast.FuncDecl]bool {
 	return ordered
 }
 
-func hasDirective(doc *ast.CommentGroup, directive string) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if strings.HasPrefix(c.Text, directive) {
-			return true
-		}
-	}
-	return false
-}
-
 // indexedLockOp reports whether call is a mutex Lock/RLock/
 // Unlock/RUnlock whose receiver expression is indexed — the
 // `shards[i].mu` shape the lockorder directive blesses.
 func indexedLockOp(info *types.Info, call *ast.CallExpr) bool {
-	if key, acquire, release := lockMethod(info, call); key == nil || (!acquire && !release) {
+	if key, acquire, release, _ := analysis.LockMethod(info, call); key == nil || (!acquire && !release) {
 		return false
 	}
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
@@ -240,60 +233,6 @@ func stdlibBlocking(fn *types.Func) bool {
 	return false
 }
 
-// lockMethod classifies a call as a mutex acquire or release and
-// resolves the lock it names to a stable key (the mutex variable or
-// field). Unresolvable receivers return a nil key and are ignored.
-func lockMethod(info *types.Info, call *ast.CallExpr) (key *types.Var, acquire, release bool) {
-	fn := analysis.Callee(info, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return nil, false, false
-	}
-	named := analysis.ReceiverNamed(fn)
-	if named == nil {
-		return nil, false, false
-	}
-	switch named.Obj().Name() {
-	case "Mutex", "RWMutex":
-	default:
-		return nil, false, false
-	}
-	switch fn.Name() {
-	case "Lock", "RLock":
-		acquire = true
-	case "Unlock", "RUnlock":
-		release = true
-	default:
-		return nil, false, false
-	}
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return nil, false, false
-	}
-	return lockVar(info, sel.X), acquire, release
-}
-
-// lockVar resolves `mu` or `b.mu` (through any selector chain) to the
-// variable or field naming the lock.
-func lockVar(info *types.Info, e ast.Expr) *types.Var {
-	switch e := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		v, _ := info.Uses[e].(*types.Var)
-		return v
-	case *ast.SelectorExpr:
-		if sel, ok := info.Selections[e]; ok {
-			v, _ := sel.Obj().(*types.Var)
-			return v
-		}
-		v, _ := info.Uses[e.Sel].(*types.Var)
-		return v
-	case *ast.UnaryExpr:
-		if e.Op == token.AND {
-			return lockVar(info, e.X)
-		}
-	}
-	return nil
-}
-
 // directBlocking reports whether body performs a blocking operation
 // itself (not through calls to module functions — the call graph
 // handles those). Goroutine bodies are skipped.
@@ -366,6 +305,7 @@ func checkSections(pass *analysis.Pass, fd *ast.FuncDecl, mayBlock map[*types.Fu
 	if n == 0 {
 		return
 	}
+	deferred := deferReleased(info, fd.Body)
 
 	// Comm statements of selects live in their clause blocks, but the
 	// select marker is where blocking is judged (a select with a
@@ -426,11 +366,59 @@ func checkSections(pass *analysis.Pass, fd *ast.FuncDecl, mayBlock map[*types.Fu
 		held := clone(heldIn[b.Index]) // nil clones to empty: unreachable blocks hold nothing
 		for _, node := range b.Nodes {
 			if !comms[node] {
-				visitHeld(pass, node, held, mayBlock, ordered)
+				visitHeld(pass, node, held, mayBlock, ordered, deferred)
 			}
 			transferHeld(info, node, held)
 		}
 	}
+}
+
+// deferReleased collects the locks released by a `defer mu.Unlock()`
+// (or RUnlock) appearing after their acquire in the same statement
+// block — the canonical critical-section idiom. Blocking reports under
+// such a lock carry an explicit note that the section runs to return,
+// so the diagnostic names the release the reader would otherwise hunt
+// for.
+func deferReleased(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	scan := func(list []ast.Stmt) {
+		acquired := map[*types.Var]bool{}
+		for _, s := range list {
+			switch s := s.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if key, acquire, _, _ := analysis.LockMethod(info, call); key != nil && acquire {
+						acquired[key] = true
+					}
+				}
+			case *ast.DeferStmt:
+				if key, _, release, _ := analysis.LockMethod(info, s.Call); key != nil && release && acquired[key] {
+					out[key] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			scan(n.List)
+		case *ast.CaseClause:
+			scan(n.Body)
+		case *ast.CommClause:
+			scan(n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// deferNote renders the held-to-return suffix when the named lock (the
+// one heldName picks) is released by a same-block deferred unlock.
+func deferNote(held, deferred map[*types.Var]bool) string {
+	if k := pickHeld(held); k != nil && deferred[k] {
+		return " until return (deferred unlock)"
+	}
+	return ""
 }
 
 // transferHeld applies a node's lock acquisitions and releases to the
@@ -448,7 +436,7 @@ func transferHeld(info *types.Info, node ast.Node, held map[*types.Var]bool) {
 		if !ok {
 			return true
 		}
-		if key, acquire, release := lockMethod(info, call); key != nil {
+		if key, acquire, release, _ := analysis.LockMethod(info, call); key != nil {
 			if acquire {
 				held[key] = true
 			}
@@ -460,9 +448,22 @@ func transferHeld(info *types.Info, node ast.Node, held map[*types.Var]bool) {
 	})
 }
 
-// heldName renders the held set for diagnostics (any one lock).
-func heldName(held map[*types.Var]bool) string {
+// pickHeld chooses the representative lock for diagnostics: the
+// alphabetically first, so messages are deterministic when several are
+// held.
+func pickHeld(held map[*types.Var]bool) *types.Var {
+	var best *types.Var
 	for k := range held {
+		if best == nil || k.Name() < best.Name() {
+			best = k
+		}
+	}
+	return best
+}
+
+// heldName renders the held set for diagnostics (one lock).
+func heldName(held map[*types.Var]bool) string {
+	if k := pickHeld(held); k != nil {
 		return k.Name()
 	}
 	return "lock"
@@ -470,8 +471,10 @@ func heldName(held map[*types.Var]bool) string {
 
 // visitHeld reports blocking operations in node while held is
 // non-empty. ordered exempts indexed acquisitions from the re-entrant
-// and nested-lock reports (lockorder directive).
-func visitHeld(pass *analysis.Pass, node ast.Node, held map[*types.Var]bool, mayBlock map[*types.Func]bool, ordered bool) {
+// and nested-lock reports (lockorder directive); deferred marks locks
+// released by a same-block deferred unlock, which the blocking reports
+// call out as held until return.
+func visitHeld(pass *analysis.Pass, node ast.Node, held map[*types.Var]bool, mayBlock map[*types.Func]bool, ordered bool, deferred map[*types.Var]bool) {
 	info := pass.TypesInfo
 	// Track acquisitions/releases inside the node so a Lock directly
 	// followed by a blocking call in the same statement list block is
@@ -486,24 +489,24 @@ func visitHeld(pass *analysis.Pass, node ast.Node, held map[*types.Var]bool, may
 			return false
 		case *ast.SendStmt:
 			if len(local) > 0 {
-				pass.Reportf(n.Pos(), "channel send may block while %s is held", heldName(local))
+				pass.Reportf(n.Pos(), "channel send may block while %s is held%s", heldName(local), deferNote(local, deferred))
 			}
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW && len(local) > 0 {
-				pass.Reportf(n.Pos(), "channel receive may block while %s is held", heldName(local))
+				pass.Reportf(n.Pos(), "channel receive may block while %s is held%s", heldName(local), deferNote(local, deferred))
 			}
 		case *ast.RangeStmt:
 			if t := info.TypeOf(n.X); t != nil && len(local) > 0 {
 				if _, ok := t.Underlying().(*types.Chan); ok {
-					pass.Reportf(n.Pos(), "ranging over a channel may block while %s is held", heldName(local))
+					pass.Reportf(n.Pos(), "ranging over a channel may block while %s is held%s", heldName(local), deferNote(local, deferred))
 				}
 			}
 		case *ast.SelectStmt:
 			if !selectHasDefault(n) && len(local) > 0 {
-				pass.Reportf(n.Pos(), "select without default may block while %s is held", heldName(local))
+				pass.Reportf(n.Pos(), "select without default may block while %s is held%s", heldName(local), deferNote(local, deferred))
 			}
 		case *ast.CallExpr:
-			key, acquire, release := lockMethod(info, n)
+			key, acquire, release, _ := analysis.LockMethod(info, n)
 			if key != nil {
 				if acquire {
 					if ordered && indexedLockOp(info, n) {
@@ -530,18 +533,18 @@ func visitHeld(pass *analysis.Pass, node ast.Node, held map[*types.Var]bool, may
 				return true
 			}
 			if stdlibBlocking(fn) {
-				pass.Reportf(n.Pos(), "call to %s.%s may block while %s is held",
-					fn.Pkg().Name(), fn.Name(), heldName(local))
+				pass.Reportf(n.Pos(), "call to %s.%s may block while %s is held%s",
+					fn.Pkg().Name(), fn.Name(), heldName(local), deferNote(local, deferred))
 				return true
 			}
 			if mayBlock[fn] {
-				pass.Reportf(n.Pos(), "call to %s may block while %s is held", fn.Name(), heldName(local))
+				pass.Reportf(n.Pos(), "call to %s may block while %s is held%s", fn.Name(), heldName(local), deferNote(local, deferred))
 				return true
 			}
 			var mb MayBlock
 			if pass.ImportObjectFact(fn, &mb) {
-				pass.Reportf(n.Pos(), "call to %s may block while %s is held (fact from %s)",
-					fn.Name(), heldName(local), fn.Pkg().Path())
+				pass.Reportf(n.Pos(), "call to %s may block while %s is held%s (fact from %s)",
+					fn.Name(), heldName(local), deferNote(local, deferred), fn.Pkg().Path())
 			}
 		}
 		return true

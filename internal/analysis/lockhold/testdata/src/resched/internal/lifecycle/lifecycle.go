@@ -75,3 +75,41 @@ func (e *Engine) enqueue(id string) {
 	defer e.mu.Unlock()
 	e.queue = append(e.queue, id)
 }
+
+// Positive: a same-block defer pairs with the acquire, so the report
+// says the critical section runs to return — the reader should not
+// have to hunt for a missing Unlock.
+func (e *Engine) deferNoted() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.now++
+	return e.Tick() // want "call to Tick may block while mu is held until return .deferred unlock."
+}
+
+// Negative: an explicit Unlock/Lock pair inside a deferred section
+// models the temporary release exactly — the window between them is
+// lock-free, blocks on nothing held, and needs no ignore line. The
+// re-acquire balances the deferred unlock.
+func (e *Engine) unlockRelock() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := append([]string(nil), e.queue...)
+	e.mu.Unlock()
+	err := e.book.Transact(func() error { return nil })
+	e.mu.Lock()
+	e.queue = ids[:0]
+	return err
+}
+
+// Negative: a conditional critical section whose defer releases on the
+// early-return path; the blocking call past the join is only reached
+// lock-free.
+func (e *Engine) conditionalSection(fast bool) error {
+	if fast {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.now++
+		return nil
+	}
+	return e.book.Transact(func() error { return nil })
+}

@@ -152,3 +152,61 @@ func TestBinaryBlobDoesNotAliasInput(t *testing.T) {
 		t.Fatal("decoded DAG aliases the input buffer")
 	}
 }
+
+// TestBinaryTruncatedAtEveryBoundary cuts a representative encoding of
+// each message kind after every byte — which in particular lands on
+// every field boundary and inside every length prefix — and requires a
+// clean ErrBinary from each cut. Strict decoding means no strict
+// prefix of a valid message may decode successfully: every field is
+// mandatory and finish rejects leftover input, so a shortened message
+// must fail at the first missing byte rather than panic or silently
+// zero-fill.
+func TestBinaryTruncatedAtEveryBoundary(t *testing.T) {
+	req := sampleRequest()
+	reqEnc := req.AppendBinary(nil)
+	for i := 0; i < len(reqEnc); i++ {
+		var out ScheduleRequest
+		err := out.UnmarshalBinary(reqEnc[:i:i])
+		if err == nil {
+			t.Fatalf("request truncated to %d/%d bytes decoded successfully", i, len(reqEnc))
+		}
+		if !errors.Is(err, ErrBinary) {
+			t.Fatalf("request truncated to %d bytes: err = %v, want ErrBinary", i, err)
+		}
+	}
+
+	resp := sampleResponse()
+	respEnc := resp.AppendBinary(nil)
+	for i := 0; i < len(respEnc); i++ {
+		var out ScheduleResponse
+		err := out.UnmarshalBinary(respEnc[:i:i])
+		if err == nil {
+			t.Fatalf("response truncated to %d/%d bytes decoded successfully", i, len(respEnc))
+		}
+		if !errors.Is(err, ErrBinary) {
+			t.Fatalf("response truncated to %d bytes: err = %v, want ErrBinary", i, err)
+		}
+	}
+}
+
+// TestBinaryOversizedLengthPrefix inflates each leading length prefix
+// past the remaining input: the DAG blob length of a request and the
+// string/slice prefixes of a response must be rejected by the reader's
+// bounds check, not trusted into a huge take or allocation.
+func TestBinaryOversizedLengthPrefix(t *testing.T) {
+	// Request: header + a blob prefix claiming 1000 bytes with none
+	// following.
+	bad := []byte{binMagic0, binMagic1, binVersion, kindScheduleRequest, 0xe9, 0x07}
+	var req ScheduleRequest
+	if err := req.UnmarshalBinary(bad); !errors.Is(err, ErrBinary) {
+		t.Fatalf("oversized request blob prefix: err = %v, want ErrBinary", err)
+	}
+
+	// Response: header + an Algorithm string prefix claiming 1000
+	// bytes.
+	bad = []byte{binMagic0, binMagic1, binVersion, kindScheduleResponse, 0xe9, 0x07}
+	var resp ScheduleResponse
+	if err := resp.UnmarshalBinary(bad); !errors.Is(err, ErrBinary) {
+		t.Fatalf("oversized response string prefix: err = %v, want ErrBinary", err)
+	}
+}

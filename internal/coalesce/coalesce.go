@@ -59,9 +59,10 @@ type Config struct {
 type Coalescer struct {
 	cfg Config
 
-	mu     sync.Mutex
-	open   *Group // group still accepting waiters, if any
-	closed bool
+	mu sync.Mutex
+	// open is the group still accepting waiters, if any.
+	open   *Group         //reschedvet:guardedby mu
+	closed bool           //reschedvet:guardedby mu
 	wg     sync.WaitGroup // leaders and context watchers
 }
 
@@ -161,7 +162,11 @@ func (c *Coalescer) enqueue(w *Waiter) error {
 }
 
 // lead drives one group: wait out the window (cut short when the batch
-// fills), seal, then run. Joined by Close through the WaitGroup.
+// fills), seal, then run. Joined by Close through the WaitGroup. The
+// leader amortizes its group's work, so it must not add per-group heap
+// traffic of its own beyond the context plumbing in groupContext.
+//
+//reschedvet:hotpath
 func (c *Coalescer) lead(g *Group) {
 	defer c.wg.Done()
 	t := time.NewTimer(c.cfg.Window)

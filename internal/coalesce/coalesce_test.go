@@ -266,3 +266,61 @@ func TestSecondDeliverDropped(t *testing.T) {
 		t.Fatalf("got (%v, %v), want (first, nil)", v, err)
 	}
 }
+
+// TestCloseRacesInFlightGroups is the drain-semantics stress: many
+// goroutines join groups while Close lands mid-flight. The contract
+// under test — every Do call resolves (a runner-delivered result or
+// ErrClosed, nothing hangs), every waiter admitted to a group is
+// served even when its group seals after Close, and no Run invocation
+// happens after Close returns (Close joins every leader). Run under
+// -race this also shakes out unsynchronized group/waiter state.
+func TestCloseRacesInFlightGroups(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		var served, closedAt atomic.Int64
+		c, err := New(Config{Window: time.Millisecond, MaxBatch: 4, Run: func(g *Group) {
+			if closedAt.Load() != 0 {
+				t.Error("Run invoked after Close returned")
+			}
+			for _, w := range g.Waiters() {
+				served.Add(1)
+				w.Deliver(w.Payload())
+			}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const callers = 32
+		var wg sync.WaitGroup
+		var got, rejected atomic.Int64
+		wg.Add(callers)
+		for i := 0; i < callers; i++ {
+			go func(i int) {
+				defer wg.Done()
+				v, err := c.Do(context.Background(), i)
+				switch {
+				case err == nil:
+					if v.(int) != i {
+						t.Errorf("caller %d got %v", i, v)
+					}
+					got.Add(1)
+				case errors.Is(err, ErrClosed):
+					rejected.Add(1)
+				default:
+					t.Errorf("caller %d: %v", i, err)
+				}
+			}(i)
+		}
+		time.Sleep(time.Duration(round%3) * time.Millisecond) // vary when Close lands
+		c.Close()
+		closedAt.Store(1)
+		wg.Wait()
+		if got.Load()+rejected.Load() != callers {
+			t.Fatalf("round %d: %d served + %d rejected != %d callers",
+				round, got.Load(), rejected.Load(), callers)
+		}
+		if served.Load() != got.Load() {
+			t.Fatalf("round %d: runner served %d but %d callers got results",
+				round, served.Load(), got.Load())
+		}
+	}
+}

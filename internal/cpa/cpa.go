@@ -282,6 +282,8 @@ func newAllocStatePool(g *dag.Graph, topo []int, p int, rule StopRule, pool *par
 }
 
 // mark flags a task for level recomputation, once.
+//
+//reschedvet:hotpath
 func (st *allocState) mark(t int32) {
 	if st.inDirty[t] {
 		return
@@ -297,6 +299,8 @@ func (st *allocState) mark(t int32) {
 // leaf loop: it runs once per refinement iteration and the inliner
 // keeps it inside Allocate's loop (the parallel path dispatches to
 // parallelCriticalPath in AllocateWorkers' own loop instead).
+//
+//reschedvet:hotpath
 func (st *allocState) criticalPath() float64 {
 	var cp float64
 	for _, v := range st.bl {
@@ -311,6 +315,8 @@ func (st *allocState) criticalPath() float64 {
 // per-processor gain whose allocation can still grow within its cap,
 // or -1. Gains are read from the cache, never recomputed here. Like
 // criticalPath it must stay a leaf loop so it inlines into Allocate.
+//
+//reschedvet:hotpath
 func (st *allocState) bestCandidate(cp float64) int {
 	best := -1
 	var bestGain float64
@@ -328,6 +334,8 @@ func (st *allocState) bestCandidate(cp float64) int {
 // grow grants task t one more processor and repairs every derived
 // quantity: its execution time, the area term, its cached gain, and
 // the levels of the tasks its change can reach.
+//
+//reschedvet:hotpath
 func (st *allocState) grow(t int) {
 	task := st.g.Task(t)
 	old := st.exec[t]
@@ -355,6 +363,8 @@ func (st *allocState) grow(t int) {
 // the refinement loop, so a non-maximal successor that shrinks further
 // cannot move the max — which keeps the repair frontier to the argmax
 // chains instead of the full ancestor cone.
+//
+//reschedvet:hotpath
 func (st *allocState) repairBL(t int) {
 	st.mark(int32(t))
 	bl, maxSucc := st.bl, st.maxSucc
@@ -396,6 +406,8 @@ func (st *allocState) repairBL(t int) {
 // maximum incoming contribution, so the attainment check needs no
 // separate cache: a successor is marked only when the changed task's
 // old contribution equals the successor's tl.
+//
+//reschedvet:hotpath
 func (st *allocState) drainTL(from int32) {
 	tl, exec := st.tl, st.exec
 	for d := from; st.pending > 0; d++ {

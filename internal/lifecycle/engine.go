@@ -331,6 +331,8 @@ func (e *Engine) bumpAttempts(id string, now model.Time) bool {
 
 // removeQueuedLocked deletes one ID from the FCFS queue; e.mu must be
 // held.
+//
+//reschedvet:holds mu
 func (e *Engine) removeQueuedLocked(id string) {
 	for i, q := range e.queue {
 		if q == id {

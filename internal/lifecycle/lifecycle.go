@@ -189,22 +189,29 @@ type Engine struct {
 	book *resbook.Book
 	log  *slog.Logger
 
-	mu     sync.Mutex
-	now    model.Time
-	jobs   map[string]*Job
-	queue  []string // Queued job IDs in arrival order
-	events eventHeap
-	nextID uint64
+	mu sync.Mutex
+	// Engine state under mu: the clock, the job table, the FCFS queue
+	// (Queued job IDs in arrival order), the event heap, and the job ID
+	// counter.
+	now    model.Time      //reschedvet:guardedby mu
+	jobs   map[string]*Job //reschedvet:guardedby mu
+	queue  []string        //reschedvet:guardedby mu
+	events eventHeap       //reschedvet:guardedby mu
+	nextID uint64          //reschedvet:guardedby mu
 
 	stats stats
 
-	// Wall-clock mode plumbing (Start/Close).
+	// Wall-clock mode plumbing (Start/Close). cancel and the wall-time
+	// epoch anchoring the book origin are written by Start and read by
+	// Close and wallNow, which may run on other goroutines, so they
+	// ride under mu too; started/closed stay atomic because Submit
+	// checks them on the handler fast path without the lock.
 	wake    chan struct{}
-	cancel  context.CancelFunc
+	cancel  context.CancelFunc //reschedvet:guardedby mu
 	wg      sync.WaitGroup
 	started atomic.Bool
 	closed  atomic.Bool
-	epoch   time.Time // wall time anchored to the book origin
+	epoch   time.Time //reschedvet:guardedby mu
 }
 
 // New returns an engine over the given book. The engine clock starts

@@ -27,9 +27,23 @@ func (e *Engine) Start(ctx context.Context) error {
 	if !e.started.CompareAndSwap(false, true) {
 		return errors.New("lifecycle: engine already started")
 	}
-	ctx, e.cancel = context.WithCancel(ctx)
+	ctx, cancel := context.WithCancel(ctx)
+	e.mu.Lock()
+	if e.closed.Load() {
+		// Close won the race between our closed check above and here:
+		// it has already read a nil e.cancel and returned, so nobody
+		// would ever stop a loop we launch. Don't launch one.
+		e.mu.Unlock()
+		cancel()
+		return ErrStopped
+	}
+	e.cancel = cancel
 	e.epoch = time.Now()
+	// The Add must stay inside the critical section: a concurrent
+	// Close that loses the race only reaches wg.Wait after this mu
+	// section, so the counter is already positive when it waits.
 	e.wg.Add(1)
+	e.mu.Unlock()
 	go e.run(ctx)
 	e.log.Info("lifecycle engine started", "origin", e.book.Origin(), "tick", e.cfg.Tick, "backfill", e.cfg.Backfill)
 	return nil
@@ -58,7 +72,10 @@ func (e *Engine) run(ctx context.Context) {
 
 // wallNow maps the current wall clock onto the book timeline.
 func (e *Engine) wallNow() model.Time {
-	return e.book.Origin() + model.Time(time.Since(e.epoch)/time.Second)
+	e.mu.Lock()
+	epoch := e.epoch
+	e.mu.Unlock()
+	return e.book.Origin() + model.Time(time.Since(epoch)/time.Second)
 }
 
 // Close stops the wall-clock loop and waits for the driving goroutine
@@ -68,8 +85,14 @@ func (e *Engine) Close() {
 	if !e.closed.CompareAndSwap(false, true) {
 		return
 	}
-	if e.cancel != nil {
-		e.cancel()
+	// Copy the cancel func out under mu, then cancel and join outside
+	// it: wg.Wait blocks until the driving goroutine exits, and that
+	// goroutine takes mu on every advance.
+	e.mu.Lock()
+	cancel := e.cancel
+	e.mu.Unlock()
+	if cancel != nil {
+		cancel()
 	}
 	e.wg.Wait()
 	e.log.Info("lifecycle engine stopped")

@@ -383,6 +383,8 @@ func (t *TreeProfile) rangeAdd(i int32, lb, ub, lo, hi model.Time, d int) {
 
 // floor returns the key and value of the segment containing x — the
 // greatest breakpoint <= x. ok is false when x precedes the origin.
+//
+//reschedvet:hotpath
 func (t *TreeProfile) floor(x model.Time) (key model.Time, val int, ok bool) {
 	i, acc := t.root, 0
 	for i != 0 {
@@ -401,6 +403,8 @@ func (t *TreeProfile) floor(x model.Time) (key model.Time, val int, ok bool) {
 
 // succKey returns the smallest breakpoint > x, or model.Infinity — the
 // exclusive end of the segment whose key is the floor of x.
+//
+//reschedvet:hotpath
 func (t *TreeProfile) succKey(x model.Time) model.Time {
 	i := t.root
 	s := model.Infinity
@@ -418,6 +422,8 @@ func (t *TreeProfile) succKey(x model.Time) model.Time {
 
 // rangeMin returns the minimum free count over segments with key in
 // [lo, hi), or freeCeil when none exist.
+//
+//reschedvet:hotpath
 func (t *TreeProfile) rangeMin(i int32, acc int, lb, ub, lo, hi model.Time) int {
 	if i == 0 || ub < lo || lb >= hi {
 		return freeCeil
@@ -444,6 +450,8 @@ func (t *TreeProfile) rangeMin(i int32, acc int, lb, ub, lo, hi model.Time) int 
 // than procs free — the first blocking segment an EarliestFit probe
 // starting there must clear. Subtrees whose min already satisfies
 // procs are pruned via the aggregates.
+//
+//reschedvet:hotpath
 func (t *TreeProfile) firstBelow(i int32, acc int, procs int, from model.Time) (model.Time, bool) {
 	if i == 0 {
 		return 0, false
@@ -468,6 +476,8 @@ func (t *TreeProfile) firstBelow(i int32, acc int, procs int, from model.Time) (
 // more than limit free — the first over-released segment an Unreserve
 // validation must report. The value returned is that segment's free
 // count.
+//
+//reschedvet:hotpath
 func (t *TreeProfile) firstAbove(i int32, acc int, limit int, from, to model.Time) (int, bool) {
 	if i == 0 {
 		return 0, false
@@ -493,6 +503,8 @@ func (t *TreeProfile) firstAbove(i int32, acc int, limit int, from, to model.Tim
 
 // lastFeasibleUpTo returns the rightmost segment with key <= upto and
 // at least procs free — the top of the latest feasible run.
+//
+//reschedvet:hotpath
 func (t *TreeProfile) lastFeasibleUpTo(i int32, acc int, procs int, upto model.Time) (model.Time, bool) {
 	if i == 0 {
 		return 0, false
@@ -516,6 +528,8 @@ func (t *TreeProfile) lastFeasibleUpTo(i int32, acc int, procs int, upto model.T
 // lastBlockingUpTo returns the rightmost segment with key <= upto and
 // fewer than procs free — the blocking segment bounding a feasible
 // run from below.
+//
+//reschedvet:hotpath
 func (t *TreeProfile) lastBlockingUpTo(i int32, acc int, procs int, upto model.Time) (model.Time, bool) {
 	if i == 0 {
 		return 0, false

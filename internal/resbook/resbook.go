@@ -120,9 +120,9 @@ type bookShard struct {
 	end   model.Time
 
 	mu    sync.RWMutex
-	stamp uint64
-	prof  *profile.Profile
-	res   map[string]*Reservation
+	stamp uint64                  //reschedvet:guardedby mu
+	prof  *profile.Profile        //reschedvet:guardedby mu
+	res   map[string]*Reservation //reschedvet:guardedby mu
 }
 
 // Book is a concurrent, versioned reservation book. The zero value is
@@ -256,6 +256,7 @@ func (b *Book) shardSpan(start, end model.Time) (int, int) {
 // multi-shard path follows, so overlapping spans cannot deadlock.
 //
 //reschedvet:lockorder
+//reschedvet:acquires bookShard.mu
 func (b *Book) lockShards(lo, hi int) {
 	for i := lo; i <= hi; i++ {
 		b.shards[i].mu.Lock()
@@ -265,6 +266,7 @@ func (b *Book) lockShards(lo, hi int) {
 // unlockShards releases what lockShards acquired.
 //
 //reschedvet:lockorder
+//reschedvet:releases bookShard.mu
 func (b *Book) unlockShards(lo, hi int) {
 	for i := hi; i >= lo; i-- {
 		b.shards[i].mu.Unlock()
@@ -347,6 +349,8 @@ type appliedPiece struct {
 // applied (for the caller's rollback). The touched shards' locks must
 // be held. On failure the pieces applied for THIS request are already
 // rolled back; previously applied requests are the caller's to undo.
+//
+//reschedvet:holds bookShard.mu
 func (b *Book) applyLocked(req Request, applied []appliedPiece) ([]appliedPiece, error) {
 	first := len(applied)
 	lo, hi := b.shardSpan(req.Start, req.End)
@@ -374,6 +378,8 @@ func (b *Book) applyLocked(req Request, applied []appliedPiece) ([]appliedPiece,
 // rollbackLocked undoes applied pieces; the shards' locks must be
 // held. A failure to undo a reserve we just made is an invariant
 // violation.
+//
+//reschedvet:holds bookShard.mu
 func (b *Book) rollbackLocked(applied []appliedPiece) {
 	for k := len(applied) - 1; k >= 0; k-- {
 		p := applied[k]
@@ -385,6 +391,8 @@ func (b *Book) rollbackLocked(applied []appliedPiece) {
 
 // newRowLocked files the ledger row for a booked request in the shard
 // owning its start; the shard's lock must be held.
+//
+//reschedvet:holds bookShard.mu
 func (b *Book) newRowLocked(req Request) *Reservation {
 	r := &Reservation{
 		ID:     fmt.Sprintf("r%06d", b.nextID.Add(1)),
@@ -399,6 +407,8 @@ func (b *Book) newRowLocked(req Request) *Reservation {
 
 // bumpLocked marks shards[lo..hi] mutated and advances the global
 // version; the shards' locks must be held.
+//
+//reschedvet:holds bookShard.mu
 func (b *Book) bumpLocked(lo, hi int) {
 	for i := lo; i <= hi; i++ {
 		b.shards[i].stamp++

@@ -38,9 +38,10 @@ type metrics struct {
 	coalGroups atomic.Uint64
 	coalHist   [6]atomic.Uint64
 
-	mu  sync.Mutex
-	lat [latWindow]time.Duration
-	n   uint64 // total latencies observed
+	mu sync.Mutex
+	// lat is the latency ring; n counts total latencies observed.
+	lat [latWindow]time.Duration //reschedvet:guardedby mu
+	n   uint64                   //reschedvet:guardedby mu
 }
 
 func (m *metrics) observe(d time.Duration) {
