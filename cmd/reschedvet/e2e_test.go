@@ -13,6 +13,8 @@ package main
 // themselves are unit-tested in their own packages.
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -114,10 +116,142 @@ func TestE2EListExitsClean(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0\n%s", code, out)
 	}
-	for _, name := range []string{"snapshotmut", "lockhold", "errdrop", "wgleak", "guardedby", "atomicmix", "hotpath"} {
+	for _, name := range []string{"snapshotmut", "lockhold", "errdrop", "wgleak", "guardedby", "atomicmix", "hotpath", "lockcycle", "chanflow"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
+	}
+}
+
+// runVetStdout is runVet with stdout and stderr separated, for output
+// that must parse as a single document.
+func runVetStdout(t *testing.T, fixture string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(vetBinary(t), args...)
+	cmd.Dir = filepath.Join("testdata", fixture)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	if err == nil {
+		return stdout.String(), stderr.String(), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running reschedvet in %s: %v\n%s%s", fixture, err, stdout.String(), stderr.String())
+	}
+	return stdout.String(), stderr.String(), ee.ExitCode()
+}
+
+// sarifDoc mirrors the SARIF-lite shape the -json flag promises;
+// unknown fields in the real output are fine, missing ones are not.
+type sarifDoc struct {
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID  string `json:"ruleId"`
+			Level   string `json:"level"`
+			Message struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func TestE2EJSONFindings(t *testing.T) {
+	stdout, _, code := runVetStdout(t, "findings", "-json")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, stdout)
+	}
+	var doc sarifDoc
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout)
+	}
+	if doc.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", doc.Version)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "reschedvet" {
+		t.Errorf("driver name = %q, want reschedvet", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no short description", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"errdrop", "lockcycle", "chanflow", "guardedby"} {
+		if !ruleIDs[want] {
+			t.Errorf("rules missing %s", want)
+		}
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("findings fixture produced no results")
+	}
+	for i, res := range run.Results {
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result %d ruleId %q not among declared rules", i, res.RuleID)
+		}
+		if res.Level != "warning" {
+			t.Errorf("result %d level = %q, want warning", i, res.Level)
+		}
+		if res.Message.Text == "" {
+			t.Errorf("result %d has an empty message", i)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("result %d URI = %q, want non-empty forward-slash path", i, loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine <= 0 || loc.Region.StartColumn <= 0 {
+			t.Errorf("result %d region = %+v, want positive line and column", i, loc.Region)
+		}
+	}
+}
+
+func TestE2EJSONCleanHasEmptyResults(t *testing.T) {
+	stdout, _, code := runVetStdout(t, "ignored", "-json")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, stdout)
+	}
+	var doc sarifDoc
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, stdout)
+	}
+	if len(doc.Runs) != 1 || len(doc.Runs[0].Results) != 0 {
+		t.Errorf("clean run should have one run with zero results:\n%s", stdout)
+	}
+	// The document must literally carry an empty results array, not
+	// omit or null it — downstream SARIF consumers require the key.
+	if !strings.Contains(stdout, `"results": []`) {
+		t.Errorf("results array not rendered as []:\n%s", stdout)
 	}
 }
 

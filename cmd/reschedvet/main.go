@@ -1,12 +1,14 @@
 // Command reschedvet is the repo's domain-aware multichecker: it runs
 // the internal/analysis analyzers — refguard, poolescape,
 // checkedentry, ctxflow, modeexhaustive, the flow-aware quartet
-// snapshotmut, lockhold, errdrop, wgleak, plus the field-level trio
-// guardedby, atomicmix, hotpath — over the given packages
-// (default ./...) and exits non-zero if any finding survives. Each
-// finding prints as
+// snapshotmut, lockhold, errdrop, wgleak, the field-level trio
+// guardedby, atomicmix, hotpath, plus the whole-module pair lockcycle
+// and chanflow — over the given packages (default ./...) and exits
+// non-zero if any finding survives. Each finding prints as
 //
 //	path/to/file.go:line:col: message (analyzer)
+//
+// or, with -json, as a SARIF-lite document on stdout.
 //
 // Exit codes: 0 clean, 1 findings, 2 the packages could not be loaded
 // or analysis itself failed. `make lint` runs it as part of `make ci`.
@@ -18,16 +20,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 
 	"resched/internal/analysis"
 	"resched/internal/analysis/atomicmix"
+	"resched/internal/analysis/chanflow"
 	"resched/internal/analysis/checkedentry"
 	"resched/internal/analysis/ctxflow"
 	"resched/internal/analysis/errdrop"
 	"resched/internal/analysis/guardedby"
 	"resched/internal/analysis/hotpath"
+	"resched/internal/analysis/lockcycle"
 	"resched/internal/analysis/lockhold"
 	"resched/internal/analysis/modeexhaustive"
 	"resched/internal/analysis/poolescape"
@@ -38,11 +41,13 @@ import (
 
 var analyzers = []*analysis.Analyzer{
 	atomicmix.Analyzer,
+	chanflow.Analyzer,
 	checkedentry.Analyzer,
 	ctxflow.Analyzer,
 	errdrop.Analyzer,
 	guardedby.Analyzer,
 	hotpath.Analyzer,
+	lockcycle.Analyzer,
 	lockhold.Analyzer,
 	modeexhaustive.Analyzer,
 	poolescape.Analyzer,
@@ -54,8 +59,9 @@ var analyzers = []*analysis.Analyzer{
 func main() {
 	list := flag.Bool("list", false, "print the analyzers and exit")
 	facts := flag.Bool("facts", false, "also print each analyzer's exported facts, JSON-encoded per package")
+	jsonOut := flag.Bool("json", false, "emit findings as a SARIF-lite JSON document instead of plain text")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: reschedvet [-list] [-facts] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: reschedvet [-list] [-facts] [-json] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the resched domain analyzers over the packages (default ./...).\n")
 		flag.PrintDefaults()
 	}
@@ -83,16 +89,17 @@ func main() {
 		os.Exit(2)
 	}
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
-				name = rel
-			}
+	if *jsonOut {
+		if err := writeSARIF(os.Stdout, cwd, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "reschedvet:", err)
+			os.Exit(2)
 		}
-		fmt.Printf("%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", relPath(cwd, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
 	}
-	if *facts {
+	if *facts && !*jsonOut {
 		printFacts(allFacts)
 	}
 	if len(diags) > 0 {

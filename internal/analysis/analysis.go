@@ -93,6 +93,19 @@ func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
 	return p.facts.Import(obj, f)
 }
 
+// AllObjectFacts enumerates every fact this analyzer has exported so
+// far across the run, in the deterministic FactSet.All order. Because
+// packages are analyzed in import order, by the time a package runs
+// this is the union of its own exports and those of every transitive
+// dependency — the substrate for whole-module compositions (lockcycle
+// assembles the global lock-order graph from it).
+func (p *Pass) AllObjectFacts() []ObjectFact {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.All()
+}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	// Analyzer is the reporting analyzer's name.

@@ -1,0 +1,73 @@
+// Package coalesce is the leader/waiter handoff fixture: the leader
+// settles a flight by closing its broadcast channel exactly once, and
+// each waiter holds a buffered per-waiter channel plus a context
+// cancel path. The double-settle and send-after-settle bugs are the
+// positives; the per-waiter paths are the negatives the real coalescer
+// must keep.
+package coalesce
+
+import "context"
+
+type result struct {
+	v   int
+	err error
+}
+
+// flight is one coalesced computation; done broadcasts settlement.
+type flight struct {
+	done chan struct{}
+	res  result
+}
+
+// finish publishes the result and releases every waiter.
+func (f *flight) finish(r result) {
+	f.res = r
+	close(f.done)
+}
+
+// finishTwice is the double-settle bug: finish already closed done.
+func (f *flight) finishTwice(r result) {
+	f.finish(r)
+	close(f.done) // want "double close of coalesce.flight.done \\(closed by finish\\)"
+}
+
+// signalAfterFinish sends on the broadcast channel after settlement
+// may have closed it.
+func (f *flight) signalAfterFinish(r result) {
+	f.finish(r)
+	f.done <- struct{}{} // want "send on possibly-closed channel coalesce.flight.done"
+}
+
+// await is the per-waiter path: broadcast or the waiter's own context
+// cancel, whichever first (negative — an abandoning waiter is fine).
+func await(ctx context.Context, f *flight) (result, bool) {
+	select {
+	case <-f.done:
+		return f.res, true
+	case <-ctx.Done():
+		return result{}, false
+	}
+}
+
+// group delivers per-waiter results on owned buffered channels.
+type group struct {
+	waiters []chan result
+}
+
+// deliver sends exactly once per waiter and closes each channel; the
+// range variable rebinds every iteration, so the close of one waiter's
+// channel does not taint the next send (negative).
+func (g *group) deliver(r result) {
+	for _, ch := range g.waiters {
+		ch <- r
+		close(ch)
+	}
+}
+
+// join registers a buffered per-waiter channel; it escapes into the
+// registry, so the orphan check stays away (negative).
+func (g *group) join() chan result {
+	ch := make(chan result, 1)
+	g.waiters = append(g.waiters, ch)
+	return ch
+}

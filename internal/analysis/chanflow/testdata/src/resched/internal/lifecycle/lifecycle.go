@@ -1,0 +1,58 @@
+// Package lifecycle mirrors the event-loop shapes: the select-driven
+// engine loop (with a dead branch on a never-armed channel), the
+// nil-to-disable idiom that must stay clean, and the
+// goroutine-sends-launcher-receives handoff.
+package lifecycle
+
+import "context"
+
+type Engine struct {
+	events chan int
+	stop   chan struct{}
+}
+
+// loop declares idle and never arms it: the branch is on a nil channel
+// forever and never fires.
+func (e *Engine) loop() {
+	var idle chan int
+	for {
+		select {
+		case v := <-e.events:
+			_ = v
+		case <-idle: // want "select case on nil channel idle never fires"
+			return
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+// armedTimeout assigns the channel on one path — the deliberate
+// nil-disables-the-case idiom stays unflagged (negative).
+func (e *Engine) armedTimeout(enable bool) {
+	var timeout chan int
+	if enable {
+		timeout = make(chan int, 1)
+	}
+	select {
+	case <-timeout:
+	case <-e.stop:
+	}
+}
+
+// handoff: the launched goroutine sends, the launcher receives
+// (negative for the orphan check).
+func handoff() int {
+	out := make(chan int)
+	go func() { out <- 42 }()
+	return <-out
+}
+
+// wait selects on a context Done call — not a tracked channel variable,
+// so nothing to say (negative).
+func wait(ctx context.Context, e *Engine) {
+	select {
+	case <-e.stop:
+	case <-ctx.Done():
+	}
+}

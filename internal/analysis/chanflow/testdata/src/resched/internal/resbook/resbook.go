@@ -1,0 +1,37 @@
+// Package resbook is the fixture for chanflow's cross-package close
+// facts: a feed whose close hides behind a stored teardown hook, so
+// the //reschedvet:closes directive is the only way importers learn
+// Stop closes Updates.
+package resbook
+
+type Feed struct {
+	Updates  chan int
+	teardown func()
+}
+
+func NewFeed() *Feed {
+	f := &Feed{Updates: make(chan int, 8)}
+	f.teardown = func() { close(f.Updates) }
+	return f
+}
+
+// Stop runs the constructor's teardown hook, which closes Updates —
+// invisible to direct inference, hence the contract.
+//
+//reschedvet:closes Feed.Updates
+func (f *Feed) Stop() {
+	f.teardown()
+}
+
+// Restart closes and remakes the stream: the fresh make rebinds the
+// field, so the following send is clean (negative).
+func (f *Feed) Restart() {
+	close(f.Updates)
+	f.Updates = make(chan int, 8)
+	f.Updates <- 0
+}
+
+// Hygiene: a closes contract must name a real channel field.
+//
+//reschedvet:closes Feed.missing
+func (f *Feed) Bad() {} // want "closes directive on Bad names no channel Feed.missing"

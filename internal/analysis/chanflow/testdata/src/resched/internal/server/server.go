@@ -1,0 +1,60 @@
+// Package server exercises chanflow across the package boundary (the
+// feed's closes contract) and the worker-pool param-fact composition.
+package server
+
+import "resched/internal/resbook"
+
+// stopTwice closes the feed through its contract and then again
+// directly: the cross-package double close.
+func stopTwice(f *resbook.Feed) {
+	f.Stop()
+	close(f.Updates) // want "double close of resbook.Feed.Updates \\(closed by Stop\\)"
+}
+
+// sendAfterStop publishes into a stream the contract already closed.
+func sendAfterStop(f *resbook.Feed) {
+	f.Stop()
+	f.Updates <- 1 // want "send on possibly-closed channel resbook.Feed.Updates"
+}
+
+// drain is the pool worker: its MayRecv fact covers parameter #0.
+func drain(jobs chan int) {
+	for j := range jobs {
+		_ = j
+	}
+}
+
+// pump hands its private channel to a launched drain; the param fact
+// supplies the receiver (negative).
+func pump() {
+	jobs := make(chan int)
+	go drain(jobs)
+	jobs <- 7
+	jobs <- 9
+	close(jobs)
+}
+
+// lonely's send has no receiver anywhere: the orphan positive,
+// anchored at the make site.
+func lonely() {
+	sink := make(chan string) // want "send on sink has no receiver in this goroutine topology"
+	sink <- "x"
+}
+
+// doubleLocal closes the same local channel twice on one path.
+func doubleLocal() {
+	done := make(chan struct{})
+	close(done)
+	close(done) // want "double close of done \\(closed earlier in this function\\)"
+}
+
+// branchClose closes on two exclusive paths: the flow analysis keeps
+// them apart (negative).
+func branchClose(ok bool) {
+	done := make(chan struct{})
+	if ok {
+		close(done)
+		return
+	}
+	close(done)
+}

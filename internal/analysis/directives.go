@@ -16,6 +16,30 @@ import (
 // attached to a declaration's doc comment (functions) or to a struct
 // field's doc or trailing line comment (fields).
 
+// The lock-contract directives are shared by guardedby (which
+// validates and enforces them at call sites) and lockcycle (which
+// folds them into the global lock-order graph); lockorder is shared by
+// lockhold (indexed-acquisition suppression) and lockcycle (fact
+// export and staleness hygiene).
+const (
+	// HoldsDirective declares that callers must hold the named mutex.
+	HoldsDirective = "//reschedvet:holds"
+	// AcquiresDirective declares that calling the function acquires
+	// the named mutex and leaves it held.
+	AcquiresDirective = "//reschedvet:acquires"
+	// ReleasesDirective declares that calling the function releases
+	// the named mutex.
+	ReleasesDirective = "//reschedvet:releases"
+	// LockOrderDirective declares that a function acquires same-field
+	// locks through strictly ascending indices — the sharded book's
+	// global lock order.
+	LockOrderDirective = "//reschedvet:lockorder"
+	// ClosesDirective declares that calling the function closes the
+	// named channel field (field or Type.field), for bodies whose close
+	// is too indirect for chanflow to see.
+	ClosesDirective = "//reschedvet:closes"
+)
+
 // HasDirective reports whether the comment group carries the directive
 // (exact name; a longer word sharing the prefix does not match).
 func HasDirective(doc *ast.CommentGroup, directive string) bool {
@@ -129,6 +153,204 @@ func LockVar(info *types.Info, e ast.Expr) *types.Var {
 		}
 	}
 	return nil
+}
+
+// IsChanType reports whether t is a channel type, through aliases.
+func IsChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// ChanVar resolves a channel-typed expression to its variable, if it
+// is a plain (possibly selected) variable reference.
+func ChanVar(info *types.Info, e ast.Expr) *types.Var {
+	t := info.TypeOf(e)
+	if t == nil || !IsChanType(t) {
+		return nil
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		if v == nil {
+			if sel, ok := info.Selections[e]; ok {
+				v, _ = sel.Obj().(*types.Var)
+			}
+		}
+		return v
+	}
+	return nil
+}
+
+// LockContractSpec is the parsed form of a function's lock-contract
+// directives, mutex names as written (field or Type.field).
+type LockContractSpec struct {
+	Holds    []string
+	Acquires []string
+	Releases []string
+}
+
+// ParseLockContract reads the holds/acquires/releases directives off a
+// doc comment without validating the named mutexes (guardedby owns the
+// hygiene reports; lockcycle consumes contracts silently). ok is true
+// when at least one directive names at least one mutex.
+func ParseLockContract(doc *ast.CommentGroup) (LockContractSpec, bool) {
+	var spec LockContractSpec
+	for _, d := range []struct {
+		directive string
+		into      *[]string
+	}{
+		{HoldsDirective, &spec.Holds},
+		{AcquiresDirective, &spec.Acquires},
+		{ReleasesDirective, &spec.Releases},
+	} {
+		if args, ok := DirectiveArgs(doc, d.directive); ok {
+			*d.into = strings.Fields(args)
+		}
+	}
+	return spec, len(spec.Holds)+len(spec.Acquires)+len(spec.Releases) > 0
+}
+
+// ResolveMutexSpec resolves a directive's mutex name for fn: a bare
+// field name against fn's receiver struct, or Type.field against a
+// struct type in fn's package.
+func ResolveMutexSpec(pkg *types.Package, fn *types.Func, spec string) *types.Var {
+	return resolveFieldSpec(pkg, fn, spec, IsMutexType)
+}
+
+// ResolveChanSpec is ResolveMutexSpec for channel-typed fields — the
+// form chanflow's closes directive uses.
+func ResolveChanSpec(pkg *types.Package, fn *types.Func, spec string) *types.Var {
+	return resolveFieldSpec(pkg, fn, spec, IsChanType)
+}
+
+// resolveFieldSpec resolves a `field` or `Type.field` spec to a struct
+// field of the wanted type: bare names against fn's receiver struct,
+// qualified names against a struct type in pkg's scope.
+func resolveFieldSpec(pkg *types.Package, fn *types.Func, spec string, want func(types.Type) bool) *types.Var {
+	var st *types.Struct
+	name := spec
+	if t, f, ok := strings.Cut(spec, "."); ok {
+		name = f
+		obj, _ := pkg.Scope().Lookup(t).(*types.TypeName)
+		if obj == nil {
+			return nil
+		}
+		st, _ = obj.Type().Underlying().(*types.Struct)
+	} else if named := ReceiverNamed(fn); named != nil {
+		st, _ = named.Underlying().(*types.Struct)
+	}
+	if st == nil {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == name && want(f.Type()) {
+			return f
+		}
+	}
+	return nil
+}
+
+// VarKey renders a lock or channel variable as a stable, module-wide
+// identity: "pkg/path.Type.field" for fields of package-scope struct
+// types, "pkg/path.name" for package-level variables, and "" for
+// everything else (locals and anonymous-struct fields cannot compose
+// across functions, so whole-module analyses drop them). One loader
+// type-checks every module package of a run, so the same field always
+// renders the same key on both sides of an import edge.
+func VarKey(v *types.Var) string {
+	if v == nil || v.Pkg() == nil {
+		return ""
+	}
+	if v.IsField() {
+		if owner := fieldOwnerName(v); owner != "" {
+			return v.Pkg().Path() + "." + owner + "." + v.Name()
+		}
+		return ""
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return ""
+}
+
+// fieldOwnerName finds the package-scope named struct type declaring
+// the field, by object identity. Scope names are sorted, so the first
+// match is deterministic (a field belongs to exactly one struct
+// anyway).
+func fieldOwnerName(v *types.Var) string {
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+// ShortKey trims a VarKey or ObjectKey down to its last path element
+// for diagnostics: "resched/internal/resbook.bookShard.mu" renders as
+// "resbook.bookShard.mu". Keys are unique module-wide; the short form
+// is only for human eyes.
+func ShortKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// IndexedLockOp reports whether call is a mutex Lock/RLock/Unlock/
+// RUnlock whose receiver expression is indexed — the `shards[i].mu`
+// shape the lockorder directive blesses.
+func IndexedLockOp(info *types.Info, call *ast.CallExpr) bool {
+	if key, acquire, release, _ := LockMethod(info, call); key == nil || (!acquire && !release) {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	indexed := false
+	ast.Inspect(sel.X, func(n ast.Node) bool {
+		if _, ok := n.(*ast.IndexExpr); ok {
+			indexed = true
+			return false
+		}
+		return true
+	})
+	return indexed
+}
+
+// HasIndexedLockOp reports whether body performs any indexed lock
+// operation.
+func HasIndexedLockOp(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && IndexedLockOp(info, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // RootIdentVar strips selectors, indexes, slices, dereferences,

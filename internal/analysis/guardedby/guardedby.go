@@ -60,12 +60,7 @@ import (
 	"resched/internal/analysis"
 )
 
-const (
-	guardDirective    = "//reschedvet:guardedby"
-	holdsDirective    = "//reschedvet:holds"
-	acquiresDirective = "//reschedvet:acquires"
-	releasesDirective = "//reschedvet:releases"
-)
+const guardDirective = "//reschedvet:guardedby"
 
 // GuardedBy is the object fact on a struct field: accesses require
 // the named sibling mutex.
@@ -217,36 +212,30 @@ func collectContracts(pass *analysis.Pass) map[*types.Func]*LockContract {
 		if pass.InTestFile(fd.Pos()) {
 			continue
 		}
-		var lc LockContract
+		spec, any := analysis.ParseLockContract(fd.Doc)
 		for _, d := range []struct {
 			directive string
-			into      *[]string
+			names     []string
 		}{
-			{holdsDirective, &lc.Holds},
-			{acquiresDirective, &lc.Acquires},
-			{releasesDirective, &lc.Releases},
+			{analysis.HoldsDirective, spec.Holds},
+			{analysis.AcquiresDirective, spec.Acquires},
+			{analysis.ReleasesDirective, spec.Releases},
 		} {
-			args, ok := analysis.DirectiveArgs(fd.Doc, d.directive)
-			if !ok {
-				continue
-			}
-			names := strings.Fields(args)
-			if len(names) == 0 {
+			if _, ok := analysis.DirectiveArgs(fd.Doc, d.directive); ok && len(d.names) == 0 {
 				pass.Reportf(fd.Pos(), "%s directive on %s names no mutex",
 					strings.TrimPrefix(d.directive, "//reschedvet:"), fd.Name.Name)
-				continue
 			}
-			*d.into = names
 		}
-		if len(lc.Holds)+len(lc.Acquires)+len(lc.Releases) == 0 {
+		if !any {
 			continue
 		}
+		lc := LockContract{Holds: spec.Holds, Acquires: spec.Acquires, Releases: spec.Releases}
 		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
 		if fn == nil {
 			continue
 		}
 		for _, name := range append(append(append([]string{}, lc.Holds...), lc.Acquires...), lc.Releases...) {
-			if resolveMutexSpec(pass.Pkg, fn, name) == nil {
+			if analysis.ResolveMutexSpec(pass.Pkg, fn, name) == nil {
 				pass.Reportf(fd.Pos(), "lock contract on %s names %s, which does not resolve to a mutex field",
 					fd.Name.Name, name)
 			}
@@ -267,34 +256,6 @@ func structField(info *types.Info, st *ast.StructType, name string) *types.Var {
 				v, _ := info.Defs[id].(*types.Var)
 				return v
 			}
-		}
-	}
-	return nil
-}
-
-// resolveMutexSpec resolves a directive's mutex name for fn: a bare
-// field name against fn's receiver struct, or Type.field against a
-// struct type in fn's package.
-func resolveMutexSpec(pkg *types.Package, fn *types.Func, spec string) *types.Var {
-	var st *types.Struct
-	name := spec
-	if t, f, ok := strings.Cut(spec, "."); ok {
-		name = f
-		obj, _ := pkg.Scope().Lookup(t).(*types.TypeName)
-		if obj == nil {
-			return nil
-		}
-		st, _ = obj.Type().Underlying().(*types.Struct)
-	} else if named := analysis.ReceiverNamed(fn); named != nil {
-		st, _ = named.Underlying().(*types.Struct)
-	}
-	if st == nil {
-		return nil
-	}
-	for i := 0; i < st.NumFields(); i++ {
-		f := st.Field(i)
-		if f.Name() == name && analysis.IsMutexType(f.Type()) {
-			return f
 		}
 	}
 	return nil
@@ -426,7 +387,7 @@ func (c *checker) checkFunc(fd *ast.FuncDecl) {
 	if fn, _ := info.Defs[fd.Name].(*types.Func); fn != nil {
 		if lc := c.contracts[fn]; lc != nil {
 			for _, name := range lc.Holds {
-				if v := resolveMutexSpec(c.pass.Pkg, fn, name); v != nil {
+				if v := analysis.ResolveMutexSpec(c.pass.Pkg, fn, name); v != nil {
 					entry[v] = modeWrite
 				}
 			}
@@ -512,12 +473,12 @@ func (c *checker) applyCall(info *types.Info, call *ast.CallExpr, held lockset) 
 		return
 	}
 	for _, name := range lc.Acquires {
-		if v := resolveMutexSpec(fn.Pkg(), fn, name); v != nil {
+		if v := analysis.ResolveMutexSpec(fn.Pkg(), fn, name); v != nil {
 			held[v] = modeWrite
 		}
 	}
 	for _, name := range lc.Releases {
-		if v := resolveMutexSpec(fn.Pkg(), fn, name); v != nil {
+		if v := analysis.ResolveMutexSpec(fn.Pkg(), fn, name); v != nil {
 			delete(held, v)
 		}
 	}
@@ -540,7 +501,7 @@ func (c *checker) visit(node ast.Node, held lockset) {
 			if fn := analysis.Callee(info, n); fn != nil {
 				if lc := c.contractOf(fn); lc != nil {
 					for _, name := range lc.Holds {
-						v := resolveMutexSpec(fn.Pkg(), fn, name)
+						v := analysis.ResolveMutexSpec(fn.Pkg(), fn, name)
 						if v == nil {
 							continue
 						}

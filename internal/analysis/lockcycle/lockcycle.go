@@ -1,0 +1,773 @@
+// Package lockcycle derives the module's global lock-order graph and
+// reports every cycle in it as a potential deadlock. Where lockhold
+// asks "is anything blocking done *under* a lock, one function at a
+// time", lockcycle asks the whole-module question the multi-node
+// roadmap needs answered: do all code paths agree on one acquisition
+// order for the module's locks?
+//
+// # Edge derivation
+//
+// Per function, a forward may-held lockset analysis over the PR 4 CFG
+// (the same machinery guardedby and lockhold run, in lockhold's may
+// polarity) records an edge A -> B whenever lock B is acquired while A
+// may be held. Lock identity is the shared analysis.VarKey: a mutex
+// field or package-level variable, stable module-wide because one
+// loader type-checks every package of a run. Three sources feed the
+// held set and the edges:
+//
+//   - direct sync calls (mu.Lock/RLock/Unlock/RUnlock);
+//   - the guardedby lock contracts: //reschedvet:holds seeds a
+//     function's entry lockset, //reschedvet:acquires and :releases at
+//     a call site mutate the caller's held set exactly as guardedby
+//     models them (re-parsed here because fact sets are per-analyzer);
+//   - transitive acquisitions: each function exports an Acquires fact
+//     — every lock it may take, directly or through static calls, with
+//     one witness call chain — so holding A while calling something
+//     that three frames down locks B still records A -> B.
+//
+// Same-key edges are not recorded: re-entry on one key is lockhold's
+// report, and the sharded book's lockShards family — several locks of
+// the same field, acquired through ascending indices under a
+// //reschedvet:lockorder directive — is exactly the sanctioned
+// intra-family edge the global order allows. The lockorder directive
+// itself is owned here since PR 9 (migrated from lockhold): declaring
+// functions export a LockOrdered fact, and a declaration with no
+// indexed lock operation in its body is reported as stale.
+//
+// # Whole-module composition
+//
+// Every function's edges are exported as LockEdges facts. Packages are
+// analyzed in import order sharing one fact set, so when a package
+// runs, Pass.AllObjectFacts holds the union of its own edges and every
+// transitive dependency's — the global graph as visible from this
+// package. For each edge this package contributes whose reverse
+// reachability closes a cycle, one diagnostic is emitted at the local
+// acquisition site, with a deterministic witness: the cycle's node
+// sequence plus, per edge, the function, position, and call chain that
+// realize it (for a two-lock cycle, the classic two chains). Each
+// cycle is reported once per package contributing an edge to it,
+// canonicalized by rotating the node sequence to its smallest key.
+package lockcycle
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"resched/internal/analysis"
+)
+
+// Acquires lists the locks a function may take, directly or through
+// its static callees, each with one deterministic witness call chain.
+type Acquires struct {
+	Locks []AcquiredLock
+}
+
+// AcquiredLock is one may-acquired lock: its VarKey, the chain of
+// callees (ObjectKeys) walked from the exporting function to the
+// acquiring one (empty when acquired directly), and the acquisition
+// position.
+type AcquiredLock struct {
+	Lock string
+	Path []string `json:",omitempty"`
+	Pos  string
+}
+
+func (*Acquires) AFact() {}
+
+// LockEdges carries the "acquire To while holding From" edges one
+// function's body realizes, the unit the global graph composes.
+type LockEdges struct {
+	Edges []Edge
+}
+
+// Edge is one lock-order edge with its witness: the function
+// (ObjectKey) and position realizing it, plus the call chain when the
+// acquisition happens through callees.
+type Edge struct {
+	From string
+	To   string
+	Fn   string
+	Pos  string
+	Via  []string `json:",omitempty"`
+}
+
+func (*LockEdges) AFact() {}
+
+// LockOrdered marks a function declared //reschedvet:lockorder: it
+// acquires same-field locks in ascending index order, the sanctioned
+// intra-family edge of the global lock order. (Migrated from lockhold
+// in PR 9.)
+type LockOrdered struct{}
+
+func (*LockOrdered) AFact() {}
+
+// Contract mirrors a function's acquires/releases lock contract in
+// this analyzer's fact space (fact sets are per-analyzer, so guardedby's
+// LockContract facts are not visible here), with mutex specs resolved
+// to VarKeys at the declaring package.
+type Contract struct {
+	Acquires []string `json:",omitempty"`
+	Releases []string `json:",omitempty"`
+}
+
+func (*Contract) AFact() {}
+
+func init() {
+	analysis.RegisterFact("lockcycle.Acquires", (*Acquires)(nil))
+	analysis.RegisterFact("lockcycle.LockEdges", (*LockEdges)(nil))
+	analysis.RegisterFact("lockcycle.LockOrdered", (*LockOrdered)(nil))
+	analysis.RegisterFact("lockcycle.Contract", (*Contract)(nil))
+}
+
+// Analyzer reports cycles in the module's global lock-order graph.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcycle",
+	Doc: "the module's locks are acquired in one consistent global order: every \"acquire B while " +
+		"holding A\" edge (direct, via a lock contract, or through static calls) joins a " +
+		"whole-module lock-order graph and any cycle is a potential deadlock, reported with the " +
+		"call chains realizing it; //reschedvet:lockorder sanctions ascending indexed families",
+	Run: run,
+}
+
+// contract is the resolved, key-level form of a lock contract.
+type contract struct {
+	holds, acquires, releases []string
+}
+
+// acqInfo is one transitively acquired lock: the callee chain walked
+// to reach the acquisition and its position.
+type acqInfo struct {
+	path []string
+	pos  string
+}
+
+// runner carries one package pass's state.
+type runner struct {
+	pass      *analysis.Pass
+	info      *types.Info
+	decls     []*ast.FuncDecl
+	byName    map[*ast.FuncDecl]*types.Func
+	contracts map[*types.Func]*contract
+	acq       map[*types.Func]map[string]acqInfo
+
+	// edgesByFn collects this package's edges for fact export; local
+	// keeps the earliest in-package site per (From, To) pair for cycle
+	// reporting.
+	edgesByFn map[*types.Func][]Edge
+	local     map[[2]string]token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	decls, _ := analysis.FuncDecls(pass.Files, info)
+	r := &runner{
+		pass:      pass,
+		info:      info,
+		decls:     decls,
+		byName:    map[*ast.FuncDecl]*types.Func{},
+		contracts: map[*types.Func]*contract{},
+		acq:       map[*types.Func]map[string]acqInfo{},
+		edgesByFn: map[*types.Func][]Edge{},
+		local:     map[[2]string]token.Pos{},
+	}
+	for _, fd := range decls {
+		if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+			r.byName[fd] = fn
+		}
+	}
+	r.lockOrderHygiene()
+	r.collectContracts()
+	r.inferAcquires()
+	for _, fd := range decls {
+		if fn := r.byName[fd]; fn != nil && !pass.InTestFile(fd.Pos()) {
+			r.collectEdges(fd, fn)
+		}
+	}
+	r.exportEdges()
+	r.reportCycles()
+	return nil
+}
+
+// lockOrderHygiene owns the lockorder directive: fact export plus the
+// staleness report migrated from lockhold — a declaration must be
+// backed by at least one indexed lock operation.
+func (r *runner) lockOrderHygiene() {
+	for _, fd := range r.decls {
+		if !analysis.HasDirective(fd.Doc, analysis.LockOrderDirective) {
+			continue
+		}
+		if !analysis.HasIndexedLockOp(r.info, fd.Body) {
+			r.pass.Reportf(fd.Pos(), "lockorder directive on %s but no indexed lock operation in its body",
+				fd.Name.Name)
+		}
+		if fn := r.byName[fd]; fn != nil && analysis.InModule(r.pass.Pkg.Path()) {
+			r.pass.ExportObjectFact(fn, &LockOrdered{})
+		}
+	}
+}
+
+// collectContracts parses this package's lock-contract directives into
+// key form and exports the acquire/release halves (holds only seeds
+// the declaring function's own entry set; enforcing it at call sites
+// is guardedby's job). Validation reports also stay with guardedby —
+// the specs are resolved silently here.
+func (r *runner) collectContracts() {
+	resolve := func(fn *types.Func, specs []string) []string {
+		var keys []string
+		for _, s := range specs {
+			if v := analysis.ResolveMutexSpec(r.pass.Pkg, fn, s); v != nil {
+				if k := analysis.VarKey(v); k != "" {
+					keys = append(keys, k)
+				}
+			}
+		}
+		return keys
+	}
+	for _, fd := range r.decls {
+		spec, ok := analysis.ParseLockContract(fd.Doc)
+		if !ok {
+			continue
+		}
+		fn := r.byName[fd]
+		if fn == nil {
+			continue
+		}
+		c := &contract{
+			holds:    resolve(fn, spec.Holds),
+			acquires: resolve(fn, spec.Acquires),
+			releases: resolve(fn, spec.Releases),
+		}
+		r.contracts[fn] = c
+		if analysis.InModule(r.pass.Pkg.Path()) && len(c.acquires)+len(c.releases) > 0 {
+			r.pass.ExportObjectFact(fn, &Contract{Acquires: c.acquires, Releases: c.releases})
+		}
+	}
+}
+
+// contractOf resolves a callee's acquire/release contract: this
+// package's directives first, then the imported fact.
+func (r *runner) contractOf(fn *types.Func) *contract {
+	if c, ok := r.contracts[fn]; ok {
+		return c
+	}
+	var cf Contract
+	if r.pass.ImportObjectFact(fn, &cf) {
+		c := &contract{acquires: cf.Acquires, releases: cf.Releases}
+		r.contracts[fn] = c
+		return c
+	}
+	r.contracts[fn] = nil
+	return nil
+}
+
+// importedAcq reads a non-local callee's Acquires fact as an acqInfo
+// map, or nil.
+func (r *runner) importedAcq(fn *types.Func) map[string]acqInfo {
+	var af Acquires
+	if !r.pass.ImportObjectFact(fn, &af) {
+		return nil
+	}
+	m := make(map[string]acqInfo, len(af.Locks))
+	for _, l := range af.Locks {
+		m[l.Lock] = acqInfo{path: l.Path, pos: l.Pos}
+	}
+	return m
+}
+
+// acqOf returns a callee's transitive acquire set, local or imported.
+func (r *runner) acqOf(fn *types.Func) map[string]acqInfo {
+	if set, ok := r.acq[fn]; ok {
+		return set
+	}
+	return r.importedAcq(fn)
+}
+
+// inferAcquires computes each declared function's may-acquire set with
+// witness chains: a direct layer (sync acquisitions in the body, with
+// goroutine launches excluded as in lockhold, plus the immediate
+// acquires contracts of callees) closed transitively over the package
+// call graph, seeded with imported Acquires facts at module
+// boundaries. Iteration follows source order and sorted keys, so the
+// witness chain a lock ends up with is deterministic. The result is
+// exported as this package's Acquires facts.
+func (r *runner) inferAcquires() {
+	for _, fd := range r.decls {
+		fn := r.byName[fd]
+		if fn == nil {
+			continue
+		}
+		set := map[string]acqInfo{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, acquire, _, _ := analysis.LockMethod(r.info, call); key != nil {
+				if k := analysis.VarKey(key); k != "" && acquire {
+					if _, ok := set[k]; !ok {
+						set[k] = acqInfo{pos: r.posStr(call.Pos())}
+					}
+				}
+				return true
+			}
+			if callee := analysis.Callee(r.info, call); callee != nil {
+				if c := r.contractOf(callee); c != nil {
+					for _, k := range c.acquires {
+						if _, ok := set[k]; !ok {
+							set[k] = acqInfo{path: []string{analysis.ObjectKey(callee)}, pos: r.posStr(call.Pos())}
+						}
+					}
+				}
+			}
+			return true
+		})
+		r.acq[fn] = set
+	}
+
+	graph := analysis.PackageCallGraph(r.pass.Files, r.info, true)
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range r.decls {
+			fn := r.byName[fd]
+			if fn == nil {
+				continue
+			}
+			for _, callee := range graph[fn] {
+				sub := r.acqOf(callee)
+				if len(sub) == 0 {
+					continue
+				}
+				for _, k := range sortedKeys(sub) {
+					if _, ok := r.acq[fn][k]; ok {
+						continue
+					}
+					ci := sub[k]
+					r.acq[fn][k] = acqInfo{
+						path: append([]string{analysis.ObjectKey(callee)}, ci.path...),
+						pos:  ci.pos,
+					}
+					changed = true
+				}
+			}
+		}
+	}
+
+	if !analysis.InModule(r.pass.Pkg.Path()) {
+		return
+	}
+	for _, fd := range r.decls {
+		fn := r.byName[fd]
+		if fn == nil || len(r.acq[fn]) == 0 {
+			continue
+		}
+		var af Acquires
+		for _, k := range sortedKeys(r.acq[fn]) {
+			ci := r.acq[fn][k]
+			af.Locks = append(af.Locks, AcquiredLock{Lock: k, Path: ci.path, Pos: ci.pos})
+		}
+		r.pass.ExportObjectFact(fn, &af)
+	}
+}
+
+// applyCall folds one call's lock effect into the held key set —
+// direct sync operations and callee contracts, mirroring guardedby.
+func (r *runner) applyCall(call *ast.CallExpr, held map[string]bool) {
+	if key, acquire, release, _ := analysis.LockMethod(r.info, call); key != nil {
+		k := analysis.VarKey(key)
+		if k == "" {
+			return
+		}
+		if acquire {
+			held[k] = true
+		}
+		if release {
+			delete(held, k)
+		}
+		return
+	}
+	callee := analysis.Callee(r.info, call)
+	if callee == nil {
+		return
+	}
+	if c := r.contractOf(callee); c != nil {
+		for _, k := range c.acquires {
+			held[k] = true
+		}
+		for _, k := range c.releases {
+			delete(held, k)
+		}
+	}
+}
+
+// collectEdges runs the may-held analysis over one function and
+// records its lock-order edges.
+func (r *runner) collectEdges(fd *ast.FuncDecl, fn *types.Func) {
+	cfg := analysis.NewCFG(fd.Body)
+	n := len(cfg.Blocks)
+	if n == 0 {
+		return
+	}
+	entry := map[string]bool{}
+	if c := r.contracts[fn]; c != nil {
+		for _, k := range c.holds {
+			entry[k] = true
+		}
+	}
+
+	transfer := func(node ast.Node, held map[string]bool) {
+		analysis.WalkBlockNode(node, func(nd ast.Node) bool {
+			switch nd.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				return false
+			}
+			if call, ok := nd.(*ast.CallExpr); ok {
+				r.applyCall(call, held)
+			}
+			return true
+		})
+	}
+
+	// heldIn[i] is the may-held key set entering block i; nil =
+	// unreached.
+	heldIn := make([]map[string]bool, n)
+	heldIn[0] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			if heldIn[b.Index] == nil {
+				continue
+			}
+			out := cloneSet(heldIn[b.Index])
+			for _, node := range b.Nodes {
+				transfer(node, out)
+			}
+			for _, succ := range b.Succs {
+				if heldIn[succ.Index] == nil {
+					heldIn[succ.Index] = cloneSet(out)
+					changed = true
+					continue
+				}
+				for k := range out {
+					if !heldIn[succ.Index][k] {
+						heldIn[succ.Index][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	fnKey := analysis.ObjectKey(fn)
+	for _, b := range cfg.Blocks {
+		held := cloneSet(heldIn[b.Index])
+		for _, node := range b.Nodes {
+			r.visitEdges(node, held, fn, fnKey)
+		}
+	}
+}
+
+// visitEdges walks one block node threading the held set, recording an
+// edge for every acquisition (direct, contract, or transitive through
+// a callee) under a different held lock.
+func (r *runner) visitEdges(node ast.Node, held map[string]bool, fn *types.Func, fnKey string) {
+	analysis.WalkBlockNode(node, func(nd ast.Node) bool {
+		switch nd.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if key, acquire, release, _ := analysis.LockMethod(r.info, call); key != nil {
+			k := analysis.VarKey(key)
+			if k == "" {
+				return true
+			}
+			if acquire {
+				for _, h := range sortedSet(held) {
+					if h != k {
+						r.addEdge(fn, Edge{From: h, To: k, Fn: fnKey, Pos: r.posStr(call.Pos())}, call.Pos())
+					}
+				}
+				held[k] = true
+			}
+			if release {
+				delete(held, k)
+			}
+			return true
+		}
+		callee := analysis.Callee(r.info, call)
+		if callee == nil {
+			return true
+		}
+		calleeKey := analysis.ObjectKey(callee)
+		if sub := r.acqOf(callee); len(sub) > 0 {
+			for _, k := range sortedKeys(sub) {
+				ci := sub[k]
+				for _, h := range sortedSet(held) {
+					if h != k {
+						via := append([]string{calleeKey}, ci.path...)
+						r.addEdge(fn, Edge{From: h, To: k, Fn: fnKey, Pos: r.posStr(call.Pos()), Via: via}, call.Pos())
+					}
+				}
+			}
+		}
+		if c := r.contractOf(callee); c != nil {
+			for _, k := range c.acquires {
+				for _, h := range sortedSet(held) {
+					if h != k {
+						r.addEdge(fn, Edge{From: h, To: k, Fn: fnKey, Pos: r.posStr(call.Pos()), Via: []string{calleeKey}}, call.Pos())
+					}
+				}
+				held[k] = true
+			}
+			for _, k := range c.releases {
+				delete(held, k)
+			}
+		}
+		return true
+	})
+}
+
+// addEdge records one edge for fact export and remembers the earliest
+// in-package site per (From, To) pair for cycle anchoring.
+func (r *runner) addEdge(fn *types.Func, e Edge, pos token.Pos) {
+	r.edgesByFn[fn] = append(r.edgesByFn[fn], e)
+	p := [2]string{e.From, e.To}
+	if old, ok := r.local[p]; !ok || pos < old {
+		r.local[p] = pos
+	}
+}
+
+// exportEdges dedups each function's edges by (From, To) — keeping the
+// lexicographically smallest witness — and exports the LockEdges
+// facts.
+func (r *runner) exportEdges() {
+	if !analysis.InModule(r.pass.Pkg.Path()) {
+		return
+	}
+	for fn, edges := range r.edgesByFn {
+		best := map[[2]string]Edge{}
+		for _, e := range edges {
+			p := [2]string{e.From, e.To}
+			if old, ok := best[p]; !ok || lessWitness(e, old) {
+				best[p] = e
+			}
+		}
+		out := make([]Edge, 0, len(best))
+		for _, e := range best {
+			out = append(out, e)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].From != out[j].From {
+				return out[i].From < out[j].From
+			}
+			return out[i].To < out[j].To
+		})
+		r.pass.ExportObjectFact(fn, &LockEdges{Edges: out})
+	}
+}
+
+// lessWitness orders two edges of the same (From, To) pair for
+// deterministic witness selection.
+func lessWitness(a, b Edge) bool {
+	if a.Pos != b.Pos {
+		return a.Pos < b.Pos
+	}
+	if a.Fn != b.Fn {
+		return a.Fn < b.Fn
+	}
+	return strings.Join(a.Via, ",") < strings.Join(b.Via, ",")
+}
+
+// reportCycles assembles the global lock-order graph from every
+// LockEdges fact visible to this package (its own included) and
+// reports, for each local edge whose reverse reachability closes a
+// cycle, one canonical diagnostic at the local acquisition site.
+func (r *runner) reportCycles() {
+	if len(r.local) == 0 {
+		return
+	}
+	best := map[[2]string]Edge{}
+	adjSet := map[string]map[string]bool{}
+	add := func(e Edge) {
+		p := [2]string{e.From, e.To}
+		if old, ok := best[p]; !ok || lessWitness(e, old) {
+			best[p] = e
+		}
+		if adjSet[e.From] == nil {
+			adjSet[e.From] = map[string]bool{}
+		}
+		adjSet[e.From][e.To] = true
+	}
+	for _, of := range r.pass.AllObjectFacts() {
+		if le, ok := of.Fact.(*LockEdges); ok {
+			for _, e := range le.Edges {
+				add(e)
+			}
+		}
+	}
+	// Local edges again, in case this package's facts were not
+	// exported (non-module paths don't export).
+	for _, edges := range r.edgesByFn {
+		for _, e := range edges {
+			add(e)
+		}
+	}
+	adj := make(map[string][]string, len(adjSet))
+	for from, tos := range adjSet {
+		adj[from] = sortedSet(tos)
+	}
+
+	type site struct {
+		from, to string
+		pos      token.Pos
+	}
+	sites := make([]site, 0, len(r.local))
+	for p, pos := range r.local {
+		sites = append(sites, site{p[0], p[1], pos})
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].pos != sites[j].pos {
+			return sites[i].pos < sites[j].pos
+		}
+		if sites[i].from != sites[j].from {
+			return sites[i].from < sites[j].from
+		}
+		return sites[i].to < sites[j].to
+	})
+
+	reported := map[string]bool{}
+	for _, s := range sites {
+		path := bfsPath(adj, s.to, s.from)
+		if path == nil {
+			continue
+		}
+		// Cycle node sequence without the closing repeat:
+		// from -> to -> ... (path ends at from).
+		nodes := append([]string{s.from}, path[:len(path)-1]...)
+		canon := canonicalCycle(nodes)
+		if reported[canon] {
+			continue
+		}
+		reported[canon] = true
+		r.pass.Reportf(s.pos, "%s", cycleMessage(nodes, best))
+	}
+}
+
+// bfsPath finds the shortest path from -> ... -> to over sorted
+// adjacency (deterministic), nodes inclusive, or nil.
+func bfsPath(adj map[string][]string, from, to string) []string {
+	parent := map[string]string{}
+	seen := map[string]bool{from: true}
+	queue := []string{from}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			parent[v] = u
+			if v == to {
+				var rev []string
+				for x := to; ; x = parent[x] {
+					rev = append(rev, x)
+					if x == from {
+						break
+					}
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+// canonicalCycle keys a cycle's node sequence independent of starting
+// point by rotating the smallest node first.
+func canonicalCycle(nodes []string) string {
+	min := 0
+	for i, n := range nodes {
+		if n < nodes[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string{}, nodes[min:]...), nodes[:min]...)
+	return strings.Join(rotated, " -> ")
+}
+
+// cycleMessage renders the cycle and, per edge, the witness chain that
+// realizes it.
+func cycleMessage(nodes []string, best map[[2]string]Edge) string {
+	var b strings.Builder
+	b.WriteString("potential deadlock: lock order cycle ")
+	for _, n := range nodes {
+		b.WriteString(analysis.ShortKey(n))
+		b.WriteString(" -> ")
+	}
+	b.WriteString(analysis.ShortKey(nodes[0]))
+	for i := range nodes {
+		from, to := nodes[i], nodes[(i+1)%len(nodes)]
+		e := best[[2]string{from, to}]
+		fmt.Fprintf(&b, "; chain %d: %s (%s) acquires %s while holding %s",
+			i+1, analysis.ShortKey(e.Fn), e.Pos, analysis.ShortKey(to), analysis.ShortKey(from))
+		if len(e.Via) > 0 {
+			short := make([]string, len(e.Via))
+			for j, v := range e.Via {
+				short[j] = analysis.ShortKey(v)
+			}
+			fmt.Fprintf(&b, " via %s", strings.Join(short, " -> "))
+		}
+	}
+	return b.String()
+}
+
+// posStr renders a position as base-file:line, the stable fragment the
+// witness facts carry.
+func (r *runner) posStr(p token.Pos) string {
+	pos := r.pass.Fset.Position(p)
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k, v := range s {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+func sortedSet(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys(m map[string]acqInfo) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

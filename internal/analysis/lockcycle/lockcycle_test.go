@@ -1,0 +1,21 @@
+package lockcycle_test
+
+import (
+	"testing"
+
+	"resched/internal/analysis/analysistest"
+	"resched/internal/analysis/lockcycle"
+)
+
+func TestLockCycle(t *testing.T) {
+	// resbook first so its Contract/Acquires/LockEdges facts are in
+	// place when the server fixture (its importer) closes the cycle;
+	// the framework orders by imports either way. lifecycle and sim are
+	// independent: the pure-negative consistent order and the
+	// in-package AB/BA cycle.
+	analysistest.Run(t, "testdata", lockcycle.Analyzer,
+		"resched/internal/resbook",
+		"resched/internal/server",
+		"resched/internal/lifecycle",
+		"resched/internal/sim")
+}

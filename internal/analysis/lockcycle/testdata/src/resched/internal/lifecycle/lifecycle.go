@@ -1,0 +1,45 @@
+// Package lifecycle is the negative fixture: consistent nesting order
+// everywhere, plus a release-before-reacquire sequence that never
+// overlaps — edges, but no cycle.
+package lifecycle
+
+import "sync"
+
+type Engine struct {
+	mu sync.Mutex
+	q  []int
+}
+
+type Timer struct {
+	mu sync.Mutex
+	n  int
+}
+
+// tick and tock agree on Engine.mu -> Timer.mu: a lock-order edge, no
+// cycle.
+func (e *Engine) tick(t *Timer) {
+	e.mu.Lock()
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func (e *Engine) tock(t *Timer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t.mu.Lock()
+	t.n--
+	t.mu.Unlock()
+}
+
+// sequential releases the first lock before taking the second: the
+// spans never overlap, so no edge at all.
+func (e *Engine) sequential(t *Timer) {
+	e.mu.Lock()
+	e.q = append(e.q, 1)
+	e.mu.Unlock()
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}

@@ -1,0 +1,82 @@
+// Package resbook is a fixture mirror of the reservation book for the
+// lockcycle analyzer: a contract-managed lock span (LockBook /
+// UnlockBook), an internal lock user whose Acquires fact importers
+// compose, and the sharded ascending-index family the lockorder
+// directive sanctions.
+package resbook
+
+import "sync"
+
+type Book struct {
+	mu      sync.Mutex
+	version int
+}
+
+// LockBook opens a caller-managed critical section; the acquires
+// contract is the only thing importers can see of the span.
+//
+//reschedvet:acquires Book.mu
+func (b *Book) LockBook() {
+	b.mu.Lock()
+}
+
+// UnlockBook closes it.
+//
+//reschedvet:releases Book.mu
+func (b *Book) UnlockBook() {
+	b.mu.Unlock()
+}
+
+// Touch takes and releases the lock internally; importers see it
+// through the exported Acquires fact.
+func (b *Book) Touch() {
+	b.mu.Lock()
+	b.version++
+	b.mu.Unlock()
+}
+
+// Sharded mirrors the epoch-sharded book.
+type Sharded struct {
+	shards []shard
+}
+
+type shard struct {
+	mu    sync.Mutex
+	count int
+}
+
+// lockAll acquires every shard lock in ascending index order: the
+// sanctioned intra-family edge, not a cycle (negative).
+//
+//reschedvet:lockorder
+func (s *Sharded) lockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}
+
+// unlockAll releases in descending order (negative).
+//
+//reschedvet:lockorder
+func (s *Sharded) unlockAll() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// Span is the exported family wrapper the server fixture uses.
+func (s *Sharded) Span(fn func()) {
+	s.lockAll()
+	fn()
+	s.unlockAll()
+}
+
+// Positive hygiene: a lockorder declaration with no indexed lock
+// operation is stale documentation (migrated from lockhold).
+//
+//reschedvet:lockorder
+func (s *Sharded) Declared() { // want "lockorder directive on Declared but no indexed lock operation in its body"
+	for i := range s.shards {
+		s.shards[i].count++
+	}
+}

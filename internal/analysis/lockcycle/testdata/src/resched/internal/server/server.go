@@ -1,0 +1,37 @@
+// Package server is the cross-package half of the lockcycle fixtures:
+// the Book.mu -> Server.mu edge only exists because of resbook's
+// acquires contract, and the Server.mu -> Book.mu edge only through
+// resbook.Touch's exported Acquires fact — the cycle closes here, in
+// the importing package, and is reported once with both chains.
+package server
+
+import (
+	"sync"
+
+	"resched/internal/resbook"
+)
+
+type Server struct {
+	mu   sync.Mutex
+	book *resbook.Book
+	hits int
+}
+
+// lockBoth nests the server lock inside the book's contract span:
+// Book.mu -> Server.mu.
+func (s *Server) lockBoth() {
+	s.book.LockBook()
+	s.mu.Lock() // want "potential deadlock: lock order cycle resbook.Book.mu -> server.Server.mu -> resbook.Book.mu"
+	s.hits++
+	s.mu.Unlock()
+	s.book.UnlockBook()
+}
+
+// countTouch re-enters the book under the server lock: Server.mu ->
+// Book.mu, closing the cycle. The diagnostic anchors at the earlier
+// edge (lockBoth), so no second report here.
+func (s *Server) countTouch() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.book.Touch()
+}

@@ -1,0 +1,32 @@
+// Package sim holds the in-package two-lock cycle: the classic AB/BA
+// deadlock, reported once at the earlier acquisition site with both
+// witness chains.
+package sim
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "potential deadlock: lock order cycle sim.A.mu -> sim.B.mu -> sim.A.mu"
+	b.n++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}

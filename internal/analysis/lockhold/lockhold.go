@@ -49,9 +49,10 @@
 // operations whose receiver is indexed (contains an IndexExpr);
 // acquiring a plain, non-indexed lock still gets the full check,
 // because the directive documents an indexed protocol, not a blanket
-// waiver. A directive on a function with no indexed lock operation is
-// itself reported — stale declarations must not linger. Declaring
-// functions export a LockOrdered fact, visible in -facts dumps.
+// waiver. Since PR 9 the directive itself is owned by the lockcycle
+// analyzer, which folds the declared family into the global lock-order
+// graph, exports the LockOrdered fact, and reports stale declarations;
+// lockhold only honors the directive for suppression.
 package lockhold
 
 import (
@@ -62,18 +63,15 @@ import (
 	"resched/internal/analysis"
 )
 
-// lockOrderDirective declares that a function acquires same-field
-// locks through ascending indices — the book's global lock order.
-const lockOrderDirective = "//reschedvet:lockorder"
-
 // CheckedPackages get the critical-section check. MayBlock facts are
 // inferred module-wide regardless, so serving packages see the
 // blocking behavior of everything they import.
 var CheckedPackages = map[string]bool{
-	"resched/internal/resbook":   true,
-	"resched/internal/server":    true,
-	"resched/internal/lifecycle": true,
-	"resched/internal/coalesce":  true,
+	"resched/internal/resbook":      true,
+	"resched/internal/server":       true,
+	"resched/internal/lifecycle":    true,
+	"resched/internal/coalesce":     true,
+	"resched/internal/multicluster": true,
 }
 
 // MayBlock marks a function that can wait: it performs a blocking
@@ -82,16 +80,8 @@ type MayBlock struct{}
 
 func (*MayBlock) AFact() {}
 
-// LockOrdered marks a function declared //reschedvet:lockorder: it
-// acquires same-field locks in ascending index order, the global lock
-// order that makes multi-shard spans deadlock-free.
-type LockOrdered struct{}
-
-func (*LockOrdered) AFact() {}
-
 func init() {
 	analysis.RegisterFact("lockhold.MayBlock", (*MayBlock)(nil))
-	analysis.RegisterFact("lockhold.LockOrdered", (*LockOrdered)(nil))
 }
 
 // Analyzer flags blocking operations performed while a lock is held.
@@ -120,64 +110,18 @@ func run(pass *analysis.Pass) error {
 }
 
 // lockOrderedDecls collects the functions declaring the lockorder
-// directive, exports their LockOrdered facts, and enforces the
-// directive's own hygiene: a declaration must be backed by at least
-// one indexed lock operation, or it is stale documentation.
+// directive, for indexed-acquisition suppression. The directive's fact
+// export and staleness hygiene live in lockcycle, which owns the
+// global lock order.
 func lockOrderedDecls(pass *analysis.Pass) map[*ast.FuncDecl]bool {
 	ordered := map[*ast.FuncDecl]bool{}
 	decls, _ := analysis.FuncDecls(pass.Files, pass.TypesInfo)
 	for _, fd := range decls {
-		if !analysis.HasDirective(fd.Doc, lockOrderDirective) {
-			continue
-		}
-		ordered[fd] = true
-		if !hasIndexedLockOp(pass.TypesInfo, fd.Body) {
-			pass.Reportf(fd.Pos(), "lockorder directive on %s but no indexed lock operation in its body",
-				fd.Name.Name)
-		}
-		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok && analysis.InModule(pass.Pkg.Path()) {
-			pass.ExportObjectFact(fn, &LockOrdered{})
+		if analysis.HasDirective(fd.Doc, analysis.LockOrderDirective) {
+			ordered[fd] = true
 		}
 	}
 	return ordered
-}
-
-// indexedLockOp reports whether call is a mutex Lock/RLock/
-// Unlock/RUnlock whose receiver expression is indexed — the
-// `shards[i].mu` shape the lockorder directive blesses.
-func indexedLockOp(info *types.Info, call *ast.CallExpr) bool {
-	if key, acquire, release, _ := analysis.LockMethod(info, call); key == nil || (!acquire && !release) {
-		return false
-	}
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	indexed := false
-	ast.Inspect(sel.X, func(n ast.Node) bool {
-		if _, ok := n.(*ast.IndexExpr); ok {
-			indexed = true
-			return false
-		}
-		return true
-	})
-	return indexed
-}
-
-// hasIndexedLockOp reports whether body performs any indexed lock
-// operation.
-func hasIndexedLockOp(info *types.Info, body ast.Node) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		if call, ok := n.(*ast.CallExpr); ok && indexedLockOp(info, call) {
-			found = true
-		}
-		return !found
-	})
-	return found
 }
 
 // inferMayBlock computes which declared functions may block and
@@ -509,7 +453,7 @@ func visitHeld(pass *analysis.Pass, node ast.Node, held map[*types.Var]bool, may
 			key, acquire, release, _ := analysis.LockMethod(info, n)
 			if key != nil {
 				if acquire {
-					if ordered && indexedLockOp(info, n) {
+					if ordered && analysis.IndexedLockOp(info, n) {
 						// Declared lock-ordered and acquiring through
 						// an index: the ascending-order protocol, not
 						// a deadlock.

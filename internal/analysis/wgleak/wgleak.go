@@ -29,12 +29,13 @@ import (
 // CheckedPackages are where goroutine launches are judged. Fact
 // inference runs module-wide regardless.
 var CheckedPackages = map[string]bool{
-	"resched/internal/server":    true,
-	"resched/internal/resbook":   true,
-	"resched/internal/sim":       true,
-	"resched/internal/lifecycle": true,
-	"resched/internal/coalesce":  true,
-	"resched/cmd/reschedd":       true,
+	"resched/internal/server":       true,
+	"resched/internal/resbook":      true,
+	"resched/internal/sim":          true,
+	"resched/internal/lifecycle":    true,
+	"resched/internal/coalesce":     true,
+	"resched/internal/multicluster": true,
+	"resched/cmd/reschedd":          true,
 }
 
 // fireAndForgetDirective in a function's doc comment declares its
@@ -259,28 +260,8 @@ func channelJoined(info *types.Info, fd *ast.FuncDecl, gs *ast.GoStmt, lit *ast.
 	return received
 }
 
-// chanVar resolves a channel-typed expression to its variable, if it
-// is a plain (possibly selected) variable reference.
+// chanVar resolves a channel-typed expression to its variable; shared
+// with chanflow via the analysis package since PR 9.
 func chanVar(info *types.Info, e ast.Expr) *types.Var {
-	t := info.TypeOf(e)
-	if t == nil {
-		return nil
-	}
-	if _, ok := t.Underlying().(*types.Chan); !ok {
-		return nil
-	}
-	switch e := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		v, _ := info.Uses[e].(*types.Var)
-		return v
-	case *ast.SelectorExpr:
-		v, _ := info.Uses[e.Sel].(*types.Var)
-		if v == nil {
-			if sel, ok := info.Selections[e]; ok {
-				v, _ = sel.Obj().(*types.Var)
-			}
-		}
-		return v
-	}
-	return nil
+	return analysis.ChanVar(info, e)
 }

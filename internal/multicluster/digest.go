@@ -1,0 +1,117 @@
+// Availability digests: cheap per-site summaries of the availability
+// profile, cached so multi-site placement loops (and the serving
+// layer's cluster pickers) do not rescan every profile segment per
+// candidate. The cache is the package's one piece of shared mutable
+// state and is annotated for the reschedvet concurrency analyzers:
+// the map is //reschedvet:guardedby mu, and the hit/miss counters
+// commit to the sync/atomic discipline so Stats never contends with
+// the serving path.
+
+package multicluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"resched/internal/model"
+)
+
+// AvailDigest summarizes one site's availability over [now, now+h).
+type AvailDigest struct {
+	// FreeNow is the number of free processors at the digest's start.
+	FreeNow int
+	// MinFree is the minimum simultaneous free count over the horizon.
+	MinFree int
+	// AvgFree is the time-averaged free count over the horizon.
+	AvgFree float64
+	// FullAt is the earliest time the whole site is free for one tick,
+	// model.Infinity if never within the profile.
+	FullAt model.Time
+}
+
+// digestKey identifies one cached digest: a site at a query instant
+// and horizon. Sites are keyed by name, which Env validation requires
+// to be unique.
+type digestKey struct {
+	site    string
+	now     model.Time
+	horizon model.Duration
+}
+
+// DigestCache memoizes availability digests across placement loops.
+// The zero value is not ready; use NewDigestCache. Reserving on a
+// site's profile invalidates its digests — callers own that via
+// Invalidate, the cache cannot observe profile mutation.
+type DigestCache struct {
+	mu      sync.Mutex
+	digests map[digestKey]AvailDigest //reschedvet:guardedby mu
+
+	// hits and misses use the atomic discipline exclusively.
+	hits   uint64
+	misses uint64
+}
+
+// NewDigestCache returns an empty cache.
+func NewDigestCache() *DigestCache {
+	return &DigestCache{digests: map[digestKey]AvailDigest{}}
+}
+
+// Digest returns the site's availability digest at (now, horizon),
+// computing and caching it on miss. A non-positive horizon defaults to
+// one hour. The profile scan runs outside the lock: a racing miss on
+// the same key computes twice and stores the same value, which is
+// cheaper than holding mu across segment scans.
+func (dc *DigestCache) Digest(c Cluster, now model.Time, horizon model.Duration) AvailDigest {
+	if horizon <= 0 {
+		horizon = model.Hour
+	}
+	key := digestKey{site: c.Name, now: now, horizon: horizon}
+	dc.mu.Lock()
+	d, ok := dc.digests[key]
+	dc.mu.Unlock()
+	if ok {
+		atomic.AddUint64(&dc.hits, 1)
+		return d
+	}
+	atomic.AddUint64(&dc.misses, 1)
+	d = computeDigest(c, now, horizon)
+	dc.mu.Lock()
+	dc.digests[key] = d
+	dc.mu.Unlock()
+	return d
+}
+
+// Invalidate drops every digest of the named site; call it after
+// reserving on the site's profile.
+func (dc *DigestCache) Invalidate(site string) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	for k := range dc.digests {
+		if k.site == site {
+			delete(dc.digests, k)
+		}
+	}
+}
+
+// Len reports the number of cached digests.
+func (dc *DigestCache) Len() int {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return len(dc.digests)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (dc *DigestCache) Stats() (hits, misses uint64) {
+	return atomic.LoadUint64(&dc.hits), atomic.LoadUint64(&dc.misses)
+}
+
+// computeDigest scans the site's profile once per summary statistic.
+func computeDigest(c Cluster, now model.Time, horizon model.Duration) AvailDigest {
+	end := now + model.Time(horizon)
+	return AvailDigest{
+		FreeNow: c.Avail.FreeAt(now),
+		MinFree: c.Avail.MinFree(now, end),
+		AvgFree: c.Avail.AvgFree(now, end),
+		FullAt:  c.Avail.EarliestFit(c.Avail.Capacity(), 1, now),
+	}
+}

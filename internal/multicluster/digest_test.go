@@ -1,0 +1,110 @@
+package multicluster
+
+import (
+	"sync"
+	"testing"
+
+	"resched/internal/model"
+	"resched/internal/profile"
+)
+
+func digestSite(t *testing.T, p int) Cluster {
+	t.Helper()
+	prof := profile.New(p, 0)
+	if err := prof.Reserve(0, model.Hour, p/2); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	return Cluster{Name: "siteA", P: p, Avail: prof}
+}
+
+func TestDigestValues(t *testing.T) {
+	c := digestSite(t, 8)
+	dc := NewDigestCache()
+	d := dc.Digest(c, 0, 2*model.Hour)
+	if d.FreeNow != 4 {
+		t.Errorf("FreeNow = %d, want 4 (half the site reserved)", d.FreeNow)
+	}
+	if d.MinFree != 4 {
+		t.Errorf("MinFree = %d, want 4", d.MinFree)
+	}
+	if want := 6.0; d.AvgFree != want {
+		t.Errorf("AvgFree = %g, want %g (4 free for an hour, 8 free for an hour)", d.AvgFree, want)
+	}
+	if d.FullAt != model.Time(model.Hour) {
+		t.Errorf("FullAt = %d, want %d (the site frees up when the reservation ends)", d.FullAt, model.Hour)
+	}
+}
+
+func TestDigestCacheHitsAndInvalidate(t *testing.T) {
+	c := digestSite(t, 8)
+	dc := NewDigestCache()
+	first := dc.Digest(c, 0, model.Hour)
+	second := dc.Digest(c, 0, model.Hour)
+	if first != second {
+		t.Errorf("cached digest differs: %+v vs %+v", first, second)
+	}
+	if hits, misses := dc.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	// A different horizon is a different key.
+	dc.Digest(c, 0, 2*model.Hour)
+	if dc.Len() != 2 {
+		t.Errorf("Len = %d, want 2", dc.Len())
+	}
+
+	// The reservation changes availability; the invalidated cache must
+	// observe it, and foreign sites must keep their entries.
+	other := Cluster{Name: "siteB", P: 4, Avail: profile.New(4, 0)}
+	dc.Digest(other, 0, model.Hour)
+	if err := c.Avail.Reserve(0, model.Hour, 4); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	dc.Invalidate("siteA")
+	if dc.Len() != 1 {
+		t.Errorf("Len after Invalidate = %d, want 1 (siteB survives)", dc.Len())
+	}
+	if d := dc.Digest(c, 0, model.Hour); d.FreeNow != 0 {
+		t.Errorf("FreeNow after full reservation = %d, want 0", d.FreeNow)
+	}
+}
+
+func TestDigestDefaultHorizon(t *testing.T) {
+	c := digestSite(t, 8)
+	dc := NewDigestCache()
+	if got, want := dc.Digest(c, 0, 0), dc.Digest(c, 0, model.Hour); got != want {
+		t.Errorf("zero horizon digest %+v != one-hour digest %+v", got, want)
+	}
+}
+
+// TestDigestCacheConcurrent drives the cache from many goroutines so
+// `go test -race` verifies the locking and the atomic counters; it is
+// the regression test for the cache's concurrency annotations.
+func TestDigestCacheConcurrent(t *testing.T) {
+	c := digestSite(t, 8)
+	other := Cluster{Name: "siteB", P: 4, Avail: profile.New(4, 0)}
+	dc := NewDigestCache()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				dc.Digest(c, model.Time(j%5), model.Hour)
+				dc.Digest(other, 0, model.Duration(1+j%3)*model.Hour)
+				if i == 0 && j%50 == 0 {
+					dc.Invalidate("siteA")
+				}
+				dc.Stats()
+				dc.Len()
+			}
+		}(i)
+	}
+	wg.Wait()
+	hits, misses := dc.Stats()
+	if hits+misses != 8*200*2 {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, 8*200*2)
+	}
+	if misses == 0 {
+		t.Error("expected at least one miss")
+	}
+}
