@@ -15,14 +15,14 @@ BENCH_PKGS ?= ./internal/cpa ./internal/profile ./internal/server ./internal/res
 # default; override either variable to target another file, e.g.
 #   make bench BENCH_PR=PR4
 #   make bench BENCH_OUT=/tmp/scratch.json
-BENCH_PR ?= PR9
+BENCH_PR ?= PR10
 BENCH_OUT ?= BENCH_$(BENCH_PR).json
 BENCH_LABEL ?= optimized
 
 # bench-compare gates the serving hot path against this committed
 # baseline: the named benchmark prefixes may not regress ns/op by more
 # than BENCH_THRESHOLD percent.
-BENCH_BASE ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR9.json
 BENCH_THRESHOLD ?= 15
 BENCH_GATE ?= internal/cpa.BenchmarkAllocate,internal/profile.BenchmarkProfileScaling,internal/profile.BenchmarkFitsBatch,internal/resbook.BenchmarkSnapshot,internal/server.BenchmarkSchedulePost,internal/server.BenchmarkScheduleThroughput
 
@@ -114,6 +114,7 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzProfileReserveUnreserve$$' -fuzztime=$(FUZZTIME) ./internal/profile
 	$(GO) test -run='^$$' -fuzz='^FuzzTreeProfileVsFlat$$' -fuzztime=$(FUZZTIME) ./internal/profile
+	$(GO) test -run='^$$' -fuzz='^FuzzPersistentVsFlat$$' -fuzztime=$(FUZZTIME) ./internal/profile
 	$(GO) test -run='^$$' -fuzz='^FuzzScheduleParseRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzBinaryCodecRoundTrip$$' -fuzztime=$(FUZZTIME) ./internal/api
 

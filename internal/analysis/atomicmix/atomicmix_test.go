@@ -9,5 +9,5 @@ import (
 
 func TestAtomicMix(t *testing.T) {
 	analysistest.Run(t, "testdata", atomicmix.Analyzer,
-		"resched/internal/stats", "resched/internal/server")
+		"resched/internal/stats", "resched/internal/server", "resched/internal/resbook")
 }

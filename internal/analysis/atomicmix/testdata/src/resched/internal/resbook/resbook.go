@@ -1,0 +1,60 @@
+// Package resbook is an atomicmix fixture for the persistent-profile
+// shard: the root pointer and its stamp follow the plain-under-lock
+// discipline (see guardedby) and must stay all-plain. The tempting
+// bug is probe — an atomic "lock-free" snapshot probe racing the
+// plain increment commits perform under the write lock; holding mu on
+// the plain side buys no happens-before with the atomic side.
+package resbook
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type node struct {
+	left, right *node
+	val         int
+}
+
+type pshard struct {
+	mu sync.RWMutex
+	// root and stamp are all-plain under mu: commits path-copy a new
+	// root and bump the stamp while write-locked, snapshots read both
+	// while read-locked. Neither may ever be touched through
+	// sync/atomic.
+	root  *node
+	stamp uint64
+	// probe mixes the disciplines: bumped plainly under mu, loaded
+	// atomically without it.
+	probe uint64
+}
+
+// Swap publishes a path-copied root and bumps the stamp, both plainly
+// under the write lock: the committed discipline. The probe bump is
+// the mix — mu does not synchronize with FastProbe's atomic load.
+func (s *pshard) Swap(n *node) {
+	s.mu.Lock()
+	s.root = n
+	s.stamp++
+	s.probe++ // want "plain access of probe, which is also accessed through sync/atomic"
+	s.mu.Unlock()
+}
+
+// Stamp reads under the read lock: fine, all-plain.
+func (s *pshard) Stamp() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stamp
+}
+
+// FastProbe is the atomic side of the mix.
+func (s *pshard) FastProbe() uint64 {
+	return atomic.LoadUint64(&s.probe)
+}
+
+// newShard initializes plainly through a fresh local: exempt.
+func newShard() *pshard {
+	s := &pshard{}
+	s.stamp = 1
+	return s
+}

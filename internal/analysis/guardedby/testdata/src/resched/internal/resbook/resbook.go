@@ -133,3 +133,52 @@ func (b *Book) BadBump() {
 	b.unlockAll()
 	b.shards[0].stamp++ // want "write of stamp outside critical section of mu"
 }
+
+// The persistent backend keeps each shard's immutable profile as a
+// copy-on-write root pointer: nodes are never written after publish,
+// only the root pointer moves. The whole COW invariant therefore
+// reduces to guarding that one pointer — snapshots pin it under the
+// read lock, commits swap in a path-copied replacement under the
+// write lock.
+
+type node struct {
+	left, right *node
+	val         int
+}
+
+type pshard struct {
+	mu sync.RWMutex
+	//reschedvet:guardedby mu
+	root *node
+}
+
+// SnapshotRoot pins the current root under the read lock: fine. The
+// returned handle stays valid after unlock precisely because nodes
+// behind a published root are immutable.
+func (s *pshard) SnapshotRoot() *node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.root
+}
+
+// SwapRoot publishes a path-copied replacement under the write lock:
+// fine.
+func (s *pshard) SwapRoot(n *node) {
+	s.mu.Lock()
+	s.root = n
+	s.mu.Unlock()
+}
+
+// BadSwapUnderRLock moves the root while only read-locked — a racing
+// snapshot could pin a half-published root.
+func (s *pshard) BadSwapUnderRLock(n *node) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.root = n // want "write to s.root while mu is only read-locked"
+}
+
+// BadRootRead pins the root with no lock at all: the pointer load
+// itself races with a concurrent swap even though nodes are immutable.
+func (s *pshard) BadRootRead() *node {
+	return s.root // want "read of s.root outside critical section of mu"
+}

@@ -15,7 +15,6 @@ import (
 	"fmt"
 
 	"resched/internal/model"
-	"resched/internal/profile"
 	"resched/internal/resbook"
 )
 
@@ -221,8 +220,10 @@ func (e *Engine) schedulePass(ctx context.Context, now model.Time) error {
 // (the next pass re-evaluates); any other failure is an engine error.
 func (e *Engine) tryStartNow(ctx context.Context, job Job, now model.Time) (resbook.Reservation, bool, error) {
 	booked, _, err := e.book.Transact(ctx, e.cfg.MaxRetries, func(snap resbook.Snapshot) ([]resbook.Request, error) {
-		avail := profile.Auto(snap.Profile)
-		fit, err := avail.EarliestFitChecked(job.Procs, job.Dur, now)
+		// snap.Avail already is the right query backend: a zero-copy
+		// persistent handle on the default book, a flat profile on the
+		// oracle backend or below the auto threshold.
+		fit, err := snap.Avail.EarliestFitChecked(job.Procs, job.Dur, now)
 		if err != nil {
 			return nil, err
 		}
@@ -251,8 +252,7 @@ func (e *Engine) tryStartNow(ctx context.Context, job Job, now model.Time) (resb
 // lost every retry to concurrent writers.
 func (e *Engine) reserveEarliest(ctx context.Context, job Job, now model.Time) (resbook.Reservation, bool, error) {
 	booked, _, err := e.book.Transact(ctx, e.cfg.MaxRetries, func(snap resbook.Snapshot) ([]resbook.Request, error) {
-		avail := profile.Auto(snap.Profile)
-		fit, err := avail.EarliestFitChecked(job.Procs, job.Dur, now)
+		fit, err := snap.Avail.EarliestFitChecked(job.Procs, job.Dur, now)
 		if err != nil {
 			return nil, err
 		}

@@ -410,9 +410,12 @@ func (e *Engine) ForecastJob(id string) (Forecast, error) {
 		return f, nil
 	}
 
+	// The snapshot pins an epoch root: on the persistent backend every
+	// probe below replays against the same frozen tree with no reclone,
+	// no matter how many commits land while the forecast runs.
 	snap := e.book.Snapshot()
 	f.Version = snap.Version
-	avail := profile.Auto(snap.Profile)
+	avail := snap.Avail
 	fit, err := avail.EarliestFitChecked(job.Procs, job.Dur, now)
 	if err != nil {
 		return Forecast{}, fmt.Errorf("lifecycle: forecast %s: %w", id, err)

@@ -58,6 +58,7 @@ type Intervals interface {
 var (
 	_ Intervals = (*Profile)(nil)
 	_ Intervals = (*TreeProfile)(nil)
+	_ Intervals = (*PersistentProfile)(nil)
 )
 
 // Flat implements Intervals for the flat backend: it is Clone.
@@ -115,6 +116,10 @@ func CopyIntervals(src Intervals, scratch Intervals) Intervals {
 		}
 		s.CloneInto(dst)
 		return dst
+	case *PersistentProfile:
+		// Persistent handles copy in O(1) by sharing the immutable
+		// root; scratch reuse buys nothing.
+		return s.Clone()
 	default:
 		return src.CloneIntervals()
 	}

@@ -1,0 +1,408 @@
+package profile
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// reserveSpec is one committed reservation a differential test replays
+// onto several backends.
+type reserveSpec struct {
+	start, end model.Time
+	procs      int
+}
+
+// randomReservations draws n reservations that are all individually
+// feasible when applied in order to a fresh profile of the given
+// capacity, mirroring how the book's ledger grows.
+func randomReservations(rng *rand.Rand, n, capacity int, horizon model.Time) []reserveSpec {
+	oracle := New(capacity, 0)
+	specs := make([]reserveSpec, 0, n)
+	for len(specs) < n {
+		start := model.Time(rng.Int63n(int64(horizon)))
+		end := start + 1 + model.Duration(rng.Int63n(int64(horizon)/8+1))
+		if end > horizon {
+			end = horizon
+		}
+		if end <= start {
+			continue
+		}
+		procs := 1 + rng.Intn(capacity)
+		if m := oracle.MinFree(start, end); m < procs {
+			if m < 1 {
+				continue
+			}
+			procs = 1 + rng.Intn(m)
+		}
+		if err := oracle.Reserve(start, end, procs); err != nil {
+			t := fmt.Sprintf("oracle reserve: %v", err)
+			panic(t)
+		}
+		specs = append(specs, reserveSpec{start, end, procs})
+	}
+	return specs
+}
+
+// TestPersistentMatchesFlatRandom replays seeded random
+// Reserve/Unreserve/query sequences against a PersistentProfile and
+// the flat oracle, requiring bit-identical outcomes after every step,
+// and keeps every pre-step Clone alive to verify old roots never
+// observe later mutations.
+func TestPersistentMatchesFlatRandom(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			capacity := 4 + rng.Intn(60)
+			flat := New(capacity, 0)
+			pers := NewPersistent(capacity, 0)
+
+			type frozen struct {
+				handle *PersistentProfile
+				render string
+			}
+			var history []frozen
+
+			var live []reserveSpec
+			for step := 0; step < 300; step++ {
+				history = append(history, frozen{pers.Clone(), pers.String()})
+
+				start := model.Time(rng.Int63n(10_000))
+				end := start + 1 + model.Duration(rng.Int63n(500))
+				procs := 1 + rng.Intn(capacity+4)
+
+				switch rng.Intn(4) {
+				case 0, 1: // Reserve
+					errF := flat.Reserve(start, end, procs)
+					errP := pers.Reserve(start, end, procs)
+					if (errF == nil) != (errP == nil) {
+						t.Fatalf("step %d: Reserve flat err=%v, persistent err=%v", step, errF, errP)
+					}
+					if errF != nil && errF.Error() != errP.Error() {
+						t.Fatalf("step %d: Reserve errors diverged\nflat: %v\npersistent: %v", step, errF, errP)
+					}
+					if errF == nil {
+						live = append(live, reserveSpec{start, end, procs})
+					}
+				case 2: // Unreserve a live reservation (or a bogus window)
+					spec := reserveSpec{start, end, procs}
+					if len(live) > 0 && rng.Intn(4) != 0 {
+						i := rng.Intn(len(live))
+						spec = live[i]
+						live = append(live[:i], live[i+1:]...)
+					}
+					errF := flat.Unreserve(spec.start, spec.end, spec.procs)
+					errP := pers.Unreserve(spec.start, spec.end, spec.procs)
+					if (errF == nil) != (errP == nil) {
+						t.Fatalf("step %d: Unreserve flat err=%v, persistent err=%v", step, errF, errP)
+					}
+					if errF != nil {
+						if errF.Error() != errP.Error() {
+							t.Fatalf("step %d: Unreserve errors diverged\nflat: %v\npersistent: %v", step, errF, errP)
+						}
+						live = append(live, spec) // not actually released
+					}
+				case 3: // queries
+					sF, errF := flat.EarliestFitChecked(procs, end-start, start)
+					sP, errP := pers.EarliestFitChecked(procs, end-start, start)
+					if (errF == nil) != (errP == nil) || sF != sP {
+						t.Fatalf("step %d: EarliestFitChecked flat (%d,%v), persistent (%d,%v)", step, sF, errF, sP, errP)
+					}
+					vF, errF := flat.MinFreeChecked(start, end)
+					vP, errP := pers.MinFreeChecked(start, end)
+					if (errF == nil) != (errP == nil) || vF != vP {
+						t.Fatalf("step %d: MinFreeChecked flat (%d,%v), persistent (%d,%v)", step, vF, errF, vP, errP)
+					}
+					aF, aErrF := flat.AvgFreeChecked(start, end)
+					aP, aErrP := pers.AvgFreeChecked(start, end)
+					if (aErrF == nil) != (aErrP == nil) || aF != aP {
+						t.Fatalf("step %d: AvgFreeChecked flat (%v,%v), persistent (%v,%v)", step, aF, aErrF, aP, aErrP)
+					}
+					if fF := flat.FreeAt(start); fF != pers.FreeAt(start) {
+						t.Fatalf("step %d: FreeAt flat %d, persistent %d", step, fF, pers.FreeAt(start))
+					}
+				}
+				if err := pers.Check(); err != nil {
+					t.Fatalf("step %d: persistent invariants: %v", step, err)
+				}
+				if pers.String() != flat.String() {
+					t.Fatalf("step %d: divergence\n  persistent %s\n  flat       %s", step, pers, flat)
+				}
+				if pers.NumSegments() != flat.NumSegments() {
+					t.Fatalf("step %d: NumSegments persistent %d, flat %d", step, pers.NumSegments(), flat.NumSegments())
+				}
+			}
+
+			// Persistence: every frozen handle still renders exactly what
+			// it rendered when taken, and still satisfies the invariants.
+			for i, h := range history {
+				if got := h.handle.String(); got != h.render {
+					t.Fatalf("frozen handle %d mutated:\n  was %s\n  now %s", i, h.render, got)
+				}
+				if err := h.handle.Check(); err != nil {
+					t.Fatalf("frozen handle %d invariants: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestPersistentWindowConcat splits a horizon into shard-style windows,
+// applies each reservation clipped per window (exactly as the book's
+// applyLocked does), and requires ConcatPersistent of the windows to
+// match a flat profile holding the unclipped reservations byte for
+// byte — including boundary coalescing where a reservation spans or
+// abuts a window edge.
+func TestPersistentWindowConcat(t *testing.T) {
+	const capacity = 32
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed * 101))
+		nWin := 1 + rng.Intn(7)
+		epoch := model.Duration(64 + rng.Int63n(256))
+		horizon := model.Time(int64(nWin) * int64(epoch) * 2)
+
+		wins := make([]*PersistentProfile, nWin)
+		for i := range wins {
+			start := model.Time(int64(i) * int64(epoch))
+			end := model.Time(int64(i+1) * int64(epoch))
+			if i == nWin-1 {
+				end = model.Infinity
+			}
+			wins[i] = NewPersistentWindow(capacity, start, end, uint64(i)<<32)
+		}
+		flat := New(capacity, 0)
+
+		for _, spec := range randomReservations(rng, 60, capacity, horizon) {
+			if err := flat.Reserve(spec.start, spec.end, spec.procs); err != nil {
+				t.Fatalf("seed %d: flat reserve: %v", seed, err)
+			}
+			for _, w := range wins {
+				s, e := spec.start, spec.end
+				if s < w.Origin() {
+					s = w.Origin()
+				}
+				if e > w.Horizon() {
+					e = w.Horizon()
+				}
+				if e <= s {
+					continue
+				}
+				if err := w.Reserve(s, e, spec.procs); err != nil {
+					t.Fatalf("seed %d: window [%d,%d) reserve [%d,%d)x%d: %v",
+						seed, w.Origin(), w.Horizon(), s, e, spec.procs, err)
+				}
+			}
+			all := ConcatPersistent(wins)
+			if err := all.Check(); err != nil {
+				t.Fatalf("seed %d: concat invariants: %v", seed, err)
+			}
+			if all.String() != flat.String() {
+				t.Fatalf("seed %d: concat divergence\n  concat %s\n  flat   %s", seed, all, flat)
+			}
+			// The concatenated handle answers queries identically too.
+			if q := flat.EarliestFit(capacity/2, 10, 0); q != all.EarliestFit(capacity/2, 10, 0) {
+				t.Fatalf("seed %d: concat EarliestFit %d, flat %d", seed, all.EarliestFit(capacity/2, 10, 0), q)
+			}
+			// And concatenation left the windows untouched.
+			for i, w := range wins {
+				if err := w.Check(); err != nil {
+					t.Fatalf("seed %d: window %d invariants after concat: %v", seed, i, err)
+				}
+			}
+		}
+
+		// A concatenated handle is a full profile: staging mutations on
+		// it must not write through the shared shard roots.
+		all := ConcatPersistent(wins)
+		before := make([]string, nWin)
+		for i, w := range wins {
+			before[i] = w.String()
+		}
+		if s := all.EarliestFit(1, 5, 0); true {
+			if err := all.Reserve(s, s+5, 1); err != nil {
+				t.Fatalf("seed %d: staging reserve on concat handle: %v", seed, err)
+			}
+		}
+		for i, w := range wins {
+			if w.String() != before[i] {
+				t.Fatalf("seed %d: window %d mutated by staging on concat handle", seed, i)
+			}
+		}
+	}
+}
+
+// TestConcatPersistentContracts pins the panic contracts: empty input
+// and non-abutting windows are programming errors.
+func TestConcatPersistentContracts(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty", func() { ConcatPersistent(nil) })
+	a := NewPersistentWindow(8, 0, 100, 0)
+	b := NewPersistentWindow(8, 200, model.Infinity, 1<<32)
+	mustPanic("gap", func() { ConcatPersistent([]*PersistentProfile{a, b}) })
+	c := NewPersistentWindow(4, 100, model.Infinity, 1<<32)
+	mustPanic("capacity", func() { ConcatPersistent([]*PersistentProfile{a, c}) })
+}
+
+// TestPersistentCloneIsolation is the directed version of the frozen
+// history check: mutations on either side of a Clone are invisible to
+// the other.
+func TestPersistentCloneIsolation(t *testing.T) {
+	p := NewPersistent(16, 0)
+	if err := p.Reserve(10, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	snap := p.Clone()
+	want := snap.String()
+
+	for i := 0; i < 50; i++ {
+		s := model.Time(i * 7)
+		if err := p.Reserve(s, s+3, 1); err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+	}
+	if got := snap.String(); got != want {
+		t.Fatalf("snapshot observed post-clone mutation:\n  was %s\n  now %s", want, got)
+	}
+	if err := snap.Unreserve(10, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumSegments() != 1 {
+		t.Fatalf("snapshot after unreserve: %s", snap)
+	}
+	if p.FreeAt(12) == 16 {
+		t.Fatalf("live profile observed snapshot-side unreserve: %s", p)
+	}
+}
+
+// TestPersistentFlatRoundTrip checks Flat/NewPersistentFromProfile and
+// AppendSegmentsTo reproduce the step function exactly.
+func TestPersistentFlatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := NewPersistent(24, 5)
+	flatRef := New(24, 5)
+	for _, spec := range randomReservations(rng, 40, 24, 4000) {
+		s, e := spec.start+5, spec.end+5
+		if err1, err2 := p.Reserve(s, e, spec.procs), flatRef.Reserve(s, e, spec.procs); (err1 == nil) != (err2 == nil) {
+			t.Fatalf("reserve divergence: %v vs %v", err1, err2)
+		}
+	}
+	if got := p.Flat().String(); got != flatRef.String() {
+		t.Fatalf("Flat round trip:\n  got  %s\n  want %s", got, flatRef)
+	}
+	back := NewPersistentFromProfile(flatRef)
+	if back.String() != flatRef.String() || back.Check() != nil {
+		t.Fatalf("NewPersistentFromProfile:\n  got  %s\n  want %s", back, flatRef)
+	}
+	var dst Profile
+	dst.Reset(p.Capacity(), p.Origin())
+	p.AppendSegmentsTo(&dst)
+	if dst.String() != flatRef.String() {
+		t.Fatalf("AppendSegmentsTo:\n  got  %s\n  want %s", dst.String(), flatRef)
+	}
+	if err := dst.Check(); err != nil {
+		t.Fatalf("AppendSegmentsTo invariants: %v", err)
+	}
+}
+
+// TestCopyIntervalsPersistent pins the CopyIntervals fast path: a
+// persistent source copies O(1) into an isolated working handle.
+func TestCopyIntervalsPersistent(t *testing.T) {
+	p := NewPersistent(8, 0)
+	if err := p.Reserve(3, 9, 2); err != nil {
+		t.Fatal(err)
+	}
+	w := CopyIntervals(p, nil)
+	if _, ok := w.(*PersistentProfile); !ok {
+		t.Fatalf("CopyIntervals backend changed: %T", w)
+	}
+	if err := w.Reserve(20, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+	if p.FreeAt(25) != 8 {
+		t.Fatalf("working copy wrote through to source: %s", p)
+	}
+}
+
+// FuzzPersistentVsFlat is FuzzTreeProfileVsFlat for the persistent
+// backend, with one extra invariant per step: a handle cloned before
+// the operation must render identically after it (copy-on-write — no
+// write ever reaches a shared node).
+func FuzzPersistentVsFlat(f *testing.F) {
+	f.Add(uint8(7), []byte{0, 10, 0, 20, 0, 3, 2, 15, 0, 10, 0, 2})
+	f.Add(uint8(0), []byte{0, 0, 0, 0, 0, 0})
+	f.Add(uint8(31), []byte{0, 1, 0, 1, 0, 255, 3, 1, 0, 1, 0, 255, 4, 9, 0, 9, 0, 9})
+	f.Fuzz(func(t *testing.T, capRaw uint8, ops []byte) {
+		capacity := int(capRaw%32) + 1
+		if len(ops) > 64*6 {
+			ops = ops[:64*6]
+		}
+		flat := New(capacity, 0)
+		pers := NewPersistent(capacity, 0)
+		for step := 0; len(ops) >= 6; step++ {
+			op, start, end, procs := decodeTreeOp(ops)
+			ops = ops[6:]
+
+			snap := pers.Clone()
+			frozen := snap.String()
+
+			switch op {
+			case 0: // Reserve
+				errF := flat.Reserve(start, end, procs)
+				errP := pers.Reserve(start, end, procs)
+				if (errF == nil) != (errP == nil) {
+					t.Fatalf("step %d: Reserve flat err=%v, persistent err=%v", step, errF, errP)
+				}
+				if errF != nil && errF.Error() != errP.Error() {
+					t.Fatalf("step %d: Reserve errors diverged\nflat: %v\npersistent: %v", step, errF, errP)
+				}
+			case 1: // Unreserve
+				errF := flat.Unreserve(start, end, procs)
+				errP := pers.Unreserve(start, end, procs)
+				if (errF == nil) != (errP == nil) {
+					t.Fatalf("step %d: Unreserve flat err=%v, persistent err=%v", step, errF, errP)
+				}
+				if errF != nil && errF.Error() != errP.Error() {
+					t.Fatalf("step %d: Unreserve errors diverged\nflat: %v\npersistent: %v", step, errF, errP)
+				}
+			case 2: // EarliestFit (via Checked so bad args reject, not panic)
+				sF, errF := flat.EarliestFitChecked(procs, end-start, start)
+				sP, errP := pers.EarliestFitChecked(procs, end-start, start)
+				if (errF == nil) != (errP == nil) || sF != sP {
+					t.Fatalf("step %d: EarliestFitChecked flat (%d,%v), persistent (%d,%v)", step, sF, errF, sP, errP)
+				}
+			case 3: // LatestFit over a window derived from the operands
+				sF, okF, errF := flat.LatestFitChecked(procs, model.Duration(procs), start, end)
+				sP, okP, errP := pers.LatestFitChecked(procs, model.Duration(procs), start, end)
+				if (errF == nil) != (errP == nil) || okF != okP || (okF && sF != sP) {
+					t.Fatalf("step %d: LatestFitChecked flat (%d,%v,%v), persistent (%d,%v,%v)",
+						step, sF, okF, errF, sP, okP, errP)
+				}
+			case 4: // MinFree
+				vF, errF := flat.MinFreeChecked(start, end)
+				vP, errP := pers.MinFreeChecked(start, end)
+				if (errF == nil) != (errP == nil) || vF != vP {
+					t.Fatalf("step %d: MinFreeChecked flat (%d,%v), persistent (%d,%v)", step, vF, errF, vP, errP)
+				}
+			}
+			if snap.String() != frozen {
+				t.Fatalf("step %d: op %d wrote through a shared node:\n  was %s\n  now %s", step, op, frozen, snap.String())
+			}
+			if err := pers.Check(); err != nil {
+				t.Fatalf("step %d: persistent invariants: %v", step, err)
+			}
+			if pers.String() != flat.String() {
+				t.Fatalf("step %d: divergence\n  persistent %s\n  flat       %s", step, pers, flat)
+			}
+		}
+	})
+}

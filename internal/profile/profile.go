@@ -241,8 +241,8 @@ func (p *Profile) reserveChecks(start, end model.Time, procs int) error {
 	if end >= model.Infinity {
 		return fmt.Errorf("reservation end %d beyond the scheduling horizon", end)
 	}
-	if p.MinFree(start, end) < procs {
-		return fmt.Errorf("only %d of %d requested processors free during [%d,%d)", p.MinFree(start, end), procs, start, end)
+	if m := p.MinFree(start, end); m < procs {
+		return fmt.Errorf("only %d of %d requested processors free during [%d,%d)", m, procs, start, end)
 	}
 	return nil
 }

@@ -116,25 +116,25 @@ func TestSnapshotOutlivesReleasedBook(t *testing.T) {
 		ids = append(ids, r.ID)
 	}
 	snap := b.Snapshot()
-	rendered := snap.Profile.String()
+	rendered := snap.Avail.String()
 
 	for _, id := range ids {
 		if err := b.Release(id); err != nil {
 			t.Fatalf("Release %s: %v", id, err)
 		}
 	}
-	if got := b.Snapshot().Profile.NumSegments(); got != 1 {
+	if got := b.Snapshot().Avail.NumSegments(); got != 1 {
 		t.Fatalf("released book still has %d segments", got)
 	}
 
 	// The old snapshot is untouched by the releases and still usable.
-	if snap.Profile.String() != rendered {
-		t.Errorf("snapshot mutated by releases:\n  was %s\n  now %s", rendered, snap.Profile.String())
+	if snap.Avail.String() != rendered {
+		t.Errorf("snapshot mutated by releases:\n  was %s\n  now %s", rendered, snap.Avail.String())
 	}
-	if err := snap.Profile.Check(); err != nil {
+	if err := snap.Avail.Check(); err != nil {
 		t.Errorf("snapshot invariants: %v", err)
 	}
-	if _, err := snap.Profile.EarliestFitChecked(8, 5, 0); err != nil {
+	if _, err := snap.Avail.EarliestFitChecked(8, 5, 0); err != nil {
 		t.Errorf("query against old snapshot: %v", err)
 	}
 
@@ -167,8 +167,8 @@ func TestSnapshotIntoReusesDirtyProfile(t *testing.T) {
 	if into.Version != snap.Version {
 		t.Errorf("SnapshotInto version %d, Snapshot version %d", into.Version, snap.Version)
 	}
-	if dirty.String() != snap.Profile.String() {
-		t.Errorf("SnapshotInto left stale state:\n  into %s\n  want %s", dirty, snap.Profile)
+	if dirty.String() != snap.Avail.String() {
+		t.Errorf("SnapshotInto left stale state:\n  into %s\n  want %s", dirty, snap.Avail)
 	}
 	if err := dirty.Check(); err != nil {
 		t.Errorf("reused profile invariants: %v", err)

@@ -1,0 +1,271 @@
+package resbook
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"resched/internal/model"
+)
+
+// TestPersistentBookMatchesFlatOracle drives identical seeded op
+// sequences — Reserve, Commit-through-Transact, Activate, Release —
+// through a persistent-backend book and the flat-oracle book, and
+// requires the rendered snapshot, version, and invariants to agree
+// after every operation. The two backends share the ID counter
+// behavior, so rows correspond one-to-one.
+func TestPersistentBookMatchesFlatOracle(t *testing.T) {
+	const capacity = 48
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed * 7919))
+			nshards := 1 + rng.Intn(8)
+			epoch := model.Duration(model.Hour)
+			pers, err := NewSharded(capacity, 0, nshards, epoch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, err := NewShardedFlat(capacity, 0, nshards, epoch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pers.Persistent() || flat.Persistent() {
+				t.Fatal("backend selection broken")
+			}
+
+			var live []string
+			horizon := int64(nshards) * int64(epoch) * 2
+			for step := 0; step < 250; step++ {
+				start := model.Time(rng.Int63n(horizon))
+				end := start + 1 + model.Duration(rng.Int63n(int64(epoch)))
+				procs := 1 + rng.Intn(capacity)
+
+				switch op := rng.Intn(6); {
+				case op <= 2: // Reserve
+					rp, errP := pers.Reserve(start, end, procs)
+					rf, errF := flat.Reserve(start, end, procs)
+					if (errP == nil) != (errF == nil) {
+						t.Fatalf("step %d: Reserve persistent err=%v, flat err=%v", step, errP, errF)
+					}
+					if errP != nil {
+						if errP.Error() != errF.Error() {
+							t.Fatalf("step %d: Reserve errors diverged\npersistent: %v\nflat:       %v", step, errP, errF)
+						}
+						break
+					}
+					if rp.ID != rf.ID {
+						t.Fatalf("step %d: IDs diverged: %s vs %s", step, rp.ID, rf.ID)
+					}
+					live = append(live, rp.ID)
+				case op == 3: // Commit through Transact (validates stamps too)
+					req := Request{Start: start, End: end, Procs: procs}
+					outP, _, errP := pers.Transact(context.Background(), 1, func(Snapshot) ([]Request, error) {
+						return []Request{req}, nil
+					})
+					outF, _, errF := flat.Transact(context.Background(), 1, func(Snapshot) ([]Request, error) {
+						return []Request{req}, nil
+					})
+					if (errP == nil) != (errF == nil) {
+						t.Fatalf("step %d: Transact persistent err=%v, flat err=%v", step, errP, errF)
+					}
+					if errP == nil {
+						if outP[0].ID != outF[0].ID {
+							t.Fatalf("step %d: Transact IDs diverged", step)
+						}
+						live = append(live, outP[0].ID)
+					}
+				case op == 4 && len(live) > 0: // Release
+					i := rng.Intn(len(live))
+					id := live[i]
+					live = append(live[:i], live[i+1:]...)
+					errP := pers.Release(id)
+					errF := flat.Release(id)
+					if (errP == nil) != (errF == nil) {
+						t.Fatalf("step %d: Release(%s) persistent err=%v, flat err=%v", step, id, errP, errF)
+					}
+				case op == 5 && len(live) > 0: // Activate
+					id := live[rng.Intn(len(live))]
+					errP := pers.Activate(id)
+					errF := flat.Activate(id)
+					if (errP == nil) != (errF == nil) {
+						t.Fatalf("step %d: Activate(%s) persistent err=%v, flat err=%v", step, id, errP, errF)
+					}
+				}
+
+				sp := pers.Snapshot()
+				sf := flat.Snapshot()
+				if sp.Version != sf.Version {
+					t.Fatalf("step %d: versions diverged: %d vs %d", step, sp.Version, sf.Version)
+				}
+				if sp.Avail.String() != sf.Avail.String() {
+					t.Fatalf("step %d: snapshots diverged\n  persistent %s\n  flat       %s",
+						step, sp.Avail.String(), sf.Avail.String())
+				}
+				if err := sp.Avail.Check(); err != nil {
+					t.Fatalf("step %d: persistent snapshot invariants: %v", step, err)
+				}
+			}
+			if err := pers.CheckInvariants(); err != nil {
+				t.Fatalf("persistent book invariants: %v", err)
+			}
+			if err := flat.CheckInvariants(); err != nil {
+				t.Fatalf("flat book invariants: %v", err)
+			}
+
+			// Ledgers agree row for row.
+			lp, lf := pers.List(), flat.List()
+			if len(lp) != len(lf) {
+				t.Fatalf("ledger lengths diverged: %d vs %d", len(lp), len(lf))
+			}
+			sort.Slice(lp, func(i, j int) bool { return lp[i].ID < lp[j].ID })
+			sort.Slice(lf, func(i, j int) bool { return lf[i].ID < lf[j].ID })
+			for i := range lp {
+				if lp[i] != lf[i] {
+					t.Fatalf("ledger row %d diverged: %+v vs %+v", i, lp[i], lf[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotIsolationUnderConcurrentCommits is the -race stress for
+// the tentpole property: a snapshot handle taken before a storm of
+// concurrent commits and releases keeps rendering — and answering
+// queries on — exactly the schedule it was taken at. Writers path-copy
+// fresh shard roots; the frozen roots the snapshot pinned are never
+// written.
+func TestSnapshotIsolationUnderConcurrentCommits(t *testing.T) {
+	const (
+		capacity = 64
+		nshards  = 8
+		writers  = 4
+		readers  = 4
+		iters    = 150
+	)
+	book, err := NewSharded(capacity, 0, nshards, model.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough booked reservations that the snapshot is a tree handle,
+	// not a small-R flat materialization.
+	for i := 0; i < 400; i++ {
+		start := model.Time(i) * 37
+		if _, err := book.Reserve(start, start+200, 1+i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := book.Snapshot()
+	frozen := snap.Avail.String()
+	frozenFit, err := snap.Avail.EarliestFitChecked(capacity/2, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < iters; i++ {
+				// Mostly shard-local windows, with occasional spans to
+				// exercise multi-shard commits.
+				base := int64(w) * int64(model.Hour)
+				if rng.Intn(5) == 0 {
+					base = rng.Int63n(int64(nshards-1) * int64(model.Hour))
+				}
+				start := model.Time(base + rng.Int63n(int64(model.Hour)))
+				end := start + 1 + model.Duration(rng.Int63n(int64(model.Hour)))
+				out, _, err := book.Transact(context.Background(), 100, func(s Snapshot) ([]Request, error) {
+					if s.Avail.MinFree(start, end) < 1 {
+						return nil, nil // full here; just validate the fence
+					}
+					return []Request{{Start: start, End: end, Procs: 1}}, nil
+				})
+				if err != nil {
+					errs <- fmt.Errorf("writer %d iter %d: %v", w, i, err)
+					return
+				}
+				if len(out) > 0 && rng.Intn(2) == 0 {
+					if err := book.Release(out[0].ID); err != nil {
+						errs <- fmt.Errorf("writer %d release: %v", w, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if got := snap.Avail.String(); got != frozen {
+					errs <- fmt.Errorf("reader %d iter %d: snapshot observed post-commit mutation:\n  was %s\n  now %s", r, i, frozen, got)
+					return
+				}
+				fit, err := snap.Avail.EarliestFitChecked(capacity/2, 500, 0)
+				if err != nil || fit != frozenFit {
+					errs <- fmt.Errorf("reader %d iter %d: frozen fit drifted: (%d,%v) != %d", r, i, fit, err, frozenFit)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := snap.Avail.String(); got != frozen {
+		t.Errorf("snapshot mutated after the storm:\n  was %s\n  now %s", frozen, got)
+	}
+	if err := book.CheckInvariants(); err != nil {
+		t.Fatalf("book invariants after storm: %v", err)
+	}
+}
+
+// TestSnapshotHandleStagingIsPrivate checks the serving-path use of a
+// persistent snapshot: staging trial reservations on the handle (as
+// the batch and coalesced paths do) never leaks into the live book or
+// into other snapshots.
+func TestSnapshotHandleStagingIsPrivate(t *testing.T) {
+	book, err := NewSharded(32, 0, 4, model.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		start := model.Time(i) * 29
+		if _, err := book.Reserve(start, start+120, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := book.Snapshot()
+	ref := before.Avail.String()
+
+	work := book.Snapshot()
+	if err := work.Avail.Reserve(10, 500, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := work.Avail.Reserve(3600, 4000, 16); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := book.Snapshot().Avail.String(); got != ref {
+		t.Fatalf("staging on a snapshot handle mutated the book:\n  was %s\n  now %s", ref, got)
+	}
+	if got := before.Avail.String(); got != ref {
+		t.Fatalf("staging on one handle mutated another:\n  was %s\n  now %s", ref, got)
+	}
+	if err := book.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,10 +6,17 @@
 //
 // Concurrency model. The book is split into time-epoch shards, each
 // guarding its window of the schedule with its own RWMutex and a
-// monotonically increasing mutation stamp. A scheduler takes a
-// snapshot — the assembled global profile plus the per-shard stamps it
-// was read at — computes a schedule against the copy without holding
-// any lock (list scheduling is the expensive part), and then commits
+// monotonically increasing mutation stamp. Each shard holds its window
+// of the step function as a persistent copy-on-write tree (the flat
+// deep-copy backend survives as the differential oracle, NewShardedFlat),
+// so a snapshot grabs one immutable root pointer + stamp per shard
+// under RLock — O(#shards), independent of how many reservations are
+// booked — and commits path-copy only the O(log n) nodes their
+// mutations touch, leaving outstanding snapshot roots frozen for the
+// GC to reclaim. A scheduler takes a snapshot — the concatenated
+// availability handle plus the per-shard stamps it was read at —
+// computes a schedule against it without holding any lock (list
+// scheduling is the expensive part), and then commits
 // the resulting reservations: the commit locks only the shards the
 // reservations touch, in ascending index order, and revalidates their
 // stamps. If any of those shards moved in between, the commit fails
@@ -97,41 +104,50 @@ type Reservation struct {
 	Status Status
 }
 
-// Snapshot is a consistent copy of the book's schedule. The profile is
-// the caller's to mutate (schedulers reserve task slots in it while
-// searching); committing requires the stamps of every shard the commit
-// touches to still match Epochs. Version is the global mutation
-// counter the snapshot was taken at, reported in the API and in
-// ErrStale messages.
+// Snapshot is a consistent view of the book's schedule. Avail is the
+// caller's to mutate (schedulers reserve task slots in it while
+// searching): on the default persistent backend it is a lightweight
+// copy-on-write handle sharing the shards' frozen roots — taking it
+// cost O(#shards), and mutations path-copy without ever writing a
+// shared node — while on the flat oracle backend it is a deep copy.
+// Committing requires the stamps of every shard the commit touches to
+// still match Epochs. Version is the global mutation counter the
+// snapshot was taken at, reported in the API and in ErrStale messages.
 type Snapshot struct {
 	Version uint64
 	Epochs  []uint64
-	Profile *profile.Profile
+	Avail   profile.Intervals
 }
 
 // bookShard is one time-epoch partition of the schedule: the window
 // [start, end) of the global horizon, with a profile holding the
 // clipped pieces of the reservations that overlap the window and the
-// ledger rows of the reservations that start in it. stamp counts the
-// mutations that touched the shard; prof, res, and stamp are guarded
-// by mu.
+// ledger rows of the reservations that start in it. Exactly one of
+// pprof (persistent backend, the default) and prof (flat oracle
+// backend) is non-nil, fixed at construction. stamp counts the
+// mutations that touched the shard; pprof, prof, res, and stamp are
+// guarded by mu — for pprof that guards the root-pointer swap a
+// path-copying mutation publishes; the nodes behind a published root
+// are immutable and safe to read lock-free through a Snapshot handle.
 type bookShard struct {
 	start model.Time
 	end   model.Time
 
 	mu    sync.RWMutex
-	stamp uint64                  //reschedvet:guardedby mu
-	prof  *profile.Profile        //reschedvet:guardedby mu
-	res   map[string]*Reservation //reschedvet:guardedby mu
+	stamp uint64                     //reschedvet:guardedby mu
+	pprof *profile.PersistentProfile //reschedvet:guardedby mu
+	prof  *profile.Profile           //reschedvet:guardedby mu
+	res   map[string]*Reservation    //reschedvet:guardedby mu
 }
 
 // Book is a concurrent, versioned reservation book. The zero value is
 // not usable; construct with New, NewSharded, or FromReservations.
 type Book struct {
-	capacity int
-	origin   model.Time
-	epoch    model.Duration
-	shards   []bookShard
+	capacity   int
+	origin     model.Time
+	epoch      model.Duration
+	persistent bool
+	shards     []bookShard
 
 	version atomic.Uint64
 	nextID  atomic.Uint64
@@ -154,8 +170,21 @@ func New(capacity int, origin model.Time) *Book {
 // origin + (i+1)·epoch), and the last shard extends to the horizon.
 // Commits into disjoint epochs lock disjoint shards and run in
 // parallel; reservations spanning epochs lock the covered shards in
-// ascending order.
+// ascending order. The shards hold persistent copy-on-write profile
+// roots, so Snapshot is O(nshards) regardless of reservation count.
 func NewSharded(capacity int, origin model.Time, nshards int, epoch model.Duration) (*Book, error) {
+	return newSharded(capacity, origin, nshards, epoch, true)
+}
+
+// NewShardedFlat is NewSharded on the flat deep-copy profile backend:
+// every Snapshot clones the assembled step function. It is the
+// differential oracle the persistent backend is tested against, and a
+// fallback for workloads where flat copies measure faster.
+func NewShardedFlat(capacity int, origin model.Time, nshards int, epoch model.Duration) (*Book, error) {
+	return newSharded(capacity, origin, nshards, epoch, false)
+}
+
+func newSharded(capacity int, origin model.Time, nshards int, epoch model.Duration, persistent bool) (*Book, error) {
 	if nshards < 1 {
 		return nil, fmt.Errorf("resbook: shard count %d < 1", nshards)
 	}
@@ -163,10 +192,11 @@ func NewSharded(capacity int, origin model.Time, nshards int, epoch model.Durati
 		return nil, fmt.Errorf("resbook: epoch %d must be positive with %d shards", epoch, nshards)
 	}
 	b := &Book{
-		capacity: capacity,
-		origin:   origin,
-		epoch:    epoch,
-		shards:   make([]bookShard, nshards),
+		capacity:   capacity,
+		origin:     origin,
+		epoch:      epoch,
+		persistent: persistent,
+		shards:     make([]bookShard, nshards),
 	}
 	for i := range b.shards {
 		sh := &b.shards[i]
@@ -175,7 +205,14 @@ func NewSharded(capacity int, origin model.Time, nshards int, epoch model.Durati
 		if i == len(b.shards)-1 {
 			sh.end = model.Infinity
 		}
-		sh.prof = profile.New(capacity, origin)
+		if persistent {
+			// Distinct seed bases keep sibling windows on disjoint
+			// priority streams so the concatenated snapshot treap stays
+			// balanced.
+			sh.pprof = profile.NewPersistentWindow(capacity, sh.start, sh.end, uint64(i)<<32)
+		} else {
+			sh.prof = profile.New(capacity, origin)
+		}
 		sh.res = make(map[string]*Reservation)
 	}
 	return b, nil
@@ -226,6 +263,11 @@ func (b *Book) Origin() model.Time { return b.origin }
 // NumShards returns the number of time-epoch shards.
 func (b *Book) NumShards() int { return len(b.shards) }
 
+// Persistent reports whether the book is on the copy-on-write
+// persistent profile backend (the default) rather than the flat
+// deep-copy oracle.
+func (b *Book) Persistent() bool { return b.persistent }
+
 // Version returns the current schedule version. It increases by one
 // on every successful mutation.
 func (b *Book) Version() uint64 { return b.version.Load() }
@@ -273,18 +315,25 @@ func (b *Book) unlockShards(lo, hi int) {
 	}
 }
 
-// Snapshot returns a copy of the current schedule with the stamps it
-// was read at. The copy is independent: the caller may mutate it
-// freely (and scheduling algorithms do).
+// Snapshot returns a consistent view of the current schedule with the
+// stamps it was read at. The view is independent: the caller may
+// mutate it freely (and scheduling algorithms do). On the persistent
+// backend taking it is O(#shards) — one root pointer + stamp per shard
+// under RLock — and the frozen roots keep answering queries unchanged
+// while later commits path-copy new roots beside them.
 func (b *Book) Snapshot() Snapshot {
 	return b.SnapshotInto(&profile.Profile{})
 }
 
-// SnapshotInto copies the current schedule into dst — reusing dst's
-// backing arrays when they are large enough — and returns the
-// snapshot built around it. It is Snapshot for callers that recycle
-// profile buffers (the serving layer pools them across requests): the
-// copy is just as independent, only the allocation is avoided.
+// SnapshotInto is Snapshot for callers that recycle flat profile
+// buffers (the serving layer pools them across requests). On the flat
+// oracle backend the schedule is copied into dst, reusing its backing
+// arrays. On the persistent backend dst is used only when the schedule
+// is small (fewer than profile.AutoTreeThreshold segments, where the
+// flat backend's linear scans win on constant factors): the segments
+// are materialized into dst and Avail is dst. Larger schedules skip
+// dst entirely — Avail is a copy-on-write handle over the shard roots
+// and the snapshot allocates O(#shards) regardless of R.
 //
 // Shards are read one at a time in ascending order, so a multi-shard
 // snapshot is not a point-in-time cut of the whole horizon; it does
@@ -293,17 +342,33 @@ func (b *Book) Snapshot() Snapshot {
 // shards whose windows were read consistently (and proceeds safely)
 // or fails with ErrStale.
 func (b *Book) SnapshotInto(dst *profile.Profile) Snapshot {
-	snap := Snapshot{Epochs: make([]uint64, len(b.shards)), Profile: dst}
-	if len(b.shards) == 1 {
-		sh := &b.shards[0]
-		sh.mu.RLock()
-		snap.Version = b.version.Load()
-		snap.Epochs[0] = sh.stamp
-		sh.prof.CloneInto(dst)
-		sh.mu.RUnlock()
+	snap := Snapshot{Epochs: make([]uint64, len(b.shards))}
+	if !b.persistent {
+		snap.Avail = dst
+		if len(b.shards) == 1 {
+			sh := &b.shards[0]
+			sh.mu.RLock()
+			snap.Version = b.version.Load()
+			snap.Epochs[0] = sh.stamp
+			sh.prof.CloneInto(dst)
+			sh.mu.RUnlock()
+			return snap
+		}
+		dst.Reset(b.capacity, b.origin)
+		for i := range b.shards {
+			sh := &b.shards[i]
+			sh.mu.RLock()
+			if i == 0 {
+				snap.Version = b.version.Load()
+			}
+			snap.Epochs[i] = sh.stamp
+			dst.AppendWindow(sh.prof, sh.start, sh.end)
+			sh.mu.RUnlock()
+		}
 		return snap
 	}
-	dst.Reset(b.capacity, b.origin)
+	parts := make([]*profile.PersistentProfile, len(b.shards))
+	total := 0
 	for i := range b.shards {
 		sh := &b.shards[i]
 		sh.mu.RLock()
@@ -311,9 +376,26 @@ func (b *Book) SnapshotInto(dst *profile.Profile) Snapshot {
 			snap.Version = b.version.Load()
 		}
 		snap.Epochs[i] = sh.stamp
-		dst.AppendWindow(sh.prof, sh.start, sh.end)
+		parts[i] = sh.pprof.Clone()
 		sh.mu.RUnlock()
+		total += parts[i].NumSegments()
 	}
+	if total < profile.AutoTreeThreshold {
+		// Small-R auto backend: materialize the handful of segments into
+		// the pooled flat profile, whose scans beat tree descents at
+		// this size.
+		dst.Reset(b.capacity, b.origin)
+		for _, p := range parts {
+			p.AppendSegmentsTo(dst)
+		}
+		snap.Avail = dst
+		return snap
+	}
+	if len(parts) == 1 {
+		snap.Avail = parts[0]
+		return snap
+	}
+	snap.Avail = profile.ConcatPersistent(parts)
 	return snap
 }
 
@@ -335,6 +417,33 @@ func (b *Book) reserveChecks(start, end model.Time, procs int) error {
 		return fmt.Errorf("reservation end %d beyond the scheduling horizon", end)
 	}
 	return nil
+}
+
+// shardReserveLocked books a clipped piece into shard i on whichever
+// profile backend the book runs; the shard's lock must be held. On the
+// persistent backend the mutation path-copies O(log n) nodes and swaps
+// the shard's root — snapshot handles sharing the old root are
+// untouched.
+//
+//reschedvet:holds bookShard.mu
+func (b *Book) shardReserveLocked(i int, start, end model.Time, procs int) error {
+	sh := &b.shards[i]
+	if sh.pprof != nil {
+		return sh.pprof.Reserve(start, end, procs)
+	}
+	return sh.prof.Reserve(start, end, procs)
+}
+
+// shardUnreserveLocked undoes a clipped piece in shard i; the shard's
+// lock must be held.
+//
+//reschedvet:holds bookShard.mu
+func (b *Book) shardUnreserveLocked(i int, start, end model.Time, procs int) error {
+	sh := &b.shards[i]
+	if sh.pprof != nil {
+		return sh.pprof.Unreserve(start, end, procs)
+	}
+	return sh.prof.Unreserve(start, end, procs)
 }
 
 // appliedPiece records one clipped per-shard reserve for rollback.
@@ -366,9 +475,11 @@ func (b *Book) applyLocked(req Request, applied []appliedPiece) ([]appliedPiece,
 		if end <= start {
 			continue
 		}
-		if err := sh.prof.Reserve(start, end, req.Procs); err != nil {
+		if err := b.shardReserveLocked(i, start, end, req.Procs); err != nil {
 			b.rollbackLocked(applied[first:])
-			return applied, err
+			// Truncate the already-undone pieces, or the caller's own
+			// rollback of earlier requests would unreserve them twice.
+			return applied[:first], err
 		}
 		applied = append(applied, appliedPiece{shard: i, start: start, end: end, procs: req.Procs})
 	}
@@ -383,7 +494,7 @@ func (b *Book) applyLocked(req Request, applied []appliedPiece) ([]appliedPiece,
 func (b *Book) rollbackLocked(applied []appliedPiece) {
 	for k := len(applied) - 1; k >= 0; k-- {
 		p := applied[k]
-		if err := b.shards[p.shard].prof.Unreserve(p.start, p.end, p.procs); err != nil {
+		if err := b.shardUnreserveLocked(p.shard, p.start, p.end, p.procs); err != nil {
 			panic(fmt.Sprintf("resbook: rollback failed: %v", err))
 		}
 	}
@@ -612,7 +723,7 @@ func (b *Book) Release(id string) error {
 		if end <= start {
 			continue
 		}
-		if err := sh.prof.Unreserve(start, end, row.Procs); err != nil {
+		if err := b.shardUnreserveLocked(i, start, end, row.Procs); err != nil {
 			// The shard profiles hold every non-released reservation, so
 			// undoing one can only fail if the ledger and profile disagree.
 			panic(fmt.Sprintf("resbook: release %s failed: %v", id, err))
@@ -669,10 +780,17 @@ func (b *Book) CheckInvariants() error {
 	assembled.Reset(b.capacity, b.origin)
 	for i := range b.shards {
 		sh := &b.shards[i]
-		if err := sh.prof.Check(); err != nil {
-			return fmt.Errorf("resbook: shard %d: %w", i, err)
+		if sh.pprof != nil {
+			if err := sh.pprof.Check(); err != nil {
+				return fmt.Errorf("resbook: shard %d: %w", i, err)
+			}
+			sh.pprof.AppendSegmentsTo(assembled)
+		} else {
+			if err := sh.prof.Check(); err != nil {
+				return fmt.Errorf("resbook: shard %d: %w", i, err)
+			}
+			assembled.AppendWindow(sh.prof, sh.start, sh.end)
 		}
-		assembled.AppendWindow(sh.prof, sh.start, sh.end)
 	}
 	want := profile.New(b.capacity, b.origin)
 	for i := range b.shards {

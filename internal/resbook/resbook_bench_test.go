@@ -2,6 +2,7 @@ package resbook
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"resched/internal/model"
@@ -32,9 +33,76 @@ func BenchmarkSnapshot1k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		snap := book.Snapshot()
-		if snap.Profile.Capacity() != 256 {
+		if snap.Avail.Capacity() != 256 {
 			b.Fatal("bad snapshot")
 		}
+	}
+}
+
+// benchBookR builds a book with r committed reservations in the same
+// staggered pattern as bench1kBook.
+func benchBookR(b *testing.B, r int) *Book {
+	b.Helper()
+	book := New(256, 0)
+	for i := 0; i < r; i++ {
+		start := model.Time(i) * 10
+		end := start + 500
+		procs := 1 + i%4
+		if _, err := book.Reserve(start, end, procs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return book
+}
+
+// BenchmarkSnapshotScaling measures Snapshot against growing
+// reservation counts. On the persistent backend the cost is grabbing
+// one copy-on-write root per shard — O(#shards), so the three sizes
+// should time alike; on the old deep-copy path this scaled linearly
+// in R. BenchmarkSnapshotScalingFlat keeps the oracle's linear curve
+// in the trajectory for comparison.
+func BenchmarkSnapshotScaling(b *testing.B) {
+	for _, r := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			book := benchBookR(b, r)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := book.Snapshot()
+				if snap.Avail.Capacity() != 256 {
+					b.Fatal("bad snapshot")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotScalingFlat is BenchmarkSnapshotScaling on the
+// flat-oracle backend: the deep-copy baseline the persistent path is
+// measured against. 100k is omitted — the point (linear growth) is
+// visible at 10k, and the deep copies dominate bench time.
+func BenchmarkSnapshotScalingFlat(b *testing.B) {
+	for _, r := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("R=%d", r), func(b *testing.B) {
+			book, err := NewShardedFlat(256, 0, 1, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < r; i++ {
+				start := model.Time(i) * 10
+				if _, err := book.Reserve(start, start+500, 1+i%4); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := book.Snapshot()
+				if snap.Avail.Capacity() != 256 {
+					b.Fatal("bad snapshot")
+				}
+			}
+		})
 	}
 }
 

@@ -23,7 +23,7 @@ func TestReserveLifecycle(t *testing.T) {
 	if b.Version() != v0+1 {
 		t.Errorf("version %d after Reserve, want %d", b.Version(), v0+1)
 	}
-	if got := b.Snapshot().Profile.FreeAt(15); got != 5 {
+	if got := b.Snapshot().Avail.FreeAt(15); got != 5 {
 		t.Errorf("5 free expected at t=15, got %d", got)
 	}
 
@@ -49,7 +49,7 @@ func TestReserveLifecycle(t *testing.T) {
 	if got, _ := b.Get(r.ID); got.Status != Released {
 		t.Errorf("after Release: status %v", got.Status)
 	}
-	if got := b.Snapshot().Profile.FreeAt(15); got != 8 {
+	if got := b.Snapshot().Avail.FreeAt(15); got != 8 {
 		t.Errorf("released capacity not returned: %d free at t=15", got)
 	}
 
@@ -103,7 +103,7 @@ func TestCommitVersionCheck(t *testing.T) {
 	if len(out) != 2 {
 		t.Fatalf("committed %d reservations, want 2", len(out))
 	}
-	if got := b.Snapshot().Profile.FreeAt(27); got != 3 {
+	if got := b.Snapshot().Avail.FreeAt(27); got != 3 {
 		t.Errorf("3 free expected at t=27, got %d", got)
 	}
 	if err := b.CheckInvariants(); err != nil {
@@ -114,7 +114,7 @@ func TestCommitVersionCheck(t *testing.T) {
 func TestCommitRollsBackOnFailure(t *testing.T) {
 	b := New(4, 0)
 	snap := b.Snapshot()
-	before := b.Snapshot().Profile.String()
+	before := b.Snapshot().Avail.String()
 
 	// Second request oversubscribes the cluster: the whole commit must
 	// fail and leave no trace of the first.
@@ -125,7 +125,7 @@ func TestCommitRollsBackOnFailure(t *testing.T) {
 	if err == nil || errors.Is(err, ErrStale) {
 		t.Fatalf("oversubscribing commit: %v", err)
 	}
-	if got := b.Snapshot().Profile.String(); got != before {
+	if got := b.Snapshot().Avail.String(); got != before {
 		t.Errorf("failed commit left residue: %s, want %s", got, before)
 	}
 	if len(b.List()) != 0 {
@@ -143,10 +143,10 @@ func TestSnapshotIsolation(t *testing.T) {
 	b := New(8, 0)
 	snap := b.Snapshot()
 	// Mutating the snapshot must not leak into the book.
-	if err := snap.Profile.Reserve(0, 100, 8); err != nil {
+	if err := snap.Avail.Reserve(0, 100, 8); err != nil {
 		t.Fatal(err)
 	}
-	if got := b.Snapshot().Profile.FreeAt(50); got != 8 {
+	if got := b.Snapshot().Avail.FreeAt(50); got != 8 {
 		t.Errorf("snapshot mutation leaked into the book: %d free", got)
 	}
 }
@@ -170,7 +170,7 @@ func TestFromReservations(t *testing.T) {
 			t.Errorf("seeded reservation %s status %v, want active", r.ID, r.Status)
 		}
 	}
-	if got := b.Snapshot().Profile.FreeAt(10); got != 6 {
+	if got := b.Snapshot().Avail.FreeAt(10); got != 6 {
 		t.Errorf("6 free expected at t=10, got %d", got)
 	}
 	if err := b.CheckInvariants(); err != nil {

@@ -54,11 +54,11 @@ func BenchmarkShardedCommit(b *testing.B) {
 						snap := book.Snapshot()
 						// The scheduling computation this commit
 						// protects: find a slot inside the window.
-						st, err := snap.Profile.EarliestFitChecked(procs, model.Hour, base)
+						st, err := snap.Avail.EarliestFitChecked(procs, model.Hour, base)
 						if err != nil {
 							b.Fatal(err)
 						}
-						if free := snap.Profile.MinFree(st, st+model.Hour); free < procs {
+						if free := snap.Avail.MinFree(st, st+model.Hour); free < procs {
 							b.Fatalf("fit at %d has %d free", st, free)
 						}
 						// A real RESSCHED computation runs long enough

@@ -65,7 +65,7 @@ func TestConcurrentBooking(t *testing.T) {
 	}
 
 	compute := func(w int, snap Snapshot) ([]Request, error) {
-		env := core.Env{P: capacity, Now: snap.Profile.Origin(), Avail: snap.Profile, Q: capacity / 2}
+		env := core.Env{P: capacity, Now: snap.Avail.Origin(), Avail: snap.Avail, Q: capacity / 2}
 		var sched *core.Schedule
 		var err error
 		if w%3 == 0 {
@@ -128,7 +128,7 @@ func TestConcurrentBooking(t *testing.T) {
 				var r Reservation
 				for {
 					snap := book.Snapshot()
-					st, err := snap.Profile.EarliestFitChecked(1, 50, snap.Profile.Origin())
+					st, err := snap.Avail.EarliestFitChecked(1, 50, snap.Avail.Origin())
 					if err != nil {
 						t.Errorf("worker %d: fit: %v", w, err)
 						return
@@ -181,7 +181,7 @@ func TestConcurrentBooking(t *testing.T) {
 	if err := book.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	if err := book.Snapshot().Profile.Check(); err != nil {
+	if err := book.Snapshot().Avail.Check(); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("stress: %d commits, %d direct reserves, %d releases, %d retries, final version %d",

@@ -102,7 +102,7 @@ func (s *Server) runCoalescedGroup(g *coalesce.Group) {
 		var reqs []resbook.Request
 		perJob := make([]int, len(ws))
 		resps := make([]*api.ScheduleResponse, len(ws))
-		s.withAvail(prof, func(avail profile.Intervals) {
+		s.withAvail(snap.Avail, func(avail profile.Intervals) {
 			for i, w := range ws {
 				if done[i] {
 					continue
@@ -113,7 +113,7 @@ func (s *Server) runCoalescedGroup(g *coalesce.Group) {
 				}
 				cj := w.Payload().(*coalescedJob)
 				job := cj.job
-				env := core.Env{P: prof.Capacity(), Now: job.now, Avail: avail, Q: job.q}
+				env := core.Env{P: s.book.Capacity(), Now: job.now, Avail: avail, Q: job.q}
 				sched, err := job.sch.TurnaroundCtx(w.Context(), env, job.bl, job.bd)
 				if err != nil {
 					switch {

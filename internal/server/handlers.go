@@ -31,22 +31,25 @@ func (s *Server) resolveNow(reqNow model.Time) (model.Time, error) {
 	return reqNow, nil
 }
 
-// withAvail picks the scheduling backend for a snapshot profile and
-// lends it to fn: the flat profile itself for small horizons, a
-// pooled tree-backed reload for horizons of profile.AutoTreeThreshold
-// segments or more (where the O(log n) probes pay for the rebuild).
-// The borrow ends when fn returns — the schedulers work on their own
-// copy, so nothing may retain the backend afterwards (the poolescape
-// discipline: pooled scratch never outlives the lending scope).
-func (s *Server) withAvail(prof *profile.Profile, fn func(profile.Intervals)) {
-	if prof.NumSegments() < profile.AutoTreeThreshold {
-		fn(prof)
+// withAvail picks the scheduling backend for a snapshot's availability
+// handle and lends it to fn. Persistent handles (the default book
+// backend) and small flat profiles pass through unchanged — a
+// persistent snapshot already answers probes in O(log n) with zero
+// copying, which is what shrank this inversion: the pooled tree reload
+// survives only for large *flat* snapshots (the oracle-backend book),
+// where the O(log n) probes pay for the rebuild. The borrow ends when
+// fn returns — the schedulers work on their own copy, so nothing may
+// retain a pooled backend afterwards (the poolescape discipline:
+// pooled scratch never outlives the lending scope).
+func (s *Server) withAvail(av profile.Intervals, fn func(profile.Intervals)) {
+	if p, ok := av.(*profile.Profile); ok && p.NumSegments() >= profile.AutoTreeThreshold {
+		tree := s.treePool.Get().(*profile.TreeProfile)
+		tree.LoadProfile(p)
+		fn(tree)
+		s.treePool.Put(tree)
 		return
 	}
-	tree := s.treePool.Get().(*profile.TreeProfile)
-	tree.LoadProfile(prof)
-	fn(tree)
-	s.treePool.Put(tree)
+	fn(av)
 }
 
 // buildScheduleResponse assembles the response shared by the solo,
@@ -91,8 +94,8 @@ func (s *Server) runCommitLoop(w http.ResponseWriter, r *http.Request, bin bool,
 		var sched *core.Schedule
 		var deadline model.Time
 		var err error
-		s.withAvail(prof, func(avail profile.Intervals) {
-			env := core.Env{P: prof.Capacity(), Now: now, Avail: avail, Q: q}
+		s.withAvail(snap.Avail, func(avail profile.Intervals) {
+			env := core.Env{P: s.book.Capacity(), Now: now, Avail: avail, Q: q}
 			sched, deadline, err = compute(env)
 		})
 		if err != nil {
@@ -269,9 +272,9 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 		var reqs []resbook.Request
 		perJob := make([]int, len(jobs)) // reservation count per job, for ID fan-out
 		failed := false
-		s.withAvail(prof, func(avail profile.Intervals) {
+		s.withAvail(snap.Avail, func(avail profile.Intervals) {
 			for i, job := range jobs {
-				env := core.Env{P: prof.Capacity(), Now: job.now, Avail: avail, Q: job.q}
+				env := core.Env{P: s.book.Capacity(), Now: job.now, Avail: avail, Q: job.q}
 				sched, err := job.sch.TurnaroundCtx(ctx, env, job.bl, job.bd)
 				if err != nil {
 					if errors.Is(err, core.ErrInfeasible) {
@@ -486,11 +489,11 @@ func (s *Server) handleReservationDelete(w http.ResponseWriter, r *http.Request)
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	snap := s.book.Snapshot()
 	resp := api.ProfileResponse{
-		Capacity: snap.Profile.Capacity(),
-		Origin:   snap.Profile.Origin(),
+		Capacity: snap.Avail.Capacity(),
+		Origin:   snap.Avail.Origin(),
 		Version:  snap.Version,
 	}
-	for _, seg := range snap.Profile.Segments() {
+	for _, seg := range snap.Avail.Segments() {
 		resp.Segments = append(resp.Segments, api.Segment{Start: seg.Start, Free: seg.Free})
 	}
 	for _, res := range s.book.List() {

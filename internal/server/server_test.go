@@ -240,7 +240,7 @@ func TestReservationLifecycleOverHTTP(t *testing.T) {
 	if dresp.StatusCode != http.StatusOK {
 		t.Fatalf("delete: HTTP %d", dresp.StatusCode)
 	}
-	if free := book.Snapshot().Profile.FreeAt(150); free != 16 {
+	if free := book.Snapshot().Avail.FreeAt(150); free != 16 {
 		t.Errorf("capacity not returned after delete: %d free", free)
 	}
 
@@ -491,7 +491,7 @@ func TestConcurrentClients(t *testing.T) {
 	if err := book.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	if err := book.Snapshot().Profile.Check(); err != nil {
+	if err := book.Snapshot().Avail.Check(); err != nil {
 		t.Fatal(err)
 	}
 
